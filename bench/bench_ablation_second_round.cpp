@@ -1,0 +1,58 @@
+// Ablations A1 + A2 (Sec. V text, HC-2 discussion):
+//   A1: the second contig-merging round roughly doubles N50
+//       ("N50 is 1074 after we merge unambiguous k-mers into contigs, and
+//        it improves to 2070 after we merge contigs after error correction")
+//   A2: the vertex count collapses through the pipeline
+//       ("46.97 M vertices ... reduced to 1.00 M ... further to 68,264").
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/assembler.h"
+#include "quality/quast.h"
+
+int main() {
+  using namespace ppa;
+  bench::PrintHeader(
+      "Ablation: second merge round (N50 growth + vertex-count collapse)");
+
+  Dataset ds = MakeDataset(DatasetId::kHc2);
+  AssemblerOptions options = bench::PaperOptions();
+  Assembler assembler(options);
+  AssemblyResult result = assembler.Assemble(ds.reads);
+
+  std::vector<uint64_t> round1(result.round1_contig_lengths.begin(),
+                               result.round1_contig_lengths.end());
+  std::vector<uint64_t> round2;
+  for (const ContigRecord& c : result.contigs) round2.push_back(c.seq.size());
+
+  uint64_t n50_round1 = ComputeN50(round1);
+  uint64_t n50_round2 = ComputeN50(round2);
+  std::printf("N50 after round-1 merging:       %llu\n",
+              static_cast<unsigned long long>(n50_round1));
+  std::printf("N50 after round-2 merging:       %llu  (%.2fx)\n",
+              static_cast<unsigned long long>(n50_round2),
+              n50_round1 ? static_cast<double>(n50_round2) / n50_round1 : 0);
+  std::printf("Paper: 1074 -> 2070 (1.93x)\n");
+  bench::PrintRule();
+  std::printf("DBG k-mer vertices:              %llu\n",
+              static_cast<unsigned long long>(result.kmer_vertices));
+  std::printf("Vertices after round-1 merging:  %llu\n",
+              static_cast<unsigned long long>(result.vertices_after_round1));
+  std::printf("Vertices after round-2 merging:  %llu\n",
+              static_cast<unsigned long long>(result.vertices_after_round2));
+  std::printf("Paper (HC-2): 46.97 M -> 1.00 M -> 68,264\n");
+  std::printf("Collapse ratios: %.1fx then %.1fx (paper: 47x then 15x)\n",
+              result.vertices_after_round1
+                  ? static_cast<double>(result.kmer_vertices) /
+                        result.vertices_after_round1
+                  : 0,
+              result.vertices_after_round2
+                  ? static_cast<double>(result.vertices_after_round1) /
+                        result.vertices_after_round2
+                  : 0);
+  std::printf("Tips removed: %llu   Bubbles pruned: %llu\n",
+              static_cast<unsigned long long>(result.tips_removed),
+              static_cast<unsigned long long>(result.bubbles_pruned));
+  return 0;
+}

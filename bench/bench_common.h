@@ -1,0 +1,45 @@
+// Shared helpers for the experiment benches.
+//
+// Each bench binary regenerates one table or figure of the paper. Every
+// binary runs standalone with no arguments and prints both the measured
+// rows and the corresponding numbers the paper reports, so the shape
+// comparison is visible in the output. Dataset sizes scale with the
+// PPA_DATASET_SCALE environment variable (see sim/datasets.h).
+#ifndef PPA_BENCH_BENCH_COMMON_H_
+#define PPA_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "core/options.h"
+#include "sim/datasets.h"
+#include "util/logging.h"
+
+namespace ppa::bench {
+
+/// The evaluation configuration of Sec. V (k = 31, edit distance 5, tip
+/// length 80) with container-scale worker counts.
+inline AssemblerOptions PaperOptions() {
+  AssemblerOptions options;
+  options.k = 31;
+  options.coverage_threshold = 2;
+  options.tip_length_threshold = 80;
+  options.bubble_edit_distance = 5;
+  options.num_workers = 16;
+  options.num_threads = 0;
+  return options;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("=============================================================\n");
+}
+
+inline void PrintRule() {
+  std::printf("-------------------------------------------------------------\n");
+}
+
+}  // namespace ppa::bench
+
+#endif  // PPA_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,71 @@
+// Figure 12: end-to-end execution time of the four assemblers while the
+// number of workers varies over {16, 32, 48, 64}, on the two large
+// datasets (HC-14 and Bombus impatiens, simulated at container scale).
+//
+// Every assembler's algorithms run for real on the Pregel substrate; the
+// measured per-superstep/per-worker profiles are converted to cluster
+// seconds by the BSP cost model (sim/cluster_model.h). Absolute numbers are
+// not comparable with the paper (scaled datasets, modeled cluster); the
+// shapes are: PPA fastest everywhere and improving with workers, Ray an
+// order of magnitude slower, ABySS flat in the worker count.
+#include <cstdio>
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "bench_common.h"
+#include "sim/cluster_model.h"
+
+namespace ppa {
+namespace {
+
+void RunDataset(DatasetId id, const char* paper_rows) {
+  Dataset ds = MakeDataset(id);
+  AssemblerOptions options = bench::PaperOptions();
+
+  std::printf("\nDataset %s: %zu reads, reference %zu bp\n",
+              ds.name.c_str(), ds.reads.size(), ds.reference.size());
+
+  std::vector<AssemblerRun> runs;
+  runs.push_back(RunPpaAssembler(ds.reads, options));
+  runs.push_back(RunAbyssLike(ds.reads, options));
+  runs.push_back(RunRayLike(ds.reads, options));
+  runs.push_back(RunSwapLike(ds.reads, options));
+
+  ClusterParams params;
+  std::printf("%-16s", "# workers");
+  for (const AssemblerRun& run : runs) std::printf("%16s", run.name.c_str());
+  std::printf("\n");
+  bench::PrintRule();
+  for (uint32_t workers : {16u, 32u, 48u, 64u}) {
+    std::printf("%-16u", workers);
+    for (const AssemblerRun& run : runs) {
+      double secs =
+          EstimatePipelineSeconds(run.stats, workers, params, run.profile);
+      std::printf("%15.3fs", secs);
+    }
+    std::printf("\n");
+  }
+  bench::PrintRule();
+  std::printf("Paper reports (seconds):\n%s", paper_rows);
+}
+
+}  // namespace
+}  // namespace ppa
+
+int main() {
+  ppa::bench::PrintHeader(
+      "Figure 12: execution time vs #workers (simulated cluster)");
+  ppa::RunDataset(ppa::DatasetId::kHc14,
+                  "  workers      PPA    ABySS      Ray     SWAP\n"
+                  "  16        1066.1   1835.1  13875.4   1857.9\n"
+                  "  32         584.2   1637.9   8770.1    983.8\n"
+                  "  48         408.7   1579.5   7051.8    748.3\n"
+                  "  64         424.8   1780.8   6795.4    672.0\n");
+  ppa::RunDataset(ppa::DatasetId::kBi,
+                  "  workers      PPA    ABySS      Ray     SWAP\n"
+                  "  16        3934.2  19554.0  79772.7   7910.0\n"
+                  "  32        2311.6  18318.1  51764.3   4302.4\n"
+                  "  48        1635.0  20144.2  43475.3   3345.7\n"
+                  "  64        1376.9  18782.8  41744.9   2832.5\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Micro-benchmarks (google-benchmark): k-mer arithmetic and the integer-ID
+// vs string-ID design claim (A4) — "Pregel heavily checks vertex IDs for
+// message delivery, and integer IDs benefit from efficient word-level
+// instructions" (Sec. IV.A).
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dbg/adjacency.h"
+#include "dna/kmer.h"
+#include "util/hash.h"
+#include "util/random.h"
+
+namespace ppa {
+namespace {
+
+std::vector<uint64_t> RandomKmerCodes(size_t n, int k, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> codes;
+  codes.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    codes.push_back(rng.Next() & ((1ULL << (2 * k)) - 1));
+  }
+  return codes;
+}
+
+void BM_ReverseComplement(benchmark::State& state) {
+  auto codes = RandomKmerCodes(1024, 31, 1);
+  size_t i = 0;
+  for (auto _ : state) {
+    Kmer kmer(codes[i++ & 1023], 31);
+    benchmark::DoNotOptimize(kmer.ReverseComplement().code());
+  }
+}
+BENCHMARK(BM_ReverseComplement);
+
+void BM_Canonical(benchmark::State& state) {
+  auto codes = RandomKmerCodes(1024, 31, 2);
+  size_t i = 0;
+  for (auto _ : state) {
+    Kmer kmer(codes[i++ & 1023], 31);
+    benchmark::DoNotOptimize(kmer.Canonical().code());
+  }
+}
+BENCHMARK(BM_Canonical);
+
+void BM_KmerWindowScan(benchmark::State& state) {
+  Rng rng(3);
+  std::string read;
+  for (int i = 0; i < 4096; ++i) read += CharFromBase(rng.Next() & 3);
+  for (auto _ : state) {
+    KmerWindow window(31);
+    uint64_t acc = 0;
+    for (char c : read) {
+      if (window.Push(static_cast<uint8_t>(BaseFromChar(c)))) {
+        acc ^= window.Current().Canonical().code();
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(read.size()));
+}
+BENCHMARK(BM_KmerWindowScan);
+
+void BM_NeighborReconstruction(benchmark::State& state) {
+  auto codes = RandomKmerCodes(1024, 31, 4);
+  size_t i = 0;
+  for (auto _ : state) {
+    Kmer kmer(codes[i & 1023], 31);
+    AdjItem item{static_cast<uint8_t>(i & 3),
+                 static_cast<uint8_t>((i >> 2) & 1),
+                 static_cast<Side>((i >> 3) & 1),
+                 static_cast<Side>((i >> 4) & 1)};
+    benchmark::DoNotOptimize(NeighborKmer(kmer, item).code());
+    ++i;
+  }
+}
+BENCHMARK(BM_NeighborReconstruction);
+
+// A4: hash-table lookups with integer IDs vs sequence-string IDs.
+void BM_LookupIntegerIds(benchmark::State& state) {
+  auto codes = RandomKmerCodes(1 << 16, 31, 5);
+  std::unordered_map<uint64_t, uint32_t, IdHash> table;
+  for (uint64_t c : codes) table.emplace(c, 1);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.find(codes[i++ & 0xFFFF]));
+  }
+}
+BENCHMARK(BM_LookupIntegerIds);
+
+void BM_LookupStringIds(benchmark::State& state) {
+  auto codes = RandomKmerCodes(1 << 16, 31, 5);
+  std::unordered_map<std::string, uint32_t> table;
+  std::vector<std::string> keys;
+  keys.reserve(codes.size());
+  for (uint64_t c : codes) {
+    keys.push_back(Kmer(c, 31).ToString());
+    table.emplace(keys.back(), 1);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.find(keys[i++ & 0xFFFF]));
+  }
+}
+BENCHMARK(BM_LookupStringIds);
+
+}  // namespace
+}  // namespace ppa
+
+BENCHMARK_MAIN();

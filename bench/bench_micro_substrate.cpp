@@ -1,0 +1,151 @@
+// Micro-benchmarks (google-benchmark) for the substrates: Pregel superstep
+// throughput, mini-MapReduce shuffle, banded edit distance (the bubble
+// predicate), and varint coverage coding.
+#include <benchmark/benchmark.h>
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dna/nucleotide.h"
+#include "pregel/engine.h"
+#include "pregel/mapreduce.h"
+#include "util/edit_distance.h"
+#include "util/random.h"
+#include "util/varint.h"
+
+namespace ppa {
+namespace {
+
+// A trivial ring vertex: passes a token around, measuring raw engine
+// message throughput.
+struct RingVertex {
+  using Message = uint64_t;
+  uint64_t id = 0;
+  bool halted = false;
+  bool removed = false;
+  uint64_t next = 0;
+  uint32_t hops_left = 0;
+
+  template <typename Ctx>
+  void Compute(Ctx& ctx, std::span<const uint64_t> msgs) {
+    if (ctx.superstep() == 0) {
+      if (hops_left > 0) ctx.SendTo(next, static_cast<uint64_t>(hops_left));
+      ctx.VoteToHalt();
+      return;
+    }
+    for (uint64_t hops : msgs) {
+      if (hops > 1) ctx.SendTo(next, hops - 1);
+    }
+    ctx.VoteToHalt();
+  }
+};
+
+void BM_PregelSuperstepRing(benchmark::State& state) {
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    PartitionedGraph<RingVertex> graph(8);
+    for (uint64_t i = 0; i < n; ++i) {
+      RingVertex v;
+      v.id = i;
+      v.next = (i + 1) % n;
+      v.hops_left = (i == 0) ? 64 : 0;
+      graph.Add(std::move(v));
+    }
+    EngineConfig config;
+    config.num_threads = 1;
+    config.job_name = "ring";
+    Engine<RingVertex> engine(config);
+    RunStats stats = engine.Run(graph);
+    benchmark::DoNotOptimize(stats.total_messages());
+  }
+}
+BENCHMARK(BM_PregelSuperstepRing)->Arg(1024)->Arg(16384);
+
+void BM_MapReduceShuffle(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(11);
+  std::vector<uint64_t> data;
+  data.reserve(n);
+  for (size_t i = 0; i < n; ++i) data.push_back(rng.Next() % (n / 4 + 1));
+  for (auto _ : state) {
+    auto input = Scatter(data, 8);
+    auto map_fn = [](const uint64_t& x, auto& emitter) {
+      emitter.Emit(x, uint32_t{1});
+    };
+    auto reduce_fn = [](const uint64_t& key, std::span<uint32_t> vals,
+                        std::vector<std::pair<uint64_t, uint32_t>>& out) {
+      uint32_t total = 0;
+      for (uint32_t v : vals) total += v;
+      out.emplace_back(key, total);
+    };
+    MapReduceConfig config;
+    config.num_workers = 8;
+    config.num_threads = 1;
+    auto result =
+        RunMapReduce<uint64_t, uint64_t, uint32_t,
+                     std::pair<uint64_t, uint32_t>>(input, map_fn, reduce_fn,
+                                                    config);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_MapReduceShuffle)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_BandedEditDistance(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  Rng rng(13);
+  std::string a;
+  for (size_t i = 0; i < len; ++i) a += CharFromBase(rng.Next() & 3);
+  std::string b = a;
+  for (int e = 0; e < 3; ++e) {
+    b[rng.Below(len)] = CharFromBase(rng.Next() & 3);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BandedEditDistance(a, b, 5));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(len));
+}
+BENCHMARK(BM_BandedEditDistance)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_FullEditDistance(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  Rng rng(13);
+  std::string a;
+  for (size_t i = 0; i < len; ++i) a += CharFromBase(rng.Next() & 3);
+  std::string b = a;
+  for (int e = 0; e < 3; ++e) {
+    b[rng.Below(len)] = CharFromBase(rng.Next() & 3);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EditDistance(a, b));
+  }
+}
+BENCHMARK(BM_FullEditDistance)->Arg(128)->Arg(1024);
+
+void BM_VarintRoundTrip(benchmark::State& state) {
+  Rng rng(17);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 1024; ++i) {
+    values.push_back(rng.Next() >> (rng.Next() % 60));
+  }
+  for (auto _ : state) {
+    std::vector<uint8_t> buf;
+    for (uint64_t v : values) PutVarint64(&buf, v);
+    size_t pos = 0;
+    uint64_t acc = 0;
+    uint64_t v = 0;
+    while (pos < buf.size() && GetVarint64(buf.data(), buf.size(), &pos, &v)) {
+      acc ^= v;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_VarintRoundTrip);
+
+}  // namespace
+}  // namespace ppa
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Common interface for the comparison assemblers of Sec. V.
+//
+// ABySS, Ray and SWAP-Assembler are reimplemented at the *algorithm* level
+// on the same Pregel substrate as PPA-assembler, so their superstep and
+// message profiles are measured rather than assumed; system-level
+// differences (ABySS's serialized messaging, Ray's unbatched chat, SWAP's
+// MPI overheads) enter only through the cluster-model profiles
+// (sim/cluster_model.h). Spaler is not reproduced — it is closed source and
+// excluded from the paper's experiments too.
+#ifndef PPA_BASELINES_BASELINE_H_
+#define PPA_BASELINES_BASELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "dna/read.h"
+#include "pregel/stats.h"
+#include "sim/cluster_model.h"
+
+namespace ppa {
+
+/// One assembler's run: contigs + measured execution profile.
+struct AssemblerRun {
+  std::string name;
+  std::vector<std::string> contigs;
+  PipelineStats stats;
+  SystemProfile profile;
+  double wall_seconds = 0;
+};
+
+/// PPA-assembler wrapped in the common interface.
+AssemblerRun RunPpaAssembler(const std::vector<Read>& reads,
+                             const AssemblerOptions& options);
+
+/// ABySS-like baseline: k-mer vertices probe all 8 possible neighbors to
+/// establish edges (creating spurious edges when the (k+1)-mer never
+/// occurred — the Sec. V critique), unitigs grow by one-hop-per-superstep
+/// label propagation (sequential extension), and bubbles are popped by
+/// keeping an arbitrary branch.
+AssemblerRun RunAbyssLike(const std::vector<Read>& reads,
+                          const AssemblerOptions& options);
+
+/// Ray-like baseline: real DBG edges, but greedy seed-and-extend walks that
+/// advance one vertex per superstep and stop conservatively at any coverage
+/// imbalance; no bubble filtering.
+AssemblerRun RunRayLike(const std::vector<Read>& reads,
+                        const AssemblerOptions& options);
+
+/// SWAP-like baseline: resolves branch vertices up front by pruning
+/// minority edges whenever one branch dominates (joining paths across
+/// repeat boundaries — misassembly-prone), then merges with the S-V-style
+/// multi-superstep strategy; no bubble filtering.
+AssemblerRun RunSwapLike(const std::vector<Read>& reads,
+                         const AssemblerOptions& options);
+
+}  // namespace ppa
+
+#endif  // PPA_BASELINES_BASELINE_H_

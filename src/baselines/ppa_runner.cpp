@@ -1,0 +1,24 @@
+// PPA-assembler wrapped in the common baseline interface.
+#include "baselines/baseline.h"
+
+#include "core/assembler.h"
+#include "util/timer.h"
+
+namespace ppa {
+
+AssemblerRun RunPpaAssembler(const std::vector<Read>& reads,
+                             const AssemblerOptions& options) {
+  Timer timer;
+  AssemblerRun run;
+  run.name = "PPA-Assembler";
+  run.profile = PpaAssemblerProfile();
+
+  Assembler assembler(options);
+  AssemblyResult result = assembler.Assemble(reads);
+  run.contigs = result.ContigStrings();
+  run.stats = std::move(result.stats);
+  run.wall_seconds = timer.Seconds();
+  return run;
+}
+
+}  // namespace ppa

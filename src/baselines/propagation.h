@@ -1,0 +1,35 @@
+// Sequential unitig labeling — the one-hop-per-superstep strategy that
+// ABySS-style assemblers effectively use when extending unitigs.
+//
+// Contig-end vertices adopt their own ID as label and inject claims; claims
+// travel one vertex per superstep along unambiguous paths, each vertex
+// keeping the minimum label seen. Supersteps scale with the longest unitig
+// (not its logarithm), which is precisely the scalability gap Tables II/III
+// attribute to ad-hoc designs versus the PPA list-ranking approach.
+//
+// `extra_boundary` lets a baseline declare additional stop vertices (e.g.
+// Ray's conservative coverage-imbalance rule); such vertices are treated as
+// ambiguous, fragmenting the paths. Cycles get no label (ABySS and Ray
+// leave pure cycles unassembled).
+#ifndef PPA_BASELINES_PROPAGATION_H_
+#define PPA_BASELINES_PROPAGATION_H_
+
+#include <functional>
+#include <string>
+
+#include "core/contig_labeling.h"
+#include "core/options.h"
+#include "dbg/node.h"
+#include "pregel/stats.h"
+
+namespace ppa {
+
+/// Labels maximal unambiguous paths by sequential claim propagation.
+LabelingResult SequentialLabel(
+    const AssemblyGraph& graph, const AssemblerOptions& options,
+    const std::function<bool(const AsmNode&)>& extra_boundary,
+    const std::string& job_name, PipelineStats* stats = nullptr);
+
+}  // namespace ppa
+
+#endif  // PPA_BASELINES_PROPAGATION_H_

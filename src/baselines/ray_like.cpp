@@ -1,0 +1,62 @@
+// Ray-like baseline (see baselines/baseline.h).
+#include <algorithm>
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "baselines/propagation.h"
+#include "core/assembler.h"
+#include "core/contig_merging.h"
+#include "core/dbg_construction.h"
+#include "core/tip_removal.h"
+#include "util/timer.h"
+
+namespace ppa {
+
+namespace {
+
+/// Ray's conservative greedy-extension rule, expressed as a stop predicate:
+/// a walk refuses to pass through a vertex whose two path edges have
+/// strongly imbalanced coverage, or whose own coverage is marginal — such
+/// positions are where Ray's heuristics stop extending a seed.
+bool RayStopsHere(const AsmNode& node) {
+  if (node.Type() != VertexType::kOneOne) return false;
+  const BiEdge* e5 = node.EdgeAt(NodeEnd::k5);
+  const BiEdge* e3 = node.EdgeAt(NodeEnd::k3);
+  uint32_t lo = std::min(e5->coverage, e3->coverage);
+  uint32_t hi = std::max(e5->coverage, e3->coverage);
+  if (lo * 4 < hi) return true;  // Coverage cliff: likely repeat boundary.
+  return node.coverage < 2;      // Marginal seed support.
+}
+
+}  // namespace
+
+AssemblerRun RunRayLike(const std::vector<Read>& reads,
+                        const AssemblerOptions& options) {
+  Timer timer;
+  AssemblerRun run;
+  run.name = "Ray";
+  run.profile = RayProfile();
+
+  // Ray builds real DBG edges from observed (k+1)-mers.
+  DbgResult dbg = BuildDbg(reads, options, &run.stats);
+  AssemblyGraph& graph = dbg.graph;
+
+  // Greedy seed-and-extend, one vertex per superstep, conservative stops.
+  std::vector<uint32_t> ordinals(options.num_workers, 0);
+  LabelingResult labels = SequentialLabel(graph, options, RayStopsHere,
+                                          "ray-seed-extension", &run.stats);
+  MergeContigs(graph, labels, options, &ordinals, &run.stats);
+
+  // Ray trims only very short dead ends and does no bubble filtering.
+  AssemblerOptions ray_options = options;
+  ray_options.tip_length_threshold = static_cast<uint32_t>(options.k);
+  RemoveTips(graph, ray_options, &run.stats);
+
+  for (const ContigRecord& c : CollectContigs(graph)) {
+    run.contigs.push_back(c.seq.ToString());
+  }
+  run.wall_seconds = timer.Seconds();
+  return run;
+}
+
+}  // namespace ppa

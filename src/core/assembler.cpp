@@ -1,0 +1,77 @@
+#include "core/assembler.h"
+
+#include "core/bubble_filter.h"
+#include "core/contig_merging.h"
+#include "core/dbg_construction.h"
+#include "core/tip_removal.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace ppa {
+
+Assembler::Assembler(AssemblerOptions options) : options_(options) {
+  options_.Validate();
+}
+
+std::vector<ContigRecord> CollectContigs(const AssemblyGraph& graph) {
+  std::vector<ContigRecord> contigs;
+  graph.ForEach([&](const AsmNode& node) {
+    if (node.kind != NodeKind::kContig) return;
+    ContigRecord rec;
+    rec.id = node.id;
+    rec.seq = node.seq;
+    rec.coverage = node.coverage;
+    rec.circular = node.circular;
+    contigs.push_back(std::move(rec));
+  });
+  return contigs;
+}
+
+AssemblyResult Assembler::Assemble(const std::vector<Read>& reads,
+                                   LabelingMethod method) const {
+  Timer timer;
+  AssemblyResult result;
+  std::vector<uint32_t> contig_ordinals(options_.num_workers, 0);
+
+  // ---- (1) DBG construction. ----------------------------------------------
+  DbgResult dbg = BuildDbg(reads, options_, &result.stats);
+  result.kmer_vertices = dbg.graph.live_size();
+  result.packed_adjacency_bytes = dbg.packed_adjacency_bytes;
+  result.unpacked_adjacency_bytes = dbg.unpacked_adjacency_bytes;
+  AssemblyGraph& graph = dbg.graph;
+  PPA_LOG(kInfo) << "DBG: " << result.kmer_vertices << " k-mer vertices, "
+                 << dbg.surviving_edge_mers << "/" << dbg.distinct_edge_mers
+                 << " (k+1)-mers kept";
+
+  // ---- (2)+(3) label and merge unambiguous k-mers. ------------------------
+  LabelingResult labels1 =
+      LabelContigs(graph, options_, method, &result.stats);
+  MergeContigs(graph, labels1, options_, &contig_ordinals, &result.stats);
+  result.vertices_after_round1 = graph.live_size();
+  for (const ContigRecord& c : CollectContigs(graph)) {
+    result.round1_contig_lengths.push_back(c.seq.size());
+  }
+  PPA_LOG(kInfo) << "round 1: " << result.vertices_after_round1
+                 << " vertices after merging";
+
+  // ---- (4)(5)(6)(2)(3): error correction + one more merge round. ----------
+  for (int round = 0; round < options_.error_correction_rounds; ++round) {
+    BubbleResult bubbles = FilterBubbles(graph, options_, &result.stats);
+    result.bubbles_pruned += bubbles.contigs_pruned;
+    TipResult tips = RemoveTips(graph, options_, &result.stats);
+    result.tips_removed += tips.vertices_removed;
+
+    LabelingResult labels2 =
+        LabelContigs(graph, options_, method, &result.stats);
+    MergeContigs(graph, labels2, options_, &contig_ordinals, &result.stats);
+  }
+  result.vertices_after_round2 = graph.live_size();
+  PPA_LOG(kInfo) << "round 2: " << result.vertices_after_round2
+                 << " vertices after merging";
+
+  result.contigs = CollectContigs(graph);
+  result.wall_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace ppa

@@ -1,0 +1,80 @@
+// PPA-assembler public API: the operation pipeline of Fig. 10.
+//
+// The default workflow is the paper's evaluation workflow
+//   (1) DBG construction  (2) contig labeling  (3) contig merging
+//   (4) bubble filtering  (5) tip removing     (6) -> (2)(3) again,
+// i.e. "to grow contigs once further after error correction" (Sec. V).
+// Each operation is also exposed individually (dbg_construction.h,
+// contig_labeling.h, contig_merging.h, bubble_filter.h, tip_removal.h) so
+// users can assemble custom workflows, as the toolkit intends.
+#ifndef PPA_CORE_ASSEMBLER_H_
+#define PPA_CORE_ASSEMBLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/contig_labeling.h"
+#include "core/options.h"
+#include "dbg/node.h"
+#include "dna/read.h"
+#include "dna/sequence.h"
+#include "pregel/stats.h"
+
+namespace ppa {
+
+/// One assembled contig.
+struct ContigRecord {
+  uint64_t id = 0;
+  PackedSequence seq;
+  uint32_t coverage = 0;
+  bool circular = false;
+};
+
+/// Full assembly output.
+struct AssemblyResult {
+  std::vector<ContigRecord> contigs;
+  PipelineStats stats;
+
+  // Stage bookkeeping (ablations A1/A2 and EXPERIMENTS.md).
+  uint64_t kmer_vertices = 0;          // DBG size after construction
+  uint64_t vertices_after_round1 = 0;  // after first merge
+  uint64_t vertices_after_round2 = 0;  // after second merge
+  std::vector<size_t> round1_contig_lengths;
+  uint64_t tips_removed = 0;
+  uint64_t bubbles_pruned = 0;
+  uint64_t packed_adjacency_bytes = 0;
+  uint64_t unpacked_adjacency_bytes = 0;
+  double wall_seconds = 0;
+
+  /// Contig sequences as strings (reporting convenience).
+  std::vector<std::string> ContigStrings() const {
+    std::vector<std::string> out;
+    out.reserve(contigs.size());
+    for (const ContigRecord& c : contigs) out.push_back(c.seq.ToString());
+    return out;
+  }
+};
+
+/// The assembler facade.
+class Assembler {
+ public:
+  explicit Assembler(AssemblerOptions options);
+
+  /// Runs the default workflow on `reads`.
+  AssemblyResult Assemble(
+      const std::vector<Read>& reads,
+      LabelingMethod method = LabelingMethod::kListRanking) const;
+
+  const AssemblerOptions& options() const { return options_; }
+
+ private:
+  AssemblerOptions options_;
+};
+
+/// Extracts the contig vertices of an assembly graph (utility shared by the
+/// assembler and the baselines).
+std::vector<ContigRecord> CollectContigs(const AssemblyGraph& graph);
+
+}  // namespace ppa
+
+#endif  // PPA_CORE_ASSEMBLER_H_

@@ -1,0 +1,77 @@
+// Operation 2: contig labeling (Sec. IV.B-2).
+//
+// Marks every vertex on each maximal unambiguous path with a unique label so
+// contig merging can group them. Two supersteps of contig-end recognition
+// (ambiguous <m-n> vertices broadcast their IDs; <1>/<1-1> vertices that
+// border an ambiguous vertex or a dead end replace that side's predecessor
+// with their own end-marked ID) are followed by either:
+//
+//   * Bidirectional list ranking (the paper's preferred method): each
+//     unambiguous vertex keeps a predecessor-ID pair, one per sequencing
+//     direction; every 2-superstep round each unfinished slot jumps to its
+//     predecessor's predecessor; slots finish when they hold an end-marked
+//     ID. Cycles of <1-1> vertices can never finish; once the round budget
+//     ceil(log2 n) + 2 is exhausted (by which time every non-cycle vertex
+//     has provably finished) the leftovers are handed to the simplified S-V
+//     algorithm, exactly the paper's hybrid. Labels: the smaller end-marked
+//     ID for path contigs, the smallest vertex ID for cycle contigs.
+//
+//   * Simplified S-V over the whole unambiguous subgraph (baseline in
+//     Tables II/III): label = smallest vertex ID in the component.
+#ifndef PPA_CORE_CONTIG_LABELING_H_
+#define PPA_CORE_CONTIG_LABELING_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/options.h"
+#include "dbg/node.h"
+#include "pregel/stats.h"
+#include "util/hash.h"
+
+namespace ppa {
+
+/// Which algorithm finds the maximal unambiguous paths.
+enum class LabelingMethod {
+  kListRanking = 0,   // Bidirectional list ranking (paper default).
+  kSimplifiedSv = 1,  // Simplified S-V connected components.
+};
+
+inline const char* LabelingMethodName(LabelingMethod m) {
+  return m == LabelingMethod::kListRanking ? "LR" : "S-V";
+}
+
+/// Labeling output.
+struct LabelingResult {
+  // Node id -> contig label, for every unambiguous node.
+  std::unordered_map<uint64_t, uint64_t, IdHash> labels;
+  // Node ids that were found to lie on a cycle of <1-1> vertices.
+  std::unordered_map<uint64_t, bool, IdHash> on_cycle;
+  uint64_t num_unambiguous = 0;
+  uint64_t num_ambiguous = 0;
+  uint64_t num_cycle_vertices = 0;
+  RunStats stats;          // Main labeling job (incl. end recognition).
+  RunStats cycle_sv_stats;  // S-V fallback over cycles (LR method only).
+
+  /// Combined superstep/message totals (what Tables II/III report).
+  uint32_t total_supersteps() const {
+    return stats.num_supersteps() + cycle_sv_stats.num_supersteps();
+  }
+  uint64_t total_messages() const {
+    return stats.total_messages() + cycle_sv_stats.total_messages();
+  }
+  double total_seconds() const {
+    return stats.wall_seconds + cycle_sv_stats.wall_seconds;
+  }
+};
+
+/// Labels every unambiguous node of `graph` with its contig label.
+/// The graph itself is not modified.
+LabelingResult LabelContigs(const AssemblyGraph& graph,
+                            const AssemblerOptions& options,
+                            LabelingMethod method,
+                            PipelineStats* stats = nullptr);
+
+}  // namespace ppa
+
+#endif  // PPA_CORE_CONTIG_LABELING_H_

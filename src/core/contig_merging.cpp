@@ -1,0 +1,295 @@
+#include "core/contig_merging.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "pregel/mapreduce.h"
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace ppa {
+
+namespace {
+
+/// One end's connection of a stitched contig to the outside world.
+struct OuterLink {
+  bool present = false;
+  uint64_t outer_id = kNullId;   // the ambiguous vertex beyond the path end
+  NodeEnd outer_end = NodeEnd::k5;  // which of its ends the edge attaches to
+  uint64_t old_node = 0;         // the merged path vertex it used to touch
+  NodeEnd old_node_end = NodeEnd::k5;
+  uint32_t coverage = 0;
+};
+
+/// Reduce output: a stitched contig (or a dropped-tip tombstone) plus the
+/// link notices its endpoints owe to their ambiguous neighbors.
+struct MergedContig {
+  AsmNode node;       // id assigned after the MR job
+  OuterLink outer[2];  // [0] = contig 5' side, [1] = contig 3' side
+  bool dropped = false;
+};
+
+/// Notice delivered to an ambiguous vertex: drop the stale edge into the
+/// merged path and (unless the contig was dropped as a tip) link to the
+/// new contig vertex instead.
+struct LinkNotice {
+  uint64_t contig_id = 0;       // 0 for dropped tips
+  NodeEnd contig_end = NodeEnd::k5;
+  NodeEnd my_end = NodeEnd::k5;  // the ambiguous vertex's own end
+  uint64_t old_node = 0;
+  NodeEnd old_node_end = NodeEnd::k5;
+  uint32_t coverage = 0;
+};
+
+/// Stitches one label group into a contig. Implements the ordering +
+/// polarity-aware concatenation of Sec. IV.B-3 on the bidirected view:
+/// entering a vertex at its 5' end contributes its stored sequence,
+/// entering at its 3' end contributes the reverse complement; consecutive
+/// vertices overlap by (k-1) bases.
+MergedContig StitchGroup(std::span<AsmNode> group, int k,
+                         uint32_t tip_threshold) {
+  std::unordered_map<uint64_t, const AsmNode*, IdHash> by_id;
+  by_id.reserve(group.size());
+  for (const AsmNode& n : group) by_id.emplace(n.id, &n);
+
+  // Find a contig-end vertex: one whose edge at some end is absent or
+  // leaves the group. Scan in id order for determinism.
+  std::vector<const AsmNode*> ordered;
+  ordered.reserve(group.size());
+  for (const AsmNode& n : group) ordered.push_back(&n);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const AsmNode* a, const AsmNode* b) { return a->id < b->id; });
+
+  const AsmNode* start = nullptr;
+  NodeEnd entry = NodeEnd::k5;
+  bool circular = false;
+  for (const AsmNode* n : ordered) {
+    for (NodeEnd end : {NodeEnd::k5, NodeEnd::k3}) {
+      const BiEdge* e = n->EdgeAt(end);
+      if (e == nullptr || by_id.find(e->to) == by_id.end()) {
+        start = n;
+        entry = end;
+        break;
+      }
+    }
+    if (start != nullptr) break;
+  }
+  if (start == nullptr) {
+    // No end found: the group is a cycle of <1-1> vertices.
+    circular = true;
+    start = ordered.front();
+    entry = NodeEnd::k5;
+  }
+
+  MergedContig out;
+  out.node.kind = NodeKind::kContig;
+  out.node.k = static_cast<uint8_t>(k);
+  out.node.circular = circular;
+
+  // Record the 5'-side outer link.
+  if (!circular) {
+    const BiEdge* e = start->EdgeAt(entry);
+    if (e != nullptr) {
+      out.outer[0].present = true;
+      out.outer[0].outer_id = e->to;
+      out.outer[0].outer_end = e->to_end;
+      out.outer[0].old_node = start->id;
+      out.outer[0].old_node_end = entry;
+      out.outer[0].coverage = e->coverage;
+    }
+  }
+
+  // Walk and stitch.
+  PackedSequence seq = start->OrientedSeq(entry);
+  uint32_t coverage = start->coverage;
+  std::unordered_set<uint64_t> visited;
+  visited.insert(start->id);
+  const AsmNode* cur = start;
+  NodeEnd ent = entry;
+  for (;;) {
+    NodeEnd exit = OppositeEnd(ent);
+    const BiEdge* e = cur->EdgeAt(exit);
+    if (e == nullptr) break;  // Dead end: 3' side has no outer link.
+    auto it = by_id.find(e->to);
+    if (it == by_id.end()) {
+      // 3'-side outer link.
+      out.outer[1].present = true;
+      out.outer[1].outer_id = e->to;
+      out.outer[1].outer_end = e->to_end;
+      out.outer[1].old_node = cur->id;
+      out.outer[1].old_node_end = exit;
+      out.outer[1].coverage = e->coverage;
+      break;
+    }
+    if (circular && e->to == start->id) {
+      coverage = std::min(coverage, e->coverage);
+      break;  // Cycle closed.
+    }
+    const AsmNode* next = it->second;
+    if (visited.count(next->id) != 0) break;  // Defensive (bad labels).
+    visited.insert(next->id);
+    coverage = std::min({coverage, e->coverage, next->coverage});
+    seq.Append(next->OrientedSeq(e->to_end), static_cast<size_t>(k - 1));
+    cur = next;
+    ent = e->to_end;
+  }
+
+  out.node.seq = std::move(seq);
+  out.node.coverage = coverage;
+  if (out.outer[0].present) {
+    out.node.edges.push_back(BiEdge{out.outer[0].outer_id, NodeEnd::k5,
+                                    out.outer[0].outer_end,
+                                    out.outer[0].coverage});
+  }
+  if (out.outer[1].present) {
+    out.node.edges.push_back(BiEdge{out.outer[1].outer_id, NodeEnd::k3,
+                                    out.outer[1].outer_end,
+                                    out.outer[1].coverage});
+  }
+
+  // Tip check at merge time: dangling & short => drop (Sec. IV.B-3).
+  bool dangling =
+      !circular && (!out.outer[0].present || !out.outer[1].present);
+  if (dangling && out.node.seq.size() <= tip_threshold) {
+    out.dropped = true;
+  }
+  return out;
+}
+
+}  // namespace
+
+MergeResult MergeContigs(AssemblyGraph& graph, const LabelingResult& labels,
+                         const AssemblerOptions& options,
+                         std::vector<uint32_t>* next_contig_ordinal,
+                         PipelineStats* stats) {
+  const uint32_t W = options.num_workers;
+  PPA_CHECK(next_contig_ordinal != nullptr &&
+            next_contig_ordinal->size() == W);
+  MergeResult result;
+
+  // ---- Build MR input: labeled nodes, keyed by label. ---------------------
+  Partitioned<AsmNode> input(W);
+  for (uint32_t p = 0; p < W; ++p) {
+    for (const AsmNode& node : graph.partition(p).vertices) {
+      if (node.removed) continue;
+      if (labels.labels.find(node.id) != labels.labels.end()) {
+        input[p].push_back(node);
+      }
+    }
+  }
+
+  const auto& label_map = labels.labels;
+  auto map_fn = [&label_map](const AsmNode& node, auto& emitter) {
+    emitter.Emit(label_map.at(node.id), node);
+  };
+
+  const int k = options.k;
+  const uint32_t tip_threshold = options.tip_length_threshold;
+  std::atomic<uint64_t> tips_dropped{0};
+  std::atomic<uint64_t> circular_count{0};
+  std::atomic<uint64_t> nodes_merged{0};
+  auto reduce_fn = [&](const uint64_t& /*label*/, std::span<AsmNode> group,
+                       std::vector<MergedContig>& out) {
+    nodes_merged.fetch_add(group.size(), std::memory_order_relaxed);
+    MergedContig merged = StitchGroup(group, k, tip_threshold);
+    if (merged.dropped) {
+      tips_dropped.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (merged.node.circular) {
+      circular_count.fetch_add(1, std::memory_order_relaxed);
+    }
+    out.push_back(std::move(merged));
+  };
+
+  MapReduceConfig mr_config;
+  mr_config.num_workers = W;
+  mr_config.num_threads = options.num_threads;
+  mr_config.job_name = "contig-merging";
+  Partitioned<MergedContig> merged =
+      RunMapReduce<AsmNode, uint64_t, AsmNode, MergedContig>(
+          input, map_fn, reduce_fn, mr_config, &result.merge_stats);
+  if (stats != nullptr) stats->Add(result.merge_stats);
+  result.tips_dropped = tips_dropped.load();
+  result.circular_contigs = circular_count.load();
+  result.nodes_merged = nodes_merged.load();
+
+  // ---- Assign contig IDs: worker d names its j-th contig (Fig. 7c). ------
+  for (uint32_t d = 0; d < W; ++d) {
+    for (MergedContig& m : merged[d]) {
+      if (m.dropped) continue;
+      m.node.id = MakeContigId(d, (*next_contig_ordinal)[d]++);
+      // Rewrite notice source ids now that the id exists.
+      ++result.contigs_created;
+    }
+  }
+
+  // ---- Remove merged path nodes from the graph. ----------------------------
+  for (const auto& [node_id, label] : labels.labels) {
+    (void)label;
+    AsmNode* node = graph.Find(node_id);
+    if (node != nullptr) node->removed = true;
+  }
+
+  // ---- Link-notice MR: tell ambiguous endpoints to relink. ----------------
+  auto notice_map_fn = [](const MergedContig& m, auto& emitter) {
+    for (int side = 0; side < 2; ++side) {
+      const OuterLink& o = m.outer[side];
+      if (!o.present) continue;
+      LinkNotice notice;
+      notice.contig_id = m.dropped ? 0 : m.node.id;
+      notice.contig_end = (side == 0) ? NodeEnd::k5 : NodeEnd::k3;
+      notice.my_end = o.outer_end;
+      notice.old_node = o.old_node;
+      notice.old_node_end = o.old_node_end;
+      notice.coverage = o.coverage;
+      emitter.Emit(o.outer_id, notice);
+    }
+  };
+  auto notice_reduce_fn = [](const uint64_t& outer_id,
+                             std::span<LinkNotice> group,
+                             std::vector<std::pair<uint64_t, LinkNotice>>&
+                                 out) {
+    for (const LinkNotice& n : group) out.emplace_back(outer_id, n);
+  };
+
+  MapReduceConfig link_config;
+  link_config.num_workers = W;
+  link_config.num_threads = options.num_threads;
+  link_config.job_name = "contig-merging-link-update";
+  Partitioned<std::pair<uint64_t, LinkNotice>> notices =
+      RunMapReduce<MergedContig, uint64_t, LinkNotice,
+                   std::pair<uint64_t, LinkNotice>>(
+          merged, notice_map_fn, notice_reduce_fn, link_config,
+          &result.link_stats);
+  if (stats != nullptr) stats->Add(result.link_stats);
+
+  // ---- Insert contig nodes and apply notices. ------------------------------
+  for (uint32_t d = 0; d < W; ++d) {
+    for (MergedContig& m : merged[d]) {
+      if (m.dropped) continue;
+      graph.Add(std::move(m.node));
+    }
+  }
+  for (uint32_t d = 0; d < W; ++d) {
+    for (const auto& [outer_id, notice] : notices[d]) {
+      AsmNode* outer = graph.Find(outer_id);
+      if (outer == nullptr) continue;  // Endpoint itself merged? Impossible
+                                       // for correct labels; defensive.
+      // The edge into the merged path: my_end on the ambiguous vertex,
+      // old_node_end on the (now removed) path vertex.
+      outer->RemoveEdge(notice.old_node, notice.my_end,
+                        notice.old_node_end);
+      if (notice.contig_id != 0) {
+        outer->edges.push_back(BiEdge{notice.contig_id, notice.my_end,
+                                      notice.contig_end, notice.coverage});
+      }
+    }
+  }
+  graph.Compact();
+  return result;
+}
+
+}  // namespace ppa

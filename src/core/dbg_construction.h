@@ -1,0 +1,48 @@
+// Operation 1: DBG construction (Sec. IV.B-1).
+//
+// Two mini MapReduce phases:
+//   Phase (i): reads are split at 'N' characters, each fragment is cut into
+//   (k+1)-mers with a sliding window; (k+1)-mers are counted (with worker-
+//   local pre-aggregation, as in the paper) and those with coverage
+//   <= coverage_threshold are filtered out as likely erroneous.
+//   Phase (ii): each surviving (k+1)-mer emits adjacency contributions to
+//   its canonical prefix and suffix k-mer vertices; the reducer assembles
+//   each vertex's 32-bit-bitmap compressed adjacency list (Fig. 8a) with
+//   varint coverage counts.
+//
+// (k+1)-mers are canonicalized before counting so that reads from the two
+// strands contribute to the same edge (Sec. III "Directionality").
+#ifndef PPA_CORE_DBG_CONSTRUCTION_H_
+#define PPA_CORE_DBG_CONSTRUCTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/options.h"
+#include "dbg/node.h"
+#include "dna/read.h"
+#include "pregel/stats.h"
+
+namespace ppa {
+
+/// Output of DBG construction.
+struct DbgResult {
+  AssemblyGraph graph;            // k-mer nodes with unpacked bidirected edges
+  uint64_t distinct_edge_mers = 0;   // distinct canonical (k+1)-mers seen
+  uint64_t surviving_edge_mers = 0;  // after the coverage-threshold filter
+  uint64_t packed_adjacency_bytes = 0;  // memory of the Fig. 8a format
+  uint64_t unpacked_adjacency_bytes = 0;  // memory of the BiEdge format
+
+  DbgResult() : graph(1) {}
+  explicit DbgResult(uint32_t workers) : graph(workers) {}
+};
+
+/// Builds the de Bruijn graph from reads. Appends phase statistics to
+/// `stats` if non-null.
+DbgResult BuildDbg(const std::vector<Read>& reads,
+                   const AssemblerOptions& options,
+                   PipelineStats* stats = nullptr);
+
+}  // namespace ppa
+
+#endif  // PPA_CORE_DBG_CONSTRUCTION_H_

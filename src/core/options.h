@@ -1,0 +1,31 @@
+// Shared configuration for the assembly operations.
+#ifndef PPA_CORE_OPTIONS_H_
+#define PPA_CORE_OPTIONS_H_
+
+#include <cstdint>
+
+#include "util/logging.h"
+
+namespace ppa {
+
+/// Configuration of the PPA-assembler pipeline. Defaults follow Sec. V:
+/// k = 31, bubble edit-distance threshold 5, tip length threshold 80.
+struct AssemblerOptions {
+  int k = 31;                        // k-mer size; odd, <= 31.
+  uint32_t coverage_threshold = 2;   // theta: min (k+1)-mer coverage kept.
+  uint32_t tip_length_threshold = 80;
+  uint32_t bubble_edit_distance = 5;
+  uint32_t num_workers = 16;         // logical Pregel workers.
+  unsigned num_threads = 0;          // OS threads; 0 = hardware concurrency.
+  int error_correction_rounds = 1;   // times operations 4,5 run (paper: 1).
+
+  void Validate() const {
+    PPA_CHECK(k >= 3 && k <= 31);
+    PPA_CHECK(k % 2 == 1);  // Odd k rules out palindromic k-mers.
+    PPA_CHECK(num_workers >= 1);
+  }
+};
+
+}  // namespace ppa
+
+#endif  // PPA_CORE_OPTIONS_H_

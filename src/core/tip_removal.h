@@ -1,0 +1,42 @@
+// Operation 5: tip removing (Sec. IV.B-5).
+//
+// A tip is a short dangling path. <1>-typed vertices initiate REQUEST
+// messages carrying the cumulative sequence length of the dangling path;
+// <1-1> vertices relay them (adding their own contribution: one base for a
+// k-mer vertex, length - (k-1) for a contig vertex). When a REQUEST reaches
+// an <m-n> or <1> vertex, the path length is compared against the tip
+// threshold; if short, a DELETE message retraces the path, removing every
+// vertex on it, and the anchoring <m-n> vertex drops its edge into the tip.
+// An <m-n> vertex whose type becomes <1> by such a deletion initiates its
+// own REQUEST in the next superstep — the paper's multi-phase loop, which
+// here unfolds inside a single Pregel job. Two facing <1> ends make the
+// DELETE waves meet in the middle (messages to removed vertices drop).
+//
+// Isolated nodes not longer than the threshold are removed immediately
+// ("an isolated contig ... will be regarded as a tip unless it is long").
+#ifndef PPA_CORE_TIP_REMOVAL_H_
+#define PPA_CORE_TIP_REMOVAL_H_
+
+#include <cstdint>
+
+#include "core/options.h"
+#include "dbg/node.h"
+#include "pregel/stats.h"
+
+namespace ppa {
+
+/// Output of tip removing.
+struct TipResult {
+  uint64_t vertices_removed = 0;
+  uint64_t edges_cut = 0;       // edges dropped at anchoring vertices
+  uint64_t requests_sent = 0;   // REQUEST initiations (tips examined)
+  RunStats stats;
+};
+
+/// Removes tips from `graph`, in place.
+TipResult RemoveTips(AssemblyGraph& graph, const AssemblerOptions& options,
+                     PipelineStats* stats = nullptr);
+
+}  // namespace ppa
+
+#endif  // PPA_CORE_TIP_REMOVAL_H_

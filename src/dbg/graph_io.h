@@ -1,0 +1,49 @@
+// Assembly-graph and contig persistence through the HDFS stand-in.
+//
+// "Each operation may either read its input from HDFS, or directly obtain
+// its input by converting the output of another operation in memory"
+// (Sec. I). This module provides the HDFS leg: any pipeline stage can be
+// dumped to a TextStore dataset (one record per line, partition-parallel
+// part files) and reloaded later — e.g. to checkpoint between operations,
+// to hand contigs to downstream "sequence mining and analytics" jobs, or
+// to feed the in-memory-vs-HDFS ablation.
+//
+// Record formats (tab-separated, one node per line):
+//   K <id> <k> <coverage> <edge>*          k-mer node
+//   C <id> <coverage> <circ> <seq> <edge>* contig node
+//   edge := <to>:<my_end>:<to_end>:<coverage>
+#ifndef PPA_DBG_GRAPH_IO_H_
+#define PPA_DBG_GRAPH_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "core/assembler.h"
+#include "dbg/node.h"
+#include "util/text_store.h"
+
+namespace ppa {
+
+/// Serializes one node as a record line.
+std::string EncodeNode(const AsmNode& node);
+
+/// Parses a record line; aborts on malformed input.
+AsmNode DecodeNode(const std::string& line);
+
+/// Dumps the graph into `store`, one part file per partition.
+void SaveGraph(const AssemblyGraph& graph, const TextStore& store);
+
+/// Loads a graph dumped by SaveGraph. `num_workers` re-partitions by hash,
+/// so the worker count may differ from the dumping run.
+AssemblyGraph LoadGraph(const TextStore& store, uint32_t num_workers);
+
+/// Dumps contigs as FASTA-with-metadata part files (">id cov circular").
+void SaveContigs(const std::vector<ContigRecord>& contigs,
+                 const TextStore& store, uint32_t num_parts);
+
+/// Loads contigs dumped by SaveContigs.
+std::vector<ContigRecord> LoadContigs(const TextStore& store);
+
+}  // namespace ppa
+
+#endif  // PPA_DBG_GRAPH_IO_H_

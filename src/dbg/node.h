@@ -1,0 +1,184 @@
+// The assembly graph node: the unified k-mer / contig vertex.
+//
+// Sec. IV.A defines two vertex kinds — k-mer vertices and contig vertices —
+// and three vertex types: <1> (dead end), <1-1> (unambiguous) and <m-n>
+// (ambiguous). After DBG construction the compact PackedAdjacency format is
+// unpacked into the equivalent bidirected-edge view (see dbg/adjacency.h),
+// which both kinds share: an edge endpoint attaches to a node *end* (5'/3'
+// of the node's stored orientation). All polarity bookkeeping of the paper
+// maps 1:1 onto ends; translation helpers and tests live in adjacency.h.
+#ifndef PPA_DBG_NODE_H_
+#define PPA_DBG_NODE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dbg/adjacency.h"
+#include "dbg/ids.h"
+#include "dna/kmer.h"
+#include "dna/sequence.h"
+#include "pregel/graph.h"
+
+namespace ppa {
+
+/// Vertex kind (Sec. IV.A: "There are two kinds of vertices ... (1) k-mer
+/// and (2) contig").
+enum class NodeKind : uint8_t { kKmer = 0, kContig = 1 };
+
+/// Vertex type (Sec. IV.A "Vertex Types").
+enum class VertexType : uint8_t {
+  kOne = 0,       // <1>: dead end on one side — tip candidate
+  kOneOne = 1,    // <1-1>: unambiguous, inside a simple path
+  kManyMany = 2,  // <m-n>: ambiguous
+  kIsolated = 3,  // contig with two dead ends (tip unless long)
+};
+
+/// One bidirected edge endpoint record stored at a node.
+struct BiEdge {
+  uint64_t to = kNullId;          // adjacent node id
+  NodeEnd my_end = NodeEnd::k5;   // which end of *this* node it attaches to
+  NodeEnd to_end = NodeEnd::k5;   // which end of the neighbor it attaches to
+  uint32_t coverage = 0;          // (k+1)-mer coverage of the edge
+
+  friend bool operator==(const BiEdge& a, const BiEdge& b) {
+    return a.to == b.to && a.my_end == b.my_end && a.to_end == b.to_end &&
+           a.coverage == b.coverage;
+  }
+};
+
+/// Unified assembly-graph node; PartitionedGraph-compatible.
+struct AsmNode {
+  uint64_t id = 0;
+  bool halted = false;
+  bool removed = false;
+
+  NodeKind kind = NodeKind::kKmer;
+  uint8_t k = 0;            // k for k-mer nodes (and overlap width globally)
+  uint64_t kmer_code = 0;   // payload for k-mer nodes (canonical)
+  PackedSequence seq;       // payload for contig nodes (strand-1 orientation)
+  uint32_t coverage = 0;    // contig: min merged edge coverage; k-mer: unused
+  bool circular = false;    // contig built from a cycle of <1-1> vertices
+  std::vector<BiEdge> edges;
+
+  // Pregel plumbing: AsmNode itself is only stored, never Compute()d; the
+  // operations convert it into job-specific vertex types.
+  struct Message {};
+  template <typename Ctx>
+  void Compute(Ctx&, std::span<const Message>) {}
+
+  /// Sequence length in bases (k for k-mer nodes).
+  size_t SeqLength() const {
+    return kind == NodeKind::kKmer ? k : seq.size();
+  }
+
+  /// The node's stored-orientation sequence.
+  PackedSequence NodeSeq() const {
+    if (kind == NodeKind::kContig) return seq;
+    return PackedSequence::FromKmer(Kmer(kmer_code, k));
+  }
+
+  /// The sequence read by entering at `entry`: stored orientation when
+  /// entering at the 5' end, reverse complement when entering at 3'.
+  PackedSequence OrientedSeq(NodeEnd entry) const {
+    PackedSequence s = NodeSeq();
+    return entry == NodeEnd::k5 ? s : s.ReverseComplement();
+  }
+
+  /// Number of edges attached at `end`.
+  int DegreeAt(NodeEnd end) const {
+    int d = 0;
+    for (const BiEdge& e : edges) {
+      if (e.my_end == end) ++d;
+    }
+    return d;
+  }
+
+  /// True if any edge is a self-loop (repeat structure; always ambiguous).
+  bool HasSelfLoop() const {
+    for (const BiEdge& e : edges) {
+      if (e.to == id) return true;
+    }
+    return false;
+  }
+
+  /// Classifies the node per Sec. IV.A. A node is unambiguous (<1-1>) iff
+  /// it has exactly one edge at each end and no self-loop — the bidirected
+  /// formulation of "both edges agree on the polarity label for v ... one
+  /// neighbor is an in-neighbor and the other is an out-neighbor".
+  VertexType Type() const {
+    if (HasSelfLoop()) return VertexType::kManyMany;
+    int d5 = DegreeAt(NodeEnd::k5);
+    int d3 = DegreeAt(NodeEnd::k3);
+    if (d5 == 0 && d3 == 0) return VertexType::kIsolated;
+    if (d5 + d3 == 1) return VertexType::kOne;
+    if (d5 == 1 && d3 == 1) return VertexType::kOneOne;
+    return VertexType::kManyMany;
+  }
+
+  bool IsUnambiguousPathNode() const {
+    VertexType t = Type();
+    return t == VertexType::kOne || t == VertexType::kOneOne ||
+           t == VertexType::kIsolated;
+  }
+
+  /// The single edge attached at `end`; null if absent or not unique.
+  const BiEdge* EdgeAt(NodeEnd end) const {
+    const BiEdge* found = nullptr;
+    for (const BiEdge& e : edges) {
+      if (e.my_end != end) continue;
+      if (found != nullptr) return nullptr;
+      found = &e;
+    }
+    return found;
+  }
+
+  /// Removes all edges to `nbr` attached at our `end` matching the
+  /// neighbor's end; returns the number removed.
+  int RemoveEdge(uint64_t nbr, NodeEnd my_end_v, NodeEnd to_end_v) {
+    int removed_n = 0;
+    for (size_t i = edges.size(); i > 0; --i) {
+      const BiEdge& e = edges[i - 1];
+      if (e.to == nbr && e.my_end == my_end_v && e.to_end == to_end_v) {
+        edges.erase(edges.begin() + static_cast<long>(i - 1));
+        ++removed_n;
+      }
+    }
+    return removed_n;
+  }
+
+  /// Removes every edge to `nbr` regardless of ends.
+  int RemoveEdgesTo(uint64_t nbr) {
+    int removed_n = 0;
+    for (size_t i = edges.size(); i > 0; --i) {
+      if (edges[i - 1].to == nbr) {
+        edges.erase(edges.begin() + static_cast<long>(i - 1));
+        ++removed_n;
+      }
+    }
+    return removed_n;
+  }
+};
+
+/// The partitioned assembly graph all operations read and write.
+using AssemblyGraph = PartitionedGraph<AsmNode>;
+
+/// Human-readable vertex type (debugging / reports).
+inline const char* VertexTypeName(VertexType t) {
+  switch (t) {
+    case VertexType::kOne:
+      return "<1>";
+    case VertexType::kOneOne:
+      return "<1-1>";
+    case VertexType::kManyMany:
+      return "<m-n>";
+    case VertexType::kIsolated:
+      return "<isolated>";
+  }
+  return "?";
+}
+
+}  // namespace ppa
+
+#endif  // PPA_DBG_NODE_H_

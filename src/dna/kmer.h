@@ -1,0 +1,174 @@
+// Fixed-length k-mer packed into a 64-bit word.
+//
+// Layout (Fig. 7a of the paper): 2 bits per nucleotide, the 5' (first) base
+// in the highest-order used bits, the whole sequence right-aligned in the
+// word, zero padding on the left. k <= 31 guarantees at least two zero pad
+// bits, so a k-mer code never collides with the NULL ID or contig IDs
+// (MSB = 1, see dbg/ids.h). Length-(k+1) edge mers (k+1 <= 32) also fit and
+// are used only as MapReduce keys, never as vertex IDs.
+#ifndef PPA_DNA_KMER_H_
+#define PPA_DNA_KMER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "dna/nucleotide.h"
+#include "util/logging.h"
+
+namespace ppa {
+
+/// Maximum k for which a k-mer can serve as a vertex ID.
+inline constexpr int kMaxVertexK = 31;
+/// Maximum mer length representable at all (used for (k+1)-mer edge keys).
+inline constexpr int kMaxMerLength = 32;
+
+namespace kmer_internal {
+
+/// Reverses the order of the 32 2-bit fields of x.
+inline uint64_t Reverse2BitGroups(uint64_t x) {
+  x = ((x >> 2) & 0x3333333333333333ULL) | ((x & 0x3333333333333333ULL) << 2);
+  x = ((x >> 4) & 0x0F0F0F0F0F0F0F0FULL) | ((x & 0x0F0F0F0F0F0F0F0FULL) << 4);
+  return __builtin_bswap64(x);
+}
+
+}  // namespace kmer_internal
+
+/// Value-type k-mer: a (code, k) pair with sequence arithmetic.
+class Kmer {
+ public:
+  Kmer() : code_(0), k_(0) {}
+  Kmer(uint64_t code, int k) : code_(code), k_(static_cast<uint8_t>(k)) {
+    PPA_CHECK(k >= 1 && k <= kMaxMerLength);
+  }
+
+  /// Parses a k-mer from ASCII; aborts on non-ACGT characters.
+  static Kmer FromString(std::string_view s) {
+    PPA_CHECK(!s.empty() && s.size() <= kMaxMerLength);
+    uint64_t code = 0;
+    for (char c : s) {
+      int b = BaseFromChar(c);
+      PPA_CHECK(b >= 0);
+      code = (code << 2) | static_cast<uint64_t>(b);
+    }
+    return Kmer(code, static_cast<int>(s.size()));
+  }
+
+  uint64_t code() const { return code_; }
+  int k() const { return k_; }
+
+  /// Mask covering the 2k used bits.
+  uint64_t mask() const {
+    return (k_ == 32) ? ~0ULL : ((1ULL << (2 * k_)) - 1);
+  }
+
+  /// Base at position i (0 = 5' end).
+  uint8_t BaseAt(int i) const {
+    return static_cast<uint8_t>((code_ >> (2 * (k_ - 1 - i))) & 3);
+  }
+
+  /// First (5') base.
+  uint8_t FirstBase() const { return BaseAt(0); }
+  /// Last (3') base.
+  uint8_t LastBase() const { return static_cast<uint8_t>(code_ & 3); }
+
+  /// Reverse complement (other strand read 5'-to-3').
+  Kmer ReverseComplement() const {
+    uint64_t rc = kmer_internal::Reverse2BitGroups(~code_);
+    rc >>= (64 - 2 * k_);
+    return Kmer(rc & mask(), k_);
+  }
+
+  /// Lexicographically smaller of this k-mer and its reverse complement
+  /// (with the A<C<G<T code order this equals numeric min of the codes).
+  Kmer Canonical() const {
+    Kmer rc = ReverseComplement();
+    return code_ <= rc.code_ ? *this : rc;
+  }
+
+  /// True iff this k-mer is its own canonical form.
+  bool IsCanonical() const { return code_ <= ReverseComplement().code_; }
+
+  /// True iff the k-mer equals its reverse complement (possible only for
+  /// even k; assembly configs require odd k to rule this out).
+  bool IsPalindromic() const { return code_ == ReverseComplement().code_; }
+
+  /// The (k-1)-mer prefix (drops the last base).
+  Kmer Prefix() const { return Kmer(code_ >> 2, k_ - 1); }
+
+  /// The (k-1)-mer suffix (drops the first base).
+  Kmer Suffix() const { return Kmer(code_ & (mask() >> 2), k_ - 1); }
+
+  /// Slides the window right: drops the first base, appends b. Same k.
+  Kmer Append(uint8_t b) const {
+    return Kmer(((code_ << 2) | b) & mask(), k_);
+  }
+
+  /// Slides the window left: drops the last base, prepends b. Same k.
+  Kmer Prepend(uint8_t b) const {
+    return Kmer((static_cast<uint64_t>(b) << (2 * (k_ - 1))) | (code_ >> 2),
+                k_);
+  }
+
+  /// Extends to a (k+1)-mer by appending b (requires k < 32).
+  Kmer ExtendRight(uint8_t b) const {
+    return Kmer((code_ << 2) | b, k_ + 1);
+  }
+
+  /// Extends to a (k+1)-mer by prepending b (requires k < 32).
+  Kmer ExtendLeft(uint8_t b) const {
+    return Kmer((static_cast<uint64_t>(b) << (2 * k_)) | code_, k_ + 1);
+  }
+
+  std::string ToString() const {
+    std::string s(k_, '?');
+    for (int i = 0; i < k_; ++i) s[i] = CharFromBase(BaseAt(i));
+    return s;
+  }
+
+  friend bool operator==(const Kmer& a, const Kmer& b) {
+    return a.code_ == b.code_ && a.k_ == b.k_;
+  }
+  friend bool operator!=(const Kmer& a, const Kmer& b) { return !(a == b); }
+  friend bool operator<(const Kmer& a, const Kmer& b) {
+    return a.code_ < b.code_;
+  }
+
+ private:
+  uint64_t code_;
+  uint8_t k_;
+};
+
+/// Rolling window that produces consecutive k-mer codes of a sequence in
+/// O(1) per base; used by DBG construction to cut reads into (k+1)-mers.
+class KmerWindow {
+ public:
+  explicit KmerWindow(int k)
+      : k_(k), mask_(k == 32 ? ~0ULL : ((1ULL << (2 * k)) - 1)) {}
+
+  /// Feeds the next base; returns true once a full window is available.
+  bool Push(uint8_t base) {
+    code_ = ((code_ << 2) | base) & mask_;
+    if (filled_ < k_) ++filled_;
+    return filled_ == k_;
+  }
+
+  /// Clears the window (e.g., after an 'N' splits the read).
+  void Reset() {
+    code_ = 0;
+    filled_ = 0;
+  }
+
+  /// Current window as a Kmer; valid only when Push returned true.
+  Kmer Current() const { return Kmer(code_, k_); }
+
+ private:
+  int k_;
+  uint64_t mask_;
+  uint64_t code_ = 0;
+  int filled_ = 0;
+};
+
+}  // namespace ppa
+
+#endif  // PPA_DNA_KMER_H_

@@ -1,0 +1,58 @@
+// Nucleotide 2-bit codes and complement arithmetic.
+//
+// Encoding follows Fig. 7 of the paper: A=00, C=01, G=10, T=11. With this
+// assignment the complement of a base code is its bitwise NOT in 2 bits
+// (A<->T is 00<->11, C<->G is 01<->10), which makes reverse complement a
+// pure bit-twiddling operation on packed sequences.
+#ifndef PPA_DNA_NUCLEOTIDE_H_
+#define PPA_DNA_NUCLEOTIDE_H_
+
+#include <cstdint>
+
+namespace ppa {
+
+/// 2-bit nucleotide code.
+enum Nucleotide : uint8_t {
+  kBaseA = 0,  // 00
+  kBaseC = 1,  // 01
+  kBaseG = 2,  // 10
+  kBaseT = 3,  // 11
+};
+
+/// Number of distinct bases.
+inline constexpr int kNumBases = 4;
+
+/// Converts an ASCII base to its 2-bit code; returns -1 for anything that is
+/// not A/C/G/T (case-insensitive). 'N' (undetermined base) maps to -1 and is
+/// handled by read splitting in DBG construction (Sec. IV.B-1).
+inline int BaseFromChar(char c) {
+  switch (c) {
+    case 'A':
+    case 'a':
+      return kBaseA;
+    case 'C':
+    case 'c':
+      return kBaseC;
+    case 'G':
+    case 'g':
+      return kBaseG;
+    case 'T':
+    case 't':
+      return kBaseT;
+    default:
+      return -1;
+  }
+}
+
+/// Converts a 2-bit code to its ASCII base.
+inline char CharFromBase(uint8_t code) {
+  static constexpr char kChars[4] = {'A', 'C', 'G', 'T'};
+  return kChars[code & 3];
+}
+
+/// Watson-Crick complement of a 2-bit code (A<->T, C<->G).
+inline uint8_t ComplementBase(uint8_t code) { return code ^ 3u; }
+
+}  // namespace ppa
+
+#endif  // PPA_DNA_NUCLEOTIDE_H_

@@ -1,0 +1,100 @@
+#include "dna/read.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace ppa {
+
+std::vector<Read> ParseFastq(const std::string& text) {
+  std::vector<Read> reads;
+  std::istringstream in(text);
+  std::string header, bases, plus, quals;
+  while (std::getline(in, header)) {
+    if (header.empty()) continue;
+    PPA_CHECK(header[0] == '@');
+    PPA_CHECK(std::getline(in, bases));
+    PPA_CHECK(std::getline(in, plus));
+    PPA_CHECK(!plus.empty() && plus[0] == '+');
+    PPA_CHECK(std::getline(in, quals));
+    PPA_CHECK(quals.size() == bases.size());
+    Read r;
+    r.name = header.substr(1);
+    r.bases = bases;
+    r.quals = quals;
+    reads.push_back(std::move(r));
+  }
+  return reads;
+}
+
+std::string WriteFastq(const std::vector<Read>& reads) {
+  std::string out;
+  for (const Read& r : reads) {
+    out += '@';
+    out += r.name;
+    out += '\n';
+    out += r.bases;
+    out += "\n+\n";
+    if (r.quals.size() == r.bases.size()) {
+      out += r.quals;
+    } else {
+      out.append(r.bases.size(), 'I');
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<Read> ParseFasta(const std::string& text) {
+  std::vector<Read> reads;
+  std::istringstream in(text);
+  std::string line;
+  Read current;
+  bool have = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      if (have) reads.push_back(std::move(current));
+      current = Read{};
+      current.name = line.substr(1);
+      have = true;
+    } else {
+      PPA_CHECK(have);
+      current.bases += line;
+    }
+  }
+  if (have) reads.push_back(std::move(current));
+  return reads;
+}
+
+std::string WriteFasta(const std::vector<Read>& reads) {
+  std::string out;
+  for (const Read& r : reads) {
+    out += '>';
+    out += r.name;
+    out += '\n';
+    for (size_t i = 0; i < r.bases.size(); i += 80) {
+      out += r.bases.substr(i, 80);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PPA_CHECK(in.good());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  PPA_CHECK(out.good());
+  out << content;
+  PPA_CHECK(out.good());
+}
+
+}  // namespace ppa

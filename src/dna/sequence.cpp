@@ -1,0 +1,77 @@
+#include "dna/sequence.h"
+
+#include "util/logging.h"
+
+namespace ppa {
+
+PackedSequence PackedSequence::FromString(std::string_view s) {
+  PackedSequence seq;
+  for (char c : s) {
+    int b = BaseFromChar(c);
+    PPA_CHECK(b >= 0);
+    seq.PushBack(static_cast<uint8_t>(b));
+  }
+  return seq;
+}
+
+PackedSequence PackedSequence::FromKmer(const Kmer& kmer) {
+  PackedSequence seq;
+  seq.AppendKmer(kmer);
+  return seq;
+}
+
+void PackedSequence::PushBack(uint8_t base) {
+  if ((size_ & 31) == 0) words_.push_back(0);
+  words_[size_ >> 5] |= static_cast<uint64_t>(base & 3) << (2 * (size_ & 31));
+  ++size_;
+}
+
+void PackedSequence::Append(const PackedSequence& other, size_t from) {
+  for (size_t i = from; i < other.size_; ++i) PushBack(other.BaseAt(i));
+}
+
+void PackedSequence::AppendKmer(const Kmer& kmer, int from) {
+  for (int i = from; i < kmer.k(); ++i) PushBack(kmer.BaseAt(i));
+}
+
+PackedSequence PackedSequence::ReverseComplement() const {
+  PackedSequence rc;
+  rc.words_.reserve(words_.size());
+  for (size_t i = size_; i > 0; --i) {
+    rc.PushBack(ComplementBase(BaseAt(i - 1)));
+  }
+  return rc;
+}
+
+PackedSequence PackedSequence::Subsequence(size_t pos, size_t len) const {
+  PPA_CHECK(pos + len <= size_);
+  PackedSequence sub;
+  for (size_t i = 0; i < len; ++i) sub.PushBack(BaseAt(pos + i));
+  return sub;
+}
+
+Kmer PackedSequence::KmerAt(size_t pos, int k) const {
+  PPA_CHECK(k >= 1 && k <= kMaxMerLength && pos + k <= size_);
+  uint64_t code = 0;
+  for (int i = 0; i < k; ++i) {
+    code = (code << 2) | BaseAt(pos + i);
+  }
+  return Kmer(code, k);
+}
+
+size_t PackedSequence::GcCount() const {
+  size_t gc = 0;
+  for (size_t i = 0; i < size_; ++i) {
+    uint8_t b = BaseAt(i);
+    if (b == kBaseC || b == kBaseG) ++gc;
+  }
+  return gc;
+}
+
+std::string PackedSequence::ToString() const {
+  std::string s(size_, '?');
+  for (size_t i = 0; i < size_; ++i) s[i] = CharFromBase(BaseAt(i));
+  return s;
+}
+
+}  // namespace ppa

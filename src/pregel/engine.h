@@ -1,0 +1,295 @@
+// The Pregel execution engine (in-process Pregel+ stand-in).
+//
+// Executes a vertex program in supersteps over a PartitionedGraph:
+//   * each active vertex v gets Compute(ctx, msgs) called with the messages
+//     sent to it in the previous superstep;
+//   * Compute may send messages, vote to halt, aggregate values, remove the
+//     vertex, or add vertices (mutations apply at the superstep barrier);
+//   * a halted vertex is reactivated by an incoming message;
+//   * the job terminates when every vertex is halted and no message is in
+//     flight (or max_supersteps is hit).
+//
+// The `num_workers` logical workers of the graph are the distribution unit
+// the paper scales (16..64); they are multiplexed onto up to `num_threads`
+// OS threads. Message routing is per-(source, destination)-partition
+// buffered and lock-free within a superstep.
+//
+// VertexT contract:
+//   struct V {
+//     using Message = ...;                  // trivially copyable preferred
+//     uint64_t id;                          // unique vertex ID
+//     bool halted = false;                  // vote-to-halt flag
+//     bool removed = false;                 // lazy deletion flag
+//     void Compute(Context& ctx, std::span<const Message> msgs);
+//   };
+// Optionally VertexT may define a combiner:
+//   struct Combiner { static void Combine(Message& into, const Message&); };
+// in which case messages to the same destination vertex are combined on the
+// sender side (Pregel's combiner optimization).
+#ifndef PPA_PREGEL_ENGINE_H_
+#define PPA_PREGEL_ENGINE_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "pregel/graph.h"
+#include "pregel/stats.h"
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace ppa {
+
+/// Number of aggregator slots available to a job (sum semantics; Pregel's
+/// aggregator mechanism, Sec. II). Slot values aggregated in superstep S are
+/// readable in superstep S+1 via Context::PrevAggregate.
+inline constexpr int kNumAggregatorSlots = 4;
+
+namespace pregel_internal {
+
+template <typename T, typename = void>
+struct HasCombiner : std::false_type {};
+template <typename T>
+struct HasCombiner<T, std::void_t<typename T::Combiner>> : std::true_type {};
+
+}  // namespace pregel_internal
+
+/// Engine configuration.
+struct EngineConfig {
+  unsigned num_threads = 0;        // 0 = hardware concurrency.
+  uint32_t max_supersteps = 1u << 20;
+  std::string job_name = "pregel-job";
+  bool collect_per_worker = true;  // per-worker stat vectors in RunStats.
+};
+
+template <typename VertexT>
+class Engine {
+ public:
+  using Message = typename VertexT::Message;
+
+  /// Per-partition compute context handed to VertexT::Compute.
+  class Context {
+   public:
+    uint32_t superstep() const { return superstep_; }
+    uint32_t num_workers() const { return num_workers_; }
+    uint32_t worker_id() const { return worker_id_; }
+    uint64_t num_vertices() const { return num_vertices_; }
+
+    /// Sends `msg` to the vertex with id `dst` (delivered next superstep).
+    void SendTo(uint64_t dst, Message msg) {
+      ++ops_;
+      uint32_t part = PartitionOf(dst, num_workers_);
+      if constexpr (pregel_internal::HasCombiner<VertexT>::value) {
+        auto [it, inserted] = combine_slots_[part].try_emplace(
+            dst, static_cast<uint32_t>(outbox_[part].size()));
+        if (!inserted) {
+          VertexT::Combiner::Combine(outbox_[part][it->second].second,
+                                     msg);
+          return;
+        }
+      }
+      outbox_[part].emplace_back(dst, std::move(msg));
+    }
+
+    /// Current vertex votes to halt; it is reactivated by any message.
+    void VoteToHalt() { current_->halted = true; }
+
+    /// Removes the current vertex at the barrier (messages already sent to
+    /// it are dropped).
+    void RemoveSelf() {
+      current_->removed = true;
+      current_->halted = true;
+    }
+
+    /// Adds a vertex at the barrier; it becomes active next superstep.
+    void AddVertex(VertexT v) { additions_.push_back(std::move(v)); }
+
+    /// Adds `delta` to aggregator `slot` (summed across all vertices this
+    /// superstep; visible next superstep through PrevAggregate).
+    void Aggregate(int slot, uint64_t delta) { agg_[slot] += delta; }
+
+    /// Value aggregated into `slot` during the previous superstep.
+    uint64_t PrevAggregate(int slot) const { return prev_agg_[slot]; }
+
+   private:
+    friend class Engine;
+    uint32_t superstep_ = 0;
+    uint32_t num_workers_ = 0;
+    uint32_t worker_id_ = 0;
+    uint64_t num_vertices_ = 0;
+    VertexT* current_ = nullptr;
+    uint64_t ops_ = 0;
+    std::array<uint64_t, kNumAggregatorSlots> agg_{};
+    std::array<uint64_t, kNumAggregatorSlots> prev_agg_{};
+    std::vector<std::vector<std::pair<uint64_t, Message>>> outbox_;
+    std::vector<std::unordered_map<uint64_t, uint32_t, IdHash>>
+        combine_slots_;
+    std::vector<VertexT> additions_;
+  };
+
+  explicit Engine(EngineConfig config = {}) : config_(std::move(config)) {}
+
+  /// Runs the job to termination; the graph is mutated in place.
+  ///
+  /// Per-superstep cost is O(computed vertices + delivered messages): each
+  /// partition keeps a compute list of vertices that are either still
+  /// active (did not vote to halt) or received a message, so quiescent
+  /// regions of the graph cost nothing — essential for jobs whose active
+  /// frontier is small (e.g. the baselines' sequential propagation).
+  RunStats Run(PartitionedGraph<VertexT>& graph) {
+    Timer timer;
+    const uint32_t W = graph.num_workers();
+    ThreadPool pool(config_.num_threads == 0 ? ThreadPool::DefaultThreads()
+                                             : config_.num_threads);
+
+    RunStats stats;
+    stats.job_name = config_.job_name;
+
+    // Per-partition message inboxes plus compute scheduling state.
+    std::vector<std::vector<std::vector<Message>>> inbox(W);
+    std::vector<std::vector<uint32_t>> compute_list(W);
+    std::vector<std::vector<uint8_t>> scheduled(W);
+    for (uint32_t p = 0; p < W; ++p) {
+      const size_t n = graph.partition(p).vertices.size();
+      inbox[p].resize(n);
+      scheduled[p].assign(n, 1);
+      compute_list[p].resize(n);
+      for (uint32_t i = 0; i < n; ++i) compute_list[p][i] = i;
+    }
+
+    std::vector<Context> contexts(W);
+    std::array<uint64_t, kNumAggregatorSlots> prev_agg{};
+
+    for (uint32_t step = 0; step < config_.max_supersteps; ++step) {
+      // --- Compute phase -------------------------------------------------
+      const uint64_t n_vertices = graph.size();
+      for (uint32_t p = 0; p < W; ++p) {
+        Context& ctx = contexts[p];
+        ctx.superstep_ = step;
+        ctx.num_workers_ = W;
+        ctx.worker_id_ = p;
+        ctx.num_vertices_ = n_vertices;
+        ctx.ops_ = 0;
+        ctx.agg_.fill(0);
+        ctx.prev_agg_ = prev_agg;
+        ctx.outbox_.assign(W, {});
+        if constexpr (pregel_internal::HasCombiner<VertexT>::value) {
+          ctx.combine_slots_.assign(W, {});
+        }
+        ctx.additions_.clear();
+      }
+
+      std::vector<uint64_t> active_per_part(W, 0);
+      std::vector<std::vector<uint32_t>> next_list(W);
+      pool.Run(W, [&](uint32_t p) {
+        auto& part = graph.partition(p);
+        Context& ctx = contexts[p];
+        for (uint32_t i : compute_list[p]) {
+          scheduled[p][i] = 0;  // Delivery may re-schedule this vertex.
+          VertexT& v = part.vertices[i];
+          if (v.removed) continue;
+          std::vector<Message>& msgs = inbox[p][i];
+          if (v.halted && msgs.empty()) continue;
+          v.halted = false;
+          ++active_per_part[p];
+          ctx.current_ = &v;
+          ctx.ops_ += 1 + msgs.size();
+          v.Compute(ctx, std::span<const Message>(msgs));
+          msgs.clear();
+          if (!v.halted && !v.removed && scheduled[p][i] == 0) {
+            scheduled[p][i] = 1;
+            next_list[p].push_back(i);
+          }
+        }
+      });
+
+      // --- Barrier: stats, aggregators, mutations, message delivery ------
+      SuperstepStats ss;
+      ss.superstep = step;
+      if (config_.collect_per_worker) {
+        ss.worker_messages.resize(W);
+        ss.worker_bytes.resize(W);
+        ss.worker_ops.resize(W);
+      }
+      prev_agg.fill(0);
+      uint64_t staged_messages = 0;
+      for (uint32_t p = 0; p < W; ++p) {
+        Context& ctx = contexts[p];
+        ss.active_vertices += active_per_part[p];
+        uint64_t sent = 0;
+        for (uint32_t d = 0; d < W; ++d) sent += ctx.outbox_[d].size();
+        staged_messages += sent;
+        ss.messages_sent += sent;
+        ss.message_bytes += sent * sizeof(Message);
+        ss.compute_ops += ctx.ops_;
+        if (config_.collect_per_worker) {
+          ss.worker_messages[p] = sent;
+          ss.worker_bytes[p] = sent * sizeof(Message);
+          ss.worker_ops[p] = ctx.ops_;
+        }
+        for (int s = 0; s < kNumAggregatorSlots; ++s) {
+          prev_agg[s] += ctx.agg_[s];
+        }
+      }
+      stats.supersteps.push_back(std::move(ss));
+
+      // Vertex additions (routed by id); new vertices start active.
+      for (uint32_t p = 0; p < W; ++p) {
+        for (VertexT& v : contexts[p].additions_) {
+          uint32_t dst = PartitionOf(v.id, W);
+          graph.AddToPartition(dst, std::move(v));
+          const size_t n = graph.partition(dst).vertices.size();
+          inbox[dst].resize(n);
+          scheduled[dst].resize(n, 0);
+          scheduled[dst][n - 1] = 1;
+          next_list[dst].push_back(static_cast<uint32_t>(n - 1));
+        }
+      }
+
+      // Deliver staged messages into next-superstep inboxes, scheduling
+      // each receiving vertex for the next compute phase.
+      pool.Run(W, [&](uint32_t d) {
+        auto& part = graph.partition(d);
+        for (uint32_t src = 0; src < W; ++src) {
+          for (auto& [dst_id, msg] : contexts[src].outbox_[d]) {
+            auto it = part.index.find(dst_id);
+            if (it == part.index.end()) continue;  // Unknown: dropped.
+            const uint32_t idx = it->second;
+            if (part.vertices[idx].removed) continue;
+            inbox[d][idx].push_back(std::move(msg));
+            if (scheduled[d][idx] == 0) {
+              scheduled[d][idx] = 1;
+              next_list[d].push_back(idx);
+            }
+          }
+        }
+      });
+      compute_list = std::move(next_list);
+
+      // Termination test: nothing scheduled for the next superstep.
+      if (staged_messages == 0) {
+        bool any_scheduled = false;
+        for (uint32_t p = 0; p < W && !any_scheduled; ++p) {
+          any_scheduled = !compute_list[p].empty();
+        }
+        if (!any_scheduled) break;
+      }
+    }
+
+    stats.wall_seconds = timer.Seconds();
+    return stats;
+  }
+
+ private:
+  EngineConfig config_;
+};
+
+}  // namespace ppa
+
+#endif  // PPA_PREGEL_ENGINE_H_

@@ -1,0 +1,186 @@
+// Mini MapReduce — the paper's second Pregel+ API extension (Sec. II).
+//
+// "Each line may generate (zero or more) key-value pairs (using UDF map()),
+//  ... shuffled according to vertex ID ... sorted by key, so that all pairs
+//  with the same key form a group ... each group ... processed (using UDF
+//  reduce())".
+//
+// Used by DBG construction (both phases), contig merging (group by contig
+// label) and bubble filtering (group by ambiguous-endpoint pair). Inputs
+// and outputs are partitioned vectors so jobs chain without serialization,
+// and the shuffle volume is recorded into RunStats for the cluster model.
+#ifndef PPA_PREGEL_MAPREDUCE_H_
+#define PPA_PREGEL_MAPREDUCE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pregel/stats.h"
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace ppa {
+
+/// A dataset partitioned across logical workers.
+template <typename T>
+using Partitioned = std::vector<std::vector<T>>;
+
+/// Flattens a partitioned dataset (test/report convenience).
+template <typename T>
+std::vector<T> Flatten(const Partitioned<T>& parts) {
+  std::vector<T> flat;
+  for (const auto& p : parts) flat.insert(flat.end(), p.begin(), p.end());
+  return flat;
+}
+
+/// Splits a flat dataset round-robin into `num_workers` input partitions.
+template <typename T>
+Partitioned<T> Scatter(const std::vector<T>& data, uint32_t num_workers) {
+  Partitioned<T> parts(num_workers);
+  for (size_t i = 0; i < data.size(); ++i) {
+    parts[i % num_workers].push_back(data[i]);
+  }
+  return parts;
+}
+
+/// Key hashing/routing for the shuffle. Specialize for composite keys.
+template <typename K>
+struct MrKeyHash {
+  uint64_t operator()(const K& k) const { return Mix64(static_cast<uint64_t>(k)); }
+};
+
+template <>
+struct MrKeyHash<std::pair<uint64_t, uint64_t>> {
+  uint64_t operator()(const std::pair<uint64_t, uint64_t>& k) const {
+    return HashCombine(Mix64(k.first), k.second);
+  }
+};
+
+/// Mini MapReduce job configuration.
+struct MapReduceConfig {
+  uint32_t num_workers = 16;
+  unsigned num_threads = 0;  // 0 = hardware concurrency.
+  std::string job_name = "mini-mr";
+};
+
+/// Runs a mini MapReduce job.
+///
+///   map_fn:    void(const In&, Emitter&)  with Emitter::Emit(K, V)
+///   reduce_fn: void(const K&, std::span<V>, std::vector<Out>&)
+///
+/// Returns the reduce outputs, partitioned by the shuffle hash of the key
+/// that produced them (so k-mer-keyed outputs land on the k-mer's worker).
+/// If `stats` is non-null, shuffle volumes are appended as two supersteps
+/// (map+shuffle, reduce).
+template <typename In, typename K, typename V, typename Out, typename MapFn,
+          typename ReduceFn>
+Partitioned<Out> RunMapReduce(const Partitioned<In>& input, MapFn map_fn,
+                              ReduceFn reduce_fn,
+                              const MapReduceConfig& config,
+                              RunStats* stats = nullptr) {
+  Timer timer;
+  const uint32_t W = config.num_workers;
+  PPA_CHECK(input.size() == W);
+  ThreadPool pool(config.num_threads == 0 ? ThreadPool::DefaultThreads()
+                                          : config.num_threads);
+
+  // --- Map phase: each input partition emits routed (K, V) pairs. ---------
+  struct Emitter {
+    std::vector<std::vector<std::pair<K, V>>>* out;
+    uint32_t num_workers;
+    void Emit(K key, V value) {
+      uint64_t h = MrKeyHash<K>{}(key);
+      (*out)[h % num_workers].emplace_back(std::move(key), std::move(value));
+    }
+  };
+
+  // outbox[src][dst] -> pairs.
+  std::vector<std::vector<std::vector<std::pair<K, V>>>> outbox(W);
+  pool.Run(W, [&](uint32_t src) {
+    outbox[src].resize(W);
+    Emitter emitter{&outbox[src], W};
+    for (const In& record : input[src]) {
+      map_fn(record, emitter);
+    }
+  });
+
+  uint64_t shuffled_pairs = 0;
+  SuperstepStats map_ss;
+  map_ss.superstep = 0;
+  if (stats != nullptr) {
+    map_ss.worker_messages.resize(W);
+    map_ss.worker_bytes.resize(W);
+    map_ss.worker_ops.resize(W);
+    for (uint32_t src = 0; src < W; ++src) {
+      uint64_t sent = 0;
+      for (uint32_t d = 0; d < W; ++d) sent += outbox[src][d].size();
+      shuffled_pairs += sent;
+      map_ss.worker_messages[src] = sent;
+      map_ss.worker_bytes[src] = sent * sizeof(std::pair<K, V>);
+      map_ss.worker_ops[src] = input[src].size() + sent;
+      map_ss.active_vertices += input[src].size();
+    }
+    map_ss.messages_sent = shuffled_pairs;
+    map_ss.message_bytes = shuffled_pairs * sizeof(std::pair<K, V>);
+    map_ss.compute_ops = shuffled_pairs;
+  }
+
+  // --- Shuffle + sort + reduce phase. --------------------------------------
+  Partitioned<Out> output(W);
+  std::vector<uint64_t> reduce_ops(W, 0);
+  pool.Run(W, [&](uint32_t dst) {
+    std::vector<std::pair<K, V>> pairs;
+    size_t total = 0;
+    for (uint32_t src = 0; src < W; ++src) total += outbox[src][dst].size();
+    pairs.reserve(total);
+    for (uint32_t src = 0; src < W; ++src) {
+      auto& buf = outbox[src][dst];
+      std::move(buf.begin(), buf.end(), std::back_inserter(pairs));
+      buf.clear();
+      buf.shrink_to_fit();
+    }
+    std::sort(pairs.begin(), pairs.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    size_t i = 0;
+    std::vector<V> group;
+    while (i < pairs.size()) {
+      size_t j = i;
+      group.clear();
+      while (j < pairs.size() && pairs[j].first == pairs[i].first) {
+        group.push_back(std::move(pairs[j].second));
+        ++j;
+      }
+      reduce_fn(pairs[i].first, std::span<V>(group), output[dst]);
+      reduce_ops[dst] += group.size();
+      i = j;
+    }
+  });
+
+  if (stats != nullptr) {
+    stats->job_name = config.job_name;
+    stats->supersteps.push_back(std::move(map_ss));
+    SuperstepStats reduce_ss;
+    reduce_ss.superstep = 1;
+    reduce_ss.worker_messages.assign(W, 0);
+    reduce_ss.worker_bytes.assign(W, 0);
+    reduce_ss.worker_ops = std::vector<uint64_t>(reduce_ops.begin(),
+                                                 reduce_ops.end());
+    for (uint32_t d = 0; d < W; ++d) {
+      reduce_ss.compute_ops += reduce_ops[d];
+      reduce_ss.active_vertices += output[d].size();
+    }
+    stats->supersteps.push_back(std::move(reduce_ss));
+    stats->wall_seconds += timer.Seconds();
+  }
+  return output;
+}
+
+}  // namespace ppa
+
+#endif  // PPA_PREGEL_MAPREDUCE_H_

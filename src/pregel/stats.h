@@ -1,0 +1,100 @@
+// Per-superstep execution statistics.
+//
+// Tables II and III of the paper report (#supersteps, #messages, runtime)
+// for the two contig-labeling algorithms; Fig. 12 derives cluster wall-clock
+// from per-worker communication and computation volumes. The engine records
+// everything needed for both here: per superstep and per logical worker,
+// the number of compute invocations, messages and message bytes.
+#ifndef PPA_PREGEL_STATS_H_
+#define PPA_PREGEL_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ppa {
+
+/// Statistics of one superstep, with per-logical-worker breakdowns.
+struct SuperstepStats {
+  uint32_t superstep = 0;
+  uint64_t active_vertices = 0;
+  uint64_t messages_sent = 0;
+  uint64_t message_bytes = 0;
+  uint64_t compute_ops = 0;  // compute calls + messages processed + sent.
+  // Index = logical worker id; sized num_workers.
+  std::vector<uint64_t> worker_messages;
+  std::vector<uint64_t> worker_bytes;
+  std::vector<uint64_t> worker_ops;
+};
+
+/// Statistics of one Pregel job (or one MapReduce job, which is modeled as
+/// a map superstep + a reduce superstep).
+struct RunStats {
+  std::string job_name;
+  std::vector<SuperstepStats> supersteps;
+  double wall_seconds = 0;
+
+  uint32_t num_supersteps() const {
+    return static_cast<uint32_t>(supersteps.size());
+  }
+
+  uint64_t total_messages() const {
+    uint64_t n = 0;
+    for (const auto& s : supersteps) n += s.messages_sent;
+    return n;
+  }
+
+  uint64_t total_bytes() const {
+    uint64_t n = 0;
+    for (const auto& s : supersteps) n += s.message_bytes;
+    return n;
+  }
+
+  uint64_t total_ops() const {
+    uint64_t n = 0;
+    for (const auto& s : supersteps) n += s.compute_ops;
+    return n;
+  }
+};
+
+/// Accumulated statistics across the jobs of a whole workflow run.
+struct PipelineStats {
+  std::vector<RunStats> jobs;
+
+  void Add(RunStats stats) { jobs.push_back(std::move(stats)); }
+
+  double total_wall_seconds() const {
+    double t = 0;
+    for (const auto& j : jobs) t += j.wall_seconds;
+    return t;
+  }
+
+  uint64_t total_messages() const {
+    uint64_t n = 0;
+    for (const auto& j : jobs) n += j.total_messages();
+    return n;
+  }
+
+  uint32_t total_supersteps() const {
+    uint32_t n = 0;
+    for (const auto& j : jobs) n += j.num_supersteps();
+    return n;
+  }
+
+  /// Finds accumulated stats of all jobs whose name contains `substr`.
+  RunStats Aggregate(const std::string& substr) const {
+    RunStats out;
+    out.job_name = substr;
+    for (const auto& j : jobs) {
+      if (j.job_name.find(substr) == std::string::npos) continue;
+      out.wall_seconds += j.wall_seconds;
+      out.supersteps.insert(out.supersteps.end(), j.supersteps.begin(),
+                            j.supersteps.end());
+    }
+    return out;
+  }
+};
+
+}  // namespace ppa
+
+#endif  // PPA_PREGEL_STATS_H_

@@ -1,0 +1,341 @@
+#include "quality/quast.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "dna/kmer.h"
+#include "dna/nucleotide.h"
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace ppa {
+
+namespace {
+
+/// Reference k-mer index: canonical k-mer code -> occurrence list.
+struct RefHit {
+  uint64_t pos;  // reference position of the k-mer window
+  bool forward;  // true if the canonical form equals the forward window
+};
+
+class ReferenceIndex {
+ public:
+  ReferenceIndex(const PackedSequence& ref, int k, size_t max_hits)
+      : k_(k), max_hits_(max_hits) {
+    if (ref.size() < static_cast<size_t>(k)) return;
+    KmerWindow window(k);
+    for (size_t i = 0; i < ref.size(); ++i) {
+      if (!window.Push(ref.BaseAt(i))) continue;
+      Kmer fwd = window.Current();
+      Kmer canon = fwd.Canonical();
+      auto& hits = index_[canon.code()];
+      if (hits.size() < max_hits_) {
+        hits.push_back(RefHit{i + 1 - k, fwd.code() == canon.code()});
+      }
+    }
+  }
+
+  const std::vector<RefHit>* Find(uint64_t canon_code) const {
+    auto it = index_.find(canon_code);
+    return it == index_.end() ? nullptr : &it->second;
+  }
+
+  int k() const { return k_; }
+
+ private:
+  int k_;
+  size_t max_hits_;
+  std::unordered_map<uint64_t, std::vector<RefHit>, IdHash> index_;
+};
+
+/// A chained alignment block: an exact-diagonal run of k-mer anchors.
+struct Block {
+  bool forward;        // contig strand vs reference
+  uint64_t ref_start;  // reference start
+  size_t q_start;      // contig start
+  size_t length;       // block length in bases
+  uint64_t mismatches = 0;
+
+  size_t q_end() const { return q_start + length; }
+  uint64_t ref_end() const { return ref_start + length; }
+};
+
+/// Aligns one contig: anchors every k-mer, chains same-(strand, diagonal)
+/// anchors with small gaps, counts in-block mismatches by direct base
+/// comparison (gaps inside a block lie on one diagonal, so no indels).
+std::vector<Block> AlignContig(const std::string& contig,
+                               const PackedSequence& ref,
+                               const ReferenceIndex& index,
+                               const QuastConfig& config) {
+  const int k = index.k();
+  // Anchor key: (strand, diagonal). Diagonal is ref_pos - q_pos for forward
+  // matches and ref_pos + q_pos for reverse matches (anti-diagonal).
+  struct Anchor {
+    size_t q_pos;
+    uint64_t ref_pos;
+  };
+  std::map<std::pair<bool, int64_t>, std::vector<Anchor>> chains;
+
+  KmerWindow window(k);
+  int filled = 0;
+  for (size_t j = 0; j < contig.size(); ++j) {
+    int b = BaseFromChar(contig[j]);
+    if (b < 0) {
+      window.Reset();
+      filled = 0;
+      continue;
+    }
+    window.Push(static_cast<uint8_t>(b));
+    if (++filled < k) continue;
+    size_t q_pos = j + 1 - static_cast<size_t>(k);
+    Kmer fwd = window.Current();
+    Kmer canon = fwd.Canonical();
+    const std::vector<RefHit>* hits = index.Find(canon.code());
+    if (hits == nullptr) continue;
+    bool query_is_canon = fwd.code() == canon.code();
+    for (const RefHit& hit : *hits) {
+      // Match is forward iff the contig window and the reference window
+      // present the canonical k-mer the same way.
+      bool forward = (hit.forward == query_is_canon);
+      int64_t diag = forward
+                         ? static_cast<int64_t>(hit.pos) -
+                               static_cast<int64_t>(q_pos)
+                         : static_cast<int64_t>(hit.pos) +
+                               static_cast<int64_t>(q_pos);
+      chains[{forward, diag}].push_back(Anchor{q_pos, hit.pos});
+    }
+  }
+
+  std::vector<Block> blocks;
+  for (auto& [key, anchors] : chains) {
+    const bool forward = key.first;
+    std::sort(anchors.begin(), anchors.end(),
+              [](const Anchor& a, const Anchor& b) {
+                return a.q_pos < b.q_pos;
+              });
+    size_t run_start = 0;
+    for (size_t i = 1; i <= anchors.size(); ++i) {
+      bool split = (i == anchors.size()) ||
+                   (anchors[i].q_pos - anchors[i - 1].q_pos >
+                    config.max_anchor_gap);
+      if (!split) continue;
+      const Anchor& first = anchors[run_start];
+      const Anchor& last = anchors[i - 1];
+      Block block;
+      block.forward = forward;
+      block.q_start = first.q_pos;
+      block.length = last.q_pos - first.q_pos + static_cast<size_t>(k);
+      block.ref_start = forward ? first.ref_pos : last.ref_pos;
+      if (block.length >= config.min_block) {
+        // Count mismatches across the whole block span.
+        for (size_t d = 0; d < block.length; ++d) {
+          size_t q = block.q_start + d;
+          uint64_t r = forward ? block.ref_start + d
+                               : block.ref_start + block.length - 1 - d;
+          if (r >= ref.size() || q >= contig.size()) break;
+          int qb = BaseFromChar(contig[q]);
+          uint8_t rb = ref.BaseAt(r);
+          uint8_t expect = forward ? rb : ComplementBase(rb);
+          if (qb < 0 || static_cast<uint8_t>(qb) != expect) {
+            ++block.mismatches;
+          }
+        }
+        blocks.push_back(block);
+      }
+      run_start = i;
+    }
+  }
+
+  // Greedy selection of non-overlapping (on the contig) blocks, longest
+  // first — QUAST's best-set selection, simplified.
+  std::sort(blocks.begin(), blocks.end(), [](const Block& a, const Block& b) {
+    return a.length > b.length;
+  });
+  std::vector<Block> chosen;
+  for (const Block& blk : blocks) {
+    bool overlaps = false;
+    for (const Block& c : chosen) {
+      size_t lo = std::max(blk.q_start, c.q_start);
+      size_t hi = std::min(blk.q_end(), c.q_end());
+      if (hi > lo && (hi - lo) * 2 > std::min(blk.length, c.length)) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (!overlaps) chosen.push_back(blk);
+  }
+  std::sort(chosen.begin(), chosen.end(), [](const Block& a, const Block& b) {
+    return a.q_start < b.q_start;
+  });
+  return chosen;
+}
+
+}  // namespace
+
+uint64_t ComputeN50(std::vector<uint64_t> lengths) {
+  if (lengths.empty()) return 0;
+  std::sort(lengths.begin(), lengths.end(), std::greater<uint64_t>());
+  uint64_t total = 0;
+  for (uint64_t len : lengths) total += len;
+  uint64_t acc = 0;
+  for (uint64_t len : lengths) {
+    acc += len;
+    if (acc * 2 >= total) return len;
+  }
+  return lengths.back();
+}
+
+QuastReport EvaluateAssembly(const std::vector<std::string>& contigs,
+                             const PackedSequence* reference,
+                             const QuastConfig& config) {
+  QuastReport report;
+
+  std::vector<const std::string*> kept;
+  for (const std::string& c : contigs) {
+    if (c.size() >= config.min_contig) kept.push_back(&c);
+  }
+  report.num_contigs = kept.size();
+
+  std::vector<uint64_t> lengths;
+  uint64_t gc = 0;
+  for (const std::string* c : kept) {
+    lengths.push_back(c->size());
+    report.total_length += c->size();
+    report.largest_contig = std::max<uint64_t>(report.largest_contig,
+                                               c->size());
+    for (char ch : *c) {
+      if (ch == 'G' || ch == 'C' || ch == 'g' || ch == 'c') ++gc;
+    }
+  }
+  report.n50 = ComputeN50(lengths);
+  report.gc_percent =
+      report.total_length == 0
+          ? 0
+          : 100.0 * static_cast<double>(gc) /
+                static_cast<double>(report.total_length);
+
+  if (reference == nullptr || reference->size() == 0) return report;
+  report.has_reference = true;
+
+  ReferenceIndex index(*reference, config.anchor_k, config.max_kmer_hits);
+  std::vector<uint8_t> covered(reference->size(), 0);
+  uint64_t mismatches = 0;
+  uint64_t indel_bases = 0;
+  uint64_t aligned_bases = 0;
+
+  for (const std::string* contig : kept) {
+    std::vector<Block> blocks =
+        AlignContig(*contig, *reference, index, config);
+    uint64_t contig_aligned = 0;
+    for (const Block& b : blocks) {
+      contig_aligned += b.length;
+      mismatches += b.mismatches;
+      report.largest_alignment =
+          std::max<uint64_t>(report.largest_alignment, b.length);
+      for (uint64_t r = b.ref_start;
+           r < b.ref_end() && r < covered.size(); ++r) {
+        covered[r] = 1;
+      }
+    }
+    if (contig_aligned < contig->size()) {
+      report.unaligned_length += contig->size() - contig_aligned;
+    }
+    aligned_bases += contig_aligned;
+
+    // Misassembly detection: adjacent blocks along the contig must agree in
+    // strand and stay roughly collinear on the reference.
+    bool misassembled = false;
+    for (size_t i = 1; i < blocks.size(); ++i) {
+      const Block& a = blocks[i - 1];
+      const Block& b = blocks[i];
+      if (a.forward != b.forward) {
+        misassembled = true;
+        break;
+      }
+      int64_t q_gap = static_cast<int64_t>(b.q_start) -
+                      static_cast<int64_t>(a.q_end());
+      int64_t r_gap =
+          a.forward ? static_cast<int64_t>(b.ref_start) -
+                          static_cast<int64_t>(a.ref_end())
+                    : static_cast<int64_t>(a.ref_start) -
+                          static_cast<int64_t>(b.ref_end());
+      int64_t skew = r_gap - q_gap;
+      if (std::abs(skew) > static_cast<int64_t>(config.misassembly_gap) ||
+          r_gap < -static_cast<int64_t>(config.misassembly_gap)) {
+        misassembled = true;
+        break;
+      }
+      // Small diagonal shifts between adjacent blocks are indels.
+      if (skew != 0 &&
+          std::abs(skew) <= static_cast<int64_t>(config.max_anchor_gap)) {
+        indel_bases += static_cast<uint64_t>(std::abs(skew));
+      }
+    }
+    if (misassembled) {
+      ++report.misassemblies;
+      report.misassembled_length += contig->size();
+    }
+  }
+
+  uint64_t covered_count = 0;
+  for (uint8_t c : covered) covered_count += c;
+  report.genome_fraction = 100.0 * static_cast<double>(covered_count) /
+                           static_cast<double>(reference->size());
+  if (aligned_bases > 0) {
+    report.mismatches_per_100kbp = 1e5 * static_cast<double>(mismatches) /
+                                   static_cast<double>(aligned_bases);
+    report.indels_per_100kbp = 1e5 * static_cast<double>(indel_bases) /
+                               static_cast<double>(aligned_bases);
+  }
+  return report;
+}
+
+std::string FormatReport(const QuastReport& r) {
+  char buf[1024];
+  std::string out;
+  std::snprintf(buf, sizeof(buf), "  # of contigs (>=500bp)   %zu\n",
+                r.num_contigs);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "  Total length             %llu\n",
+                static_cast<unsigned long long>(r.total_length));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "  N50                      %llu\n",
+                static_cast<unsigned long long>(r.n50));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "  Largest contig           %llu\n",
+                static_cast<unsigned long long>(r.largest_contig));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "  GC (%%)                   %.2f\n",
+                r.gc_percent);
+  out += buf;
+  if (r.has_reference) {
+    std::snprintf(buf, sizeof(buf), "  # Misassemblies          %zu\n",
+                  r.misassemblies);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "  Misassembled length      %llu\n",
+                  static_cast<unsigned long long>(r.misassembled_length));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "  Unaligned length         %llu\n",
+                  static_cast<unsigned long long>(r.unaligned_length));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "  Genome fraction (%%)      %.3f\n",
+                  r.genome_fraction);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "  # Mismatches per 100kbp  %.2f\n",
+                  r.mismatches_per_100kbp);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "  # Indels per 100kbp      %.2f\n",
+                  r.indels_per_100kbp);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "  Largest alignment        %llu\n",
+                  static_cast<unsigned long long>(r.largest_alignment));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace ppa

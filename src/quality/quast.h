@@ -1,0 +1,69 @@
+// QUAST-like assembly quality assessment (the Table IV/V metrics).
+//
+// Substitution for the QUAST tool [7]: computes the reference-free metrics
+// (#contigs, total length, N50, largest contig, GC%) and, when a reference
+// is available, the alignment-based metrics (genome fraction, misassembled
+// contigs and length, unaligned length, mismatches and indels per 100 kbp,
+// largest alignment) via an exact-k-mer anchored aligner (quality/aligner.h)
+// in the spirit of QUAST's Nucmer pipeline.
+//
+// Conventions follow QUAST defaults: only contigs >= 500 bp are assessed; a
+// misassembly is a breakpoint between adjacent alignment blocks of one
+// contig that disagree in strand, order, or distance by more than 1 kbp.
+#ifndef PPA_QUALITY_QUAST_H_
+#define PPA_QUALITY_QUAST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dna/sequence.h"
+
+namespace ppa {
+
+/// Assessment parameters (QUAST-like defaults).
+struct QuastConfig {
+  size_t min_contig = 500;        // contigs below this are ignored
+  int anchor_k = 31;              // exact anchor seed size
+  size_t max_anchor_gap = 100;    // max gap when chaining same-diagonal hits
+  size_t min_block = 64;          // min alignment block length kept
+  size_t misassembly_gap = 1000;  // relocation distance threshold
+  size_t max_kmer_hits = 16;      // repeat-k-mer fan-out cap
+};
+
+/// The quality report (Table IV rows).
+struct QuastReport {
+  // Reference-free metrics.
+  size_t num_contigs = 0;       // contigs >= min_contig
+  uint64_t total_length = 0;    // their total length
+  uint64_t n50 = 0;
+  uint64_t largest_contig = 0;
+  double gc_percent = 0;
+
+  // Reference-based metrics (valid iff has_reference).
+  bool has_reference = false;
+  size_t misassemblies = 0;          // misassembled contigs
+  uint64_t misassembled_length = 0;  // their total length
+  uint64_t unaligned_length = 0;     // contig bases in no alignment block
+  double genome_fraction = 0;        // % reference positions covered
+  double mismatches_per_100kbp = 0;
+  double indels_per_100kbp = 0;
+  uint64_t largest_alignment = 0;
+};
+
+/// N50: the length of the contig containing the middle base of the
+/// length-sorted concatenation.
+uint64_t ComputeN50(std::vector<uint64_t> lengths);
+
+/// Assesses `contigs` (optionally against `reference`; pass nullptr for
+/// reference-free assessment, as for HC-14/BI in Table V).
+QuastReport EvaluateAssembly(const std::vector<std::string>& contigs,
+                             const PackedSequence* reference,
+                             const QuastConfig& config = {});
+
+/// Renders the report in the layout of Table IV.
+std::string FormatReport(const QuastReport& report);
+
+}  // namespace ppa
+
+#endif  // PPA_QUALITY_QUAST_H_

@@ -1,0 +1,80 @@
+// BSP cluster cost model — the Fig. 12 substitution.
+//
+// The paper measures end-to-end wall-clock on a 16-machine Gigabit cluster
+// while varying the number of workers (16..64). We have no cluster; instead
+// every algorithm here runs for real (in process) and records, per
+// superstep and per logical worker, its compute operations, messages and
+// message bytes. This model converts those *measured* profiles into
+// estimated cluster seconds:
+//
+//   T_superstep(W) = f * T1 + (1 - f) * T1 * skew / W + L
+//     T1   = ops / ops_rate + bytes / bandwidth + msgs * msg_overhead
+//     skew = measured max-worker load / mean-worker load (rebalance proxy)
+//     f    = system serial fraction (Amdahl)
+//     L    = per-superstep synchronization latency
+//
+// Per-system profiles capture the *system-level* differences the paper
+// attributes to each assembler and that an algorithm-level reimplementation
+// cannot express:
+//   * PPA-assembler (Pregel+): small serial fraction, batched messaging.
+//   * ABySS: a large serial fraction — the paper observes its runtime is
+//     "insensitive to the number of workers" and may even grow.
+//   * Ray: essentially unbatched request/response messaging, so per-message
+//     overhead and superstep latency dominate (one order of magnitude
+//     slower in Fig. 12).
+//   * SWAP-Assembler: moderate overheads; scales, but slower than PPA.
+// The profile constants are documented here, not tuned per dataset; the
+// bench reproduces the *shape* of Fig. 12, not its absolute numbers.
+#ifndef PPA_SIM_CLUSTER_MODEL_H_
+#define PPA_SIM_CLUSTER_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pregel/stats.h"
+
+namespace ppa {
+
+/// Hardware constants of the simulated cluster (paper: two Xeon E5-2620
+/// per machine, Gigabit Ethernet).
+///
+/// The superstep latency is scaled down together with the datasets: at the
+/// paper's scale (genomes 100-1000x larger than our container-scale
+/// simulations) per-superstep compute dwarfs the ~2 ms barrier cost, so a
+/// proportionally reduced constant keeps the compute/latency ratio — and
+/// hence the Fig. 12 shape — representative.
+struct ClusterParams {
+  double ops_per_second = 2e8;          // per-worker compute throughput
+  double bandwidth_bytes_per_sec = 125e6;  // 1 Gbit/s per worker NIC share
+  double superstep_latency_sec = 2e-5;  // barrier cost, dataset-scaled
+};
+
+/// System-level behavior profile of one assembler.
+struct SystemProfile {
+  std::string name;
+  double serial_fraction = 0.02;   // Amdahl non-parallel share
+  double msg_overhead_sec = 2e-8;  // per message after batching
+  double compute_scale = 1.0;      // relative per-op cost
+  double latency_scale = 1.0;      // barrier overhead multiplier
+};
+
+/// Pre-tuned profiles (constants documented in the header comment).
+SystemProfile PpaAssemblerProfile();
+SystemProfile AbyssProfile();
+SystemProfile RayProfile();
+SystemProfile SwapProfile();
+
+/// Estimated cluster seconds for one job run with `workers` workers.
+double EstimateJobSeconds(const RunStats& job, uint32_t workers,
+                          const ClusterParams& params,
+                          const SystemProfile& profile);
+
+/// Estimated cluster seconds for a whole pipeline.
+double EstimatePipelineSeconds(const PipelineStats& pipeline,
+                               uint32_t workers, const ClusterParams& params,
+                               const SystemProfile& profile);
+
+}  // namespace ppa
+
+#endif  // PPA_SIM_CLUSTER_MODEL_H_

@@ -1,0 +1,70 @@
+#include "sim/datasets.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace ppa {
+
+double DatasetScaleFromEnv() {
+  const char* env = std::getenv("PPA_DATASET_SCALE");
+  if (env == nullptr) return 1.0;
+  double scale = std::atof(env);
+  return scale > 0 ? scale : 1.0;
+}
+
+Dataset MakeDataset(DatasetId id, double scale) {
+  if (scale <= 0) scale = DatasetScaleFromEnv();
+  Dataset ds;
+
+  GenomeConfig genome;
+  ReadSimConfig sim;
+  switch (id) {
+    case DatasetId::kHc2:
+      ds.name = "HC-2-sim";
+      ds.has_reference = true;
+      genome.length = static_cast<uint64_t>(250000 * scale);
+      genome.seed = 1002;
+      sim.read_length = 100;
+      sim.coverage = 30;
+      sim.seed = 2002;
+      break;
+    case DatasetId::kHcX:
+      ds.name = "HC-X-sim";
+      ds.has_reference = true;
+      genome.length = static_cast<uint64_t>(400000 * scale);
+      genome.seed = 1023;
+      sim.read_length = 100;
+      sim.coverage = 30;
+      sim.seed = 2023;
+      break;
+    case DatasetId::kHc14:
+      ds.name = "HC-14-sim";
+      ds.has_reference = false;  // GAGE dataset has no reference sequence.
+      genome.length = static_cast<uint64_t>(700000 * scale);
+      genome.seed = 1014;
+      sim.read_length = 101;
+      sim.coverage = 30;
+      sim.seed = 2014;
+      break;
+    case DatasetId::kBi:
+      ds.name = "BI-sim";
+      ds.has_reference = false;
+      genome.length = static_cast<uint64_t>(1400000 * scale);
+      genome.seed = 1155;
+      sim.read_length = 155;
+      sim.coverage = 30;
+      sim.seed = 2155;
+      break;
+  }
+  genome.repeat_families = static_cast<uint32_t>(4 * scale) + 2;
+  genome.repeat_length = 300;
+  genome.repeat_copies = 5;
+  sim.error_rate = 0.005;
+
+  ds.reference = GenerateGenome(genome);
+  ds.reads = SimulateReads(ds.reference, sim);
+  return ds;
+}
+
+}  // namespace ppa

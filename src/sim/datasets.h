@@ -1,0 +1,44 @@
+// The four evaluation datasets, scaled to container size.
+//
+// Paper (Table I):                      Ours (same relative ordering):
+//   HC-2  : 4.81 M reads, 100 bp          HC-2-sim : ~250 kbp reference
+//   HC-X  : 9.26 M reads, 100 bp          HC-X-sim : ~400 kbp reference
+//   HC-14 : 18.25 M reads, 101 bp         HC-14-sim: ~700 kbp reference
+//   BI    : 151.55 M reads, 155 bp        BI-sim   : ~1.4 Mbp, 155 bp reads
+// Coverage is kept near the paper's (reads x length / genome). Sizes can be
+// scaled globally with the PPA_DATASET_SCALE environment variable
+// (e.g. PPA_DATASET_SCALE=4 for 4x larger datasets).
+#ifndef PPA_SIM_DATASETS_H_
+#define PPA_SIM_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dna/read.h"
+#include "dna/sequence.h"
+#include "sim/genome.h"
+#include "sim/read_simulator.h"
+
+namespace ppa {
+
+/// A named simulated dataset: reference + reads.
+struct Dataset {
+  std::string name;
+  bool has_reference = true;  // HC-14/BI have none in the paper
+  PackedSequence reference;
+  std::vector<Read> reads;
+};
+
+/// Identifiers for the paper's four datasets.
+enum class DatasetId { kHc2 = 0, kHcX = 1, kHc14 = 2, kBi = 3 };
+
+/// Builds one dataset (deterministic for a given scale).
+Dataset MakeDataset(DatasetId id, double scale = 0.0 /* 0 = env or 1 */);
+
+/// Reads PPA_DATASET_SCALE from the environment (default 1.0).
+double DatasetScaleFromEnv();
+
+}  // namespace ppa
+
+#endif  // PPA_SIM_DATASETS_H_

@@ -1,0 +1,57 @@
+#include "sim/genome.h"
+
+#include <vector>
+
+#include "dna/nucleotide.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace ppa {
+
+namespace {
+
+uint8_t RandomBase(Rng& rng, double gc_content) {
+  if (rng.Uniform() < gc_content) {
+    return rng.Bernoulli(0.5) ? kBaseG : kBaseC;
+  }
+  return rng.Bernoulli(0.5) ? kBaseA : kBaseT;
+}
+
+}  // namespace
+
+PackedSequence GenerateGenome(const GenomeConfig& config) {
+  PPA_CHECK(config.length > 0);
+  Rng rng(config.seed);
+
+  // Base random sequence.
+  std::vector<uint8_t> bases(config.length);
+  for (uint64_t i = 0; i < config.length; ++i) {
+    bases[i] = RandomBase(rng, config.gc_content);
+  }
+
+  // Plant repeat families: each family is one random template copied to
+  // several positions (some copies reverse-complemented, as real repeats
+  // occur on both strands).
+  const uint64_t rep_len = config.repeat_length;
+  if (rep_len > 0 && rep_len < config.length / 2) {
+    for (uint32_t family = 0; family < config.repeat_families; ++family) {
+      std::vector<uint8_t> tmpl(rep_len);
+      for (auto& b : tmpl) b = RandomBase(rng, config.gc_content);
+      for (uint32_t copy = 0; copy < config.repeat_copies; ++copy) {
+        uint64_t pos = rng.Below(config.length - rep_len);
+        bool flip = rng.Bernoulli(0.5);
+        for (uint64_t i = 0; i < rep_len; ++i) {
+          bases[pos + i] = flip
+                               ? ComplementBase(tmpl[rep_len - 1 - i])
+                               : tmpl[i];
+        }
+      }
+    }
+  }
+
+  PackedSequence genome;
+  for (uint8_t b : bases) genome.PushBack(b);
+  return genome;
+}
+
+}  // namespace ppa

@@ -1,0 +1,33 @@
+// Synthetic reference genome generator.
+//
+// Substitution for the paper's NCBI/GAGE references (Homo sapiens
+// chromosome 2/X/14, Bombus impatiens), which are not available offline.
+// Generates a random nucleotide sequence with a configurable GC content and
+// planted repeat families. Repeats are what create ambiguous (<m-n>)
+// vertices in the de Bruijn graph, so they are essential for exercising
+// contig labeling, bubble filtering and tip removal on realistic topology.
+#ifndef PPA_SIM_GENOME_H_
+#define PPA_SIM_GENOME_H_
+
+#include <cstdint>
+
+#include "dna/sequence.h"
+
+namespace ppa {
+
+/// Genome generation parameters.
+struct GenomeConfig {
+  uint64_t length = 100000;     // total bases
+  double gc_content = 0.41;     // human-like GC fraction
+  uint32_t repeat_families = 4;  // number of distinct repeat sequences
+  uint32_t repeat_length = 400;  // bases per repeat copy
+  uint32_t repeat_copies = 6;    // copies planted per family
+  uint64_t seed = 42;
+};
+
+/// Generates a reference genome.
+PackedSequence GenerateGenome(const GenomeConfig& config);
+
+}  // namespace ppa
+
+#endif  // PPA_SIM_GENOME_H_

@@ -1,0 +1,75 @@
+#include "sim/read_simulator.h"
+
+#include <algorithm>
+#include <string>
+
+#include "dna/nucleotide.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace ppa {
+
+std::vector<Read> SimulateReads(const PackedSequence& reference,
+                                const ReadSimConfig& config) {
+  PPA_CHECK(config.read_length >= 2);
+  PPA_CHECK(reference.size() >= config.read_length);
+  Rng rng(config.seed);
+
+  const uint64_t ref_len = reference.size();
+  const uint64_t num_reads = static_cast<uint64_t>(
+      config.coverage * static_cast<double>(ref_len) /
+      static_cast<double>(config.read_length));
+
+  std::vector<Read> reads;
+  reads.reserve(num_reads);
+  for (uint64_t i = 0; i < num_reads; ++i) {
+    uint32_t len = config.read_length;
+    if (config.read_length_stddev > 0) {
+      double sampled =
+          rng.Gaussian(config.read_length, config.read_length_stddev);
+      len = static_cast<uint32_t>(std::clamp<double>(
+          sampled, 2.0, static_cast<double>(ref_len)));
+    }
+    uint64_t pos = rng.Below(ref_len - len + 1);
+    bool reverse = config.both_strands && rng.Bernoulli(0.5);
+
+    Read read;
+    read.name = "sim." + std::to_string(i) + (reverse ? "/r" : "/f");
+    read.bases.resize(len);
+    read.quals.assign(len, 'I');
+    for (uint32_t j = 0; j < len; ++j) {
+      uint8_t base;
+      if (!reverse) {
+        base = reference.BaseAt(pos + j);
+      } else {
+        // Read the segment from strand 2 in the 5'-to-3' direction: the
+        // reverse complement (Fig. 6).
+        base = ComplementBase(reference.BaseAt(pos + len - 1 - j));
+      }
+      // Sequencing error model.
+      double err = config.error_rate;
+      if (config.position_dependent_errors) {
+        // Quality decays toward the 3' end of the read (Illumina-like):
+        // scale the error rate from 0.5x at the start to 2x at the end.
+        double frac = static_cast<double>(j) / static_cast<double>(len);
+        err *= 0.5 + 1.5 * frac;
+      }
+      if (rng.Uniform() < config.n_rate) {
+        read.bases[j] = 'N';
+        read.quals[j] = '!';
+        continue;
+      }
+      if (rng.Uniform() < err) {
+        // Substitute with one of the three other bases.
+        base = static_cast<uint8_t>(
+            (base + 1 + rng.Below(3)) & 3);
+        read.quals[j] = '#';
+      }
+      read.bases[j] = CharFromBase(base);
+    }
+    reads.push_back(std::move(read));
+  }
+  return reads;
+}
+
+}  // namespace ppa

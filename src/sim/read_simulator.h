@@ -1,0 +1,38 @@
+// ART-like short-read simulator.
+//
+// Substitution for the ART simulator [8] the paper used to produce the
+// HC-2 / HC-X datasets. Samples reads uniformly from both strands of a
+// reference at a target coverage depth, applies per-base substitution
+// errors (optionally position-dependent, mimicking Illumina's 3'-end
+// quality decay), occasionally emits 'N' bases, and produces FASTQ-style
+// Read records. Errors are what create the tips and bubbles of Fig. 5.
+#ifndef PPA_SIM_READ_SIMULATOR_H_
+#define PPA_SIM_READ_SIMULATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dna/read.h"
+#include "dna/sequence.h"
+
+namespace ppa {
+
+/// Read simulation parameters.
+struct ReadSimConfig {
+  uint32_t read_length = 100;       // mean read length (paper: 100-155 bp)
+  uint32_t read_length_stddev = 0;  // 0 = fixed-length reads
+  double coverage = 30.0;           // mean per-base coverage depth
+  double error_rate = 0.01;         // per-base substitution probability
+  bool position_dependent_errors = true;  // errors ramp toward the 3' end
+  double n_rate = 0.0005;           // per-base probability of an 'N'
+  bool both_strands = true;         // sample from strand 2 as well
+  uint64_t seed = 7;
+};
+
+/// Simulates reads from `reference`.
+std::vector<Read> SimulateReads(const PackedSequence& reference,
+                                const ReadSimConfig& config);
+
+}  // namespace ppa
+
+#endif  // PPA_SIM_READ_SIMULATOR_H_

@@ -1,0 +1,78 @@
+#include "util/edit_distance.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace ppa {
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (m == 0) return n;
+  std::vector<size_t> row(m + 1);
+  for (size_t j = 0; j <= m; ++j) row[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    size_t prev_diag = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      size_t cur = row[j];
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, prev_diag + cost});
+      prev_diag = cur;
+    }
+  }
+  return row[m];
+}
+
+size_t BandedEditDistance(std::string_view a, std::string_view b,
+                          size_t limit) {
+  if (a.size() < b.size()) std::swap(a, b);
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n - m > limit) return limit + 1;
+  if (m == 0) return n;  // n <= limit here.
+
+  // Band of half-width `limit` around the main diagonal of the (n+1)x(m+1)
+  // DP matrix. Cells outside the band can never be on a path of cost
+  // <= limit, so they are treated as infinity.
+  const size_t kInf = limit + 1;
+  std::vector<size_t> row(m + 1, kInf);
+  for (size_t j = 0; j <= std::min(m, limit); ++j) row[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    size_t lo = (i > limit) ? i - limit : 0;
+    size_t hi = std::min(m, i + limit);
+    size_t prev_diag = (lo > 0) ? row[lo - 1] : kInf;
+    if (lo == 0) {
+      prev_diag = row[0];
+      row[0] = (i <= limit) ? i : kInf;
+      lo = 1;
+    } else {
+      // Left neighbor of the first in-band cell is out of band.
+      row[lo - 1] = kInf;
+    }
+    size_t row_min = (row[0] == kInf) ? kInf : row[0];
+    for (size_t j = lo; j <= hi; ++j) {
+      size_t cur = row[j];
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      size_t best = prev_diag + cost;
+      if (cur != kInf) best = std::min(best, cur + 1);
+      if (row[j - 1] != kInf) best = std::min(best, row[j - 1] + 1);
+      row[j] = std::min(best, kInf);
+      prev_diag = cur;
+      row_min = std::min(row_min, row[j]);
+    }
+    if (hi < m) row[hi + 1] = kInf;  // Invalidate stale cell right of band.
+    if (row_min >= kInf) return kInf;  // Early exit: whole band exceeded.
+  }
+  return std::min(row[m], kInf);
+}
+
+bool WithinEditDistance(std::string_view a, std::string_view b,
+                        size_t threshold) {
+  if (threshold == 0) return false;
+  return BandedEditDistance(a, b, threshold) < threshold;
+}
+
+}  // namespace ppa

@@ -1,0 +1,31 @@
+// Edit distance used by bubble filtering (operation 4).
+//
+// The paper prunes a bubble sub-path when the edit distance between the two
+// contig sequences is below a user threshold (default 5). Because only the
+// comparison against a small threshold matters, we provide a banded
+// Ukkonen-style computation with early exit: O(threshold * min(n, m)) time
+// instead of O(n * m).
+#ifndef PPA_UTIL_EDIT_DISTANCE_H_
+#define PPA_UTIL_EDIT_DISTANCE_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace ppa {
+
+/// Full Levenshtein distance (unit costs). O(n*m) time, O(min) space.
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// Banded edit distance with early exit: returns the exact distance if it is
+/// <= limit, otherwise returns limit + 1. O(limit * min(n, m)) time.
+size_t BandedEditDistance(std::string_view a, std::string_view b,
+                          size_t limit);
+
+/// True iff EditDistance(a, b) < threshold, computed with the banded
+/// algorithm (this is the bubble-similarity predicate from Sec. IV.B-4).
+bool WithinEditDistance(std::string_view a, std::string_view b,
+                        size_t threshold);
+
+}  // namespace ppa
+
+#endif  // PPA_UTIL_EDIT_DISTANCE_H_

@@ -1,0 +1,41 @@
+// Hashing used for vertex -> worker partitioning and hash tables.
+//
+// Pregel+ "distributes vertices to machines by hashing vertex ID"; the
+// partitioner must scramble the low bits because k-mer IDs share long
+// common prefixes (they are 2-bit packed DNA). We use the SplitMix64
+// finalizer, which is a strong 64->64 mixer.
+#ifndef PPA_UTIL_HASH_H_
+#define PPA_UTIL_HASH_H_
+
+#include <cstdint>
+
+namespace ppa {
+
+/// SplitMix64 finalizer: bijective 64-bit mixing function.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Worker assignment for a vertex ID (the Pregel+ hash partitioner).
+inline uint32_t PartitionOf(uint64_t id, uint32_t num_workers) {
+  return static_cast<uint32_t>(Mix64(id) % num_workers);
+}
+
+/// Combines two hashes (boost-style).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (Mix64(b) + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2));
+}
+
+/// std-compatible hasher for 64-bit vertex IDs.
+struct IdHash {
+  size_t operator()(uint64_t id) const noexcept {
+    return static_cast<size_t>(Mix64(id));
+  }
+};
+
+}  // namespace ppa
+
+#endif  // PPA_UTIL_HASH_H_

@@ -1,0 +1,104 @@
+// Minimal leveled logger used across the library.
+//
+// Logging must never be on the hot path of a superstep; operations log one
+// line per superstep at most (at kDebug), and one line per operation at
+// kInfo. The level is a process-wide atomic so tests can silence output.
+#ifndef PPA_UTIL_LOGGING_H_
+#define PPA_UTIL_LOGGING_H_
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace ppa {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kSilent = 4,
+};
+
+namespace internal {
+
+inline std::atomic<int>& LogLevelFlag() {
+  static std::atomic<int> level{static_cast<int>(LogLevel::kWarning)};
+  return level;
+}
+
+inline std::mutex& LogMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+// One log statement; flushes the accumulated message on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    const char* base = file;
+    for (const char* p = file; *p != '\0'; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+  }
+
+  ~LogMessage() {
+    if (static_cast<int>(level_) < LogLevelFlag().load()) return;
+    stream_ << "\n";
+    std::lock_guard<std::mutex> lock(LogMutex());
+    std::fputs(stream_.str().c_str(), stderr);
+  }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  static const char* LevelName(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug:
+        return "DEBUG";
+      case LogLevel::kInfo:
+        return "INFO";
+      case LogLevel::kWarning:
+        return "WARN";
+      case LogLevel::kError:
+        return "ERROR";
+      default:
+        return "?";
+    }
+  }
+
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Sets the global log level; messages below it are discarded.
+inline void SetLogLevel(LogLevel level) {
+  internal::LogLevelFlag().store(static_cast<int>(level));
+}
+
+inline LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(internal::LogLevelFlag().load());
+}
+
+#define PPA_LOG(level)                                                \
+  ::ppa::internal::LogMessage(::ppa::LogLevel::level, __FILE__, __LINE__) \
+      .stream()
+
+// Fatal check used for programmer errors (not data errors).
+#define PPA_CHECK(cond)                                                      \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "PPA_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+}  // namespace ppa
+
+#endif  // PPA_UTIL_LOGGING_H_

@@ -1,0 +1,62 @@
+// Deterministic pseudo-random generator for simulators and tests.
+//
+// xoshiro256** — fast, good statistical quality, and (unlike
+// std::mt19937 construction from a single seed) fully reproducible across
+// standard library implementations, which the experiment harness relies on.
+#ifndef PPA_UTIL_RANDOM_H_
+#define PPA_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+#include "util/hash.h"
+
+namespace ppa {
+
+/// xoshiro256** PRNG, seeded via SplitMix64 expansion.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0xC0FFEE) {
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x = Mix64(x + 0x9E3779B97F4A7C15ULL);
+      s = x;
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double Uniform() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Approximately normal via sum of uniforms (Irwin–Hall, n=12).
+  double Gaussian(double mean, double stddev) {
+    double s = 0;
+    for (int i = 0; i < 12; ++i) s += Uniform();
+    return mean + (s - 6.0) * stddev;
+  }
+
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4];
+};
+
+}  // namespace ppa
+
+#endif  // PPA_UTIL_RANDOM_H_

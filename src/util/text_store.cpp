@@ -1,0 +1,82 @@
+#include "util/text_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace ppa {
+
+namespace fs = std::filesystem;
+
+TextStore::TextStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  PPA_CHECK(!ec);
+}
+
+std::string TextStore::PartPath(uint32_t part) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/part-%05u", part);
+  return dir_ + buf;
+}
+
+void TextStore::Clear() {
+  for (uint32_t part : ListParts()) {
+    std::error_code ec;
+    fs::remove(PartPath(part), ec);
+  }
+}
+
+void TextStore::WritePart(uint32_t part,
+                          const std::vector<std::string>& lines) const {
+  std::ofstream out(PartPath(part), std::ios::trunc);
+  PPA_CHECK(out.good());
+  for (const auto& line : lines) {
+    out << line << '\n';
+  }
+}
+
+std::vector<std::string> TextStore::ReadPart(uint32_t part) const {
+  std::vector<std::string> lines;
+  std::ifstream in(PartPath(part));
+  if (!in.good()) return lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::vector<uint32_t> TextStore::ListParts() const {
+  std::vector<uint32_t> parts;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("part-", 0) == 0) {
+      parts.push_back(static_cast<uint32_t>(std::stoul(name.substr(5))));
+    }
+  }
+  std::sort(parts.begin(), parts.end());
+  return parts;
+}
+
+std::vector<std::string> TextStore::ReadAll() const {
+  std::vector<std::string> all;
+  for (uint32_t part : ListParts()) {
+    auto lines = ReadPart(part);
+    all.insert(all.end(), lines.begin(), lines.end());
+  }
+  return all;
+}
+
+uint64_t TextStore::TotalBytes() const {
+  uint64_t total = 0;
+  std::error_code ec;
+  for (uint32_t part : ListParts()) {
+    total += fs::file_size(PartPath(part), ec);
+  }
+  return total;
+}
+
+}  // namespace ppa

@@ -1,0 +1,53 @@
+// Part-file text storage standing in for HDFS.
+//
+// PPA-assembler operations "may either read input from HDFS, or directly
+// obtain input by converting the output of another operation in memory"
+// (Sec. I). We do not have an HDFS cluster; this module provides the same
+// access pattern against a local directory: a dataset is a directory of
+// `part-NNNNN` files, each a sequence of newline-terminated records, written
+// and read partition-parallel. The in-memory-concatenation ablation
+// (bench_ablation_inmem_concat) uses this to quantify what the paper's
+// convert() extension saves.
+#ifndef PPA_UTIL_TEXT_STORE_H_
+#define PPA_UTIL_TEXT_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ppa {
+
+/// A directory-of-part-files text dataset.
+class TextStore {
+ public:
+  /// Opens (and creates if needed) the dataset rooted at `dir`.
+  explicit TextStore(std::string dir);
+
+  /// Removes all part files (fresh output dataset).
+  void Clear();
+
+  /// Writes `lines` as part file `part`. Overwrites any existing part.
+  void WritePart(uint32_t part, const std::vector<std::string>& lines) const;
+
+  /// Reads part file `part`; returns empty vector if it does not exist.
+  std::vector<std::string> ReadPart(uint32_t part) const;
+
+  /// Lists existing part numbers in ascending order.
+  std::vector<uint32_t> ListParts() const;
+
+  /// Reads every line of every part, in part order.
+  std::vector<std::string> ReadAll() const;
+
+  /// Total bytes across all part files.
+  uint64_t TotalBytes() const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string PartPath(uint32_t part) const;
+  std::string dir_;
+};
+
+}  // namespace ppa
+
+#endif  // PPA_UTIL_TEXT_STORE_H_

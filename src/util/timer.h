@@ -1,0 +1,32 @@
+// Wall-clock stopwatch used by operation statistics and benches.
+#ifndef PPA_UTIL_TIMER_H_
+#define PPA_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace ppa {
+
+/// Simple monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ppa
+
+#endif  // PPA_UTIL_TIMER_H_

@@ -1,0 +1,146 @@
+// Tests for the comparison assemblers and the quality shapes the paper's
+// Table IV attributes to them.
+#include <gtest/gtest.h>
+
+#include "baselines/baseline.h"
+#include "quality/quast.h"
+#include "sim/genome.h"
+#include "sim/read_simulator.h"
+
+namespace ppa {
+namespace {
+
+struct Fixture {
+  PackedSequence genome;
+  std::vector<Read> reads;
+  AssemblerOptions options;
+
+  Fixture() {
+    GenomeConfig gconfig;
+    gconfig.length = 20000;
+    gconfig.repeat_families = 3;
+    gconfig.repeat_length = 200;
+    gconfig.repeat_copies = 4;
+    gconfig.seed = 77;
+    genome = GenerateGenome(gconfig);
+
+    ReadSimConfig rconfig;
+    rconfig.read_length = 80;
+    rconfig.coverage = 35;
+    rconfig.error_rate = 0.005;
+    rconfig.seed = 55;
+    reads = SimulateReads(genome, rconfig);
+
+    options.k = 21;
+    options.coverage_threshold = 2;
+    options.tip_length_threshold = 60;
+    options.num_workers = 8;
+    options.num_threads = 2;
+  }
+};
+
+Fixture& SharedFixture() {
+  static Fixture fixture;
+  return fixture;
+}
+
+QuastConfig SmallQuast() {
+  QuastConfig q;
+  q.anchor_k = 21;
+  q.min_contig = 200;
+  return q;
+}
+
+TEST(BaselinesTest, AllAssemblersProduceContigs) {
+  Fixture& f = SharedFixture();
+  for (auto* runner : {RunPpaAssembler, RunAbyssLike, RunRayLike,
+                       RunSwapLike}) {
+    AssemblerRun run = runner(f.reads, f.options);
+    EXPECT_FALSE(run.contigs.empty()) << run.name;
+    EXPECT_GT(run.stats.total_supersteps(), 0u) << run.name;
+    EXPECT_GT(run.stats.total_messages(), 0u) << run.name;
+  }
+}
+
+TEST(BaselinesTest, PpaAchievesHighestGenomeFractionAndN50) {
+  Fixture& f = SharedFixture();
+  QuastConfig q = SmallQuast();
+
+  AssemblerRun ppa = RunPpaAssembler(f.reads, f.options);
+  AssemblerRun ray = RunRayLike(f.reads, f.options);
+
+  QuastReport ppa_report = EvaluateAssembly(ppa.contigs, &f.genome, q);
+  QuastReport ray_report = EvaluateAssembly(ray.contigs, &f.genome, q);
+
+  // Table IV shape: PPA's genome fraction and N50 beat Ray's conservative
+  // extension.
+  EXPECT_GT(ppa_report.genome_fraction, ray_report.genome_fraction);
+  EXPECT_GE(ppa_report.n50, ray_report.n50);
+}
+
+TEST(BaselinesTest, SwapHasMoreMisassembliesThanPpa) {
+  Fixture& f = SharedFixture();
+  QuastConfig q = SmallQuast();
+
+  AssemblerRun ppa = RunPpaAssembler(f.reads, f.options);
+  AssemblerRun swap = RunSwapLike(f.reads, f.options);
+
+  QuastReport ppa_report = EvaluateAssembly(ppa.contigs, &f.genome, q);
+  QuastReport swap_report = EvaluateAssembly(swap.contigs, &f.genome, q);
+
+  // Table IV shape: SWAP's aggressive branch resolution misassembles.
+  EXPECT_GE(swap_report.misassemblies, ppa_report.misassemblies);
+  EXPECT_GE(swap_report.mismatches_per_100kbp,
+            ppa_report.mismatches_per_100kbp);
+}
+
+TEST(BaselinesTest, SequentialExtensionUsesManyMoreSuperstepsThanPpa) {
+  Fixture& f = SharedFixture();
+  AssemblerRun ppa = RunPpaAssembler(f.reads, f.options);
+  AssemblerRun abyss = RunAbyssLike(f.reads, f.options);
+
+  // The Table II/III gap: one-hop-per-superstep extension needs supersteps
+  // proportional to the longest unitig, PPA only to its logarithm.
+  RunStats ppa_labeling = ppa.stats.Aggregate("contig-labeling");
+  RunStats abyss_labeling = abyss.stats.Aggregate("extension");
+  EXPECT_GT(abyss_labeling.num_supersteps(),
+            ppa_labeling.num_supersteps());
+}
+
+TEST(ClusterModelTest, Fig12Shapes) {
+  Fixture& f = SharedFixture();
+  ClusterParams params;
+
+  AssemblerRun ppa = RunPpaAssembler(f.reads, f.options);
+  AssemblerRun abyss = RunAbyssLike(f.reads, f.options);
+  AssemblerRun ray = RunRayLike(f.reads, f.options);
+  AssemblerRun swap = RunSwapLike(f.reads, f.options);
+
+  for (uint32_t workers : {16u, 32u, 48u, 64u}) {
+    double t_ppa =
+        EstimatePipelineSeconds(ppa.stats, workers, params, ppa.profile);
+    double t_abyss =
+        EstimatePipelineSeconds(abyss.stats, workers, params, abyss.profile);
+    double t_ray =
+        EstimatePipelineSeconds(ray.stats, workers, params, ray.profile);
+    double t_swap =
+        EstimatePipelineSeconds(swap.stats, workers, params, swap.profile);
+    // Fig. 12 shape: PPA fastest in all configurations; Ray slowest.
+    EXPECT_LT(t_ppa, t_abyss) << workers;
+    EXPECT_LT(t_ppa, t_swap) << workers;
+    EXPECT_GT(t_ray, t_ppa * 2) << workers;
+  }
+
+  // PPA improves with workers; ABySS is comparatively flat.
+  double ppa16 = EstimatePipelineSeconds(ppa.stats, 16, params, ppa.profile);
+  double ppa64 = EstimatePipelineSeconds(ppa.stats, 64, params, ppa.profile);
+  EXPECT_LT(ppa64, ppa16 * 0.6);
+  double abyss16 =
+      EstimatePipelineSeconds(abyss.stats, 16, params, abyss.profile);
+  double abyss64 =
+      EstimatePipelineSeconds(abyss.stats, 64, params, abyss.profile);
+  EXPECT_GT(abyss64, abyss16 * 0.6);
+}
+
+}  // namespace
+}  // namespace ppa

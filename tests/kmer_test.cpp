@@ -1,0 +1,157 @@
+// Unit tests for 2-bit k-mer arithmetic (dna/kmer.h).
+#include "dna/kmer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/random.h"
+
+namespace ppa {
+namespace {
+
+TEST(KmerTest, EncodesFig7Example) {
+  // Fig. 7(a): "ATTGC" = 00 11 11 10 01 right-aligned.
+  Kmer kmer = Kmer::FromString("ATTGC");
+  EXPECT_EQ(kmer.code(), 0b0011111001u);
+  EXPECT_EQ(kmer.k(), 5);
+  EXPECT_EQ(kmer.ToString(), "ATTGC");
+}
+
+TEST(KmerTest, RoundTripsAllBases) {
+  for (const char* s : {"A", "C", "G", "T", "ACGT", "TTTTT", "GATTACA"}) {
+    EXPECT_EQ(Kmer::FromString(s).ToString(), s);
+  }
+}
+
+TEST(KmerTest, BaseAccessors) {
+  Kmer kmer = Kmer::FromString("GATC");
+  EXPECT_EQ(kmer.BaseAt(0), kBaseG);
+  EXPECT_EQ(kmer.BaseAt(1), kBaseA);
+  EXPECT_EQ(kmer.BaseAt(2), kBaseT);
+  EXPECT_EQ(kmer.BaseAt(3), kBaseC);
+  EXPECT_EQ(kmer.FirstBase(), kBaseG);
+  EXPECT_EQ(kmer.LastBase(), kBaseC);
+}
+
+TEST(KmerTest, ReverseComplementSmall) {
+  // Strand example from Fig. 3: rc("ATTGCAAGTC") = "GACTTGCAAT".
+  Kmer kmer = Kmer::FromString("ATTGCAAGTC");
+  EXPECT_EQ(kmer.ReverseComplement().ToString(), "GACTTGCAAT");
+}
+
+TEST(KmerTest, ReverseComplementIsInvolution) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    int k = 1 + static_cast<int>(rng.Below(31));
+    uint64_t code = rng.Next() & ((k == 32) ? ~0ULL : ((1ULL << (2 * k)) - 1));
+    Kmer kmer(code, k);
+    EXPECT_EQ(kmer.ReverseComplement().ReverseComplement(), kmer)
+        << kmer.ToString();
+  }
+}
+
+TEST(KmerTest, ReverseComplementMatchesStringDefinition) {
+  Rng rng(13);
+  for (int trial = 0; trial < 200; ++trial) {
+    int k = 1 + static_cast<int>(rng.Below(31));
+    std::string s;
+    for (int i = 0; i < k; ++i) s += CharFromBase(rng.Next() & 3);
+    std::string rc;
+    for (int i = k - 1; i >= 0; --i) {
+      rc += CharFromBase(ComplementBase(
+          static_cast<uint8_t>(BaseFromChar(s[i]))));
+    }
+    EXPECT_EQ(Kmer::FromString(s).ReverseComplement().ToString(), rc);
+  }
+}
+
+TEST(KmerTest, CanonicalPicksLexicographicallySmaller) {
+  // Fig. 6: "GT" and "AC" are reverse complements; "AC" is canonical.
+  EXPECT_EQ(Kmer::FromString("GT").Canonical().ToString(), "AC");
+  EXPECT_EQ(Kmer::FromString("AC").Canonical().ToString(), "AC");
+  EXPECT_TRUE(Kmer::FromString("AC").IsCanonical());
+  EXPECT_FALSE(Kmer::FromString("GT").IsCanonical());
+}
+
+TEST(KmerTest, CanonicalIsIdempotentAndStrandInvariant) {
+  Rng rng(29);
+  for (int trial = 0; trial < 200; ++trial) {
+    int k = 1 + static_cast<int>(rng.Below(31));
+    uint64_t code = rng.Next() & ((1ULL << (2 * k)) - 1);
+    Kmer kmer(code, k);
+    Kmer canon = kmer.Canonical();
+    EXPECT_EQ(canon.Canonical(), canon);
+    EXPECT_EQ(kmer.ReverseComplement().Canonical(), canon);
+  }
+}
+
+TEST(KmerTest, PalindromeDetection) {
+  EXPECT_TRUE(Kmer::FromString("AT").IsPalindromic());
+  EXPECT_TRUE(Kmer::FromString("ACGT").IsPalindromic());
+  EXPECT_FALSE(Kmer::FromString("AA").IsPalindromic());
+  // Odd-length k-mers can never be palindromic.
+  Rng rng(31);
+  for (int trial = 0; trial < 100; ++trial) {
+    int k = 3 + 2 * static_cast<int>(rng.Below(14));  // odd
+    uint64_t code = rng.Next() & ((1ULL << (2 * k)) - 1);
+    EXPECT_FALSE(Kmer(code, k).IsPalindromic());
+  }
+}
+
+TEST(KmerTest, PrefixSuffix) {
+  Kmer mer = Kmer::FromString("ATTG");
+  EXPECT_EQ(mer.Prefix().ToString(), "ATT");
+  EXPECT_EQ(mer.Suffix().ToString(), "TTG");
+}
+
+TEST(KmerTest, AppendPrependSlideWindow) {
+  Kmer kmer = Kmer::FromString("ACG");
+  EXPECT_EQ(kmer.Append(kBaseT).ToString(), "CGT");
+  EXPECT_EQ(kmer.Prepend(kBaseT).ToString(), "TAC");
+}
+
+TEST(KmerTest, ExtendProducesEdgeMers) {
+  Kmer kmer = Kmer::FromString("ACG");
+  EXPECT_EQ(kmer.ExtendRight(kBaseT).ToString(), "ACGT");
+  EXPECT_EQ(kmer.ExtendLeft(kBaseT).ToString(), "TACG");
+}
+
+TEST(KmerTest, MaxKSupport) {
+  std::string s(31, 'T');
+  Kmer kmer = Kmer::FromString(s);
+  EXPECT_EQ(kmer.ToString(), s);
+  // Top two bits free for k = 31 (Fig. 7 padding requirement).
+  EXPECT_EQ(kmer.code() >> 62, 0u);
+  std::string e(32, 'G');
+  EXPECT_EQ(Kmer::FromString(e).ToString(), e);
+}
+
+TEST(KmerWindowTest, ProducesConsecutiveMers) {
+  const std::string read = "ATTGCAAGT";
+  KmerWindow window(3);
+  std::vector<std::string> mers;
+  for (char c : read) {
+    if (window.Push(static_cast<uint8_t>(BaseFromChar(c)))) {
+      mers.push_back(window.Current().ToString());
+    }
+  }
+  ASSERT_EQ(mers.size(), read.size() - 2);
+  EXPECT_EQ(mers.front(), "ATT");
+  EXPECT_EQ(mers[1], "TTG");
+  EXPECT_EQ(mers.back(), "AGT");
+}
+
+TEST(KmerWindowTest, ResetDiscardsPartialWindow) {
+  KmerWindow window(3);
+  window.Push(kBaseA);
+  window.Push(kBaseC);
+  window.Reset();
+  EXPECT_FALSE(window.Push(kBaseG));
+  EXPECT_FALSE(window.Push(kBaseT));
+  EXPECT_TRUE(window.Push(kBaseA));
+  EXPECT_EQ(window.Current().ToString(), "GTA");
+}
+
+}  // namespace
+}  // namespace ppa

@@ -1,0 +1,140 @@
+// Tests for the mini MapReduce extension (pregel/mapreduce.h).
+#include "pregel/mapreduce.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+namespace ppa {
+namespace {
+
+TEST(MapReduceTest, WordCountStyle) {
+  std::vector<uint64_t> data;
+  for (uint64_t i = 0; i < 1000; ++i) data.push_back(i % 37);
+  auto input = Scatter(data, 8);
+
+  auto map_fn = [](const uint64_t& x, auto& emitter) {
+    emitter.Emit(x, uint32_t{1});
+  };
+  auto reduce_fn = [](const uint64_t& key, std::span<uint32_t> values,
+                      std::vector<std::pair<uint64_t, uint32_t>>& out) {
+    uint32_t sum = 0;
+    for (uint32_t v : values) sum += v;
+    out.emplace_back(key, sum);
+  };
+
+  MapReduceConfig config;
+  config.num_workers = 8;
+  config.num_threads = 2;
+  RunStats stats;
+  auto result = RunMapReduce<uint64_t, uint64_t, uint32_t,
+                             std::pair<uint64_t, uint32_t>>(
+      input, map_fn, reduce_fn, config, &stats);
+
+  std::map<uint64_t, uint32_t> merged;
+  for (const auto& part : result) {
+    for (const auto& [k, v] : part) merged[k] = v;
+  }
+  ASSERT_EQ(merged.size(), 37u);
+  for (uint64_t k = 0; k < 37; ++k) {
+    uint32_t expected = 1000 / 37 + (k < 1000 % 37 ? 1 : 0);
+    EXPECT_EQ(merged[k], expected) << k;
+  }
+  // Stats: 1000 shuffled pairs over two recorded phases.
+  EXPECT_EQ(stats.num_supersteps(), 2u);
+  EXPECT_EQ(stats.total_messages(), 1000u);
+}
+
+TEST(MapReduceTest, OutputLandsOnKeyPartition) {
+  std::vector<uint64_t> data;
+  for (uint64_t i = 0; i < 256; ++i) data.push_back(i);
+  auto input = Scatter(data, 4);
+  auto map_fn = [](const uint64_t& x, auto& emitter) {
+    emitter.Emit(x * 7, x);
+  };
+  auto reduce_fn = [](const uint64_t& key, std::span<uint64_t>,
+                      std::vector<uint64_t>& out) { out.push_back(key); };
+  MapReduceConfig config;
+  config.num_workers = 4;
+  auto result = RunMapReduce<uint64_t, uint64_t, uint64_t, uint64_t>(
+      input, map_fn, reduce_fn, config);
+  for (uint32_t p = 0; p < 4; ++p) {
+    for (uint64_t key : result[p]) {
+      EXPECT_EQ(Mix64(key) % 4, p);
+    }
+  }
+}
+
+TEST(MapReduceTest, GroupsAreSortedAndComplete) {
+  // Keys interleaved across input partitions; every value must reach the
+  // single group of its key.
+  std::vector<std::pair<uint64_t, uint64_t>> data;
+  for (uint64_t i = 0; i < 300; ++i) data.push_back({i % 3, i});
+  auto input = Scatter(data, 5);
+  auto map_fn = [](const std::pair<uint64_t, uint64_t>& kv, auto& emitter) {
+    emitter.Emit(kv.first, kv.second);
+  };
+  auto reduce_fn = [](const uint64_t& key, std::span<uint64_t> values,
+                      std::vector<std::pair<uint64_t, size_t>>& out) {
+    out.emplace_back(key, values.size());
+  };
+  MapReduceConfig config;
+  config.num_workers = 5;
+  auto result =
+      RunMapReduce<std::pair<uint64_t, uint64_t>, uint64_t, uint64_t,
+                   std::pair<uint64_t, size_t>>(input, map_fn, reduce_fn,
+                                                config);
+  auto flat = Flatten(result);
+  ASSERT_EQ(flat.size(), 3u);
+  for (const auto& [key, count] : flat) EXPECT_EQ(count, 100u) << key;
+}
+
+TEST(MapReduceTest, PairKeysWork) {
+  using Key = std::pair<uint64_t, uint64_t>;
+  std::vector<uint64_t> data = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto input = Scatter(data, 3);
+  auto map_fn = [](const uint64_t& x, auto& emitter) {
+    emitter.Emit(Key{x % 2, x % 3}, x);
+  };
+  auto reduce_fn = [](const Key& key, std::span<uint64_t> values,
+                      std::vector<std::pair<Key, uint64_t>>& out) {
+    uint64_t sum = 0;
+    for (uint64_t v : values) sum += v;
+    out.emplace_back(key, sum);
+  };
+  MapReduceConfig config;
+  config.num_workers = 3;
+  auto flat = Flatten(RunMapReduce<uint64_t, Key, uint64_t,
+                                   std::pair<Key, uint64_t>>(
+      input, map_fn, reduce_fn, config));
+  uint64_t total = 0;
+  for (const auto& [key, sum] : flat) total += sum;
+  EXPECT_EQ(total, 36u);
+  EXPECT_EQ(flat.size(), 6u);  // (0|1) x (0|1|2)
+}
+
+TEST(MapReduceTest, EmptyInput) {
+  Partitioned<uint64_t> input(4);
+  auto map_fn = [](const uint64_t& x, auto& emitter) { emitter.Emit(x, x); };
+  auto reduce_fn = [](const uint64_t&, std::span<uint64_t>,
+                      std::vector<uint64_t>& out) { out.push_back(1); };
+  MapReduceConfig config;
+  config.num_workers = 4;
+  auto result = RunMapReduce<uint64_t, uint64_t, uint64_t, uint64_t>(
+      input, map_fn, reduce_fn, config);
+  EXPECT_TRUE(Flatten(result).empty());
+}
+
+TEST(ScatterTest, RoundRobinPreservesAll) {
+  std::vector<int> data(103);
+  for (int i = 0; i < 103; ++i) data[i] = i;
+  auto parts = Scatter(data, 7);
+  EXPECT_EQ(parts.size(), 7u);
+  auto flat = Flatten(parts);
+  std::sort(flat.begin(), flat.end());
+  EXPECT_EQ(flat, data);
+}
+
+}  // namespace
+}  // namespace ppa

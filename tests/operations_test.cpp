@@ -1,0 +1,289 @@
+// Targeted tests for operations 3, 4 and 5 — contig merging semantics,
+// bubble filtering and tip removing on constructed scenarios.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/assembler.h"
+#include "core/bubble_filter.h"
+#include "core/contig_labeling.h"
+#include "core/contig_merging.h"
+#include "core/dbg_construction.h"
+#include "core/tip_removal.h"
+#include "dna/read.h"
+
+namespace ppa {
+namespace {
+
+AssemblerOptions TestOptions(int k = 5) {
+  AssemblerOptions options;
+  options.k = k;
+  options.coverage_threshold = 1;
+  options.tip_length_threshold = 12;
+  options.num_workers = 4;
+  options.num_threads = 2;
+  return options;
+}
+
+AssemblyGraph GraphFrom(const std::vector<std::string>& read_strs,
+                        const AssemblerOptions& options,
+                        uint32_t copies = 1) {
+  std::vector<Read> reads;
+  for (uint32_t c = 0; c < copies; ++c) {
+    for (size_t i = 0; i < read_strs.size(); ++i) {
+      reads.push_back(Read{"r", read_strs[i], ""});
+    }
+  }
+  DbgResult dbg = BuildDbg(reads, options);
+  return std::move(dbg.graph);
+}
+
+void LabelAndMerge(AssemblyGraph& graph, const AssemblerOptions& options,
+                   std::vector<uint32_t>* ordinals) {
+  LabelingResult labels =
+      LabelContigs(graph, options, LabelingMethod::kListRanking);
+  MergeContigs(graph, labels, options, ordinals);
+}
+
+TEST(MergingTest, LinearReadBecomesItsOwnContig) {
+  AssemblerOptions options = TestOptions();
+  const std::string seq = "AGGCTGCAACTCATCGACTCTATGT";
+  AssemblyGraph graph = GraphFrom({seq}, options);
+  std::vector<uint32_t> ordinals(options.num_workers, 0);
+  LabelAndMerge(graph, options, &ordinals);
+
+  std::vector<ContigRecord> contigs = CollectContigs(graph);
+  ASSERT_EQ(contigs.size(), 1u);
+  std::string got = contigs[0].seq.ToString();
+  std::string rc =
+      PackedSequence::FromString(seq).ReverseComplement().ToString();
+  EXPECT_TRUE(got == seq || got == rc) << got;
+  EXPECT_FALSE(contigs[0].circular);
+}
+
+TEST(MergingTest, ReverseComplementReadsMergeAcrossStrands) {
+  // Reads from the two strands must stitch (Fig. 6's point).
+  AssemblerOptions options = TestOptions();
+  const std::string fwd = "GCTAAAGACAATT";
+  std::string rc =
+      PackedSequence::FromString("GACAATTACATAACA").ReverseComplement()
+          .ToString();
+  AssemblyGraph graph = GraphFrom({fwd, rc}, options);
+  std::vector<uint32_t> ordinals(options.num_workers, 0);
+  LabelAndMerge(graph, options, &ordinals);
+
+  std::vector<ContigRecord> contigs = CollectContigs(graph);
+  ASSERT_EQ(contigs.size(), 1u);
+  const std::string expected = "GCTAAAGACAATTACATAACA";
+  std::string got = contigs[0].seq.ToString();
+  std::string expected_rc =
+      PackedSequence::FromString(expected).ReverseComplement().ToString();
+  EXPECT_TRUE(got == expected || got == expected_rc) << got;
+}
+
+TEST(MergingTest, ContigCoverageIsMinimumEdgeCoverage) {
+  AssemblerOptions options = TestOptions();
+  // Read copied 3 times plus one extra partial read raising some (k+1)-mer
+  // counts: the contig's coverage must be the minimum (3).
+  AssemblyGraph graph =
+      GraphFrom({"ACGTTGCATGGATCCTA", "ACGTTGCATG"}, options, 3);
+  std::vector<uint32_t> ordinals(options.num_workers, 0);
+  LabelAndMerge(graph, options, &ordinals);
+  std::vector<ContigRecord> contigs = CollectContigs(graph);
+  ASSERT_EQ(contigs.size(), 1u);
+  EXPECT_EQ(contigs[0].coverage, 3u);
+}
+
+TEST(MergingTest, CircularPathYieldsCircularContig) {
+  AssemblerOptions options = TestOptions(3);
+  // "ACGGTAACGGTAAC": its 3-mer DBG contains the 6-cycle of "ACGGTA".
+  AssemblyGraph graph = GraphFrom({"ACGGTAACGGTAAC"}, options);
+  std::vector<uint32_t> ordinals(options.num_workers, 0);
+  LabelAndMerge(graph, options, &ordinals);
+  bool found_circular = false;
+  for (const ContigRecord& c : CollectContigs(graph)) {
+    found_circular |= c.circular;
+  }
+  EXPECT_TRUE(found_circular);
+}
+
+TEST(MergingTest, ShortDanglingContigDroppedAtMergeTime) {
+  AssemblerOptions options = TestOptions();
+  options.tip_length_threshold = 10;
+  // Main path plus a short branch (tip) diverging mid-way: the branch path
+  // ends dead and is shorter than the threshold.
+  AssemblyGraph graph = GraphFrom(
+      {"ACGTTGCATGGATCCTAGCATCAAT",  // trunk
+       "TGCATGGTT"},                 // 9 bp dangling branch off "TGCATGG"
+      options, 2);
+  std::vector<uint32_t> ordinals(options.num_workers, 0);
+  LabelAndMerge(graph, options, &ordinals);
+  // No surviving contig may end at the tip's dead end with tiny length.
+  for (const ContigRecord& c : CollectContigs(graph)) {
+    bool dangling = false;
+    AsmNode* node = graph.Find(c.id);
+    ASSERT_NE(node, nullptr);
+    dangling = node->EdgeAt(NodeEnd::k5) == nullptr ||
+               node->EdgeAt(NodeEnd::k3) == nullptr;
+    if (dangling) {
+      EXPECT_GT(c.seq.size(), options.tip_length_threshold);
+    }
+  }
+}
+
+TEST(BubbleTest, LowCoverageBranchPruned) {
+  AssemblerOptions options = TestOptions();
+  options.tip_length_threshold = 4;  // Keep tips out of the way.
+  // Two parallel paths between common flanks, one base apart; the high
+  // coverage path appears 5x, the erroneous one once.
+  const std::string flank_a = "TACACGTCA";
+  const std::string mid_good = "GCACGAAAC";
+  const std::string mid_bad = "GCACTAAAC";  // G -> T error
+  const std::string flank_b = "TTGTTGGCC";
+  std::vector<Read> reads;
+  for (int i = 0; i < 5; ++i) {
+    reads.push_back(Read{"good", flank_a + mid_good + flank_b, ""});
+  }
+  reads.push_back(Read{"bad", flank_a + mid_bad + flank_b, ""});
+
+  DbgResult dbg = BuildDbg(reads, options);
+  AssemblyGraph graph = std::move(dbg.graph);
+  std::vector<uint32_t> ordinals(options.num_workers, 0);
+  LabelAndMerge(graph, options, &ordinals);
+
+  size_t contigs_before = CollectContigs(graph).size();
+  BubbleResult bubble = FilterBubbles(graph, options);
+  EXPECT_GE(bubble.candidate_groups, 1u);
+  EXPECT_GE(bubble.contigs_pruned, 1u);
+  EXPECT_LT(CollectContigs(graph).size(), contigs_before);
+
+  // The surviving bubble branch is the high-coverage one: no contig may
+  // contain the erroneous middle.
+  LabelingResult relabel =
+      LabelContigs(graph, options, LabelingMethod::kListRanking);
+  MergeContigs(graph, relabel, options, &ordinals);
+  for (const ContigRecord& c : CollectContigs(graph)) {
+    std::string s = c.seq.ToString();
+    std::string rc = c.seq.ReverseComplement().ToString();
+    EXPECT_EQ(s.find("GCACTAAAC"), std::string::npos);
+    EXPECT_EQ(rc.find("GCACTAAAC"), std::string::npos);
+  }
+}
+
+TEST(BubbleTest, DistantParallelPathsNotPruned) {
+  AssemblerOptions options = TestOptions();
+  options.bubble_edit_distance = 3;
+  // Parallel paths that differ in many positions: not a bubble.
+  const std::string flank_a = "ACGTTGCAT";
+  const std::string mid1 = "GGATCCTAG";
+  const std::string mid2 = "TTCAAGGCA";
+  const std::string flank_b = "CATCAATGG";
+  std::vector<Read> reads;
+  for (int i = 0; i < 3; ++i) {
+    reads.push_back(Read{"p1", flank_a + mid1 + flank_b, ""});
+    reads.push_back(Read{"p2", flank_a + mid2 + flank_b, ""});
+  }
+  DbgResult dbg = BuildDbg(reads, options);
+  AssemblyGraph graph = std::move(dbg.graph);
+  std::vector<uint32_t> ordinals(options.num_workers, 0);
+  LabelAndMerge(graph, options, &ordinals);
+  BubbleResult bubble = FilterBubbles(graph, options);
+  EXPECT_EQ(bubble.contigs_pruned, 0u);
+}
+
+TEST(TipTest, ShortTipRemovedLongBranchKept) {
+  AssemblerOptions options = TestOptions();
+  options.tip_length_threshold = 12;
+  // Trunk with a short dangling branch.
+  std::vector<Read> reads;
+  for (int i = 0; i < 3; ++i) {
+    reads.push_back(
+        Read{"trunk", "TCGTGCCTTTCGGCGTTCTTCACTAAGTAGAGAGTG", ""});
+  }
+  reads.push_back(Read{"tip", "GTTCTTCACC", ""});  // Dead-ends after branch.
+
+  DbgResult dbg = BuildDbg(reads, options);
+  AssemblyGraph graph = std::move(dbg.graph);
+  std::vector<uint32_t> ordinals(options.num_workers, 0);
+  LabelAndMerge(graph, options, &ordinals);
+
+  TipResult tips = RemoveTips(graph, options);
+  EXPECT_GT(tips.requests_sent, 0u);
+
+  // After re-merging, the trunk should reassemble into one contig
+  // containing the junction (which the tip had made ambiguous).
+  LabelingResult relabel =
+      LabelContigs(graph, options, LabelingMethod::kListRanking);
+  MergeContigs(graph, relabel, options, &ordinals);
+  std::vector<ContigRecord> contigs = CollectContigs(graph);
+  ASSERT_EQ(contigs.size(), 1u);
+  const std::string trunk = "TCGTGCCTTTCGGCGTTCTTCACTAAGTAGAGAGTG";
+  std::string got = contigs[0].seq.ToString();
+  std::string rc = contigs[0].seq.ReverseComplement().ToString();
+  EXPECT_TRUE(got == trunk || rc == trunk) << got;
+}
+
+TEST(TipTest, LongDanglingPathIsKept) {
+  AssemblerOptions options = TestOptions();
+  options.tip_length_threshold = 6;
+  // Whole graph is one long dangling path (both ends dead): isolated, but
+  // longer than the threshold, so it must survive.
+  std::vector<Read> reads = {
+      Read{"r", "AGGCTGCAACTCATCGACTCTATGT", ""}};
+  DbgResult dbg = BuildDbg(reads, options);
+  AssemblyGraph graph = std::move(dbg.graph);
+  std::vector<uint32_t> ordinals(options.num_workers, 0);
+  LabelAndMerge(graph, options, &ordinals);
+  TipResult tips = RemoveTips(graph, options);
+  EXPECT_EQ(tips.vertices_removed, 0u);
+  EXPECT_EQ(CollectContigs(graph).size(), 1u);
+}
+
+TEST(TipTest, IsolatedShortContigRemoved) {
+  AssemblerOptions options = TestOptions();
+  options.tip_length_threshold = 100;  // Everything is short.
+  std::vector<Read> reads = {Read{"r", "ACGTTGCATGGATCC", ""}};
+  DbgResult dbg = BuildDbg(reads, options);
+  AssemblyGraph graph = std::move(dbg.graph);
+  std::vector<uint32_t> ordinals(options.num_workers, 0);
+  LabelAndMerge(graph, options, &ordinals);
+  ASSERT_EQ(CollectContigs(graph).size(), 0u);  // Dropped at merge already.
+}
+
+TEST(TipTest, CascadingTipsTriggerMultiplePhases) {
+  // A two-level tip: the trunk sprouts a stem that forks into two short
+  // dead-ending branches. The branches are dropped at merge time; the fork
+  // vertex then becomes <1>, making the stem (an inner contig with two
+  // formerly-ambiguous ends, which merge-time dropping could NOT touch) a
+  // dangling path only operation 5 can remove.
+  AssemblerOptions options = TestOptions();
+  options.tip_length_threshold = 14;
+  const std::string trunk = "GCAAGGTGCAAAACGCCAGTGGCTAGGGAGAGATCG";
+  std::vector<Read> reads;
+  for (int i = 0; i < 4; ++i) reads.push_back(Read{"trunk", trunk, ""});
+  reads.push_back(Read{"stem", "ACGCCAGTTAC", ""});
+  reads.push_back(Read{"branch1", "GTTACTA", ""});
+  reads.push_back(Read{"branch2", "GTTACCC", ""});
+  DbgResult dbg = BuildDbg(reads, options);
+  AssemblyGraph graph = std::move(dbg.graph);
+  std::vector<uint32_t> ordinals(options.num_workers, 0);
+  LabelAndMerge(graph, options, &ordinals);
+
+  TipResult tips = RemoveTips(graph, options);
+  EXPECT_GT(tips.vertices_removed, 0u);
+  EXPECT_GT(tips.edges_cut, 0u);
+
+  // After the cascade, relabeling + merging reassembles the full trunk.
+  LabelingResult relabel =
+      LabelContigs(graph, options, LabelingMethod::kListRanking);
+  MergeContigs(graph, relabel, options, &ordinals);
+  std::vector<ContigRecord> contigs = CollectContigs(graph);
+  ASSERT_EQ(contigs.size(), 1u);
+  std::string got = contigs[0].seq.ToString();
+  std::string rc = contigs[0].seq.ReverseComplement().ToString();
+  EXPECT_TRUE(got == trunk || rc == trunk) << got;
+}
+
+}  // namespace
+}  // namespace ppa

@@ -1,0 +1,245 @@
+// End-to-end integration tests: reads -> DBG -> label -> merge -> correct.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+
+#include "core/assembler.h"
+#include "core/dbg_construction.h"
+#include "dna/read.h"
+#include "sim/genome.h"
+#include "sim/read_simulator.h"
+#include "util/logging.h"
+
+namespace ppa {
+namespace {
+
+/// True iff `contig` occurs in `genome` on either strand.
+bool IsGenomeSubstring(const std::string& contig, const std::string& genome,
+                       const std::string& genome_rc) {
+  return genome.find(contig) != std::string::npos ||
+         genome_rc.find(contig) != std::string::npos;
+}
+
+AssemblerOptions SmallOptions(int k = 21) {
+  AssemblerOptions options;
+  options.k = k;
+  options.coverage_threshold = 1;  // Error-free reads: keep everything.
+  options.tip_length_threshold = 60;
+  options.num_workers = 8;
+  options.num_threads = 2;
+  return options;
+}
+
+/// Error-free reads covering every position of the genome on both strands.
+std::vector<Read> PerfectReads(const PackedSequence& genome, int read_len,
+                               int stride = 3) {
+  std::vector<Read> reads;
+  std::string g = genome.ToString();
+  std::string g_rc = genome.ReverseComplement().ToString();
+  for (size_t pos = 0; pos + read_len <= g.size();
+       pos += static_cast<size_t>(stride)) {
+    reads.push_back(Read{"f" + std::to_string(pos),
+                         g.substr(pos, read_len), ""});
+    reads.push_back(Read{"r" + std::to_string(pos),
+                         g_rc.substr(pos, read_len), ""});
+  }
+  return reads;
+}
+
+TEST(PipelineTest, RepeatFreeGenomeAssemblesToOneContig) {
+  GenomeConfig config;
+  config.length = 4000;
+  config.repeat_families = 0;
+  config.seed = 11;
+  PackedSequence genome = GenerateGenome(config);
+
+  AssemblerOptions options = SmallOptions();
+  Assembler assembler(options);
+  AssemblyResult result = assembler.Assemble(PerfectReads(genome, 60));
+
+  // A repeat-free genome's DBG is a single unambiguous path: one contig
+  // covering the whole genome.
+  ASSERT_EQ(result.contigs.size(), 1u);
+  std::string contig = result.contigs[0].seq.ToString();
+  std::string g = genome.ToString();
+  std::string g_rc = genome.ReverseComplement().ToString();
+  EXPECT_TRUE(contig == g || contig == g_rc)
+      << "contig length " << contig.size() << " vs genome " << g.size();
+}
+
+TEST(PipelineTest, ContigsAreAlwaysGenomeSubstringsOnCleanReads) {
+  GenomeConfig config;
+  config.length = 8000;
+  config.repeat_families = 3;
+  config.repeat_length = 150;
+  config.repeat_copies = 4;
+  config.seed = 23;
+  PackedSequence genome = GenerateGenome(config);
+  std::string g = genome.ToString();
+  std::string g_rc = genome.ReverseComplement().ToString();
+
+  AssemblerOptions options = SmallOptions();
+  Assembler assembler(options);
+  AssemblyResult result = assembler.Assemble(PerfectReads(genome, 60));
+
+  ASSERT_GT(result.contigs.size(), 0u);
+  for (const ContigRecord& c : result.contigs) {
+    if (c.circular) continue;  // Circular contigs wrap; checked elsewhere.
+    EXPECT_TRUE(IsGenomeSubstring(c.seq.ToString(), g, g_rc))
+        << "contig of length " << c.seq.size() << " not found in genome";
+  }
+}
+
+TEST(PipelineTest, BothLabelingMethodsProduceIdenticalContigSets) {
+  GenomeConfig config;
+  config.length = 6000;
+  config.repeat_families = 2;
+  config.repeat_length = 120;
+  config.repeat_copies = 3;
+  config.seed = 31;
+  PackedSequence genome = GenerateGenome(config);
+  std::vector<Read> reads = PerfectReads(genome, 60);
+
+  AssemblerOptions options = SmallOptions();
+  AssemblyResult lr =
+      Assembler(options).Assemble(reads, LabelingMethod::kListRanking);
+  AssemblyResult sv =
+      Assembler(options).Assemble(reads, LabelingMethod::kSimplifiedSv);
+
+  auto canonical_set = [](const AssemblyResult& r) {
+    std::vector<std::string> seqs;
+    for (const ContigRecord& c : r.contigs) {
+      std::string s = c.seq.ToString();
+      std::string rc = c.seq.ReverseComplement().ToString();
+      seqs.push_back(std::min(s, rc));
+    }
+    std::sort(seqs.begin(), seqs.end());
+    return seqs;
+  };
+  EXPECT_EQ(canonical_set(lr), canonical_set(sv));
+}
+
+TEST(PipelineTest, ErroneousReadsStillYieldGenomeConsistentContigs) {
+  GenomeConfig gconfig;
+  gconfig.length = 10000;
+  gconfig.repeat_families = 2;
+  gconfig.repeat_length = 120;
+  gconfig.repeat_copies = 3;
+  gconfig.seed = 5;
+  PackedSequence genome = GenerateGenome(gconfig);
+  std::string g = genome.ToString();
+  std::string g_rc = genome.ReverseComplement().ToString();
+
+  ReadSimConfig rconfig;
+  rconfig.read_length = 80;
+  rconfig.coverage = 40;
+  rconfig.error_rate = 0.005;
+  rconfig.seed = 99;
+  std::vector<Read> reads = SimulateReads(genome, rconfig);
+
+  AssemblerOptions options = SmallOptions();
+  options.coverage_threshold = 2;  // Filter singleton (erroneous) mers.
+  Assembler assembler(options);
+  AssemblyResult result = assembler.Assemble(reads);
+
+  ASSERT_GT(result.contigs.size(), 0u);
+  uint64_t total = 0;
+  uint64_t matching = 0;
+  for (const ContigRecord& c : result.contigs) {
+    if (c.circular) continue;
+    total += c.seq.size();
+    if (IsGenomeSubstring(c.seq.ToString(), g, g_rc)) {
+      matching += c.seq.size();
+    }
+  }
+  // Error correction should leave the vast majority of contig bases exact.
+  EXPECT_GT(total, genome.size() / 2);
+  EXPECT_GT(static_cast<double>(matching),
+            0.95 * static_cast<double>(total));
+}
+
+TEST(PipelineTest, TipsAndBubblesAreRemoved) {
+  GenomeConfig gconfig;
+  gconfig.length = 12000;
+  gconfig.repeat_families = 0;
+  gconfig.seed = 17;
+  PackedSequence genome = GenerateGenome(gconfig);
+
+  ReadSimConfig rconfig;
+  rconfig.read_length = 80;
+  rconfig.coverage = 50;
+  rconfig.error_rate = 0.01;
+  rconfig.seed = 3;
+  std::vector<Read> reads = SimulateReads(genome, rconfig);
+
+  AssemblerOptions options = SmallOptions();
+  options.coverage_threshold = 2;
+  Assembler assembler(options);
+  AssemblyResult result = assembler.Assemble(reads);
+
+  // With errors at 1% and 50x coverage, error correction must fire.
+  EXPECT_GT(result.kmer_vertices, 0u);
+  // Second merge round grows contigs: N50 after round 2 >= after round 1.
+  std::vector<uint64_t> round1(result.round1_contig_lengths.begin(),
+                               result.round1_contig_lengths.end());
+  std::vector<uint64_t> round2;
+  for (const ContigRecord& c : result.contigs) round2.push_back(c.seq.size());
+  auto n50 = [](std::vector<uint64_t> v) {
+    std::sort(v.begin(), v.end(), std::greater<uint64_t>());
+    uint64_t total = 0;
+    for (auto x : v) total += x;
+    uint64_t acc = 0;
+    for (auto x : v) {
+      acc += x;
+      if (acc * 2 >= total) return x;
+    }
+    return v.empty() ? uint64_t{0} : v.back();
+  };
+  EXPECT_GE(n50(round2), n50(round1));
+}
+
+TEST(DbgConstructionTest, CoverageThresholdFiltersErrorMers) {
+  GenomeConfig gconfig;
+  gconfig.length = 5000;
+  gconfig.repeat_families = 0;
+  gconfig.seed = 41;
+  PackedSequence genome = GenerateGenome(gconfig);
+
+  ReadSimConfig rconfig;
+  rconfig.read_length = 70;
+  rconfig.coverage = 30;
+  rconfig.error_rate = 0.01;
+  rconfig.seed = 8;
+  std::vector<Read> reads = SimulateReads(genome, rconfig);
+
+  AssemblerOptions strict = SmallOptions();
+  strict.coverage_threshold = 3;
+  AssemblerOptions lax = SmallOptions();
+  lax.coverage_threshold = 1;
+
+  DbgResult strict_dbg = BuildDbg(reads, strict);
+  DbgResult lax_dbg = BuildDbg(reads, lax);
+  EXPECT_LT(strict_dbg.surviving_edge_mers, lax_dbg.surviving_edge_mers);
+  EXPECT_EQ(strict_dbg.distinct_edge_mers, lax_dbg.distinct_edge_mers);
+  EXPECT_LT(strict_dbg.graph.live_size(), lax_dbg.graph.live_size());
+}
+
+TEST(DbgConstructionTest, ReadsWithNsAreSplit) {
+  // One 'N' in the middle: (k+1)-mers spanning it must not be produced.
+  AssemblerOptions options = SmallOptions(5);
+  std::vector<Read> reads = {
+      {"r1", "ACGTACGTACGTNACGTACGTACGT", ""},
+  };
+  DbgResult dbg = BuildDbg(reads, options);
+  // Each half is 12 long: 12 - 6 + 1 = 7 edge mers per half, with overlap
+  // between halves' mer sets (identical halves) -> distinct canonical mers.
+  EXPECT_GT(dbg.distinct_edge_mers, 0u);
+  dbg.graph.ForEach([&](const AsmNode& node) {
+    EXPECT_EQ(node.kind, NodeKind::kKmer);
+  });
+}
+
+}  // namespace
+}  // namespace ppa

@@ -1,0 +1,124 @@
+// Property-based end-to-end sweeps (TEST_P): for a grid of (k, error rate,
+// repeat density), the assembler must uphold its core invariants:
+//   1. soundness — every non-circular contig is a substring of the genome
+//      or its reverse complement (up to the residual error floor);
+//   2. no-overcall — total contig length never exceeds genome length by
+//      more than the repeat-induced duplication bound;
+//   3. monotone improvement — the error-corrected second round never has
+//      a worse N50 than the first;
+//   4. determinism — two runs over the same reads and configuration
+//      produce the same contig multiset. (Across *different* worker
+//      counts the contig set may legitimately differ: contig IDs encode
+//      (worker, ordinal) as in the paper, and bubble-pruning tie-breaks
+//      use IDs, so equal-coverage bubble branches may resolve
+//      differently.)
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/assembler.h"
+#include "quality/quast.h"
+#include "sim/genome.h"
+#include "sim/read_simulator.h"
+
+namespace ppa {
+namespace {
+
+struct SweepPoint {
+  int k;
+  double error_rate;
+  uint32_t repeat_families;
+};
+
+class AssemblySweep : public ::testing::TestWithParam<SweepPoint> {};
+
+TEST_P(AssemblySweep, CoreInvariantsHold) {
+  const SweepPoint point = GetParam();
+
+  GenomeConfig gconfig;
+  gconfig.length = 9000;
+  gconfig.repeat_families = point.repeat_families;
+  gconfig.repeat_length = 150;
+  gconfig.repeat_copies = 3;
+  gconfig.seed = 1000 + static_cast<uint64_t>(point.k);
+  PackedSequence genome = GenerateGenome(gconfig);
+  std::string g = genome.ToString();
+  std::string g_rc = genome.ReverseComplement().ToString();
+
+  ReadSimConfig rconfig;
+  rconfig.read_length = 70;
+  rconfig.coverage = 40;
+  rconfig.error_rate = point.error_rate;
+  rconfig.seed = 77;
+  std::vector<Read> reads = SimulateReads(genome, rconfig);
+
+  AssemblerOptions options;
+  options.k = point.k;
+  options.coverage_threshold = point.error_rate > 0 ? 2 : 1;
+  options.tip_length_threshold = 60;
+  options.num_workers = 8;
+  options.num_threads = 2;
+  AssemblyResult result = Assembler(options).Assemble(reads);
+  ASSERT_GT(result.contigs.size(), 0u);
+
+  // (1) Soundness.
+  uint64_t total = 0;
+  uint64_t exact = 0;
+  for (const ContigRecord& c : result.contigs) {
+    if (c.circular) continue;
+    std::string s = c.seq.ToString();
+    total += s.size();
+    if (g.find(s) != std::string::npos ||
+        g_rc.find(s) != std::string::npos) {
+      exact += s.size();
+    }
+  }
+  double exact_fraction =
+      total == 0 ? 1.0
+                 : static_cast<double>(exact) / static_cast<double>(total);
+  EXPECT_GT(exact_fraction, point.error_rate > 0 ? 0.90 : 0.999);
+
+  // (2) No overcall: repeats can duplicate at most their planted span.
+  uint64_t repeat_span = static_cast<uint64_t>(gconfig.repeat_families) *
+                         gconfig.repeat_length * gconfig.repeat_copies;
+  EXPECT_LE(total, genome.size() + repeat_span + 1000);
+
+  // (3) Monotone improvement across the error-correction round.
+  std::vector<uint64_t> round1(result.round1_contig_lengths.begin(),
+                               result.round1_contig_lengths.end());
+  std::vector<uint64_t> round2;
+  for (const ContigRecord& c : result.contigs) round2.push_back(c.seq.size());
+  EXPECT_GE(ComputeN50(round2), ComputeN50(round1));
+
+  // (4) Determinism: identical configuration, identical output.
+  AssemblyResult again = Assembler(options).Assemble(reads);
+  auto canon = [](const AssemblyResult& r) {
+    std::vector<std::string> seqs;
+    for (const ContigRecord& c : r.contigs) {
+      std::string s = c.seq.ToString();
+      std::string rc = c.seq.ReverseComplement().ToString();
+      seqs.push_back(std::min(s, rc));
+    }
+    std::sort(seqs.begin(), seqs.end());
+    return seqs;
+  };
+  EXPECT_EQ(canon(result), canon(again));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AssemblySweep,
+    ::testing::Values(SweepPoint{15, 0.0, 0}, SweepPoint{15, 0.005, 2},
+                      SweepPoint{21, 0.0, 2}, SweepPoint{21, 0.01, 0},
+                      SweepPoint{25, 0.005, 1}, SweepPoint{31, 0.0, 1},
+                      SweepPoint{31, 0.01, 2}),
+    [](const ::testing::TestParamInfo<SweepPoint>& info) {
+      return "k" + std::to_string(info.param.k) + "_err" +
+             std::to_string(static_cast<int>(info.param.error_rate * 1000)) +
+             "_rep" + std::to_string(info.param.repeat_families);
+    });
+
+}  // namespace
+}  // namespace ppa

@@ -1,0 +1,109 @@
+// Tests for the QUAST-like quality assessment (quality/quast.h).
+#include "quality/quast.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/genome.h"
+#include "util/random.h"
+
+namespace ppa {
+namespace {
+
+QuastConfig SmallConfig() {
+  QuastConfig config;
+  config.min_contig = 100;
+  config.anchor_k = 21;
+  config.min_block = 40;
+  return config;
+}
+
+std::string RandomDna(size_t len, uint64_t seed) {
+  Rng rng(seed);
+  std::string s;
+  for (size_t i = 0; i < len; ++i) s += "ACGT"[rng.Next() & 3];
+  return s;
+}
+
+TEST(N50Test, Definition) {
+  EXPECT_EQ(ComputeN50({}), 0u);
+  EXPECT_EQ(ComputeN50({10}), 10u);
+  // Lengths 8,7,5,5: total 25, half 12.5 -> cumulative 8,15 => N50 = 7.
+  EXPECT_EQ(ComputeN50({5, 8, 7, 5}), 7u);
+  // One dominant contig.
+  EXPECT_EQ(ComputeN50({100, 1, 1, 1}), 100u);
+}
+
+TEST(QuastTest, ReferenceFreeMetrics) {
+  std::vector<std::string> contigs = {RandomDna(500, 1), RandomDna(300, 2),
+                                      RandomDna(50, 3)};
+  QuastReport report = EvaluateAssembly(contigs, nullptr, SmallConfig());
+  EXPECT_EQ(report.num_contigs, 2u);  // 50 bp one filtered
+  EXPECT_EQ(report.total_length, 800u);
+  EXPECT_EQ(report.largest_contig, 500u);
+  EXPECT_EQ(report.n50, 500u);
+  EXPECT_FALSE(report.has_reference);
+}
+
+TEST(QuastTest, PerfectContigsAlignCleanly) {
+  PackedSequence ref = PackedSequence::FromString(RandomDna(5000, 7));
+  std::vector<std::string> contigs = {
+      ref.Subsequence(0, 1500).ToString(),
+      ref.Subsequence(2000, 1200).ReverseComplement().ToString(),  // strand 2
+  };
+  QuastReport report = EvaluateAssembly(contigs, &ref, SmallConfig());
+  EXPECT_EQ(report.misassemblies, 0u);
+  EXPECT_EQ(report.unaligned_length, 0u);
+  EXPECT_EQ(report.mismatches_per_100kbp, 0.0);
+  EXPECT_NEAR(report.genome_fraction, 100.0 * 2700 / 5000, 1.0);
+  EXPECT_EQ(report.largest_alignment, 1500u);
+}
+
+TEST(QuastTest, MismatchesCounted) {
+  PackedSequence ref = PackedSequence::FromString(RandomDna(4000, 9));
+  std::string contig = ref.Subsequence(100, 2000).ToString();
+  // Introduce 4 substitutions well inside the contig.
+  for (size_t pos : {400u, 800u, 1200u, 1600u}) {
+    contig[pos] = (contig[pos] == 'A') ? 'C' : 'A';
+  }
+  QuastReport report = EvaluateAssembly({contig}, &ref, SmallConfig());
+  EXPECT_EQ(report.misassemblies, 0u);
+  double expected = 1e5 * 4.0 / 2000.0;
+  EXPECT_NEAR(report.mismatches_per_100kbp, expected, expected * 0.5);
+}
+
+TEST(QuastTest, ChimericContigIsMisassembled) {
+  PackedSequence ref = PackedSequence::FromString(RandomDna(10000, 11));
+  // Join two distant reference pieces: a relocation misassembly.
+  std::string chimera = ref.Subsequence(0, 800).ToString() +
+                        ref.Subsequence(6000, 800).ToString();
+  QuastReport report = EvaluateAssembly({chimera}, &ref, SmallConfig());
+  EXPECT_EQ(report.misassemblies, 1u);
+  EXPECT_EQ(report.misassembled_length, chimera.size());
+}
+
+TEST(QuastTest, InvertedJoinIsMisassembled) {
+  PackedSequence ref = PackedSequence::FromString(RandomDna(6000, 13));
+  std::string inversion =
+      ref.Subsequence(0, 700).ToString() +
+      ref.Subsequence(700, 700).ReverseComplement().ToString();
+  QuastReport report = EvaluateAssembly({inversion}, &ref, SmallConfig());
+  EXPECT_EQ(report.misassemblies, 1u);
+}
+
+TEST(QuastTest, ForeignSequenceIsUnaligned) {
+  PackedSequence ref = PackedSequence::FromString(RandomDna(4000, 17));
+  std::string foreign = RandomDna(600, 999);  // Not from the reference.
+  QuastReport report = EvaluateAssembly({foreign}, &ref, SmallConfig());
+  EXPECT_EQ(report.unaligned_length, 600u);
+  EXPECT_EQ(report.genome_fraction, 0.0);
+}
+
+TEST(QuastTest, GcPercent) {
+  QuastReport report =
+      EvaluateAssembly({std::string(200, 'G') + std::string(200, 'A')},
+                       nullptr, SmallConfig());
+  EXPECT_NEAR(report.gc_percent, 50.0, 0.01);
+}
+
+}  // namespace
+}  // namespace ppa

@@ -1,0 +1,105 @@
+// Tests for the packed DNA sequence (dna/sequence.h) and read I/O.
+#include "dna/sequence.h"
+
+#include <gtest/gtest.h>
+
+#include "dna/read.h"
+#include "util/random.h"
+
+namespace ppa {
+namespace {
+
+TEST(PackedSequenceTest, RoundTrip) {
+  for (const char* s :
+       {"A", "ACGT", "TTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTT",
+        "GATTACAGATTACAGATTACAGATTACAGATTACA"}) {
+    EXPECT_EQ(PackedSequence::FromString(s).ToString(), s);
+  }
+}
+
+TEST(PackedSequenceTest, CrossesWordBoundaries) {
+  Rng rng(5);
+  std::string s;
+  for (int i = 0; i < 200; ++i) {
+    s += CharFromBase(rng.Next() & 3);
+    PackedSequence seq = PackedSequence::FromString(s);
+    ASSERT_EQ(seq.size(), s.size());
+    ASSERT_EQ(seq.ToString(), s);
+  }
+}
+
+TEST(PackedSequenceTest, ReverseComplement) {
+  PackedSequence seq = PackedSequence::FromString("ATTGCAAGTC");
+  EXPECT_EQ(seq.ReverseComplement().ToString(), "GACTTGCAAT");
+  Rng rng(9);
+  std::string s;
+  for (int i = 0; i < 150; ++i) s += CharFromBase(rng.Next() & 3);
+  PackedSequence p = PackedSequence::FromString(s);
+  EXPECT_EQ(p.ReverseComplement().ReverseComplement(), p);
+}
+
+TEST(PackedSequenceTest, AppendWithOverlapElision) {
+  // The contig-stitching primitive: append from position k-1.
+  PackedSequence a = PackedSequence::FromString("TGCC");
+  PackedSequence b = PackedSequence::FromString("GCCG");
+  a.Append(b, 3);
+  EXPECT_EQ(a.ToString(), "TGCCG");
+}
+
+TEST(PackedSequenceTest, AppendKmer) {
+  PackedSequence seq = PackedSequence::FromString("AC");
+  seq.AppendKmer(Kmer::FromString("GTT"), 1);
+  EXPECT_EQ(seq.ToString(), "ACTT");
+}
+
+TEST(PackedSequenceTest, SubsequenceAndKmerAt) {
+  PackedSequence seq = PackedSequence::FromString("ACGTACGTACGT");
+  EXPECT_EQ(seq.Subsequence(2, 5).ToString(), "GTACG");
+  EXPECT_EQ(seq.KmerAt(4, 4).ToString(), "ACGT");
+  EXPECT_EQ(seq.KmerAt(0, 12).ToString(), "ACGTACGTACGT");
+}
+
+TEST(PackedSequenceTest, GcCount) {
+  EXPECT_EQ(PackedSequence::FromString("ACGT").GcCount(), 2u);
+  EXPECT_EQ(PackedSequence::FromString("AAAA").GcCount(), 0u);
+  EXPECT_EQ(PackedSequence::FromString("GGCC").GcCount(), 4u);
+}
+
+TEST(PackedSequenceTest, FromKmerMatches) {
+  Kmer kmer = Kmer::FromString("GATTACA");
+  EXPECT_EQ(PackedSequence::FromKmer(kmer).ToString(), "GATTACA");
+}
+
+TEST(FastqTest, ParseWriteRoundTrip) {
+  std::vector<Read> reads = {
+      {"read1", "ACGTN", "IIII!"},
+      {"read2/1", "TTTT", "####"},
+  };
+  std::vector<Read> parsed = ParseFastq(WriteFastq(reads));
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].name, "read1");
+  EXPECT_EQ(parsed[0].bases, "ACGTN");
+  EXPECT_EQ(parsed[0].quals, "IIII!");
+  EXPECT_EQ(parsed[1].bases, "TTTT");
+}
+
+TEST(FastqTest, MissingQualsFilledOnWrite) {
+  std::vector<Read> reads = {{"r", "ACGT", ""}};
+  std::vector<Read> parsed = ParseFastq(WriteFastq(reads));
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].quals, "IIII");
+}
+
+TEST(FastaTest, ParseWriteRoundTripWithWrapping) {
+  std::string long_seq(250, 'A');
+  std::vector<Read> reads = {{"chr1 description", long_seq, ""},
+                             {"chr2", "ACGT", ""}};
+  std::vector<Read> parsed = ParseFasta(WriteFasta(reads));
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].name, "chr1 description");
+  EXPECT_EQ(parsed[0].bases, long_seq);  // 80-column wrapping undone
+  EXPECT_EQ(parsed[1].bases, "ACGT");
+}
+
+}  // namespace
+}  // namespace ppa

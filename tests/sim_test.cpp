@@ -1,0 +1,200 @@
+// Tests for the simulation substrate: genome generator, read simulator,
+// datasets, cluster cost model.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "sim/cluster_model.h"
+#include "sim/datasets.h"
+#include "sim/genome.h"
+#include "sim/read_simulator.h"
+
+namespace ppa {
+namespace {
+
+TEST(GenomeTest, LengthAndDeterminism) {
+  GenomeConfig config;
+  config.length = 12345;
+  config.seed = 5;
+  PackedSequence a = GenerateGenome(config);
+  PackedSequence b = GenerateGenome(config);
+  EXPECT_EQ(a.size(), 12345u);
+  EXPECT_EQ(a, b);
+  config.seed = 6;
+  EXPECT_NE(GenerateGenome(config), a);
+}
+
+TEST(GenomeTest, GcContentApproximatelyRespected) {
+  GenomeConfig config;
+  config.length = 50000;
+  config.gc_content = 0.6;
+  config.repeat_families = 0;
+  PackedSequence genome = GenerateGenome(config);
+  double gc = static_cast<double>(genome.GcCount()) / genome.size();
+  EXPECT_NEAR(gc, 0.6, 0.03);
+}
+
+TEST(GenomeTest, RepeatsCreateDuplicateKmers) {
+  GenomeConfig with;
+  with.length = 20000;
+  with.repeat_families = 4;
+  with.repeat_length = 300;
+  with.repeat_copies = 5;
+  with.seed = 9;
+  GenomeConfig without = with;
+  without.repeat_families = 0;
+
+  auto duplicate_kmers = [](const PackedSequence& g) {
+    std::unordered_map<uint64_t, int> counts;
+    for (size_t i = 0; i + 21 <= g.size(); ++i) {
+      ++counts[g.KmerAt(i, 21).Canonical().code()];
+    }
+    size_t dups = 0;
+    for (const auto& [code, n] : counts) {
+      if (n > 1) ++dups;
+    }
+    return dups;
+  };
+  EXPECT_GT(duplicate_kmers(GenerateGenome(with)),
+            10 * duplicate_kmers(GenerateGenome(without)) + 100);
+}
+
+TEST(ReadSimTest, CoverageAndLengths) {
+  GenomeConfig gconfig;
+  gconfig.length = 10000;
+  PackedSequence genome = GenerateGenome(gconfig);
+  ReadSimConfig config;
+  config.read_length = 100;
+  config.coverage = 25;
+  config.error_rate = 0;
+  config.n_rate = 0;
+  std::vector<Read> reads = SimulateReads(genome, config);
+  EXPECT_NEAR(static_cast<double>(reads.size()), 25.0 * 10000 / 100, 1.0);
+  for (const Read& r : reads) {
+    EXPECT_EQ(r.bases.size(), 100u);
+    EXPECT_EQ(r.quals.size(), 100u);
+  }
+}
+
+TEST(ReadSimTest, ErrorFreeReadsAreGenomeSubstrings) {
+  GenomeConfig gconfig;
+  gconfig.length = 5000;
+  PackedSequence genome = GenerateGenome(gconfig);
+  std::string g = genome.ToString();
+  std::string g_rc = genome.ReverseComplement().ToString();
+  ReadSimConfig config;
+  config.read_length = 80;
+  config.coverage = 5;
+  config.error_rate = 0;
+  config.n_rate = 0;
+  for (const Read& r : SimulateReads(genome, config)) {
+    EXPECT_TRUE(g.find(r.bases) != std::string::npos ||
+                g_rc.find(r.bases) != std::string::npos)
+        << r.name;
+  }
+}
+
+TEST(ReadSimTest, ErrorRateApproximatelyRespected) {
+  GenomeConfig gconfig;
+  gconfig.length = 20000;
+  gconfig.repeat_families = 0;
+  PackedSequence genome = GenerateGenome(gconfig);
+  ReadSimConfig config;
+  config.read_length = 100;
+  config.coverage = 10;
+  config.error_rate = 0.02;
+  config.n_rate = 0;
+  config.position_dependent_errors = false;  // Flat rate for this check.
+  config.both_strands = false;  // Forward only: compare in place.
+  std::string g = genome.ToString();
+  uint64_t errors = 0;
+  uint64_t bases = 0;
+  for (const Read& r : SimulateReads(genome, config)) {
+    // Recover the position from exact prefix search is fragile with
+    // errors; instead compare against the quality string, which marks
+    // substituted bases with '#'.
+    for (char q : r.quals) {
+      ++bases;
+      if (q == '#') ++errors;
+    }
+    (void)g;
+  }
+  double rate = static_cast<double>(errors) / static_cast<double>(bases);
+  EXPECT_NEAR(rate, 0.02, 0.005);
+}
+
+TEST(ReadSimTest, BothStrandsSampled) {
+  GenomeConfig gconfig;
+  gconfig.length = 5000;
+  PackedSequence genome = GenerateGenome(gconfig);
+  ReadSimConfig config;
+  config.read_length = 60;
+  config.coverage = 5;
+  config.error_rate = 0;
+  std::vector<Read> reads = SimulateReads(genome, config);
+  size_t forward = 0;
+  for (const Read& r : reads) {
+    if (r.name.back() == 'f') ++forward;
+  }
+  EXPECT_GT(forward, reads.size() / 4);
+  EXPECT_LT(forward, 3 * reads.size() / 4);
+}
+
+TEST(DatasetTest, SizesOrderedLikeThePaper) {
+  Dataset hc2 = MakeDataset(DatasetId::kHc2, 0.2);
+  Dataset hcx = MakeDataset(DatasetId::kHcX, 0.2);
+  Dataset hc14 = MakeDataset(DatasetId::kHc14, 0.2);
+  Dataset bi = MakeDataset(DatasetId::kBi, 0.2);
+  EXPECT_LT(hc2.reference.size(), hcx.reference.size());
+  EXPECT_LT(hcx.reference.size(), hc14.reference.size());
+  EXPECT_LT(hc14.reference.size(), bi.reference.size());
+  EXPECT_TRUE(hc2.has_reference);
+  EXPECT_FALSE(hc14.has_reference);
+  // BI has the paper's longer reads.
+  EXPECT_EQ(bi.reads.front().bases.size(), 155u);
+}
+
+TEST(ClusterModelTest, MoreWorkersNeverSlower) {
+  RunStats job;
+  SuperstepStats ss;
+  ss.compute_ops = 1000000;
+  ss.messages_sent = 100000;
+  ss.message_bytes = 1600000;
+  ss.worker_ops.assign(16, 62500);
+  ss.worker_messages.assign(16, 6250);
+  ss.worker_bytes.assign(16, 100000);
+  job.supersteps.assign(10, ss);
+
+  ClusterParams params;
+  SystemProfile profile = PpaAssemblerProfile();
+  double prev = 1e100;
+  for (uint32_t workers : {16u, 32u, 48u, 64u}) {
+    double t = EstimateJobSeconds(job, workers, params, profile);
+    EXPECT_LT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(ClusterModelTest, SkewPenalizesImbalance) {
+  RunStats balanced;
+  RunStats skewed;
+  SuperstepStats ss;
+  ss.compute_ops = 160000;
+  ss.messages_sent = 0;
+  ss.worker_ops.assign(16, 10000);
+  ss.worker_messages.assign(16, 0);
+  ss.worker_bytes.assign(16, 0);
+  balanced.supersteps.push_back(ss);
+  // Same total, all load on one worker.
+  ss.worker_ops.assign(16, 0);
+  ss.worker_ops[3] = 160000;
+  skewed.supersteps.push_back(ss);
+
+  ClusterParams params;
+  SystemProfile profile = PpaAssemblerProfile();
+  EXPECT_GT(EstimateJobSeconds(skewed, 32, params, profile),
+            EstimateJobSeconds(balanced, 32, params, profile));
+}
+
+}  // namespace
+}  // namespace ppa

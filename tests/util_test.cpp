@@ -1,0 +1,171 @@
+// Tests for util/: varint, hashing, edit distance, text store, thread pool,
+// RNG determinism.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <set>
+#include <string>
+
+#include "util/edit_distance.h"
+#include "util/hash.h"
+#include "util/random.h"
+#include "util/text_store.h"
+#include "util/thread_pool.h"
+#include "util/varint.h"
+
+namespace ppa {
+namespace {
+
+TEST(VarintTest, RoundTripBoundaries) {
+  std::vector<uint64_t> values = {0,       1,        127,        128,
+                                  16383,   16384,    (1ULL << 32) - 1,
+                                  1ULL << 32, UINT64_MAX};
+  std::vector<uint8_t> buf;
+  for (uint64_t v : values) {
+    EXPECT_EQ(PutVarint64(&buf, v), VarintLength(v));
+  }
+  size_t pos = 0;
+  for (uint64_t expected : values) {
+    uint64_t v = 0;
+    ASSERT_TRUE(GetVarint64(buf.data(), buf.size(), &pos, &v));
+    EXPECT_EQ(v, expected);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(VarintTest, SmallValuesAreOneByte) {
+  for (uint64_t v = 0; v < 128; ++v) EXPECT_EQ(VarintLength(v), 1u);
+  EXPECT_EQ(VarintLength(128), 2u);
+}
+
+TEST(VarintTest, TruncatedInputFails) {
+  std::vector<uint8_t> buf;
+  PutVarint64(&buf, 1ULL << 40);
+  buf.pop_back();
+  size_t pos = 0;
+  uint64_t v = 0;
+  EXPECT_FALSE(GetVarint64(buf.data(), buf.size(), &pos, &v));
+}
+
+TEST(VarintTest, ZigZag) {
+  for (int64_t v : {0L, -1L, 1L, -64L, 63L, INT64_MIN, INT64_MAX}) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+  }
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+}
+
+TEST(HashTest, Mix64IsBijectiveOnSamples) {
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 0; i < 10000; ++i) outputs.insert(Mix64(i));
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(HashTest, PartitionerBalancesSimilarKeys) {
+  // k-mer ids share high zero bits; the partitioner must still balance.
+  std::vector<int> counts(16, 0);
+  for (uint64_t id = 0; id < 16000; ++id) {
+    ++counts[PartitionOf(id, 16)];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 700);
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(EditDistance("", ""), 0u);
+  EXPECT_EQ(EditDistance("ACGT", "ACGT"), 0u);
+  EXPECT_EQ(EditDistance("ACGT", ""), 4u);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("ACGT", "AGT"), 1u);
+  EXPECT_EQ(EditDistance("ACGT", "TGCA"), 4u);
+}
+
+TEST(EditDistanceTest, BandedMatchesFullWithinLimit) {
+  Rng rng(3);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string a;
+    std::string b;
+    size_t len = 5 + rng.Below(60);
+    for (size_t i = 0; i < len; ++i) a += "ACGT"[rng.Next() & 3];
+    b = a;
+    size_t edits = rng.Below(8);
+    for (size_t e = 0; e < edits && !b.empty(); ++e) {
+      switch (rng.Below(3)) {
+        case 0:
+          b[rng.Below(b.size())] = "ACGT"[rng.Next() & 3];
+          break;
+        case 1:
+          b.erase(rng.Below(b.size()), 1);
+          break;
+        default:
+          b.insert(rng.Below(b.size() + 1), 1, "ACGT"[rng.Next() & 3]);
+      }
+    }
+    size_t full = EditDistance(a, b);
+    for (size_t limit : {2u, 5u, 10u}) {
+      size_t banded = BandedEditDistance(a, b, limit);
+      if (full <= limit) {
+        EXPECT_EQ(banded, full) << a << " vs " << b;
+      } else {
+        EXPECT_EQ(banded, limit + 1) << a << " vs " << b;
+      }
+    }
+  }
+}
+
+TEST(EditDistanceTest, WithinPredicate) {
+  EXPECT_TRUE(WithinEditDistance("ACGTACGT", "ACGTACGA", 5));
+  EXPECT_FALSE(WithinEditDistance("AAAAAAAA", "TTTTTTTT", 5));
+  EXPECT_FALSE(WithinEditDistance("ACGT", "ACGT", 0));
+}
+
+TEST(TextStoreTest, WriteReadParts) {
+  std::string dir = "/tmp/ppa_text_store_test";
+  std::filesystem::remove_all(dir);
+  TextStore store(dir);
+  store.WritePart(0, {"line a", "line b"});
+  store.WritePart(3, {"line c"});
+  EXPECT_EQ(store.ListParts(), (std::vector<uint32_t>{0, 3}));
+  EXPECT_EQ(store.ReadPart(3), (std::vector<std::string>{"line c"}));
+  EXPECT_EQ(store.ReadPart(7), std::vector<std::string>{});
+  EXPECT_EQ(store.ReadAll(),
+            (std::vector<std::string>{"line a", "line b", "line c"}));
+  EXPECT_GT(store.TotalBytes(), 0u);
+  store.Clear();
+  EXPECT_TRUE(store.ListParts().empty());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ThreadPoolTest, RunsAllIndicesOnce) {
+  for (unsigned threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(100);
+    pool.Run(100, [&](uint32_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  Rng c(43);
+  EXPECT_NE(Rng(42).Next(), c.Next());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    EXPECT_LT(rng.Below(10), 10u);
+  }
+}
+
+}  // namespace
+}  // namespace ppa
