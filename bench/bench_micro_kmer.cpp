@@ -1,7 +1,9 @@
-// Micro-benchmarks (google-benchmark): k-mer arithmetic and the integer-ID
+// Micro-benchmarks (google-benchmark): k-mer arithmetic, the integer-ID
 // vs string-ID design claim (A4) — "Pregel heavily checks vertex IDs for
 // message delivery, and integer IDs benefit from efficient word-level
-// instructions" (Sec. IV.A).
+// instructions" (Sec. IV.A) — and serial vs sharded-parallel (k+1)-mer
+// counting throughput on the simulated HC-2 dataset (the dominant cost of
+// DBG construction).
 #include <benchmark/benchmark.h>
 
 #include <string>
@@ -9,7 +11,9 @@
 #include <vector>
 
 #include "dbg/adjacency.h"
+#include "dbg/kmer_counter.h"
 #include "dna/kmer.h"
+#include "sim/datasets.h"
 #include "util/hash.h"
 #include "util/random.h"
 
@@ -107,6 +111,62 @@ void BM_LookupStringIds(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LookupStringIds);
+
+// ---------------------------------------------------------------------------
+// Serial vs sharded (k+1)-mer counting on HC-2-sim (paper config: k = 31,
+// theta = 2). Throughput is reported as bytes/second of read bases scanned;
+// compare BM_CountEdgeMersSerial against BM_CountEdgeMersSharded/<threads>.
+// ---------------------------------------------------------------------------
+
+const std::vector<Read>& Hc2Reads() {
+  static const Dataset dataset = MakeDataset(DatasetId::kHc2);
+  return dataset.reads;
+}
+
+KmerCountConfig Hc2CountConfig() {
+  KmerCountConfig config;
+  config.mer_length = 32;  // k = 31 edge mers
+  config.num_workers = 16;
+  config.coverage_threshold = 2;
+  return config;
+}
+
+void BM_CountEdgeMersSerial(benchmark::State& state) {
+  const std::vector<Read>& reads = Hc2Reads();
+  const KmerCountConfig config = Hc2CountConfig();
+  uint64_t bases = 0;
+  for (auto _ : state) {
+    KmerCountStats stats;
+    MerCounts counts = CountCanonicalMersSerial(reads, config, &stats);
+    benchmark::DoNotOptimize(counts);
+    bases = stats.total_bases;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bases));
+}
+BENCHMARK(BM_CountEdgeMersSerial)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_CountEdgeMersSharded(benchmark::State& state) {
+  const std::vector<Read>& reads = Hc2Reads();
+  KmerCountConfig config = Hc2CountConfig();
+  config.num_threads = static_cast<unsigned>(state.range(0));
+  uint64_t bases = 0;
+  for (auto _ : state) {
+    KmerCountStats stats;
+    MerCounts counts = CountCanonicalMers(reads, config, &stats);
+    benchmark::DoNotOptimize(counts);
+    bases = stats.total_bases;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bases));
+}
+BENCHMARK(BM_CountEdgeMersSharded)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace ppa

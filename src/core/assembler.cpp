@@ -34,6 +34,10 @@ AssemblyResult Assembler::Assemble(const std::vector<Read>& reads,
   std::vector<uint32_t> contig_ordinals(options_.num_workers, 0);
 
   // ---- (1) DBG construction. ----------------------------------------------
+  PPA_LOG(kInfo) << "k-mer counting: "
+                 << (options_.sharded_kmer_counting ? "sharded" : "serial")
+                 << " (threads=" << options_.num_threads
+                 << ", shards=" << options_.kmer_shards << "; 0 = auto)";
   DbgResult dbg = BuildDbg(reads, options_, &result.stats);
   result.kmer_vertices = dbg.graph.live_size();
   result.packed_adjacency_bytes = dbg.packed_adjacency_bytes;

@@ -1,133 +1,17 @@
 #include "core/dbg_construction.h"
 
 #include <algorithm>
-#include <unordered_map>
 #include <utility>
 
 #include "dbg/adjacency.h"
+#include "dbg/kmer_counter.h"
 #include "pregel/mapreduce.h"
 #include "util/hash.h"
 #include "util/logging.h"
-#include "util/thread_pool.h"
-#include "util/timer.h"
 
 namespace ppa {
 
 namespace {
-
-/// Phase (i): count canonical (k+1)-mers with worker-local pre-aggregation
-/// ("if a (k+1)-mer is obtained for the first time, the worker creates an
-/// (ID,count) pair; otherwise the count is increased"), shuffle aggregated
-/// pairs by (k+1)-mer ID, sum in reduce, filter by coverage threshold.
-Partitioned<std::pair<uint64_t, uint32_t>> CountEdgeMers(
-    const Partitioned<Read>& reads, const AssemblerOptions& options,
-    uint64_t* distinct_out, RunStats* stats) {
-  Timer timer;
-  const uint32_t W = options.num_workers;
-  const int edge_len = options.k + 1;
-  ThreadPool pool(options.num_threads == 0 ? ThreadPool::DefaultThreads()
-                                           : options.num_threads);
-
-  // Map with local combining: per worker, an (ID -> count) table.
-  std::vector<std::unordered_map<uint64_t, uint32_t, IdHash>> local(W);
-  pool.Run(W, [&](uint32_t w) {
-    auto& table = local[w];
-    KmerWindow window(edge_len);
-    for (const Read& read : reads[w]) {
-      window.Reset();
-      for (char c : read.bases) {
-        int b = BaseFromChar(c);
-        if (b < 0) {
-          // 'N' splits the read (Sec. IV.B-1).
-          window.Reset();
-          continue;
-        }
-        if (window.Push(static_cast<uint8_t>(b))) {
-          ++table[window.Current().Canonical().code()];
-        }
-      }
-    }
-  });
-
-  // Shuffle aggregated pairs by (k+1)-mer ID.
-  std::vector<std::vector<std::vector<std::pair<uint64_t, uint32_t>>>> routed(
-      W);
-  pool.Run(W, [&](uint32_t src) {
-    routed[src].resize(W);
-    for (const auto& [code, count] : local[src]) {
-      routed[src][Mix64(code) % W].emplace_back(code, count);
-    }
-    local[src].clear();
-  });
-
-  SuperstepStats map_ss;
-  map_ss.superstep = 0;
-  map_ss.worker_messages.resize(W);
-  map_ss.worker_bytes.resize(W);
-  map_ss.worker_ops.resize(W);
-  for (uint32_t src = 0; src < W; ++src) {
-    uint64_t sent = 0;
-    for (uint32_t d = 0; d < W; ++d) sent += routed[src][d].size();
-    map_ss.worker_messages[src] = sent;
-    map_ss.worker_bytes[src] = sent * sizeof(std::pair<uint64_t, uint32_t>);
-    uint64_t bases = 0;
-    for (const Read& r : reads[src]) bases += r.bases.size();
-    map_ss.worker_ops[src] = bases + sent;
-    map_ss.messages_sent += sent;
-    map_ss.active_vertices += reads[src].size();
-  }
-  map_ss.message_bytes =
-      map_ss.messages_sent * sizeof(std::pair<uint64_t, uint32_t>);
-  for (uint32_t src = 0; src < W; ++src) {
-    map_ss.compute_ops += map_ss.worker_ops[src];
-  }
-
-  // Reduce: sum counts per (k+1)-mer; keep only coverage > threshold... the
-  // paper keeps count > theta; we use count >= theta so theta = 1 means "no
-  // filtering" (documented in options.h).
-  Partitioned<std::pair<uint64_t, uint32_t>> surviving(W);
-  std::vector<uint64_t> distinct_per(W, 0);
-  std::vector<uint64_t> reduce_ops(W, 0);
-  pool.Run(W, [&](uint32_t d) {
-    std::unordered_map<uint64_t, uint32_t, IdHash> sums;
-    for (uint32_t src = 0; src < W; ++src) {
-      for (const auto& [code, count] : routed[src][d]) {
-        sums[code] += count;
-        ++reduce_ops[d];
-      }
-      routed[src][d].clear();
-      routed[src][d].shrink_to_fit();
-    }
-    distinct_per[d] = sums.size();
-    for (const auto& [code, count] : sums) {
-      if (count >= options.coverage_threshold) {
-        surviving[d].emplace_back(code, count);
-      }
-    }
-  });
-
-  if (distinct_out != nullptr) {
-    *distinct_out = 0;
-    for (uint32_t d = 0; d < W; ++d) *distinct_out += distinct_per[d];
-  }
-
-  if (stats != nullptr) {
-    stats->job_name = "dbg-construction-phase1";
-    stats->supersteps.push_back(std::move(map_ss));
-    SuperstepStats reduce_ss;
-    reduce_ss.superstep = 1;
-    reduce_ss.worker_messages.assign(W, 0);
-    reduce_ss.worker_bytes.assign(W, 0);
-    reduce_ss.worker_ops.assign(reduce_ops.begin(), reduce_ops.end());
-    for (uint32_t d = 0; d < W; ++d) {
-      reduce_ss.compute_ops += reduce_ops[d];
-      reduce_ss.active_vertices += surviving[d].size();
-    }
-    stats->supersteps.push_back(std::move(reduce_ss));
-    stats->wall_seconds = timer.Seconds();
-  }
-  return surviving;
-}
 
 /// Contribution of one (k+1)-mer to one endpoint vertex's adjacency list.
 struct AdjContribution {
@@ -143,14 +27,28 @@ DbgResult BuildDbg(const std::vector<Read>& reads,
   const uint32_t W = options.num_workers;
   DbgResult result(W);
 
-  Partitioned<Read> read_parts = Scatter(reads, W);
-
   // ---- Phase (i): (k+1)-mer counting + coverage filter. -------------------
-  RunStats phase1;
-  Partitioned<std::pair<uint64_t, uint32_t>> edge_mers = CountEdgeMers(
-      read_parts, options, &result.distinct_edge_mers, &phase1);
-  for (const auto& p : edge_mers) result.surviving_edge_mers += p.size();
-  if (stats != nullptr) stats->Add(phase1);
+  // Sharded parallel counting by default; the serial reference counter is
+  // the fallback (and the equivalence oracle in tests). Both apply the
+  // coverage filter as count >= theta, so theta = 1 means "no filtering"
+  // (documented in options.h), and both route survivors by
+  // Mix64(code) % W, which phase (ii)'s shuffle relies on.
+  KmerCountConfig count_config;
+  count_config.mer_length = options.k + 1;
+  count_config.num_workers = W;
+  count_config.num_threads = options.num_threads;
+  count_config.num_shards = options.kmer_shards;
+  count_config.coverage_threshold = options.coverage_threshold;
+  KmerCountStats count_stats;
+  Partitioned<std::pair<uint64_t, uint32_t>> edge_mers =
+      options.sharded_kmer_counting
+          ? CountCanonicalMers(reads, count_config, &count_stats)
+          : CountCanonicalMersSerial(reads, count_config, &count_stats);
+  result.distinct_edge_mers = count_stats.distinct_mers;
+  result.surviving_edge_mers = count_stats.surviving_mers;
+  if (stats != nullptr) {
+    stats->Add(MerCountRunStats(count_stats, W, "dbg-construction-phase1"));
+  }
 
   // ---- Phase (ii): build k-mer vertices with compressed adjacency. --------
   RunStats phase2;

@@ -19,6 +19,12 @@ struct AssemblerOptions {
   unsigned num_threads = 0;          // OS threads; 0 = hardware concurrency.
   int error_correction_rounds = 1;   // times operations 4,5 run (paper: 1).
 
+  // (k+1)-mer counting (DBG construction phase (i), dbg/kmer_counter.h).
+  bool sharded_kmer_counting = true;  // false = single-thread serial counter.
+  uint32_t kmer_shards = 0;           // counting shards; 0 = auto (4x threads),
+                                      // rounded up to a power of two and
+                                      // capped at 1024.
+
   void Validate() const {
     PPA_CHECK(k >= 3 && k <= 31);
     PPA_CHECK(k % 2 == 1);  // Odd k rules out palindromic k-mers.

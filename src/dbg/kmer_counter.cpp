@@ -1,0 +1,381 @@
+#include "dbg/kmer_counter.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <mutex>
+#include <unordered_map>
+
+#include "dna/kmer.h"
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace ppa {
+
+namespace {
+
+// A canonical code c satisfies c <= ReverseComplement(c); the all-ones word
+// reverse-complements to 0, so ~0 is never canonical for any mer length and
+// is safe as the empty-slot sentinel.
+constexpr uint64_t kEmptySlot = ~0ULL;
+
+// Codes appended per (thread, shard) buffer before it is moved into the
+// shard's chunk queue. Large enough that the per-shard mutex is touched
+// once per several thousand mers, small enough to stay cache-resident.
+constexpr size_t kFlushThreshold = 4096;
+
+// Reads claimed per grab of the shared cursor in pass 1.
+constexpr size_t kReadBlock = 256;
+
+uint64_t NextPow2(uint64_t x) { return std::bit_ceil(std::max<uint64_t>(x, 1)); }
+
+/// Shared scanning semantics of both counters: cut `read` into canonical
+/// mers, splitting at non-ACGT bases (Sec. IV.B-1), and call fn(code) for
+/// each. Keeping this in one place is what makes the serial counter a
+/// definitionally identical oracle for the sharded one.
+template <typename Fn>
+void ScanCanonicalMers(const Read& read, KmerWindow& window, Fn&& fn) {
+  window.Reset();
+  for (char c : read.bases) {
+    int b = BaseFromChar(c);
+    if (b < 0) {
+      window.Reset();
+      continue;
+    }
+    if (window.Push(static_cast<uint8_t>(b))) {
+      fn(window.Current().Canonical().code());
+    }
+  }
+}
+
+/// One shard's open-addressing (linear probing) count table. Keys are
+/// canonical mer codes; the table grows by doubling at ~70% load.
+class CountTable {
+ public:
+  explicit CountTable(uint64_t expected_distinct) {
+    Rehash(NextPow2(std::max<uint64_t>(64, expected_distinct * 2)));
+  }
+
+  void Add(uint64_t code) {
+    size_t i = Mix64(code) & mask_;
+    for (;;) {
+      if (keys_[i] == code) {
+        if (counts_[i] != UINT32_MAX) ++counts_[i];
+        return;
+      }
+      if (keys_[i] == kEmptySlot) {
+        // Grow only on actual inserts, so increment-only traffic never
+        // pays for (or triggers) a rehash.
+        if ((size_ + 1) * 10 >= capacity_ * 7) {
+          Rehash(capacity_ * 2);
+          i = Mix64(code) & mask_;
+          while (keys_[i] != kEmptySlot) i = (i + 1) & mask_;
+        }
+        keys_[i] = code;
+        counts_[i] = 1;
+        ++size_;
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  uint64_t size() const { return size_; }
+
+  /// Visits every (code, count) entry.
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (keys_[i] != kEmptySlot) fn(keys_[i], counts_[i]);
+    }
+  }
+
+ private:
+  void Rehash(uint64_t new_capacity) {
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<uint32_t> old_counts = std::move(counts_);
+    const uint64_t old_capacity = capacity_;
+    capacity_ = new_capacity;
+    mask_ = capacity_ - 1;
+    keys_.assign(capacity_, kEmptySlot);
+    counts_.assign(capacity_, 0);
+    for (uint64_t i = 0; i < old_capacity; ++i) {
+      if (old_keys[i] == kEmptySlot) continue;
+      size_t j = Mix64(old_keys[i]) & mask_;
+      while (keys_[j] != kEmptySlot) j = (j + 1) & mask_;
+      keys_[j] = old_keys[i];
+      counts_[j] = old_counts[i];
+    }
+  }
+
+  std::vector<uint64_t> keys_;
+  std::vector<uint32_t> counts_;
+  uint64_t capacity_ = 0;
+  uint64_t mask_ = 0;
+  uint64_t size_ = 0;
+};
+
+struct Shard {
+  std::mutex mu;
+  std::vector<std::vector<uint64_t>> chunks;  // flushed pass-1 buffers
+};
+
+/// Resolved execution shape of one counting job.
+struct Plan {
+  unsigned threads;
+  uint32_t shards;
+  int shard_shift;  // shard = Mix64(code) >> shard_shift (64 = single shard)
+};
+
+Plan MakePlan(const KmerCountConfig& config) {
+  Plan plan;
+  plan.threads = config.num_threads == 0 ? ThreadPool::DefaultThreads()
+                                         : config.num_threads;
+  uint64_t shards = config.num_shards == 0
+                        ? NextPow2(static_cast<uint64_t>(plan.threads) * 4)
+                        : NextPow2(config.num_shards);
+  shards = std::min<uint64_t>(shards, 1024);
+  plan.shards = static_cast<uint32_t>(shards);
+  plan.shard_shift = 64 - std::countr_zero(shards);
+  return plan;
+}
+
+}  // namespace
+
+MerCounts CountCanonicalMers(const std::vector<Read>& reads,
+                             const KmerCountConfig& config,
+                             KmerCountStats* stats) {
+  PPA_CHECK(config.mer_length >= 1 && config.mer_length <= kMaxMerLength);
+  PPA_CHECK(config.num_workers >= 1);
+  const Plan plan = MakePlan(config);
+  const uint32_t S = plan.shards;
+  const uint32_t W = config.num_workers;
+  ThreadPool pool(plan.threads);
+
+  // ---- Pass 1: partition canonical codes into shards. ----------------------
+  Timer pass1_timer;
+  std::vector<Shard> shards(S);
+  std::atomic<size_t> cursor{0};
+  std::vector<uint64_t> scanned_bases(plan.threads, 0);
+  std::vector<uint64_t> scanned_windows(plan.threads, 0);
+
+  pool.Run(plan.threads, [&](uint32_t t) {
+    // Buffers start unreserved: with S buffers per thread, eager reserves
+    // would cost threads x shards x 32 KB before any input is seen. Only a
+    // buffer that actually filled once gets the full-size replacement.
+    std::vector<std::vector<uint64_t>> local(S);
+    auto flush = [&](uint32_t s, bool refill) {
+      std::vector<uint64_t> fresh;
+      // The final drain never writes the replacement buffer, so only a
+      // mid-scan flush pays for the full-size reserve.
+      if (refill) fresh.reserve(kFlushThreshold);
+      std::lock_guard<std::mutex> lock(shards[s].mu);
+      shards[s].chunks.push_back(std::move(local[s]));
+      local[s] = std::move(fresh);
+    };
+
+    // Accumulate scan totals in locals; the shared per-thread slots are
+    // written once at the end, keeping the hot loop free of cross-thread
+    // cache-line traffic.
+    uint64_t bases = 0;
+    uint64_t windows = 0;
+    KmerWindow window(config.mer_length);
+    for (;;) {
+      const size_t begin = cursor.fetch_add(kReadBlock);
+      if (begin >= reads.size()) break;
+      const size_t end = std::min(begin + kReadBlock, reads.size());
+      for (size_t r = begin; r < end; ++r) {
+        bases += reads[r].bases.size();
+        ScanCanonicalMers(reads[r], window, [&](uint64_t code) {
+          const uint32_t s =
+              plan.shard_shift >= 64
+                  ? 0
+                  : static_cast<uint32_t>(Mix64(code) >> plan.shard_shift);
+          ++windows;
+          local[s].push_back(code);
+          if (local[s].size() >= kFlushThreshold) flush(s, /*refill=*/true);
+        });
+      }
+    }
+    for (uint32_t s = 0; s < S; ++s) {
+      if (!local[s].empty()) flush(s, /*refill=*/false);
+    }
+    scanned_bases[t] = bases;
+    scanned_windows[t] = windows;
+  });
+  const double pass1_seconds = pass1_timer.Seconds();
+
+  // ---- Pass 2: count each shard independently, filter, route. --------------
+  Timer pass2_timer;
+  std::vector<uint64_t> distinct_per_shard(S, 0);
+  std::vector<uint64_t> windows_per_shard(S, 0);
+  std::vector<MerCounts> shard_out(S);
+  pool.Run(S, [&](uint32_t s) {
+    uint64_t total = 0;
+    for (const auto& chunk : shards[s].chunks) total += chunk.size();
+    windows_per_shard[s] = total;
+    // Start from a coverage-informed estimate; the table grows if the data
+    // turns out more diverse.
+    CountTable table(total / 4 + 16);
+    for (const auto& chunk : shards[s].chunks) {
+      for (uint64_t code : chunk) table.Add(code);
+    }
+    shards[s].chunks.clear();
+    shards[s].chunks.shrink_to_fit();
+    distinct_per_shard[s] = table.size();
+    shard_out[s].resize(W);
+    table.ForEach([&](uint64_t code, uint32_t count) {
+      if (count >= config.coverage_threshold) {
+        shard_out[s][Mix64(code) % W].emplace_back(code, count);
+      }
+    });
+  });
+
+  // Concatenate the per-shard slices of each output partition.
+  MerCounts result(W);
+  pool.Run(W, [&](uint32_t d) {
+    size_t total = 0;
+    for (uint32_t s = 0; s < S; ++s) total += shard_out[s][d].size();
+    result[d].reserve(total);
+    for (uint32_t s = 0; s < S; ++s) {
+      auto& slice = shard_out[s][d];
+      std::move(slice.begin(), slice.end(), std::back_inserter(result[d]));
+      slice.clear();
+    }
+  });
+  const double pass2_seconds = pass2_timer.Seconds();
+
+  if (stats != nullptr) {
+    *stats = KmerCountStats{};
+    stats->shards = S;
+    stats->threads = plan.threads;
+    stats->pass1_seconds = pass1_seconds;
+    stats->pass2_seconds = pass2_seconds;
+    for (unsigned t = 0; t < plan.threads; ++t) {
+      stats->total_bases += scanned_bases[t];
+      stats->total_windows += scanned_windows[t];
+    }
+    for (uint32_t s = 0; s < S; ++s) {
+      stats->distinct_mers += distinct_per_shard[s];
+    }
+    for (uint32_t d = 0; d < W; ++d) stats->surviving_mers += result[d].size();
+    stats->shuffled_messages = stats->total_windows;
+    stats->message_size = sizeof(uint64_t);
+    stats->shard_windows = std::move(windows_per_shard);
+  }
+  return result;
+}
+
+MerCounts CountCanonicalMersSerial(const std::vector<Read>& reads,
+                                   const KmerCountConfig& config,
+                                   KmerCountStats* stats) {
+  PPA_CHECK(config.mer_length >= 1 && config.mer_length <= kMaxMerLength);
+  PPA_CHECK(config.num_workers >= 1);
+  Timer timer;
+  const uint32_t W = config.num_workers;
+
+  uint64_t total_bases = 0;
+  uint64_t total_windows = 0;
+  std::unordered_map<uint64_t, uint32_t, IdHash> counts;
+  KmerWindow window(config.mer_length);
+  for (const Read& read : reads) {
+    total_bases += read.bases.size();
+    ScanCanonicalMers(read, window, [&](uint64_t code) {
+      ++total_windows;
+      // Saturate like the sharded tables so the bit-identical contract
+      // holds even in the extreme-coverage regime.
+      uint32_t& count = counts[code];
+      if (count != UINT32_MAX) ++count;
+    });
+  }
+
+  MerCounts result(W);
+  for (const auto& [code, count] : counts) {
+    if (count >= config.coverage_threshold) {
+      result[Mix64(code) % W].emplace_back(code, count);
+    }
+  }
+
+  if (stats != nullptr) {
+    *stats = KmerCountStats{};
+    stats->shards = 1;
+    stats->threads = 1;
+    stats->total_bases = total_bases;
+    stats->total_windows = total_windows;
+    stats->distinct_mers = counts.size();
+    for (uint32_t d = 0; d < W; ++d) stats->surviving_mers += result[d].size();
+    stats->pass2_seconds = timer.Seconds();
+    // Seed shuffle model: one locally pre-aggregated (code, count) pair per
+    // distinct mer.
+    stats->shuffled_messages = counts.size();
+    stats->message_size = sizeof(std::pair<uint64_t, uint32_t>);
+  }
+  return result;
+}
+
+RunStats MerCountRunStats(const KmerCountStats& stats, uint32_t num_workers,
+                          const std::string& job_name) {
+  RunStats run;
+  run.job_name = job_name;
+  run.wall_seconds = stats.pass1_seconds + stats.pass2_seconds;
+
+  // Even split with the remainder on the low workers, so totals stay exact.
+  // Used where no per-worker measurement exists (the serial fallback, and
+  // the base-scan cost, which hash sharding balances to first order).
+  auto even_share = [num_workers](uint64_t total, uint32_t w) {
+    return total / num_workers + (w < total % num_workers ? 1 : 0);
+  };
+  // Measured shard loads folded into worker slots (shard s -> s % W); this
+  // preserves real shard imbalance for the cluster model's skew estimate.
+  std::vector<uint64_t> measured(num_workers, 0);
+  const bool has_shard_loads = !stats.shard_windows.empty();
+  if (has_shard_loads) {
+    for (size_t s = 0; s < stats.shard_windows.size(); ++s) {
+      measured[s % num_workers] += stats.shard_windows[s];
+    }
+  }
+  // Per-worker share of the shuffled units: measured shard loads when
+  // available, even split otherwise.
+  auto message_share = [&](uint32_t w) {
+    return has_shard_loads ? measured[w]
+                           : even_share(stats.shuffled_messages, w);
+  };
+
+  // Map/shuffle superstep: one message per shuffled unit (raw code for the
+  // sharded counter, pre-aggregated pair for the serial fallback — matching
+  // the seed model, which also charged map/reduce ops in aggregated pairs).
+  SuperstepStats map_ss;
+  map_ss.superstep = 0;
+  map_ss.active_vertices = stats.distinct_mers;
+  map_ss.messages_sent = stats.shuffled_messages;
+  map_ss.message_bytes = stats.shuffled_messages * stats.message_size;
+  map_ss.compute_ops = stats.total_bases + stats.shuffled_messages;
+  map_ss.worker_messages.assign(num_workers, 0);
+  map_ss.worker_bytes.assign(num_workers, 0);
+  map_ss.worker_ops.assign(num_workers, 0);
+  for (uint32_t w = 0; w < num_workers; ++w) {
+    map_ss.worker_messages[w] = message_share(w);
+    map_ss.worker_bytes[w] = map_ss.worker_messages[w] * stats.message_size;
+    map_ss.worker_ops[w] = even_share(stats.total_bases, w) + message_share(w);
+  }
+  run.supersteps.push_back(std::move(map_ss));
+
+  // Reduce superstep: one op per shuffled unit (table insert per raw code,
+  // or pair summation per aggregated pair); survivors come out.
+  SuperstepStats reduce_ss;
+  reduce_ss.superstep = 1;
+  reduce_ss.active_vertices = stats.surviving_mers;
+  reduce_ss.compute_ops = stats.shuffled_messages;
+  reduce_ss.worker_messages.assign(num_workers, 0);
+  reduce_ss.worker_bytes.assign(num_workers, 0);
+  reduce_ss.worker_ops.assign(num_workers, 0);
+  for (uint32_t w = 0; w < num_workers; ++w) {
+    reduce_ss.worker_ops[w] = message_share(w);
+  }
+  run.supersteps.push_back(std::move(reduce_ss));
+  return run;
+}
+
+}  // namespace ppa

@@ -1,0 +1,104 @@
+// Sharded multi-threaded canonical k-mer counting.
+//
+// The dominant cost of DBG construction (Sec. IV.B-1 phase (i)) is counting
+// canonical (k+1)-mers over all reads. The seed implementation counted into
+// per-logical-worker std::unordered_maps; this subsystem replaces it with
+// the two-pass sharded design proven in k-mer tools such as yak:
+//
+//   Pass 1 (partition): scanner threads cut reads into canonical mer codes
+//   and append each code to a thread-local buffer for its target shard
+//   (shard = high bits of Mix64(code)). A full buffer is moved into the
+//   shard's chunk queue under a per-shard mutex — the mutex is taken once
+//   per few thousand mers, so the per-base hot path takes no locks and
+//   shares no cache lines between threads.
+//
+//   Pass 2 (count): each shard owns a disjoint slice of mer space, so the
+//   shards are counted fully independently in parallel, one open-addressing
+//   (linear-probe) table per shard. No atomics, no merging of tables.
+//
+// Survivors of the coverage filter are routed into `num_workers` output
+// partitions by Mix64(code) % num_workers — the same routing the seed path
+// used — so downstream phase (ii) MapReduce consumes the result unchanged.
+//
+// Memory tradeoff: the pass-1/pass-2 barrier holds the whole raw code
+// stream (8 bytes per window, i.e. proportional to coverage x genome size),
+// where the replaced pre-aggregating path peaked at ~12 bytes per distinct
+// mer. That is the classic time/memory trade of two-pass counters; for
+// inputs where it matters, spill the shard queues to disk or count shards
+// concurrently with the scan (ROADMAP open item), or fall back to the
+// serial counter.
+//
+// Compared to the hash-map seed path, the shuffle unit is a raw 8-byte code
+// rather than a locally pre-aggregated (code, count) pair; RunStats built
+// from KmerCountStats therefore report the raw window count as the sharded
+// path's message volume, while the serial fallback keeps the seed model of
+// one aggregated pair per distinct mer — so PipelineStats comparisons
+// between the two paths show their genuinely different shuffle costs.
+#ifndef PPA_DBG_KMER_COUNTER_H_
+#define PPA_DBG_KMER_COUNTER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "dna/read.h"
+#include "pregel/mapreduce.h"
+#include "pregel/stats.h"
+
+namespace ppa {
+
+/// Configuration of one counting job.
+struct KmerCountConfig {
+  int mer_length = 32;         // length of the counted mers; <= 32.
+  uint32_t num_workers = 16;   // output partitions (Mix64(code) % W routing).
+  unsigned num_threads = 0;    // OS threads; 0 = hardware concurrency.
+  uint32_t num_shards = 0;     // rounded up to a power of two, capped at
+                               // 1024; 0 = auto (4x threads).
+  uint32_t coverage_threshold = 1;  // keep mers with count >= threshold.
+};
+
+/// Execution metrics of one counting job (feeds RunStats / benches).
+struct KmerCountStats {
+  uint64_t total_bases = 0;     // bases scanned (incl. 'N')
+  uint64_t total_windows = 0;   // canonical mers emitted (with duplicates)
+  uint64_t distinct_mers = 0;   // distinct canonical mers
+  uint64_t surviving_mers = 0;  // after the coverage-threshold filter
+  uint32_t shards = 0;          // shard count actually used
+  unsigned threads = 0;         // thread count actually used
+  double pass1_seconds = 0;     // partition pass
+  double pass2_seconds = 0;     // count pass
+
+  // Shuffle model for RunStats: the sharded counter moves one raw 8-byte
+  // code per window; the serial fallback models the paper's worker-local
+  // pre-aggregation, one (code, count) pair per distinct mer.
+  uint64_t shuffled_messages = 0;
+  uint32_t message_size = sizeof(uint64_t);
+  // Codes landing in each shard (sharded counter only; empty for serial).
+  // This is the measured pass-2 load, used for per-worker skew attribution.
+  std::vector<uint64_t> shard_windows;
+};
+
+/// (canonical code, count) pairs partitioned by Mix64(code) % num_workers.
+using MerCounts = Partitioned<std::pair<uint64_t, uint32_t>>;
+
+/// Two-pass sharded parallel counter (the hot path).
+MerCounts CountCanonicalMers(const std::vector<Read>& reads,
+                             const KmerCountConfig& config,
+                             KmerCountStats* stats = nullptr);
+
+/// Single-threaded reference counter. Bit-identical multiset of (code,
+/// count) pairs per output partition as the sharded counter; used as the
+/// `--serial` fallback and as the property-test oracle.
+MerCounts CountCanonicalMersSerial(const std::vector<Read>& reads,
+                                   const KmerCountConfig& config,
+                                   KmerCountStats* stats = nullptr);
+
+/// Renders counting metrics as a two-superstep RunStats (partition pass =
+/// map + shuffle, count pass = reduce) so the pipeline's cluster-model
+/// bookkeeping keeps working across the old and new counting paths.
+RunStats MerCountRunStats(const KmerCountStats& stats, uint32_t num_workers,
+                          const std::string& job_name);
+
+}  // namespace ppa
+
+#endif  // PPA_DBG_KMER_COUNTER_H_

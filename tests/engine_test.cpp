@@ -196,6 +196,51 @@ TEST(EngineTest, StatsTrackPerWorkerLoads) {
   EXPECT_EQ(first.message_bytes, first.messages_sent * sizeof(uint64_t));
 }
 
+// Aggregator sums must be deterministic regardless of how many OS threads
+// execute the logical workers: slot totals are summed per worker at the
+// barrier, never concurrently mutated.
+TEST(EngineTest, AggregatorDeterministicUnderConcurrency) {
+  constexpr uint64_t kVertices = 257;  // prime-ish: uneven partitions
+  uint64_t expected_id_sum = 0;
+  for (uint64_t id = 1; id <= kVertices; ++id) expected_id_sum += id * 3;
+
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    PartitionedGraph<AggVertex> graph(8);
+    for (uint64_t id = 1; id <= kVertices; ++id) {
+      AggVertex v;
+      v.id = id * 3;
+      graph.Add(std::move(v));
+    }
+    Engine<AggVertex> engine({.num_threads = threads, .job_name = "agg-mt"});
+    engine.Run(graph);
+    const uint64_t expected = kVertices * 1000 + expected_id_sum;
+    for (uint64_t id = 1; id <= kVertices; ++id) {
+      ASSERT_EQ(graph.Find(id * 3)->seen_at_step1, expected)
+          << "threads=" << threads << " id=" << id * 3;
+    }
+  }
+}
+
+// Combiner correctness with num_threads > 1: message sums are preserved
+// exactly, and sender-side combining still bounds the shuffle volume at one
+// message per (source partition, destination).
+TEST(EngineTest, CombinerCorrectUnderConcurrency) {
+  constexpr uint64_t kSenders = 96;
+  constexpr uint32_t kWorkers = 8;
+  PartitionedGraph<CombVertex> graph(kWorkers);
+  for (uint64_t id = 0; id <= kSenders; ++id) {
+    CombVertex v;
+    v.id = id;
+    graph.Add(std::move(v));
+  }
+  Engine<CombVertex> engine({.num_threads = 4, .job_name = "combine-mt"});
+  RunStats stats = engine.Run(graph);
+  // Sum preserved exactly: every sender id in [1, kSenders] sends id thrice.
+  EXPECT_EQ(graph.Find(0)->received, 3 * kSenders * (kSenders + 1) / 2);
+  // At most one combined message per source partition reaches vertex 0.
+  EXPECT_LE(stats.supersteps[0].messages_sent, kWorkers);
+}
+
 TEST(ConvertTest, ReshufflesByNewIds) {
   PartitionedGraph<MaxVertex> src(4);
   for (uint64_t id = 0; id < 20; ++id) {

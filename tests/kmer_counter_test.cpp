@@ -1,0 +1,259 @@
+// Tests for the sharded parallel k-mer counter: the central property is
+// that the sharded counter and the single-thread serial reference produce
+// bit-identical (code, count) sets, per output partition, on simulated
+// genomes across k-mer sizes, thread counts and shard counts.
+#include "dbg/kmer_counter.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "dna/kmer.h"
+#include "sim/genome.h"
+#include "sim/read_simulator.h"
+#include "util/hash.h"
+
+namespace ppa {
+namespace {
+
+using Pair = std::pair<uint64_t, uint32_t>;
+
+std::vector<std::vector<Pair>> SortedPartitions(const MerCounts& counts) {
+  std::vector<std::vector<Pair>> out;
+  out.reserve(counts.size());
+  for (const auto& part : counts) {
+    std::vector<Pair> sorted(part.begin(), part.end());
+    std::sort(sorted.begin(), sorted.end());
+    out.push_back(std::move(sorted));
+  }
+  return out;
+}
+
+std::vector<Read> SimulatedReads(uint64_t genome_length, double coverage,
+                                 double error_rate, uint64_t seed) {
+  GenomeConfig genome_config;
+  genome_config.length = genome_length;
+  genome_config.seed = seed;
+  PackedSequence reference = GenerateGenome(genome_config);
+  ReadSimConfig read_config;
+  read_config.coverage = coverage;
+  read_config.error_rate = error_rate;
+  read_config.seed = seed + 1;
+  return SimulateReads(reference, read_config);
+}
+
+// The headline property: parallel sharded counts are bit-identical to the
+// serial reference, per output partition, for every (k, threads) combo the
+// issue calls out.
+TEST(KmerCounterTest, ShardedMatchesSerialAcrossKAndThreads) {
+  std::vector<Read> reads = SimulatedReads(20000, 12.0, 0.01, 99);
+  for (int k : {15, 21, 31}) {
+    KmerCountConfig config;
+    config.mer_length = k;
+    config.num_workers = 4;
+    config.coverage_threshold = 1;
+    auto expected = SortedPartitions(CountCanonicalMersSerial(reads, config));
+    for (unsigned threads : {1u, 4u, 8u}) {
+      config.num_threads = threads;
+      config.num_shards = 0;  // auto
+      KmerCountStats stats;
+      auto actual =
+          SortedPartitions(CountCanonicalMers(reads, config, &stats));
+      EXPECT_EQ(actual, expected) << "k=" << k << " threads=" << threads;
+      EXPECT_EQ(stats.threads, threads);
+    }
+  }
+}
+
+TEST(KmerCounterTest, ShardedMatchesSerialAcrossShardCounts) {
+  std::vector<Read> reads = SimulatedReads(15000, 10.0, 0.02, 7);
+  KmerCountConfig config;
+  config.mer_length = 21;
+  config.num_workers = 3;
+  config.num_threads = 4;
+  auto expected = SortedPartitions(CountCanonicalMersSerial(reads, config));
+  for (uint32_t shards : {1u, 2u, 16u, 128u}) {
+    config.num_shards = shards;
+    KmerCountStats stats;
+    auto actual = SortedPartitions(CountCanonicalMers(reads, config, &stats));
+    EXPECT_EQ(actual, expected) << "shards=" << shards;
+    EXPECT_EQ(stats.shards, shards);
+  }
+}
+
+TEST(KmerCounterTest, CoverageThresholdFiltersBothPathsIdentically) {
+  std::vector<Read> reads = SimulatedReads(10000, 15.0, 0.03, 11);
+  for (uint32_t theta : {1u, 2u, 5u}) {
+    KmerCountConfig config;
+    config.mer_length = 17;
+    config.num_workers = 2;
+    config.num_threads = 4;
+    config.coverage_threshold = theta;
+    KmerCountStats serial_stats, sharded_stats;
+    auto expected = SortedPartitions(
+        CountCanonicalMersSerial(reads, config, &serial_stats));
+    auto actual =
+        SortedPartitions(CountCanonicalMers(reads, config, &sharded_stats));
+    EXPECT_EQ(actual, expected) << "theta=" << theta;
+    EXPECT_EQ(sharded_stats.distinct_mers, serial_stats.distinct_mers);
+    EXPECT_EQ(sharded_stats.surviving_mers, serial_stats.surviving_mers);
+    EXPECT_EQ(sharded_stats.total_windows, serial_stats.total_windows);
+    if (theta == 1) {
+      EXPECT_EQ(sharded_stats.surviving_mers, sharded_stats.distinct_mers);
+    } else {
+      EXPECT_LE(sharded_stats.surviving_mers, sharded_stats.distinct_mers);
+    }
+  }
+}
+
+// Hand-checkable case: 'N' splits a read, and fragments shorter than the
+// mer length contribute nothing.
+TEST(KmerCounterTest, NSplitsReads) {
+  Read read;
+  read.name = "r1";
+  read.bases = "ACGTANGTCANGG";  // fragments: ACGTA, GTCA, GG
+  KmerCountConfig config;
+  config.mer_length = 3;
+  config.num_workers = 1;
+  config.num_threads = 2;
+  KmerCountStats stats;
+  MerCounts counts = CountCanonicalMers({read}, config, &stats);
+  // ACGTA -> ACG, CGT, GTA; GTCA -> GTC, TCA; GG is too short.
+  EXPECT_EQ(stats.total_windows, 5u);
+  uint64_t total = 0;
+  for (const auto& [code, count] : counts[0]) total += count;
+  EXPECT_EQ(total, 5u);
+  // All codes are canonical.
+  for (const auto& [code, count] : counts[0]) {
+    EXPECT_TRUE(Kmer(code, 3).IsCanonical());
+  }
+}
+
+// A read and its reverse complement count the same canonical mers.
+TEST(KmerCounterTest, StrandSymmetry) {
+  Read fwd;
+  fwd.bases = "ACGGTTACGGATCCGTAAGGCT";
+  Read rev;
+  for (auto it = fwd.bases.rbegin(); it != fwd.bases.rend(); ++it) {
+    switch (*it) {
+      case 'A': rev.bases += 'T'; break;
+      case 'C': rev.bases += 'G'; break;
+      case 'G': rev.bases += 'C'; break;
+      default: rev.bases += 'A'; break;
+    }
+  }
+  KmerCountConfig config;
+  config.mer_length = 5;
+  config.num_workers = 2;
+  auto a = SortedPartitions(CountCanonicalMers({fwd}, config));
+  auto b = SortedPartitions(CountCanonicalMers({rev}, config));
+  EXPECT_EQ(a, b);
+}
+
+TEST(KmerCounterTest, EmptyAndShortInputs) {
+  KmerCountConfig config;
+  config.mer_length = 31;
+  config.num_workers = 4;
+  config.num_threads = 4;
+  KmerCountStats stats;
+  MerCounts empty = CountCanonicalMers({}, config, &stats);
+  ASSERT_EQ(empty.size(), 4u);
+  for (const auto& part : empty) EXPECT_TRUE(part.empty());
+  EXPECT_EQ(stats.total_windows, 0u);
+
+  Read short_read;
+  short_read.bases = "ACGTACGT";  // 8 < 31
+  MerCounts still_empty = CountCanonicalMers({short_read}, config, &stats);
+  for (const auto& part : still_empty) EXPECT_TRUE(part.empty());
+  EXPECT_EQ(stats.total_windows, 0u);
+  EXPECT_EQ(stats.total_bases, 8u);
+}
+
+// Routing invariant phase (ii) depends on: partition d holds exactly the
+// codes with Mix64(code) % W == d.
+TEST(KmerCounterTest, PartitionRoutingInvariant) {
+  std::vector<Read> reads = SimulatedReads(8000, 8.0, 0.01, 3);
+  KmerCountConfig config;
+  config.mer_length = 21;
+  config.num_workers = 5;
+  config.num_threads = 4;
+  MerCounts counts = CountCanonicalMers(reads, config);
+  ASSERT_EQ(counts.size(), 5u);
+  for (uint32_t d = 0; d < counts.size(); ++d) {
+    for (const auto& [code, count] : counts[d]) {
+      EXPECT_EQ(Mix64(code) % 5, d);
+      EXPECT_GE(count, 1u);
+    }
+  }
+}
+
+// Forces the open-addressing tables through several growth/rehash cycles:
+// high error rate + low coverage maximizes distinct mers per shard.
+TEST(KmerCounterTest, TableGrowthPreservesCounts) {
+  std::vector<Read> reads = SimulatedReads(60000, 4.0, 0.08, 17);
+  KmerCountConfig config;
+  config.mer_length = 31;
+  config.num_workers = 2;
+  config.num_threads = 4;
+  config.num_shards = 2;  // few shards -> large tables -> growth
+  KmerCountStats stats;
+  auto expected = SortedPartitions(CountCanonicalMersSerial(reads, config));
+  auto actual = SortedPartitions(CountCanonicalMers(reads, config, &stats));
+  EXPECT_EQ(actual, expected);
+  EXPECT_GT(stats.distinct_mers, 60000u);  // enough to force rehashing
+}
+
+TEST(KmerCounterTest, RunStatsTotalsAreExact) {
+  std::vector<Read> reads = SimulatedReads(5000, 10.0, 0.01, 23);
+  KmerCountConfig config;
+  config.mer_length = 21;
+  config.num_workers = 4;
+  KmerCountStats stats;
+  CountCanonicalMers(reads, config, &stats);
+  // Sharded shuffle model: one raw 8-byte code per window, and per-shard
+  // measured loads folded into the worker slots.
+  EXPECT_EQ(stats.shuffled_messages, stats.total_windows);
+  EXPECT_EQ(stats.message_size, sizeof(uint64_t));
+  ASSERT_EQ(stats.shard_windows.size(), stats.shards);
+  uint64_t shard_sum = 0;
+  for (uint64_t w : stats.shard_windows) shard_sum += w;
+  EXPECT_EQ(shard_sum, stats.total_windows);
+
+  RunStats run = MerCountRunStats(stats, 4, "phase1");
+  ASSERT_EQ(run.num_supersteps(), 2u);
+  EXPECT_EQ(run.total_messages(), stats.total_windows);
+  // Per-worker attributions sum exactly to the totals.
+  const SuperstepStats& map_ss = run.supersteps[0];
+  uint64_t worker_sum = 0;
+  for (uint64_t m : map_ss.worker_messages) worker_sum += m;
+  EXPECT_EQ(worker_sum, map_ss.messages_sent);
+  uint64_t ops_sum = 0;
+  for (uint64_t o : map_ss.worker_ops) ops_sum += o;
+  EXPECT_EQ(ops_sum, map_ss.compute_ops);
+}
+
+// The serial fallback keeps the seed's shuffle model (one pre-aggregated
+// pair per distinct mer), so PipelineStats comparisons between the two
+// paths reflect their genuinely different communication costs.
+TEST(KmerCounterTest, SerialRunStatsUseAggregatedPairModel) {
+  std::vector<Read> reads = SimulatedReads(5000, 10.0, 0.01, 23);
+  KmerCountConfig config;
+  config.mer_length = 21;
+  config.num_workers = 4;
+  KmerCountStats stats;
+  CountCanonicalMersSerial(reads, config, &stats);
+  EXPECT_EQ(stats.shuffled_messages, stats.distinct_mers);
+  EXPECT_EQ(stats.message_size, (sizeof(std::pair<uint64_t, uint32_t>)));
+  EXPECT_TRUE(stats.shard_windows.empty());
+
+  RunStats run = MerCountRunStats(stats, 4, "phase1-serial");
+  EXPECT_EQ(run.total_messages(), stats.distinct_mers);
+  uint64_t worker_sum = 0;
+  for (uint64_t m : run.supersteps[0].worker_messages) worker_sum += m;
+  EXPECT_EQ(worker_sum, stats.distinct_mers);
+}
+
+}  // namespace
+}  // namespace ppa
