@@ -6,6 +6,7 @@
 // DBG construction).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -165,6 +166,37 @@ BENCHMARK(BM_CountEdgeMersSharded)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Streaming ingestion (CounterSession): same work as the sharded batch
+// counter but counting overlaps scanning under a bounded queue — compare
+// against BM_CountEdgeMersSharded to price the streaming memory bound.
+// Arg is the queued-code bound (0 = default 4 Mi codes).
+void BM_CountEdgeMersStream(benchmark::State& state) {
+  const std::vector<Read>& reads = Hc2Reads();
+  KmerCountConfig config = Hc2CountConfig();
+  config.num_threads = 4;
+  const uint64_t bound = static_cast<uint64_t>(state.range(0));
+  uint64_t bases = 0;
+  for (auto _ : state) {
+    CounterSession session(config, bound);
+    constexpr size_t kBatch = 1024;
+    for (size_t begin = 0; begin < reads.size(); begin += kBatch) {
+      session.AddBatch(reads.data() + begin,
+                       std::min(kBatch, reads.size() - begin));
+    }
+    KmerCountStats stats;
+    MerCounts counts = session.Finish(&stats);
+    benchmark::DoNotOptimize(counts);
+    bases = stats.total_bases;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bases));
+}
+BENCHMARK(BM_CountEdgeMersStream)
+    ->Arg(0)
+    ->Arg(1 << 16)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

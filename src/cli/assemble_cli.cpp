@@ -1,0 +1,338 @@
+#include "cli/assemble_cli.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "core/assembler.h"
+#include "core/dbg_construction.h"
+#include "io/fasta_writer.h"
+#include "io/fastx.h"
+#include "quality/quast.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace ppa {
+
+namespace {
+
+bool ParseU64(const std::string& s, uint64_t* out) {
+  // strtoull would silently negate "-1" to 2^64-1, so reject any sign.
+  if (s.empty() || !std::isdigit(static_cast<unsigned char>(s[0]))) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end == s.c_str() || *end != '\0') return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+/// The streaming-vs-in-memory selector and coverage knobs the report names.
+const char* CountingModeName(const AssembleCliOptions& opts) {
+  if (!opts.in_memory) return "stream";
+  return opts.assembler.sharded_kmer_counting ? "in-memory-sharded"
+                                              : "in-memory-serial";
+}
+
+/// The one rendering of ingest + counting metrics (both report modes).
+void WriteIngestLines(std::ostream& out, const char* mode, uint64_t reads,
+                      uint64_t bases, uint64_t batches,
+                      const KmerCountStats& counting) {
+  out << "reads=" << reads << " bases=" << bases << " batches=" << batches
+      << '\n';
+  out << "counting: mode=" << mode << " shards=" << counting.shards
+      << " threads=" << counting.threads
+      << " windows=" << counting.total_windows
+      << " distinct=" << counting.distinct_mers
+      << " surviving=" << counting.surviving_mers
+      << " peak_queued_codes=" << counting.peak_queued_codes
+      << " queue_bound=" << counting.queue_bound << '\n';
+}
+
+void WriteReport(const AssembleCliOptions& opts, std::ostream& out,
+                 uint64_t reads, uint64_t bases, uint64_t batches,
+                 const KmerCountStats& counting, const PipelineStats& pipeline,
+                 uint64_t kmer_vertices,
+                 const std::vector<std::string>& contigs,
+                 double wall_seconds) {
+  out << "== ppa_assemble report ==\n";
+  out << "inputs:";
+  for (const std::string& path : opts.inputs) out << ' ' << path;
+  out << '\n';
+  WriteIngestLines(out, CountingModeName(opts), reads, bases, batches,
+                   counting);
+  out << "pipeline: jobs=" << pipeline.jobs.size()
+      << " supersteps=" << pipeline.total_supersteps()
+      << " messages=" << pipeline.total_messages()
+      << " wall_seconds=" << wall_seconds << '\n';
+  out << "dbg: kmer_vertices=" << kmer_vertices << '\n';
+
+  PackedSequence reference;
+  const PackedSequence* reference_ptr = nullptr;
+  if (!opts.reference.empty()) {
+    std::vector<Read> ref = ParseFasta(ReadFile(opts.reference));
+    if (ref.size() > 1) {
+      // The QUAST-style assessor aligns against a single sequence.
+      out << "warning: reference has " << ref.size()
+          << " records; metrics use only the first ('" << ref[0].name
+          << "')\n";
+    }
+    if (!ref.empty()) {
+      reference = PackedSequence::FromString(ref[0].bases);
+      reference_ptr = &reference;
+    }
+  }
+  QuastConfig quast_config;
+  quast_config.min_contig = opts.min_contig;
+  QuastReport report = EvaluateAssembly(contigs, reference_ptr, quast_config);
+  out << "contigs: count=" << report.num_contigs
+      << " total_length=" << report.total_length << " n50=" << report.n50
+      << " largest=" << report.largest_contig << '\n';
+  out << FormatReport(report);
+}
+
+}  // namespace
+
+std::string AssembleCliUsage() {
+  return
+      "usage: ppa_assemble [options] <reads.{fasta,fastq}[.gz]> [more "
+      "inputs...]\n"
+      "\n"
+      "Runs the six-operation PPA-assembler pipeline on FASTA/FASTQ input,\n"
+      "streaming reads through bounded memory, and writes contig FASTA plus\n"
+      "a stats report.\n"
+      "\n"
+      "pipeline options (defaults mirror AssemblerOptions):\n"
+      "  -k INT              k-mer size, odd, <= 31 (default 31)\n"
+      "  --theta INT         min (k+1)-mer coverage kept (default 2)\n"
+      "  --tip-length INT    tip length threshold (default 80)\n"
+      "  --bubble-edit INT   bubble edit-distance threshold (default 5)\n"
+      "  --workers INT       logical Pregel workers (default 16)\n"
+      "  --threads INT       OS threads; 0 = hardware (default 0). While\n"
+      "                      streaming, counting overlaps scanning, so up\n"
+      "                      to 2x this many threads exist (counters sleep\n"
+      "                      unless scanners outrun them)\n"
+      "  --rounds INT        error-correction rounds (default 1)\n"
+      "  --labeling lr|sv    contig labeling method (default lr)\n"
+      "\n"
+      "counting options:\n"
+      "  --shards INT        counting shards; 0 = auto\n"
+      "  --queue-codes INT   bound on buffered pass-1 codes (streaming;\n"
+      "                      0 = default 4Mi codes = 32 MB)\n"
+      "  --in-memory         load all reads, use the in-memory pipeline\n"
+      "  --serial-counting   with --in-memory: single-thread reference "
+      "counter\n"
+      "\n"
+      "streaming options:\n"
+      "  --batch-reads INT   max records per batch (default 1024)\n"
+      "  --batch-bases INT   max bases per batch (default 1 Mbp)\n"
+      "  --queue-depth INT   batches buffered ahead of consumers (default 4)\n"
+      "\n"
+      "output options:\n"
+      "  --contigs PATH      contig FASTA (default contigs.fasta)\n"
+      "  --dbg-out PATH      run DBG construction only; write the graph as\n"
+      "                      FASTA-with-adjacency and stop\n"
+      "  --stats PATH        stats report (default: stdout)\n"
+      "  --reference PATH    reference FASTA for QUAST-style metrics\n"
+      "  --min-contig INT    assessment cutoff (default 500)\n"
+      "  --verbose           info-level logging\n"
+      "  --help              this text\n";
+}
+
+bool ParseAssembleCliArgs(int argc, const char* const* argv,
+                          AssembleCliOptions* opts, bool* help,
+                          std::string* error) {
+  *help = false;
+  auto need_value = [&](int i, const std::string& flag) {
+    if (i + 1 < argc) return true;
+    *error = flag + " requires a value";
+    return false;
+  };
+  auto u64_flag = [&](const std::string& flag, const std::string& value,
+                      uint64_t* out) {
+    if (ParseU64(value, out)) return true;
+    *error = flag + ": expected a non-negative integer, got '" + value + "'";
+    return false;
+  };
+
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    uint64_t v = 0;
+    if (arg == "--help" || arg == "-h") {
+      *help = true;
+      return true;
+    } else if (arg == "-k" || arg == "--k") {
+      if (!need_value(i, arg) || !u64_flag(arg, argv[++i], &v)) return false;
+      opts->assembler.k = static_cast<int>(v);
+    } else if (arg == "--theta" || arg == "--coverage-threshold") {
+      if (!need_value(i, arg) || !u64_flag(arg, argv[++i], &v)) return false;
+      opts->assembler.coverage_threshold = static_cast<uint32_t>(v);
+    } else if (arg == "--tip-length") {
+      if (!need_value(i, arg) || !u64_flag(arg, argv[++i], &v)) return false;
+      opts->assembler.tip_length_threshold = static_cast<uint32_t>(v);
+    } else if (arg == "--bubble-edit") {
+      if (!need_value(i, arg) || !u64_flag(arg, argv[++i], &v)) return false;
+      opts->assembler.bubble_edit_distance = static_cast<uint32_t>(v);
+    } else if (arg == "--workers") {
+      if (!need_value(i, arg) || !u64_flag(arg, argv[++i], &v)) return false;
+      opts->assembler.num_workers = static_cast<uint32_t>(v);
+    } else if (arg == "--threads") {
+      if (!need_value(i, arg) || !u64_flag(arg, argv[++i], &v)) return false;
+      opts->assembler.num_threads = static_cast<unsigned>(v);
+    } else if (arg == "--rounds") {
+      if (!need_value(i, arg) || !u64_flag(arg, argv[++i], &v)) return false;
+      opts->assembler.error_correction_rounds = static_cast<int>(v);
+    } else if (arg == "--labeling") {
+      if (!need_value(i, arg)) return false;
+      const std::string value = argv[++i];
+      if (value == "lr") {
+        opts->labeling = LabelingMethod::kListRanking;
+      } else if (value == "sv") {
+        opts->labeling = LabelingMethod::kSimplifiedSv;
+      } else {
+        *error = "--labeling: expected 'lr' or 'sv', got '" + value + "'";
+        return false;
+      }
+    } else if (arg == "--shards") {
+      if (!need_value(i, arg) || !u64_flag(arg, argv[++i], &v)) return false;
+      opts->assembler.kmer_shards = static_cast<uint32_t>(v);
+    } else if (arg == "--queue-codes") {
+      if (!need_value(i, arg) || !u64_flag(arg, argv[++i], &v)) return false;
+      opts->assembler.kmer_queue_codes = v;
+    } else if (arg == "--in-memory") {
+      opts->in_memory = true;
+    } else if (arg == "--serial-counting") {
+      opts->assembler.sharded_kmer_counting = false;
+    } else if (arg == "--batch-reads") {
+      if (!need_value(i, arg) || !u64_flag(arg, argv[++i], &v)) return false;
+      opts->stream.batch_reads = static_cast<size_t>(v);
+    } else if (arg == "--batch-bases") {
+      if (!need_value(i, arg) || !u64_flag(arg, argv[++i], &v)) return false;
+      opts->stream.batch_bases = static_cast<size_t>(v);
+    } else if (arg == "--queue-depth") {
+      if (!need_value(i, arg) || !u64_flag(arg, argv[++i], &v)) return false;
+      opts->stream.queue_depth = static_cast<size_t>(v);
+    } else if (arg == "--contigs") {
+      if (!need_value(i, arg)) return false;
+      opts->contigs_out = argv[++i];
+    } else if (arg == "--dbg-out") {
+      if (!need_value(i, arg)) return false;
+      opts->dbg_out = argv[++i];
+    } else if (arg == "--stats") {
+      if (!need_value(i, arg)) return false;
+      opts->stats_out = argv[++i];
+    } else if (arg == "--reference") {
+      if (!need_value(i, arg)) return false;
+      opts->reference = argv[++i];
+    } else if (arg == "--min-contig") {
+      if (!need_value(i, arg) || !u64_flag(arg, argv[++i], &v)) return false;
+      opts->min_contig = static_cast<size_t>(v);
+    } else if (arg == "--verbose") {
+      opts->verbose = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      *error = "unknown flag '" + arg + "' (see --help)";
+      return false;
+    } else {
+      opts->inputs.push_back(arg);
+    }
+  }
+  if (opts->inputs.empty()) {
+    *error = "no input files (see --help)";
+    return false;
+  }
+  if (!opts->in_memory && !opts->assembler.sharded_kmer_counting) {
+    *error = "--serial-counting requires --in-memory (streaming counting is "
+             "always sharded)";
+    return false;
+  }
+  // Range-check here so bad values are a usage error (exit 2), not a
+  // PPA_CHECK abort deep inside the pipeline.
+  const int k = opts->assembler.k;
+  if (k < 3 || k > 31 || k % 2 == 0) {
+    *error = "-k: must be odd and in [3, 31], got " + std::to_string(k);
+    return false;
+  }
+  if (opts->assembler.num_workers < 1) {
+    *error = "--workers: must be >= 1";
+    return false;
+  }
+  return true;
+}
+
+int RunAssembleCli(const AssembleCliOptions& opts, std::ostream& out,
+                   std::ostream& err) {
+  for (const std::string& path : opts.inputs) {
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe.good()) {
+      err << "ppa_assemble: cannot open input '" << path << "'\n";
+      return 1;
+    }
+  }
+  if (!opts.reference.empty()) {
+    std::ifstream probe(opts.reference, std::ios::binary);
+    if (!probe.good()) {
+      err << "ppa_assemble: cannot open reference '" << opts.reference
+          << "'\n";
+      return 1;
+    }
+  }
+  if (opts.verbose) SetLogLevel(LogLevel::kInfo);
+
+  Timer timer;
+  std::ostringstream report;
+
+  // ---- DBG-construction-only mode. ----------------------------------------
+  if (!opts.dbg_out.empty()) {
+    ReadStream stream(OpenFastxFiles(opts.inputs), opts.stream);
+    PipelineStats pipeline;
+    DbgResult dbg = BuildDbg(stream, opts.assembler, &pipeline);
+    WriteDbgFasta(opts.dbg_out, dbg.graph);
+    report << "== ppa_assemble report ==\n"
+           << "mode: dbg-only\n";
+    WriteIngestLines(report, "stream", stream.total_reads(),
+                     stream.total_bases(), stream.total_batches(),
+                     dbg.count_stats);
+    report << "dbg: kmer_vertices=" << dbg.graph.live_size()
+           << " wall_seconds=" << timer.Seconds() << '\n';
+  } else {
+    // ---- Full pipeline. ----------------------------------------------------
+    Assembler assembler(opts.assembler);
+    AssemblyResult result;
+    uint64_t reads = 0, bases = 0, batches = 0;
+    if (opts.in_memory) {
+      std::vector<Read> all;
+      std::unique_ptr<ReadSource> source = OpenFastxFiles(opts.inputs);
+      Read read;
+      while (source->Next(&read)) {
+        bases += read.bases.size();
+        all.push_back(std::move(read));
+      }
+      reads = all.size();
+      batches = 1;
+      result = assembler.Assemble(all, opts.labeling);
+    } else {
+      ReadStream stream(OpenFastxFiles(opts.inputs), opts.stream);
+      result = assembler.Assemble(stream, opts.labeling);
+      reads = stream.total_reads();
+      bases = stream.total_bases();
+      batches = stream.total_batches();
+    }
+    WriteContigsFasta(opts.contigs_out, result.contigs);
+    WriteReport(opts, report, reads, bases, batches, result.count_stats,
+                result.stats, result.kmer_vertices, result.ContigStrings(),
+                timer.Seconds());
+  }
+
+  if (opts.stats_out.empty()) {
+    out << report.str();
+  } else {
+    WriteFile(opts.stats_out, report.str());
+  }
+  return 0;
+}
+
+}  // namespace ppa

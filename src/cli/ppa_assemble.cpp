@@ -1,0 +1,21 @@
+// ppa_assemble: run the six-operation PPA-assembler pipeline on real
+// FASTA/FASTQ files, streaming the input through bounded memory. All logic
+// lives in cli/assemble_cli.{h,cpp} so tests cover the same path.
+#include <iostream>
+
+#include "cli/assemble_cli.h"
+
+int main(int argc, char** argv) {
+  ppa::AssembleCliOptions opts;
+  bool help = false;
+  std::string error;
+  if (!ppa::ParseAssembleCliArgs(argc - 1, argv + 1, &opts, &help, &error)) {
+    std::cerr << "ppa_assemble: " << error << '\n';
+    return 2;
+  }
+  if (help) {
+    std::cout << ppa::AssembleCliUsage();
+    return 0;
+  }
+  return ppa::RunAssembleCli(opts, std::cout, std::cerr);
+}

@@ -1,0 +1,86 @@
+// ppa_sim_export: materialize one of the paper's simulated datasets as
+// FASTQ (+ reference FASTA) files, so the streaming pipeline and external
+// tools can consume it. Used by the CI end-to-end smoke test.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "sim/datasets.h"
+#include "sim/fastq_export.h"
+
+namespace {
+
+const char kUsage[] =
+    "usage: ppa_sim_export <hc2|hcx|hc14|bi> <out_prefix> [--scale S]\n"
+    "\n"
+    "Writes <out_prefix>.fastq (simulated reads) and, when the dataset has\n"
+    "a reference, <out_prefix>.ref.fasta. --scale overrides the\n"
+    "PPA_DATASET_SCALE environment variable (positive; e.g. 0.02 for a\n"
+    "smoke-test-sized dataset).\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dataset_name, prefix;
+  double scale = 0.0;  // 0 = environment or 1.0
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    } else if (arg == "--scale") {
+      if (i + 1 >= argc) {
+        std::cerr << "ppa_sim_export: --scale requires a value\n";
+        return 2;
+      }
+      char* end = nullptr;
+      scale = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || !(scale > 0)) {
+        std::cerr << "ppa_sim_export: --scale: expected a positive number, "
+                     "got '"
+                  << argv[i] << "'\n";
+        return 2;
+      }
+    } else if (dataset_name.empty()) {
+      dataset_name = arg;
+    } else if (prefix.empty()) {
+      prefix = arg;
+    } else {
+      std::cerr << "ppa_sim_export: unexpected argument '" << arg << "'\n"
+                << kUsage;
+      return 2;
+    }
+  }
+  if (dataset_name.empty() || prefix.empty()) {
+    std::cerr << kUsage;
+    return 2;
+  }
+
+  ppa::DatasetId id;
+  if (dataset_name == "hc2") {
+    id = ppa::DatasetId::kHc2;
+  } else if (dataset_name == "hcx") {
+    id = ppa::DatasetId::kHcX;
+  } else if (dataset_name == "hc14") {
+    id = ppa::DatasetId::kHc14;
+  } else if (dataset_name == "bi") {
+    id = ppa::DatasetId::kBi;
+  } else {
+    std::cerr << "ppa_sim_export: unknown dataset '" << dataset_name << "'\n"
+              << kUsage;
+    return 2;
+  }
+
+  ppa::Dataset dataset = ppa::MakeDataset(id, scale);
+  uint64_t bases = 0;
+  for (const ppa::Read& r : dataset.reads) bases += r.bases.size();
+  std::vector<std::string> written =
+      ppa::ExportDatasetFastq(dataset, prefix);
+  std::cout << dataset.name << ": reads=" << dataset.reads.size()
+            << " bases=" << bases
+            << " reference_length=" << dataset.reference.size() << '\n';
+  for (const std::string& path : written) {
+    std::cout << "wrote " << path << '\n';
+  }
+  return 0;
+}

@@ -1,9 +1,12 @@
 #include "core/assembler.h"
 
+#include <utility>
+
 #include "core/bubble_filter.h"
 #include "core/contig_merging.h"
 #include "core/dbg_construction.h"
 #include "core/tip_removal.h"
+#include "io/read_stream.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -31,17 +34,42 @@ AssemblyResult Assembler::Assemble(const std::vector<Read>& reads,
                                    LabelingMethod method) const {
   Timer timer;
   AssemblyResult result;
-  std::vector<uint32_t> contig_ordinals(options_.num_workers, 0);
-
   // ---- (1) DBG construction. ----------------------------------------------
   PPA_LOG(kInfo) << "k-mer counting: "
                  << (options_.sharded_kmer_counting ? "sharded" : "serial")
                  << " (threads=" << options_.num_threads
                  << ", shards=" << options_.kmer_shards << "; 0 = auto)";
   DbgResult dbg = BuildDbg(reads, options_, &result.stats);
+  FinishAssembly(&result, std::move(dbg), method);
+  result.wall_seconds = timer.Seconds();
+  return result;
+}
+
+AssemblyResult Assembler::Assemble(ReadStream& reads,
+                                   LabelingMethod method) const {
+  Timer timer;
+  AssemblyResult result;
+  // ---- (1) DBG construction, streaming. -----------------------------------
+  PPA_LOG(kInfo) << "k-mer counting: streaming sharded"
+                 << " (threads=" << options_.num_threads
+                 << ", shards=" << options_.kmer_shards
+                 << ", queue_codes=" << options_.kmer_queue_codes
+                 << "; 0 = auto)";
+  DbgResult dbg = BuildDbg(reads, options_, &result.stats);
+  FinishAssembly(&result, std::move(dbg), method);
+  result.wall_seconds = timer.Seconds();
+  return result;
+}
+
+void Assembler::FinishAssembly(AssemblyResult* result_out, DbgResult dbg,
+                               LabelingMethod method) const {
+  AssemblyResult& result = *result_out;
+  std::vector<uint32_t> contig_ordinals(options_.num_workers, 0);
+
   result.kmer_vertices = dbg.graph.live_size();
   result.packed_adjacency_bytes = dbg.packed_adjacency_bytes;
   result.unpacked_adjacency_bytes = dbg.unpacked_adjacency_bytes;
+  result.count_stats = dbg.count_stats;
   AssemblyGraph& graph = dbg.graph;
   PPA_LOG(kInfo) << "DBG: " << result.kmer_vertices << " k-mer vertices, "
                  << dbg.surviving_edge_mers << "/" << dbg.distinct_edge_mers
@@ -74,8 +102,6 @@ AssemblyResult Assembler::Assemble(const std::vector<Read>& reads,
                  << " vertices after merging";
 
   result.contigs = CollectContigs(graph);
-  result.wall_seconds = timer.Seconds();
-  return result;
 }
 
 }  // namespace ppa

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/contig_labeling.h"
+#include "core/dbg_construction.h"
 #include "core/options.h"
 #include "dbg/node.h"
 #include "dna/read.h"
@@ -21,6 +22,8 @@
 #include "pregel/stats.h"
 
 namespace ppa {
+
+class ReadStream;  // io/read_stream.h
 
 /// One assembled contig.
 struct ContigRecord {
@@ -34,6 +37,7 @@ struct ContigRecord {
 struct AssemblyResult {
   std::vector<ContigRecord> contigs;
   PipelineStats stats;
+  KmerCountStats count_stats;  // phase (i) metrics (incl. streaming bounds)
 
   // Stage bookkeeping (ablations A1/A2 and EXPERIMENTS.md).
   uint64_t kmer_vertices = 0;          // DBG size after construction
@@ -65,9 +69,23 @@ class Assembler {
       const std::vector<Read>& reads,
       LabelingMethod method = LabelingMethod::kListRanking) const;
 
+  /// Runs the default workflow on a streaming input: DBG construction
+  /// consumes the ReadStream with bounded memory (io/read_stream.h +
+  /// CounterSession); every later operation works on the graph, which is
+  /// already the compact representation. Produces the same contigs as the
+  /// in-memory overload on the same reads.
+  AssemblyResult Assemble(
+      ReadStream& reads,
+      LabelingMethod method = LabelingMethod::kListRanking) const;
+
   const AssemblerOptions& options() const { return options_; }
 
  private:
+  /// Operations (2)..(6) shared by both Assemble overloads; appends to the
+  /// PipelineStats BuildDbg already populated in `result`.
+  void FinishAssembly(AssemblyResult* result, DbgResult dbg,
+                      LabelingMethod method) const;
+
   AssemblerOptions options_;
 };
 

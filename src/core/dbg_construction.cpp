@@ -5,6 +5,7 @@
 
 #include "dbg/adjacency.h"
 #include "dbg/kmer_counter.h"
+#include "io/read_stream.h"
 #include "pregel/mapreduce.h"
 #include "util/hash.h"
 #include "util/logging.h"
@@ -19,38 +20,31 @@ struct AdjContribution {
   uint32_t coverage = 0;
 };
 
-}  // namespace
-
-DbgResult BuildDbg(const std::vector<Read>& reads,
-                   const AssemblerOptions& options, PipelineStats* stats) {
-  options.Validate();
-  const uint32_t W = options.num_workers;
-  DbgResult result(W);
-
-  // ---- Phase (i): (k+1)-mer counting + coverage filter. -------------------
-  // Sharded parallel counting by default; the serial reference counter is
-  // the fallback (and the equivalence oracle in tests). Both apply the
-  // coverage filter as count >= theta, so theta = 1 means "no filtering"
-  // (documented in options.h), and both route survivors by
-  // Mix64(code) % W, which phase (ii)'s shuffle relies on.
+/// The counting configuration both BuildDbg overloads derive from options.
+KmerCountConfig MakeCountConfig(const AssemblerOptions& options) {
   KmerCountConfig count_config;
   count_config.mer_length = options.k + 1;
-  count_config.num_workers = W;
+  count_config.num_workers = options.num_workers;
   count_config.num_threads = options.num_threads;
   count_config.num_shards = options.kmer_shards;
   count_config.coverage_threshold = options.coverage_threshold;
-  KmerCountStats count_stats;
-  Partitioned<std::pair<uint64_t, uint32_t>> edge_mers =
-      options.sharded_kmer_counting
-          ? CountCanonicalMers(reads, count_config, &count_stats)
-          : CountCanonicalMersSerial(reads, count_config, &count_stats);
+  return count_config;
+}
+
+/// Phase (ii) shared by the in-memory and streaming entry points: builds
+/// k-mer vertices with compressed adjacency from the surviving edge mers.
+DbgResult BuildDbgFromEdgeMers(
+    Partitioned<std::pair<uint64_t, uint32_t>>&& edge_mers,
+    KmerCountStats&& count_stats, const AssemblerOptions& options,
+    PipelineStats* stats) {
+  const uint32_t W = options.num_workers;
+  DbgResult result(W);
   result.distinct_edge_mers = count_stats.distinct_mers;
   result.surviving_edge_mers = count_stats.surviving_mers;
   if (stats != nullptr) {
     stats->Add(MerCountRunStats(count_stats, W, "dbg-construction-phase1"));
   }
-
-  // ---- Phase (ii): build k-mer vertices with compressed adjacency. --------
+  result.count_stats = std::move(count_stats);
   RunStats phase2;
   MapReduceConfig mr_config;
   mr_config.num_workers = W;
@@ -124,6 +118,50 @@ DbgResult BuildDbg(const std::vector<Read>& reads,
     nodes[d].clear();
   }
   return result;
+}
+
+}  // namespace
+
+DbgResult BuildDbg(const std::vector<Read>& reads,
+                   const AssemblerOptions& options, PipelineStats* stats) {
+  options.Validate();
+
+  // ---- Phase (i): (k+1)-mer counting + coverage filter. -------------------
+  // Sharded parallel counting by default; the serial reference counter is
+  // the fallback (and the equivalence oracle in tests). Both apply the
+  // coverage filter as count >= theta, so theta = 1 means "no filtering"
+  // (documented in options.h), and both route survivors by
+  // Mix64(code) % W, which phase (ii)'s shuffle relies on.
+  const KmerCountConfig count_config = MakeCountConfig(options);
+  KmerCountStats count_stats;
+  Partitioned<std::pair<uint64_t, uint32_t>> edge_mers =
+      options.sharded_kmer_counting
+          ? CountCanonicalMers(reads, count_config, &count_stats)
+          : CountCanonicalMersSerial(reads, count_config, &count_stats);
+  return BuildDbgFromEdgeMers(std::move(edge_mers), std::move(count_stats),
+                              options, stats);
+}
+
+DbgResult BuildDbg(ReadStream& reads, const AssemblerOptions& options,
+                   PipelineStats* stats) {
+  options.Validate();
+
+  // ---- Phase (i), streaming: count while scanning under a bounded queue.
+  // The ReadStream's reader thread fills batches; scanner workers feed them
+  // to the CounterSession, whose shard counter threads drain concurrently.
+  // The code stream is never resident — the session blocks the scanners
+  // (and, transitively, the reader) when they outrun the counters.
+  CounterSession session(MakeCountConfig(options), options.kmer_queue_codes);
+  const unsigned scan_threads = options.num_threads == 0
+                                    ? ThreadPool::DefaultThreads()
+                                    : options.num_threads;
+  reads.ForEachBatch(scan_threads,
+                     [&](ReadBatch& batch) { session.AddBatch(batch.reads); });
+  KmerCountStats count_stats;
+  Partitioned<std::pair<uint64_t, uint32_t>> edge_mers =
+      session.Finish(&count_stats);
+  return BuildDbgFromEdgeMers(std::move(edge_mers), std::move(count_stats),
+                              options, stats);
 }
 
 }  // namespace ppa

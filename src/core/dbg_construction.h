@@ -21,11 +21,14 @@
 #include <vector>
 
 #include "core/options.h"
+#include "dbg/kmer_counter.h"
 #include "dbg/node.h"
 #include "dna/read.h"
 #include "pregel/stats.h"
 
 namespace ppa {
+
+class ReadStream;  // io/read_stream.h
 
 /// Output of DBG construction.
 struct DbgResult {
@@ -34,6 +37,7 @@ struct DbgResult {
   uint64_t surviving_edge_mers = 0;  // after the coverage-threshold filter
   uint64_t packed_adjacency_bytes = 0;  // memory of the Fig. 8a format
   uint64_t unpacked_adjacency_bytes = 0;  // memory of the BiEdge format
+  KmerCountStats count_stats;     // phase (i) execution metrics
 
   DbgResult() : graph(1) {}
   explicit DbgResult(uint32_t workers) : graph(workers) {}
@@ -43,6 +47,17 @@ struct DbgResult {
 /// `stats` if non-null.
 DbgResult BuildDbg(const std::vector<Read>& reads,
                    const AssemblerOptions& options,
+                   PipelineStats* stats = nullptr);
+
+/// Streaming variant: consumes a bounded-memory ReadStream, counting
+/// (k+1)-mers while scanning (dbg/kmer_counter.h CounterSession) so the
+/// input is never fully resident. Always uses the sharded counter; the
+/// queued-code bound comes from AssemblerOptions::kmer_queue_codes.
+/// Thread footprint: num_threads scanner threads PLUS up to num_threads
+/// shard counter threads (the overlap is the point) plus the stream's
+/// reader thread; counter threads sleep whenever their queues are empty,
+/// so the steady-state CPU load tracks whichever side is the bottleneck.
+DbgResult BuildDbg(ReadStream& reads, const AssemblerOptions& options,
                    PipelineStats* stats = nullptr);
 
 }  // namespace ppa

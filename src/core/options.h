@@ -24,6 +24,10 @@ struct AssemblerOptions {
   uint32_t kmer_shards = 0;           // counting shards; 0 = auto (4x threads),
                                       // rounded up to a power of two and
                                       // capped at 1024.
+  uint64_t kmer_queue_codes = 0;      // streaming ingestion only: bound on
+                                      // codes buffered between scanners and
+                                      // shard counters (backpressure); 0 =
+                                      // CounterSession::kDefaultMaxQueuedCodes.
 
   void Validate() const {
     PPA_CHECK(k >= 3 && k <= 31);

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <condition_variable>
+#include <deque>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
 
 #include "dna/kmer.h"
@@ -264,6 +267,207 @@ MerCounts CountCanonicalMers(const std::vector<Read>& reads,
     stats->shuffled_messages = stats->total_windows;
     stats->message_size = sizeof(uint64_t);
     stats->shard_windows = std::move(windows_per_shard);
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// CounterSession: count-while-scanning with a bounded shard queue.
+// ---------------------------------------------------------------------------
+
+struct CounterSession::Impl {
+  KmerCountConfig config;
+  Plan plan;
+  uint64_t bound;
+  unsigned num_counters;
+
+  // One open-addressing table per shard; tables[s] is touched only by the
+  // counter thread owning shard s (s % num_counters), never under mu.
+  std::vector<CountTable> tables;
+
+  std::mutex mu;
+  std::condition_variable not_full;   // scanners wait here (backpressure)
+  std::condition_variable not_empty;  // counters wait here
+  std::vector<std::deque<std::vector<uint64_t>>> pending;  // per shard
+  std::vector<uint64_t> shard_windows;                     // enqueued codes
+  uint64_t queued_codes = 0;
+  uint64_t peak_queued_codes = 0;
+  bool finishing = false;
+
+  std::atomic<uint64_t> total_bases{0};
+  std::atomic<uint64_t> total_windows{0};
+  std::vector<std::thread> counters;
+  Timer wall;
+  bool finished = false;
+
+  explicit Impl(const KmerCountConfig& cfg, uint64_t max_queued_codes)
+      : config(cfg), plan(MakePlan(cfg)) {
+    bound = max_queued_codes == 0 ? CounterSession::kDefaultMaxQueuedCodes
+                                  : max_queued_codes;
+    // A single flushed buffer (<= kFlushThreshold codes) must always be
+    // admissible when the queue is empty, or enqueue would deadlock.
+    bound = std::max<uint64_t>(bound, kFlushThreshold);
+    num_counters = std::min<unsigned>(plan.threads, plan.shards);
+    tables.reserve(plan.shards);
+    for (uint32_t s = 0; s < plan.shards; ++s) {
+      // Streaming has no per-shard window total to size from; start small
+      // and let the tables grow with the data.
+      tables.emplace_back(1024);
+    }
+    pending.resize(plan.shards);
+    shard_windows.assign(plan.shards, 0);
+    counters.reserve(num_counters);
+    for (unsigned c = 0; c < num_counters; ++c) {
+      counters.emplace_back([this, c] { CounterLoop(c); });
+    }
+  }
+
+  void Enqueue(uint32_t s, std::vector<uint64_t>&& buf) {
+    const uint64_t n = buf.size();
+    std::unique_lock<std::mutex> lock(mu);
+    // Admit when under the bound — or unconditionally when the queue is
+    // empty, which keeps progress guaranteed (n <= kFlushThreshold <=
+    // bound, so the invariant queued_codes <= bound still holds).
+    not_full.wait(lock, [&] {
+      return queued_codes == 0 || queued_codes + n <= bound;
+    });
+    queued_codes += n;
+    peak_queued_codes = std::max(peak_queued_codes, queued_codes);
+    shard_windows[s] += n;
+    pending[s].push_back(std::move(buf));
+    not_empty.notify_all();
+  }
+
+  void CounterLoop(unsigned c) {
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+      bool worked = false;
+      for (uint32_t s = c; s < plan.shards; s += num_counters) {
+        while (!pending[s].empty()) {
+          std::vector<uint64_t> chunk = std::move(pending[s].front());
+          pending[s].pop_front();
+          lock.unlock();
+          for (uint64_t code : chunk) tables[s].Add(code);
+          lock.lock();
+          queued_codes -= chunk.size();
+          not_full.notify_all();
+          worked = true;
+        }
+      }
+      if (!worked) {
+        if (finishing) return;
+        not_empty.wait(lock);
+      }
+    }
+  }
+};
+
+CounterSession::CounterSession(const KmerCountConfig& config,
+                               uint64_t max_queued_codes) {
+  PPA_CHECK(config.mer_length >= 1 && config.mer_length <= kMaxMerLength);
+  PPA_CHECK(config.num_workers >= 1);
+  impl_ = std::make_unique<Impl>(config, max_queued_codes);
+}
+
+CounterSession::~CounterSession() {
+  if (impl_ == nullptr || impl_->finished) return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->finishing = true;
+    impl_->not_empty.notify_all();
+  }
+  for (auto& t : impl_->counters) t.join();
+}
+
+void CounterSession::AddBatch(const Read* reads, size_t n) {
+  Impl& impl = *impl_;
+  PPA_CHECK(!impl.finished);
+  const uint32_t S = impl.plan.shards;
+  std::vector<std::vector<uint64_t>> local(S);
+  uint64_t bases = 0;
+  uint64_t windows = 0;
+  KmerWindow window(impl.config.mer_length);
+  for (size_t r = 0; r < n; ++r) {
+    bases += reads[r].bases.size();
+    ScanCanonicalMers(reads[r], window, [&](uint64_t code) {
+      const uint32_t s =
+          impl.plan.shard_shift >= 64
+              ? 0
+              : static_cast<uint32_t>(Mix64(code) >> impl.plan.shard_shift);
+      ++windows;
+      local[s].push_back(code);
+      if (local[s].size() >= kFlushThreshold) {
+        impl.Enqueue(s, std::move(local[s]));
+        local[s] = {};
+        local[s].reserve(kFlushThreshold);
+      }
+    });
+  }
+  for (uint32_t s = 0; s < S; ++s) {
+    if (!local[s].empty()) impl.Enqueue(s, std::move(local[s]));
+  }
+  impl.total_bases.fetch_add(bases, std::memory_order_relaxed);
+  impl.total_windows.fetch_add(windows, std::memory_order_relaxed);
+}
+
+MerCounts CounterSession::Finish(KmerCountStats* stats) {
+  Impl& impl = *impl_;
+  PPA_CHECK(!impl.finished);
+  impl.finished = true;
+  {
+    std::lock_guard<std::mutex> lock(impl.mu);
+    impl.finishing = true;
+    impl.not_empty.notify_all();
+  }
+  for (auto& t : impl.counters) t.join();
+  const double pass1_seconds = impl.wall.Seconds();
+
+  // Filter + route + concatenate, exactly as the batch counter's pass-2
+  // tail, so the output contract is shared.
+  Timer pass2_timer;
+  const uint32_t S = impl.plan.shards;
+  const uint32_t W = impl.config.num_workers;
+  ThreadPool pool(impl.plan.threads);
+  std::vector<uint64_t> distinct_per_shard(S, 0);
+  std::vector<MerCounts> shard_out(S);
+  pool.Run(S, [&](uint32_t s) {
+    distinct_per_shard[s] = impl.tables[s].size();
+    shard_out[s].resize(W);
+    impl.tables[s].ForEach([&](uint64_t code, uint32_t count) {
+      if (count >= impl.config.coverage_threshold) {
+        shard_out[s][Mix64(code) % W].emplace_back(code, count);
+      }
+    });
+  });
+  MerCounts result(W);
+  pool.Run(W, [&](uint32_t d) {
+    size_t total = 0;
+    for (uint32_t s = 0; s < S; ++s) total += shard_out[s][d].size();
+    result[d].reserve(total);
+    for (uint32_t s = 0; s < S; ++s) {
+      auto& slice = shard_out[s][d];
+      std::move(slice.begin(), slice.end(), std::back_inserter(result[d]));
+      slice.clear();
+    }
+  });
+
+  if (stats != nullptr) {
+    *stats = KmerCountStats{};
+    stats->shards = S;
+    stats->threads = impl.plan.threads;
+    stats->pass1_seconds = pass1_seconds;
+    stats->pass2_seconds = pass2_timer.Seconds();
+    stats->total_bases = impl.total_bases.load();
+    stats->total_windows = impl.total_windows.load();
+    for (uint32_t s = 0; s < S; ++s) {
+      stats->distinct_mers += distinct_per_shard[s];
+    }
+    for (uint32_t d = 0; d < W; ++d) stats->surviving_mers += result[d].size();
+    stats->shuffled_messages = stats->total_windows;
+    stats->message_size = sizeof(uint64_t);
+    stats->shard_windows = std::move(impl.shard_windows);
+    stats->peak_queued_codes = impl.peak_queued_codes;
+    stats->queue_bound = impl.bound;
   }
   return result;
 }

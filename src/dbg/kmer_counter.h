@@ -23,10 +23,13 @@
 // Memory tradeoff: the pass-1/pass-2 barrier holds the whole raw code
 // stream (8 bytes per window, i.e. proportional to coverage x genome size),
 // where the replaced pre-aggregating path peaked at ~12 bytes per distinct
-// mer. That is the classic time/memory trade of two-pass counters; for
-// inputs where it matters, spill the shard queues to disk or count shards
-// concurrently with the scan (ROADMAP open item), or fall back to the
-// serial counter.
+// mer. CounterSession removes that barrier: shard counter threads drain the
+// chunk queues into the count tables *while* the scanners are still
+// producing, and the queue depth is bounded — a scanner flushing into a
+// full queue blocks until the counters catch up (backpressure that
+// propagates through ReadStream to the input file). Peak transient memory
+// is the configured code bound plus the tables (~12 bytes per distinct
+// mer), restoring the pre-aggregating path's bound for high-coverage runs.
 //
 // Compared to the hash-map seed path, the shuffle unit is a raw 8-byte code
 // rather than a locally pre-aggregated (code, count) pair; RunStats built
@@ -38,6 +41,7 @@
 #define PPA_DBG_KMER_COUNTER_H_
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -76,6 +80,12 @@ struct KmerCountStats {
   // Codes landing in each shard (sharded counter only; empty for serial).
   // This is the measured pass-2 load, used for per-worker skew attribution.
   std::vector<uint64_t> shard_windows;
+
+  // Streaming sessions (CounterSession) only: high-water mark of codes
+  // buffered between the scanners and the shard counters, and the bound it
+  // is guaranteed to stay under. Both zero for the batch counters.
+  uint64_t peak_queued_codes = 0;
+  uint64_t queue_bound = 0;
 };
 
 /// (canonical code, count) pairs partitioned by Mix64(code) % num_workers.
@@ -92,6 +102,52 @@ MerCounts CountCanonicalMers(const std::vector<Read>& reads,
 MerCounts CountCanonicalMersSerial(const std::vector<Read>& reads,
                                    const KmerCountConfig& config,
                                    KmerCountStats* stats = nullptr);
+
+/// Streaming batch-ingest counter: the same sharded design as
+/// CountCanonicalMers, but counting runs concurrently with scanning under a
+/// bounded buffer, so the whole code stream is never resident. Intended
+/// consumers are the io/read_stream.h worker threads:
+///
+///   CounterSession session(config);
+///   stream.ForEachBatch(threads, [&](ReadBatch& b) {
+///     session.AddBatch(b.reads);      // thread-safe, blocks when ahead
+///   });
+///   MerCounts counts = session.Finish(&stats);
+///
+/// Finish() yields the same partitioned (code, count) multiset as
+/// CountCanonicalMers / CountCanonicalMersSerial over the concatenation of
+/// all batches (counting is commutative, including the saturating
+/// increment), and stats.peak_queued_codes <= stats.queue_bound always
+/// holds.
+class CounterSession {
+ public:
+  /// `max_queued_codes` bounds the codes buffered between scanners and
+  /// counters; 0 picks kDefaultMaxQueuedCodes. Values below the internal
+  /// flush granularity are rounded up to it so a single flush always fits.
+  explicit CounterSession(const KmerCountConfig& config,
+                          uint64_t max_queued_codes = 0);
+  ~CounterSession();
+
+  CounterSession(const CounterSession&) = delete;
+  CounterSession& operator=(const CounterSession&) = delete;
+
+  static constexpr uint64_t kDefaultMaxQueuedCodes = 4ULL << 20;  // 32 MB
+
+  /// Scans `reads` and feeds their canonical mers to the shard counters.
+  /// Thread-safe; blocks while the queued-code bound is exceeded.
+  void AddBatch(const Read* reads, size_t n);
+  void AddBatch(const std::vector<Read>& reads) {
+    AddBatch(reads.data(), reads.size());
+  }
+
+  /// Drains the counters and returns the partitioned survivor counts. Must
+  /// be called exactly once, after all AddBatch callers have finished.
+  MerCounts Finish(KmerCountStats* stats = nullptr);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 /// Renders counting metrics as a two-superstep RunStats (partition pass =
 /// map + shuffle, count pass = reduce) so the pipeline's cluster-model

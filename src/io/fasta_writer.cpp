@@ -1,0 +1,87 @@
+#include "io/fasta_writer.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace ppa {
+
+namespace {
+
+void WriteWrapped(std::ostream& out, const std::string& seq,
+                  size_t line_width) {
+  if (seq.empty()) {
+    out << '\n';
+    return;
+  }
+  for (size_t i = 0; i < seq.size(); i += line_width) {
+    out.write(seq.data() + i, static_cast<std::streamsize>(
+                                  std::min(line_width, seq.size() - i)));
+    out << '\n';
+  }
+}
+
+char EndChar(NodeEnd end) { return end == NodeEnd::k5 ? '5' : '3'; }
+
+void WriteEdges(std::ostream& out, const std::vector<BiEdge>& edges) {
+  if (edges.empty()) return;
+  out << " edges=";
+  for (size_t i = 0; i < edges.size(); ++i) {
+    const BiEdge& e = edges[i];
+    if (i > 0) out << ',';
+    out << e.to << ':' << EndChar(e.my_end) << EndChar(e.to_end) << ':'
+        << e.coverage;
+  }
+}
+
+}  // namespace
+
+void WriteContigsFasta(std::ostream& out,
+                       const std::vector<ContigRecord>& contigs,
+                       size_t line_width) {
+  for (const ContigRecord& c : contigs) {
+    out << ">contig_" << c.id << " length=" << c.seq.size()
+        << " coverage=" << c.coverage << " circular=" << (c.circular ? 1 : 0)
+        << '\n';
+    WriteWrapped(out, c.seq.ToString(), line_width);
+  }
+}
+
+void WriteContigsFasta(const std::string& path,
+                       const std::vector<ContigRecord>& contigs,
+                       size_t line_width) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  PPA_CHECK(out.good());
+  WriteContigsFasta(out, contigs, line_width);
+  out.flush();
+  PPA_CHECK(out.good());
+}
+
+void WriteDbgFasta(std::ostream& out, const AssemblyGraph& graph,
+                   size_t line_width) {
+  graph.ForEach([&](const AsmNode& node) {
+    if (node.kind == NodeKind::kKmer) {
+      out << ">kmer_" << node.id << " k=" << static_cast<int>(node.k)
+          << " coverage=" << node.coverage;
+    } else {
+      out << ">contig_" << node.id << " length=" << node.seq.size()
+          << " coverage=" << node.coverage
+          << " circular=" << (node.circular ? 1 : 0);
+    }
+    WriteEdges(out, node.edges);
+    out << '\n';
+    WriteWrapped(out, node.NodeSeq().ToString(), line_width);
+  });
+}
+
+void WriteDbgFasta(const std::string& path, const AssemblyGraph& graph,
+                   size_t line_width) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  PPA_CHECK(out.good());
+  WriteDbgFasta(out, graph, line_width);
+  out.flush();
+  PPA_CHECK(out.good());
+}
+
+}  // namespace ppa

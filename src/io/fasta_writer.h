@@ -1,0 +1,40 @@
+// FASTA writers for assembly outputs.
+//
+// Contigs are written as standard 80-column FASTA with a metadata header
+// (`>contig_<id> length=<n> coverage=<c> circular=<0|1>`) so downstream
+// tools (QUAST, aligners) consume them directly, unlike the TextStore
+// part-file format of dbg/graph_io.h, which targets the HDFS stand-in.
+// The DBG writer renders every live graph node as a FASTA record with its
+// adjacency in the header — a human-greppable dump for debugging graph
+// structure at any pipeline stage.
+#ifndef PPA_IO_FASTA_WRITER_H_
+#define PPA_IO_FASTA_WRITER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/assembler.h"
+#include "dbg/node.h"
+
+namespace ppa {
+
+/// Writes contigs as FASTA with metadata headers.
+void WriteContigsFasta(std::ostream& out,
+                       const std::vector<ContigRecord>& contigs,
+                       size_t line_width = 80);
+void WriteContigsFasta(const std::string& path,
+                       const std::vector<ContigRecord>& contigs,
+                       size_t line_width = 80);
+
+/// Writes every live node of an assembly graph as a FASTA record:
+///   >kmer_<id> k=<k> coverage=<c> edges=<to>:<my_end><to_end>:<cov>,...
+///   >contig_<id> length=<n> coverage=<c> circular=<0|1> edges=...
+void WriteDbgFasta(std::ostream& out, const AssemblyGraph& graph,
+                   size_t line_width = 80);
+void WriteDbgFasta(const std::string& path, const AssemblyGraph& graph,
+                   size_t line_width = 80);
+
+}  // namespace ppa
+
+#endif  // PPA_IO_FASTA_WRITER_H_

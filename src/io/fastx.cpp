@@ -1,0 +1,180 @@
+#include "io/fastx.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.h"
+
+#if defined(PPA_HAVE_ZLIB)
+#include <zlib.h>
+#endif
+
+namespace ppa {
+
+namespace {
+
+constexpr size_t kBufferSize = 1 << 16;
+
+#if !defined(PPA_HAVE_ZLIB)
+bool HasGzSuffix(const std::string& path) {
+  return path.size() >= 3 && path.compare(path.size() - 3, 3, ".gz") == 0;
+}
+#endif
+
+}  // namespace
+
+FastxReader::FastxReader(const std::string& path)
+    : path_(path), buffer_(kBufferSize) {
+#if defined(PPA_HAVE_ZLIB)
+  // gzFile reads plain files transparently, so one open path serves both.
+  file_ = gzopen(path.c_str(), "rb");
+#else
+  if (HasGzSuffix(path)) {
+    Fail("gzip input requires a build with zlib (PPA_HAVE_ZLIB)");
+  }
+  file_ = std::fopen(path.c_str(), "rb");
+#endif
+  if (file_ == nullptr) Fail("cannot open file");
+}
+
+FastxReader::~FastxReader() {
+  if (file_ == nullptr) return;
+#if defined(PPA_HAVE_ZLIB)
+  gzclose(static_cast<gzFile>(file_));
+#else
+  std::fclose(static_cast<FILE*>(file_));
+#endif
+}
+
+void FastxReader::Fail(const std::string& why) const {
+  std::fprintf(stderr, "FASTX error: %s:%llu: %s\n", path_.c_str(),
+               static_cast<unsigned long long>(line_number_), why.c_str());
+  std::abort();
+}
+
+bool FastxReader::FillBuffer() {
+  if (eof_) return false;
+#if defined(PPA_HAVE_ZLIB)
+  int n = gzread(static_cast<gzFile>(file_), buffer_.data(),
+                 static_cast<unsigned>(buffer_.size()));
+  if (n < 0) Fail("read error (corrupt gzip stream?)");
+#else
+  size_t n = std::fread(buffer_.data(), 1, buffer_.size(),
+                        static_cast<FILE*>(file_));
+  if (n == 0 && std::ferror(static_cast<FILE*>(file_))) Fail("read error");
+#endif
+  buffer_pos_ = 0;
+  buffer_len_ = static_cast<size_t>(n);
+  if (buffer_len_ == 0) eof_ = true;
+  return buffer_len_ > 0;
+}
+
+bool FastxReader::ReadLine(std::string* line) {
+  line->clear();
+  bool saw_any = false;
+  for (;;) {
+    if (buffer_pos_ >= buffer_len_ && !FillBuffer()) break;
+    const char* start = buffer_.data() + buffer_pos_;
+    const char* end = buffer_.data() + buffer_len_;
+    const char* nl = static_cast<const char*>(
+        memchr(start, '\n', static_cast<size_t>(end - start)));
+    saw_any = true;
+    if (nl != nullptr) {
+      line->append(start, nl);
+      buffer_pos_ = static_cast<size_t>(nl - buffer_.data()) + 1;
+      break;
+    }
+    line->append(start, end);
+    buffer_pos_ = buffer_len_;
+  }
+  if (!saw_any) return false;
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+  ++line_number_;
+  return true;
+}
+
+bool FastxReader::NextContentLine(std::string* line) {
+  if (has_pushed_back_) {
+    *line = std::move(pushed_back_);
+    has_pushed_back_ = false;
+    return true;
+  }
+  while (ReadLine(line)) {
+    if (!line->empty()) return true;
+  }
+  return false;
+}
+
+void FastxReader::PushBack(std::string line) {
+  pushed_back_ = std::move(line);
+  has_pushed_back_ = true;
+}
+
+bool FastxReader::Next(Read* read) {
+  std::string line;
+  if (!NextContentLine(&line)) return false;
+
+  if (format_ == FastxFormat::kUnknown) {
+    if (line[0] == '>') {
+      format_ = FastxFormat::kFasta;
+    } else if (line[0] == '@') {
+      format_ = FastxFormat::kFastq;
+    } else {
+      Fail("not a FASTA/FASTQ file (first record starts with '" +
+           line.substr(0, 1) + "', expected '>' or '@')");
+    }
+  }
+
+  read->name.clear();
+  read->bases.clear();
+  read->quals.clear();
+
+  if (format_ == FastxFormat::kFasta) {
+    if (line[0] != '>') Fail("expected '>' FASTA header");
+    read->name = line.substr(1);
+    while (NextContentLine(&line)) {
+      if (line[0] == '>') {
+        PushBack(std::move(line));
+        break;
+      }
+      read->bases += line;
+    }
+  } else {
+    if (line[0] != '@') Fail("expected '@' FASTQ header");
+    read->name = line.substr(1);
+    if (!NextContentLine(&line)) Fail("truncated FASTQ record (no sequence)");
+    read->bases = std::move(line);
+    if (!NextContentLine(&line) || line[0] != '+') {
+      Fail("malformed FASTQ record (expected '+' separator)");
+    }
+    if (!NextContentLine(&line)) Fail("truncated FASTQ record (no qualities)");
+    read->quals = std::move(line);
+    if (read->quals.size() != read->bases.size()) {
+      Fail("FASTQ quality length does not match sequence length");
+    }
+  }
+  ++records_;
+  return true;
+}
+
+bool MultiFileReadSource::Next(Read* read) {
+  for (;;) {
+    if (current_ == nullptr) {
+      if (next_path_ >= paths_.size()) return false;
+      current_ = std::make_unique<FastxReader>(paths_[next_path_++]);
+    }
+    if (current_->Next(read)) return true;
+    current_.reset();
+  }
+}
+
+std::unique_ptr<ReadSource> OpenFastxFiles(std::vector<std::string> paths) {
+  PPA_CHECK(!paths.empty());
+  if (paths.size() == 1) {
+    return std::make_unique<FastxReader>(paths[0]);
+  }
+  return std::make_unique<MultiFileReadSource>(std::move(paths));
+}
+
+}  // namespace ppa

@@ -1,0 +1,109 @@
+#include "io/read_stream.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ppa {
+
+ReadStream::ReadStream(std::unique_ptr<ReadSource> source,
+                       ReadStreamConfig config)
+    : source_(std::move(source)), config_(config) {
+  PPA_CHECK(source_ != nullptr);
+  config_.batch_reads = std::max<size_t>(config_.batch_reads, 1);
+  config_.batch_bases = std::max<size_t>(config_.batch_bases, 1);
+  config_.queue_depth = std::max<size_t>(config_.queue_depth, 1);
+  reader_ = std::thread([this] { ReaderLoop(); });
+}
+
+ReadStream::~ReadStream() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+    not_full_.notify_all();
+  }
+  if (reader_.joinable()) reader_.join();
+}
+
+void ReadStream::ReaderLoop() {
+  ReadBatch batch;
+  batch.reads.reserve(config_.batch_reads);
+  auto emit = [&](ReadBatch&& full) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] {
+      return queue_.size() < config_.queue_depth || stopped_;
+    });
+    if (stopped_) {
+      // Mark the stream finished so any consumer still blocked in Next()
+      // wakes up instead of waiting on a reader that has exited.
+      done_ = true;
+      not_empty_.notify_all();
+      return false;
+    }
+    total_reads_ += full.reads.size();
+    total_bases_ += full.bases;
+    ++total_batches_;
+    queue_.push_back(std::move(full));
+    not_empty_.notify_one();
+    return true;
+  };
+
+  Read read;
+  while (source_->Next(&read)) {
+    batch.bases += read.bases.size();
+    batch.reads.push_back(std::move(read));
+    if (batch.reads.size() >= config_.batch_reads ||
+        batch.bases >= config_.batch_bases) {
+      if (!emit(std::move(batch))) return;
+      batch = ReadBatch{};
+      batch.reads.reserve(config_.batch_reads);
+    }
+  }
+  if (!batch.reads.empty()) {
+    if (!emit(std::move(batch))) return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  done_ = true;
+  not_empty_.notify_all();
+}
+
+bool ReadStream::Next(ReadBatch* batch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [&] { return !queue_.empty() || done_; });
+  if (queue_.empty()) return false;
+  *batch = std::move(queue_.front());
+  queue_.pop_front();
+  not_full_.notify_one();
+  return true;
+}
+
+void ReadStream::ForEachBatch(unsigned num_threads,
+                              const std::function<void(ReadBatch&)>& fn) {
+  if (num_threads == 0) num_threads = 1;
+  auto worker = [&] {
+    ReadBatch batch;
+    while (Next(&batch)) fn(batch);
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads - 1);
+  for (unsigned t = 1; t < num_threads; ++t) threads.emplace_back(worker);
+  worker();
+  for (auto& t : threads) t.join();
+}
+
+uint64_t ReadStream::total_reads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_reads_;
+}
+
+uint64_t ReadStream::total_bases() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_bases_;
+}
+
+uint64_t ReadStream::total_batches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_batches_;
+}
+
+}  // namespace ppa

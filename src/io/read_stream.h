@@ -1,0 +1,88 @@
+// Chunked multi-threaded read streaming (the yak `bseq`/`kt_for` idiom).
+//
+// A dedicated reader thread pulls records from a ReadSource and packs them
+// into fixed-size ReadBatches; consumers pop batches from a bounded queue
+// (Next, or the ForEachBatch worker helper). The bound gives end-to-end
+// backpressure: when the consumers (k-mer scanners) fall behind, the reader
+// blocks instead of buffering the input file in memory, so peak residency
+// is queue_depth x batch size regardless of dataset size. Decompression and
+// parsing overlap with downstream compute for free.
+#ifndef PPA_IO_READ_STREAM_H_
+#define PPA_IO_READ_STREAM_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dna/read.h"
+#include "io/fastx.h"
+
+namespace ppa {
+
+/// One unit of work handed to a consumer thread.
+struct ReadBatch {
+  std::vector<Read> reads;
+  uint64_t bases = 0;  // total bases across `reads`
+};
+
+/// Stream shape. A batch closes when it reaches batch_reads records or
+/// batch_bases bases, whichever comes first.
+struct ReadStreamConfig {
+  size_t batch_reads = 1024;
+  size_t batch_bases = 1 << 20;  // 1 Mbp per batch
+  size_t queue_depth = 4;        // filled batches buffered ahead of consumers
+};
+
+/// Single-producer (internal reader thread), multi-consumer batch stream.
+class ReadStream {
+ public:
+  explicit ReadStream(std::unique_ptr<ReadSource> source,
+                      ReadStreamConfig config = {});
+  ~ReadStream();
+
+  ReadStream(const ReadStream&) = delete;
+  ReadStream& operator=(const ReadStream&) = delete;
+
+  /// Pops the next batch; false once the source is exhausted and the queue
+  /// drained. Thread-safe.
+  bool Next(ReadBatch* batch);
+
+  /// Convenience: runs `num_threads` consumer threads (>= 1), each looping
+  /// Next -> fn(batch), until the stream is drained. fn must be thread-safe.
+  void ForEachBatch(unsigned num_threads,
+                    const std::function<void(ReadBatch&)>& fn);
+
+  /// Totals over everything the reader has ingested so far; exact once the
+  /// stream is drained.
+  uint64_t total_reads() const;
+  uint64_t total_bases() const;
+  uint64_t total_batches() const;
+  const ReadStreamConfig& config() const { return config_; }
+
+ private:
+  void ReaderLoop();
+
+  std::unique_ptr<ReadSource> source_;
+  ReadStreamConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<ReadBatch> queue_;
+  bool done_ = false;     // reader finished
+  bool stopped_ = false;  // destructor requested early shutdown
+  uint64_t total_reads_ = 0;
+  uint64_t total_bases_ = 0;
+  uint64_t total_batches_ = 0;
+
+  std::thread reader_;
+};
+
+}  // namespace ppa
+
+#endif  // PPA_IO_READ_STREAM_H_

@@ -1,5 +1,8 @@
 #include "sim/datasets.h"
 
+#include <cctype>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 #include "util/logging.h"
@@ -9,8 +12,24 @@ namespace ppa {
 double DatasetScaleFromEnv() {
   const char* env = std::getenv("PPA_DATASET_SCALE");
   if (env == nullptr) return 1.0;
-  double scale = std::atof(env);
-  return scale > 0 ? scale : 1.0;
+  const char* start = env;
+  while (std::isspace(static_cast<unsigned char>(*start))) ++start;
+  if (*start == '\0') return 1.0;  // empty/blank: unset
+  char* end = nullptr;
+  double scale = std::strtod(start, &end);
+  while (end != nullptr && std::isspace(static_cast<unsigned char>(*end))) {
+    ++end;
+  }
+  if (end == start || *end != '\0' || !std::isfinite(scale) || scale <= 0) {
+    // A malformed scale silently shrinking every dataset to zero would make
+    // benches/tests lie; refuse loudly instead.
+    std::fprintf(stderr,
+                 "PPA_DATASET_SCALE='%s' is invalid: expected a positive "
+                 "number (e.g. 0.5, 4)\n",
+                 env);
+    std::exit(2);
+  }
+  return scale;
 }
 
 Dataset MakeDataset(DatasetId id, double scale) {

@@ -7,7 +7,8 @@
 //   BI    : 151.55 M reads, 155 bp        BI-sim   : ~1.4 Mbp, 155 bp reads
 // Coverage is kept near the paper's (reads x length / genome). Sizes can be
 // scaled globally with the PPA_DATASET_SCALE environment variable
-// (e.g. PPA_DATASET_SCALE=4 for 4x larger datasets).
+// (e.g. PPA_DATASET_SCALE=4 for 4x larger datasets); a non-numeric or
+// non-positive value is rejected with an error (exit 2).
 #ifndef PPA_SIM_DATASETS_H_
 #define PPA_SIM_DATASETS_H_
 

@@ -1,0 +1,51 @@
+#include "sim/fastq_export.h"
+
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace ppa {
+
+Read NormalizedFastqRead(const Read& read) {
+  Read out = read;
+  if (out.quals.size() != out.bases.size()) {
+    out.quals.assign(out.bases.size(), 'I');
+  }
+  return out;
+}
+
+void ExportReadsFastq(const std::vector<Read>& reads,
+                      const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  PPA_CHECK(out.good());
+  for (const Read& r : reads) {
+    out << '@' << r.name << '\n' << r.bases << "\n+\n";
+    if (r.quals.size() == r.bases.size()) {
+      out << r.quals;
+    } else {
+      for (size_t i = 0; i < r.bases.size(); ++i) out << 'I';
+    }
+    out << '\n';
+  }
+  out.flush();
+  PPA_CHECK(out.good());
+}
+
+std::vector<std::string> ExportDatasetFastq(const Dataset& dataset,
+                                            const std::string& prefix) {
+  std::vector<std::string> written;
+  const std::string reads_path = prefix + ".fastq";
+  ExportReadsFastq(dataset.reads, reads_path);
+  written.push_back(reads_path);
+  if (dataset.has_reference && !dataset.reference.empty()) {
+    const std::string ref_path = prefix + ".ref.fasta";
+    std::vector<Read> ref(1);
+    ref[0].name = dataset.name + " reference";
+    ref[0].bases = dataset.reference.ToString();
+    WriteFile(ref_path, WriteFasta(ref));
+    written.push_back(ref_path);
+  }
+  return written;
+}
+
+}  // namespace ppa

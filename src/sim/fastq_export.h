@@ -1,0 +1,38 @@
+// FASTQ/FASTA export of simulated datasets.
+//
+// Turns the in-memory datasets of sim/datasets.h into real files so the
+// streaming pipeline (io/fastx.h -> io/read_stream.h -> ppa_assemble) can
+// be exercised on them: round-trip tests, CLI smoke tests, and ad-hoc
+// experiments against external assemblers. Reads are written record-by-
+// record (never materializing the whole file in memory); missing quality
+// strings are normalized to 'I' (Phred 40) so an export->parse round trip
+// reproduces the written reads exactly.
+#ifndef PPA_SIM_FASTQ_EXPORT_H_
+#define PPA_SIM_FASTQ_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "dna/read.h"
+#include "sim/datasets.h"
+
+namespace ppa {
+
+/// Returns `read` with empty quals replaced by 'I' — the record WriteFastq
+/// and ExportReadsFastq emit, i.e. what a parser hands back after a round
+/// trip.
+Read NormalizedFastqRead(const Read& read);
+
+/// Writes `reads` to `path` as FASTQ, streaming one record at a time.
+/// Aborts if the file cannot be written.
+void ExportReadsFastq(const std::vector<Read>& reads, const std::string& path);
+
+/// Exports a dataset: reads to `<prefix>.fastq` and, when the dataset has
+/// one, the reference to `<prefix>.ref.fasta`. Returns the paths written
+/// (reads first).
+std::vector<std::string> ExportDatasetFastq(const Dataset& dataset,
+                                            const std::string& prefix);
+
+}  // namespace ppa
+
+#endif  // PPA_SIM_FASTQ_EXPORT_H_

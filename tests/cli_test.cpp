@@ -1,0 +1,206 @@
+// Tests for the ppa_assemble CLI driver (cli/assemble_cli.h): flag parsing
+// and the end-to-end acceptance property — assembling an exported simulated
+// FASTQ through the streaming path produces contigs whose QUAST-style
+// metrics equal the in-memory pipeline's on the same dataset.
+#include "cli/assemble_cli.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/assembler.h"
+#include "io/fastx.h"
+#include "quality/quast.h"
+#include "sim/datasets.h"
+#include "sim/fastq_export.h"
+
+namespace ppa {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+bool Parse(std::vector<const char*> args, AssembleCliOptions* opts,
+           std::string* error) {
+  bool help = false;
+  return ParseAssembleCliArgs(static_cast<int>(args.size()), args.data(),
+                              opts, &help, error);
+}
+
+TEST(AssembleCliParseTest, FlagsMapOntoOptions) {
+  AssembleCliOptions opts;
+  std::string error;
+  ASSERT_TRUE(Parse({"-k", "21", "--theta", "3", "--tip-length", "60",
+                     "--bubble-edit", "4", "--workers", "8", "--threads", "2",
+                     "--rounds", "2", "--labeling", "sv", "--shards", "16",
+                     "--queue-codes", "5000", "--batch-reads", "128",
+                     "--batch-bases", "65536", "--queue-depth", "2",
+                     "--contigs", "c.fasta", "--stats", "s.txt",
+                     "--reference", "r.fasta", "--min-contig", "100",
+                     "in.fastq", "in2.fasta"},
+                    &opts, &error))
+      << error;
+  EXPECT_EQ(opts.assembler.k, 21);
+  EXPECT_EQ(opts.assembler.coverage_threshold, 3u);
+  EXPECT_EQ(opts.assembler.tip_length_threshold, 60u);
+  EXPECT_EQ(opts.assembler.bubble_edit_distance, 4u);
+  EXPECT_EQ(opts.assembler.num_workers, 8u);
+  EXPECT_EQ(opts.assembler.num_threads, 2u);
+  EXPECT_EQ(opts.assembler.error_correction_rounds, 2);
+  EXPECT_EQ(opts.labeling, LabelingMethod::kSimplifiedSv);
+  EXPECT_EQ(opts.assembler.kmer_shards, 16u);
+  EXPECT_EQ(opts.assembler.kmer_queue_codes, 5000u);
+  EXPECT_EQ(opts.stream.batch_reads, 128u);
+  EXPECT_EQ(opts.stream.batch_bases, 65536u);
+  EXPECT_EQ(opts.stream.queue_depth, 2u);
+  EXPECT_EQ(opts.contigs_out, "c.fasta");
+  EXPECT_EQ(opts.stats_out, "s.txt");
+  EXPECT_EQ(opts.reference, "r.fasta");
+  EXPECT_EQ(opts.min_contig, 100u);
+  ASSERT_EQ(opts.inputs.size(), 2u);
+  EXPECT_EQ(opts.inputs[0], "in.fastq");
+  EXPECT_EQ(opts.inputs[1], "in2.fasta");
+}
+
+TEST(AssembleCliParseTest, RejectsBadInput) {
+  AssembleCliOptions opts;
+  std::string error;
+  EXPECT_FALSE(Parse({}, &opts, &error));  // no inputs
+  opts = {};
+  EXPECT_FALSE(Parse({"--bogus", "in.fastq"}, &opts, &error));
+  EXPECT_NE(error.find("--bogus"), std::string::npos);
+  opts = {};
+  EXPECT_FALSE(Parse({"-k", "notanint", "in.fastq"}, &opts, &error));
+  opts = {};
+  EXPECT_FALSE(Parse({"-k"}, &opts, &error));  // missing value
+  opts = {};
+  // Negative values must not wrap through strtoull.
+  EXPECT_FALSE(Parse({"--theta", "-1", "in.fastq"}, &opts, &error));
+  opts = {};
+  // Range violations are usage errors, not PPA_CHECK aborts.
+  EXPECT_FALSE(Parse({"-k", "33", "in.fastq"}, &opts, &error));
+  opts = {};
+  EXPECT_FALSE(Parse({"-k", "20", "in.fastq"}, &opts, &error));  // even
+  EXPECT_NE(error.find("odd"), std::string::npos);
+  opts = {};
+  EXPECT_FALSE(Parse({"--workers", "0", "in.fastq"}, &opts, &error));
+  opts = {};
+  // Serial counting only exists on the in-memory path.
+  EXPECT_FALSE(Parse({"--serial-counting", "in.fastq"}, &opts, &error));
+  opts = {};
+  bool help = false;
+  std::vector<const char*> help_args = {"--help"};
+  EXPECT_TRUE(ParseAssembleCliArgs(1, help_args.data(), &opts, &help,
+                                   &error));
+  EXPECT_TRUE(help);
+}
+
+TEST(AssembleCliRunTest, MissingInputFailsGracefully) {
+  AssembleCliOptions opts;
+  opts.inputs = {TempPath("does_not_exist.fastq")};
+  std::ostringstream out, err;
+  EXPECT_EQ(RunAssembleCli(opts, out, err), 1);
+  EXPECT_NE(err.str().find("cannot open input"), std::string::npos);
+}
+
+/// Contig sequences of a FASTA file as a sorted multiset (order-insensitive
+/// comparison between pipeline variants).
+std::vector<std::string> SortedContigSeqs(const std::string& path) {
+  std::vector<std::string> seqs;
+  for (const Read& r : ParseFasta(ReadFile(path))) seqs.push_back(r.bases);
+  std::sort(seqs.begin(), seqs.end());
+  return seqs;
+}
+
+// The acceptance property: ppa_assemble on an exported simulated FASTQ ==
+// the in-memory pipeline on the same dataset, asserted on QUAST metrics.
+TEST(AssembleCliRunTest, StreamedFileRunMatchesInMemoryPipeline) {
+  Dataset dataset = MakeDataset(DatasetId::kHc2, 0.04);  // ~10 kbp genome
+  const std::string prefix = TempPath("hc2_e2e");
+  std::vector<std::string> written = ExportDatasetFastq(dataset, prefix);
+  ASSERT_EQ(written.size(), 2u);
+
+  AssembleCliOptions opts;
+  opts.inputs = {written[0]};
+  opts.reference = written[1];
+  opts.contigs_out = TempPath("hc2_e2e.contigs.fasta");
+  opts.stats_out = TempPath("hc2_e2e.stats.txt");
+  opts.assembler.num_workers = 8;
+  opts.assembler.num_threads = 2;
+  opts.assembler.kmer_queue_codes = 16384;  // small bound: force backpressure
+  opts.stream.batch_reads = 100;
+  std::ostringstream out, err;
+  ASSERT_EQ(RunAssembleCli(opts, out, err), 0) << err.str();
+
+  // In-memory reference run with identical options.
+  Assembler assembler(opts.assembler);
+  AssemblyResult in_memory = assembler.Assemble(dataset.reads);
+  QuastConfig quast_config;  // same min_contig default as the CLI
+  QuastReport expected = EvaluateAssembly(in_memory.ContigStrings(),
+                                          &dataset.reference, quast_config);
+
+  std::vector<Read> cli_contigs = ParseFasta(ReadFile(opts.contigs_out));
+  std::vector<std::string> cli_seqs;
+  for (const Read& r : cli_contigs) cli_seqs.push_back(r.bases);
+  QuastReport actual =
+      EvaluateAssembly(cli_seqs, &dataset.reference, quast_config);
+
+  EXPECT_EQ(actual.num_contigs, expected.num_contigs);
+  EXPECT_EQ(actual.total_length, expected.total_length);
+  EXPECT_EQ(actual.n50, expected.n50);
+  EXPECT_EQ(actual.largest_contig, expected.largest_contig);
+  EXPECT_EQ(actual.misassemblies, expected.misassemblies);
+  EXPECT_DOUBLE_EQ(actual.genome_fraction, expected.genome_fraction);
+  EXPECT_DOUBLE_EQ(actual.mismatches_per_100kbp,
+                   expected.mismatches_per_100kbp);
+
+  // Stronger: the contig sequence multiset is identical.
+  std::vector<std::string> expected_seqs;
+  for (const std::string& s : in_memory.ContigStrings()) {
+    expected_seqs.push_back(s);
+  }
+  std::sort(expected_seqs.begin(), expected_seqs.end());
+  EXPECT_EQ(SortedContigSeqs(opts.contigs_out), expected_seqs);
+
+  // The stats report carries the streaming bound evidence.
+  const std::string stats = ReadFile(opts.stats_out);
+  EXPECT_NE(stats.find("mode=stream"), std::string::npos);
+  EXPECT_NE(stats.find("peak_queued_codes="), std::string::npos);
+  EXPECT_NE(stats.find("n50="), std::string::npos);
+  EXPECT_NE(stats.find("queue_bound=16384"), std::string::npos) << stats;
+}
+
+// The CLI's own in-memory mode must agree with its streaming mode.
+TEST(AssembleCliRunTest, InMemoryModeMatchesStreamingMode) {
+  Dataset dataset = MakeDataset(DatasetId::kHc2, 0.02);
+  const std::string prefix = TempPath("hc2_modes");
+  std::vector<std::string> written = ExportDatasetFastq(dataset, prefix);
+
+  AssembleCliOptions stream_opts;
+  stream_opts.inputs = {written[0]};
+  stream_opts.contigs_out = TempPath("hc2_modes.stream.fasta");
+  stream_opts.stats_out = TempPath("hc2_modes.stream.txt");
+  stream_opts.assembler.num_workers = 4;
+  stream_opts.assembler.num_threads = 2;
+  std::ostringstream out, err;
+  ASSERT_EQ(RunAssembleCli(stream_opts, out, err), 0) << err.str();
+
+  AssembleCliOptions mem_opts = stream_opts;
+  mem_opts.in_memory = true;
+  mem_opts.assembler.sharded_kmer_counting = false;  // serial reference
+  mem_opts.contigs_out = TempPath("hc2_modes.mem.fasta");
+  mem_opts.stats_out = TempPath("hc2_modes.mem.txt");
+  ASSERT_EQ(RunAssembleCli(mem_opts, out, err), 0) << err.str();
+
+  EXPECT_EQ(SortedContigSeqs(stream_opts.contigs_out),
+            SortedContigSeqs(mem_opts.contigs_out));
+  EXPECT_NE(ReadFile(mem_opts.stats_out).find("mode=in-memory-serial"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppa

@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -253,6 +255,193 @@ TEST(KmerCounterTest, SerialRunStatsUseAggregatedPairModel) {
   uint64_t worker_sum = 0;
   for (uint64_t m : run.supersteps[0].worker_messages) worker_sum += m;
   EXPECT_EQ(worker_sum, stats.distinct_mers);
+}
+
+// ---------------------------------------------------------------------------
+// Edge cases: 'N' runs, too-short reads, empty input — the serial and
+// sharded paths must agree bit-identically on all of them.
+// ---------------------------------------------------------------------------
+
+void ExpectSerialShardedAgree(const std::vector<Read>& reads, int mer_length,
+                              const char* label) {
+  KmerCountConfig config;
+  config.mer_length = mer_length;
+  config.num_workers = 3;
+  config.num_threads = 4;
+  KmerCountStats serial_stats, sharded_stats;
+  auto expected =
+      SortedPartitions(CountCanonicalMersSerial(reads, config, &serial_stats));
+  auto actual =
+      SortedPartitions(CountCanonicalMers(reads, config, &sharded_stats));
+  EXPECT_EQ(actual, expected) << label;
+  EXPECT_EQ(sharded_stats.total_bases, serial_stats.total_bases) << label;
+  EXPECT_EQ(sharded_stats.total_windows, serial_stats.total_windows) << label;
+  EXPECT_EQ(sharded_stats.distinct_mers, serial_stats.distinct_mers) << label;
+}
+
+TEST(KmerCounterTest, NRunsSplitIdenticallyOnBothPaths) {
+  std::vector<Read> reads;
+  reads.push_back({"all_n", std::string(50, 'N'), ""});
+  reads.push_back({"leading_n", "NNNNNACGTACGTACGT", ""});
+  reads.push_back({"trailing_n", "ACGTACGTACGTNNNNN", ""});
+  reads.push_back({"n_run_inside", "ACGTACGTNNNNNNNNNNACGTACGAT", ""});
+  reads.push_back({"alternating", "ANANANANANANANANAN", ""});
+  reads.push_back({"lowercase_junk", "ACGTxyzACGTACGT?!ACGT", ""});
+  for (int k : {3, 7, 15}) {
+    ExpectSerialShardedAgree(reads, k, "N runs");
+  }
+  // The all-'N' read contributes bases but no windows.
+  KmerCountConfig config;
+  config.mer_length = 5;
+  config.num_workers = 1;
+  KmerCountStats stats;
+  CountCanonicalMers({reads[0]}, config, &stats);
+  EXPECT_EQ(stats.total_bases, 50u);
+  EXPECT_EQ(stats.total_windows, 0u);
+}
+
+TEST(KmerCounterTest, ReadsShorterThanMerLengthOnBothPaths) {
+  std::vector<Read> reads;
+  reads.push_back({"empty", "", ""});
+  reads.push_back({"one", "A", ""});
+  reads.push_back({"just_under", std::string(31, 'C'), ""});  // 31 < 32
+  reads.push_back({"exact", "ACGTACGTACGTACGTACGTACGTACGTACGT", ""});  // 32
+  ExpectSerialShardedAgree(reads, 32, "short reads");
+  KmerCountConfig config;
+  config.mer_length = 32;
+  config.num_workers = 2;
+  config.num_threads = 2;
+  KmerCountStats stats;
+  MerCounts counts = CountCanonicalMers(reads, config, &stats);
+  // Only the length-32 read emits a window.
+  EXPECT_EQ(stats.total_windows, 1u);
+  uint64_t survivors = 0;
+  for (const auto& part : counts) survivors += part.size();
+  EXPECT_EQ(survivors, 1u);
+}
+
+TEST(KmerCounterTest, EmptyInputOnBothPaths) {
+  ExpectSerialShardedAgree({}, 15, "empty input");
+  KmerCountConfig config;
+  config.mer_length = 15;
+  config.num_workers = 4;
+  KmerCountStats serial_stats;
+  MerCounts serial = CountCanonicalMersSerial({}, config, &serial_stats);
+  ASSERT_EQ(serial.size(), 4u);
+  for (const auto& part : serial) EXPECT_TRUE(part.empty());
+  EXPECT_EQ(serial_stats.total_bases, 0u);
+  EXPECT_EQ(serial_stats.distinct_mers, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// CounterSession: the streaming batch-ingest path must be bit-identical to
+// the batch counters on the concatenated input, and its buffered-code
+// high-water mark must respect the configured bound.
+// ---------------------------------------------------------------------------
+
+TEST(CounterSessionTest, MatchesBatchCounterAcrossBatchSizes) {
+  std::vector<Read> reads = SimulatedReads(20000, 12.0, 0.01, 99);
+  KmerCountConfig config;
+  config.mer_length = 21;
+  config.num_workers = 4;
+  config.num_threads = 4;
+  KmerCountStats batch_stats;
+  auto expected =
+      SortedPartitions(CountCanonicalMers(reads, config, &batch_stats));
+  for (size_t batch_size : {size_t{1}, size_t{7}, size_t{64}, reads.size()}) {
+    CounterSession session(config);
+    for (size_t begin = 0; begin < reads.size(); begin += batch_size) {
+      const size_t n = std::min(batch_size, reads.size() - begin);
+      session.AddBatch(reads.data() + begin, n);
+    }
+    KmerCountStats stats;
+    auto actual = SortedPartitions(session.Finish(&stats));
+    EXPECT_EQ(actual, expected) << "batch_size=" << batch_size;
+    EXPECT_EQ(stats.total_bases, batch_stats.total_bases);
+    EXPECT_EQ(stats.total_windows, batch_stats.total_windows);
+    EXPECT_EQ(stats.distinct_mers, batch_stats.distinct_mers);
+    EXPECT_EQ(stats.surviving_mers, batch_stats.surviving_mers);
+    EXPECT_EQ(stats.queue_bound, CounterSession::kDefaultMaxQueuedCodes);
+    EXPECT_LE(stats.peak_queued_codes, stats.queue_bound)
+        << "batch_size=" << batch_size;
+    // Enqueued-code accounting covers every window.
+    uint64_t shard_sum = 0;
+    for (uint64_t w : stats.shard_windows) shard_sum += w;
+    EXPECT_EQ(shard_sum, stats.total_windows);
+  }
+}
+
+TEST(CounterSessionTest, TightQueueBoundIsRespectedUnderBackpressure) {
+  std::vector<Read> reads = SimulatedReads(15000, 10.0, 0.02, 7);
+  KmerCountConfig config;
+  config.mer_length = 17;
+  config.num_workers = 2;
+  config.num_threads = 2;
+  config.coverage_threshold = 2;
+  auto expected = SortedPartitions(CountCanonicalMers(reads, config));
+  // A bound below the flush granularity is clamped up to it; the session
+  // must still finish (no deadlock) and stay under the clamped bound.
+  CounterSession session(config, /*max_queued_codes=*/1);
+  session.AddBatch(reads);
+  KmerCountStats stats;
+  auto actual = SortedPartitions(session.Finish(&stats));
+  EXPECT_EQ(actual, expected);
+  EXPECT_GT(stats.queue_bound, 0u);
+  EXPECT_LT(stats.queue_bound, CounterSession::kDefaultMaxQueuedCodes);
+  EXPECT_LE(stats.peak_queued_codes, stats.queue_bound);
+  EXPECT_GT(stats.peak_queued_codes, 0u);
+}
+
+TEST(CounterSessionTest, ConcurrentAddBatchCallersAgreeWithSerial) {
+  std::vector<Read> reads = SimulatedReads(30000, 8.0, 0.02, 31);
+  KmerCountConfig config;
+  config.mer_length = 31;
+  config.num_workers = 5;
+  config.num_threads = 4;
+  auto expected = SortedPartitions(CountCanonicalMersSerial(reads, config));
+  CounterSession session(config, /*max_queued_codes=*/8192);
+  const unsigned kCallers = 4;
+  std::vector<std::thread> callers;
+  for (unsigned c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      // Interleaved slices, 100 reads at a time.
+      for (size_t begin = c * 100; begin < reads.size();
+           begin += kCallers * 100) {
+        const size_t n = std::min<size_t>(100, reads.size() - begin);
+        session.AddBatch(reads.data() + begin, n);
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  KmerCountStats stats;
+  auto actual = SortedPartitions(session.Finish(&stats));
+  EXPECT_EQ(actual, expected);
+  EXPECT_LE(stats.peak_queued_codes, stats.queue_bound);
+}
+
+TEST(CounterSessionTest, EdgeCaseReadsMatchBatchCounter) {
+  std::vector<Read> reads;
+  reads.push_back({"n_run", "ACGTANGTCANGGNNNNAC", ""});
+  reads.push_back({"short", "AC", ""});
+  reads.push_back({"empty", "", ""});
+  KmerCountConfig config;
+  config.mer_length = 3;
+  config.num_workers = 2;
+  config.num_threads = 2;
+  auto expected = SortedPartitions(CountCanonicalMers(reads, config));
+  CounterSession session(config);
+  for (const Read& r : reads) session.AddBatch(&r, 1);
+  KmerCountStats stats;
+  EXPECT_EQ(SortedPartitions(session.Finish(&stats)), expected);
+
+  // An empty session yields empty partitions.
+  CounterSession empty_session(config);
+  KmerCountStats empty_stats;
+  MerCounts empty = empty_session.Finish(&empty_stats);
+  ASSERT_EQ(empty.size(), 2u);
+  for (const auto& part : empty) EXPECT_TRUE(part.empty());
+  EXPECT_EQ(empty_stats.total_windows, 0u);
+  EXPECT_EQ(empty_stats.peak_queued_codes, 0u);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 // datasets, cluster cost model.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <unordered_map>
 
 #include "sim/cluster_model.h"
@@ -138,6 +139,27 @@ TEST(ReadSimTest, BothStrandsSampled) {
   }
   EXPECT_GT(forward, reads.size() / 4);
   EXPECT_LT(forward, 3 * reads.size() / 4);
+}
+
+TEST(DatasetScaleTest, EnvParsingAcceptsValidAndRejectsJunk) {
+  ASSERT_EQ(unsetenv("PPA_DATASET_SCALE"), 0);
+  EXPECT_DOUBLE_EQ(DatasetScaleFromEnv(), 1.0);
+  ASSERT_EQ(setenv("PPA_DATASET_SCALE", "0.25", 1), 0);
+  EXPECT_DOUBLE_EQ(DatasetScaleFromEnv(), 0.25);
+  ASSERT_EQ(setenv("PPA_DATASET_SCALE", " 4 ", 1), 0);  // whitespace OK
+  EXPECT_DOUBLE_EQ(DatasetScaleFromEnv(), 4.0);
+  ASSERT_EQ(setenv("PPA_DATASET_SCALE", "", 1), 0);  // blank == unset
+  EXPECT_DOUBLE_EQ(DatasetScaleFromEnv(), 1.0);
+
+  // Non-numeric, trailing junk, non-positive, and non-finite values must be
+  // rejected with a clear message (exit 2) instead of silently scaling by 0.
+  for (const char* bad : {"banana", "1.5x", "0", "-2", "nan", "inf"}) {
+    ASSERT_EQ(setenv("PPA_DATASET_SCALE", bad, 1), 0);
+    EXPECT_EXIT(DatasetScaleFromEnv(), ::testing::ExitedWithCode(2),
+                "PPA_DATASET_SCALE")
+        << bad;
+  }
+  ASSERT_EQ(unsetenv("PPA_DATASET_SCALE"), 0);
 }
 
 TEST(DatasetTest, SizesOrderedLikeThePaper) {
