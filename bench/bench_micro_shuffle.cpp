@@ -1,0 +1,189 @@
+// Micro-benchmarks (google-benchmark) for the mini-MapReduce shuffle
+// engine: sort group-by vs hash group-by vs hash + map-side combiner, on
+// the two workload shapes the pipeline actually runs through it —
+//
+//   * DBG construction phase (ii): small keys (vertex codes), small
+//     combinable values (adjacency partials), ~2 pairs per group, measured
+//     on real edge mers counted from the simulated HC-2 dataset;
+//   * contig merging: few keys (labels), fat values (node payloads), long
+//     groups — the shape where moving values through a sort hurts most.
+//
+// Both strategies produce bit-identical output (shuffle_equivalence_test);
+// this file prices them.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "dbg/adjacency.h"
+#include "dbg/kmer_counter.h"
+#include "dna/kmer.h"
+#include "pregel/mapreduce.h"
+#include "sim/datasets.h"
+#include "util/random.h"
+
+namespace ppa {
+namespace {
+
+constexpr uint32_t kWorkers = 16;
+
+// ---------------------------------------------------------------------------
+// Phase (ii) adjacency workload: edge mers -> per-vertex adjacency groups.
+// ---------------------------------------------------------------------------
+
+/// The combinable adjacency value of dbg_construction.cpp, reproduced in
+/// benchmark-local form (entries appended, merged only at reduce).
+struct AdjPartial {
+  uint8_t count = 0;
+  uint8_t bits[16];
+  uint32_t covs[16];
+};
+
+/// Edge-mer survivors of HC-2-sim counting (k = 31, theta = 2), the real
+/// input of DBG construction phase (ii).
+const Partitioned<std::pair<uint64_t, uint32_t>>& Hc2EdgeMers() {
+  static const Partitioned<std::pair<uint64_t, uint32_t>> mers = [] {
+    KmerCountConfig config;
+    config.mer_length = 32;
+    config.num_workers = kWorkers;
+    config.coverage_threshold = 2;
+    return CountCanonicalMers(MakeDataset(DatasetId::kHc2).reads, config);
+  }();
+  return mers;
+}
+
+void RunAdjacencyShuffle(benchmark::State& state, ShuffleStrategy strategy,
+                         bool combine) {
+  const auto& edge_mers = Hc2EdgeMers();
+  const int k = 31;
+  auto map_fn = [k](const std::pair<uint64_t, uint32_t>& edge_mer,
+                    auto& emitter) {
+    Kmer mer(edge_mer.first, k + 1);
+    EdgeEndpoints e = MakeEdge(mer);
+    AdjPartial p;
+    p.count = 1;
+    p.bits[0] = static_cast<uint8_t>(BitmapBit(e.prefix_item));
+    p.covs[0] = edge_mer.second;
+    emitter.Emit(e.prefix_vertex.code(), p);
+    p.bits[0] = static_cast<uint8_t>(BitmapBit(e.suffix_item));
+    emitter.Emit(e.suffix_vertex.code(), p);
+  };
+  auto combine_fn = [](AdjPartial& acc, AdjPartial&& in) {
+    PPA_CHECK(acc.count + in.count <= 16);  // as the production combiner
+    std::memcpy(acc.bits + acc.count, in.bits, in.count);
+    std::memcpy(acc.covs + acc.count, in.covs,
+                in.count * sizeof(uint32_t));
+    acc.count = static_cast<uint8_t>(acc.count + in.count);
+  };
+  auto reduce_fn = [](const uint64_t& vertex_code,
+                      std::span<AdjPartial> group,
+                      std::vector<std::pair<uint64_t, uint32_t>>& out) {
+    std::vector<std::pair<int, uint32_t>> entries;
+    for (const AdjPartial& p : group) {
+      for (uint8_t i = 0; i < p.count; ++i) {
+        entries.emplace_back(p.bits[i], p.covs[i]);
+      }
+    }
+    PackedAdjacency packed = PackedAdjacency::Build(std::move(entries));
+    out.emplace_back(vertex_code, packed.bitmap());
+  };
+
+  MapReduceConfig config;
+  config.num_workers = kWorkers;
+  config.num_threads = 1;  // isolate group-by cost from parallelism
+  config.shuffle_strategy = strategy;
+  uint64_t pairs = 0;
+  for (auto _ : state) {
+    RunStats stats;
+    auto result =
+        combine
+            ? RunMapReduce<std::pair<uint64_t, uint32_t>, uint64_t,
+                           AdjPartial, std::pair<uint64_t, uint32_t>>(
+                  edge_mers, map_fn, combine_fn, reduce_fn, config, &stats)
+            : RunMapReduce<std::pair<uint64_t, uint32_t>, uint64_t,
+                           AdjPartial, std::pair<uint64_t, uint32_t>>(
+                  edge_mers, map_fn, reduce_fn, config, &stats);
+    benchmark::DoNotOptimize(result);
+    pairs = stats.pairs_emitted;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pairs));
+}
+
+void BM_AdjacencyShuffleSort(benchmark::State& state) {
+  RunAdjacencyShuffle(state, ShuffleStrategy::kSort, /*combine=*/false);
+}
+BENCHMARK(BM_AdjacencyShuffleSort)->Unit(benchmark::kMillisecond);
+
+void BM_AdjacencyShuffleHash(benchmark::State& state) {
+  RunAdjacencyShuffle(state, ShuffleStrategy::kHash, /*combine=*/false);
+}
+BENCHMARK(BM_AdjacencyShuffleHash)->Unit(benchmark::kMillisecond);
+
+void BM_AdjacencyShuffleHashCombine(benchmark::State& state) {
+  RunAdjacencyShuffle(state, ShuffleStrategy::kHash, /*combine=*/true);
+}
+BENCHMARK(BM_AdjacencyShuffleHashCombine)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Merge workload: label -> fat node payloads, long groups.
+// ---------------------------------------------------------------------------
+
+/// Stand-in for the AsmNode payloads contig merging ships: big enough that
+/// every extra move in the group-by is visible.
+struct FatNode {
+  uint64_t id = 0;
+  uint8_t payload[120] = {};
+};
+
+void RunMergeShuffle(benchmark::State& state, ShuffleStrategy strategy) {
+  // 200k nodes in 10k label groups of ~20 (typical unambiguous-path
+  // lengths), scattered round-robin like a real partitioned graph.
+  constexpr size_t kNodes = 200000;
+  constexpr uint64_t kLabels = 10000;
+  Rng rng(23);
+  std::vector<FatNode> nodes(kNodes);
+  for (size_t i = 0; i < kNodes; ++i) nodes[i].id = rng.Next();
+  auto input = Scatter(nodes, kWorkers);
+
+  auto map_fn = [](const FatNode& node, auto& emitter) {
+    emitter.Emit(node.id % kLabels, node);
+  };
+  auto reduce_fn = [](const uint64_t& label, std::span<FatNode> group,
+                      std::vector<std::pair<uint64_t, uint64_t>>& out) {
+    uint64_t min_id = UINT64_MAX;
+    for (const FatNode& n : group) min_id = std::min(min_id, n.id);
+    out.emplace_back(label, min_id);
+  };
+
+  MapReduceConfig config;
+  config.num_workers = kWorkers;
+  config.num_threads = 1;
+  config.shuffle_strategy = strategy;
+  for (auto _ : state) {
+    auto result =
+        RunMapReduce<FatNode, uint64_t, FatNode,
+                     std::pair<uint64_t, uint64_t>>(input, map_fn, reduce_fn,
+                                                    config);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kNodes));
+}
+
+void BM_MergeShuffleSort(benchmark::State& state) {
+  RunMergeShuffle(state, ShuffleStrategy::kSort);
+}
+BENCHMARK(BM_MergeShuffleSort)->Unit(benchmark::kMillisecond);
+
+void BM_MergeShuffleHash(benchmark::State& state) {
+  RunMergeShuffle(state, ShuffleStrategy::kHash);
+}
+BENCHMARK(BM_MergeShuffleHash)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ppa
+
+BENCHMARK_MAIN();

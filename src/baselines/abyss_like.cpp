@@ -41,6 +41,12 @@ Partitioned<std::pair<uint64_t, uint32_t>> CountKmers(
       }
     }
   };
+  // Map-side combiner (the classic word-count one): each source ships one
+  // (k-mer, partial count) pair instead of one pair per occurrence, cutting
+  // the shuffle by roughly the per-worker coverage.
+  auto combine_fn = [](uint32_t& acc, uint32_t&& incoming) {
+    acc += incoming;
+  };
   const uint32_t threshold = options.coverage_threshold;
   auto reduce_fn = [threshold](const uint64_t& code,
                                std::span<uint32_t> counts,
@@ -51,16 +57,12 @@ Partitioned<std::pair<uint64_t, uint32_t>> CountKmers(
     if (total >= threshold) out.emplace_back(code, total);
   };
 
-  MapReduceConfig config;
-  config.num_workers = options.num_workers;
-  config.num_threads = options.num_threads;
-  config.job_name = "abyss-kmer-counting";
   RunStats mr_stats;
   auto counted =
       RunMapReduce<Read, uint64_t, uint32_t,
-                   std::pair<uint64_t, uint32_t>>(read_parts, map_fn,
-                                                  reduce_fn, config,
-                                                  &mr_stats);
+                   std::pair<uint64_t, uint32_t>>(
+          read_parts, map_fn, combine_fn, reduce_fn,
+          MakeMrConfig(options, "abyss-kmer-counting"), &mr_stats);
   if (stats != nullptr) stats->Add(mr_stats);
   return counted;
 }
@@ -178,15 +180,11 @@ void PopBubblesArbitrarily(AssemblyGraph& graph,
       if (id != keep) pruned.push_back(id);
     }
   };
-  MapReduceConfig config;
-  config.num_workers = options.num_workers;
-  config.num_threads = options.num_threads;
-  config.job_name = "abyss-bubble-popping";
   RunStats mr_stats;
   Partitioned<uint64_t> pruned =
-      RunMapReduce<AsmNode, Key, uint64_t, uint64_t>(input, map_fn,
-                                                     reduce_fn, config,
-                                                     &mr_stats);
+      RunMapReduce<AsmNode, Key, uint64_t, uint64_t>(
+          input, map_fn, reduce_fn,
+          MakeMrConfig(options, "abyss-bubble-popping"), &mr_stats);
   if (stats != nullptr) stats->Add(mr_stats);
 
   for (const auto& part : pruned) {

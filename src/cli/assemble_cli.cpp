@@ -69,6 +69,15 @@ void WriteReport(const AssembleCliOptions& opts, std::ostream& out,
       << " supersteps=" << pipeline.total_supersteps()
       << " messages=" << pipeline.total_messages()
       << " wall_seconds=" << wall_seconds << '\n';
+  // Combiner effectiveness across the MapReduce jobs: pairs the map UDFs
+  // emitted vs pairs that actually crossed the shuffle after map-side
+  // combining (equal when no job combined anything).
+  const uint64_t emitted = pipeline.total_pairs_emitted();
+  const uint64_t shuffled = pipeline.total_pairs_shuffled();
+  out << "shuffle: strategy="
+      << ShuffleStrategyName(opts.assembler.shuffle_strategy)
+      << " pairs_emitted=" << emitted << " pairs_shuffled=" << shuffled
+      << " combined_away=" << (emitted - shuffled) << '\n';
   out << "dbg: kmer_vertices=" << kmer_vertices << '\n';
 
   PackedSequence reference;
@@ -118,6 +127,9 @@ std::string AssembleCliUsage() {
       "                      unless scanners outrun them)\n"
       "  --rounds INT        error-correction rounds (default 1)\n"
       "  --labeling lr|sv    contig labeling method (default lr)\n"
+      "  --shuffle sort|hash MapReduce shuffle group-by strategy (default\n"
+      "                      hash; sort is the reference path — both give\n"
+      "                      identical contigs)\n"
       "\n"
       "counting options:\n"
       "  --shards INT        counting shards; 0 = auto\n"
@@ -195,6 +207,13 @@ bool ParseAssembleCliArgs(int argc, const char* const* argv,
         opts->labeling = LabelingMethod::kSimplifiedSv;
       } else {
         *error = "--labeling: expected 'lr' or 'sv', got '" + value + "'";
+        return false;
+      }
+    } else if (arg == "--shuffle") {
+      if (!need_value(i, arg)) return false;
+      const std::string value = argv[++i];
+      if (!ParseShuffleStrategy(value, &opts->assembler.shuffle_strategy)) {
+        *error = "--shuffle: expected 'sort' or 'hash', got '" + value + "'";
         return false;
       }
     } else if (arg == "--shards") {

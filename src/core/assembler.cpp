@@ -38,7 +38,9 @@ AssemblyResult Assembler::Assemble(const std::vector<Read>& reads,
   PPA_LOG(kInfo) << "k-mer counting: "
                  << (options_.sharded_kmer_counting ? "sharded" : "serial")
                  << " (threads=" << options_.num_threads
-                 << ", shards=" << options_.kmer_shards << "; 0 = auto)";
+                 << ", shards=" << options_.kmer_shards << "; 0 = auto)"
+                 << ", shuffle="
+                 << ShuffleStrategyName(options_.shuffle_strategy);
   DbgResult dbg = BuildDbg(reads, options_, &result.stats);
   FinishAssembly(&result, std::move(dbg), method);
   result.wall_seconds = timer.Seconds();

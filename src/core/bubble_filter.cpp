@@ -109,13 +109,12 @@ BubbleResult FilterBubbles(AssemblyGraph& graph,
     }
   };
 
-  MapReduceConfig config;
-  config.num_workers = W;
-  config.num_threads = options.num_threads;
-  config.job_name = "bubble-filtering";
+  // No combiner: the pairwise edit-distance check needs every candidate's
+  // full sequence in one group.
   Partitioned<uint64_t> pruned_parts =
       RunMapReduce<AsmNode, Key, BubbleCandidate, uint64_t>(
-          input, map_fn, reduce_fn, config, &result.stats);
+          input, map_fn, reduce_fn, MakeMrConfig(options, "bubble-filtering"),
+          &result.stats);
   if (stats != nullptr) stats->Add(result.stats);
   result.candidate_groups = groups.load();
 

@@ -44,6 +44,11 @@ struct LinkNotice {
   uint32_t coverage = 0;
 };
 
+/// Combinable batch of notices owed to one ambiguous vertex by the contigs
+/// of one source partition (usually 1-2 notices; a vertex has at most 8
+/// incident edges).
+using LinkNotices = std::vector<LinkNotice>;
+
 /// Stitches one label group into a contig. Implements the ordering +
 /// polarity-aware concatenation of Sec. IV.B-3 on the bidirected view:
 /// entering a vertex at its 5' end contributes its stored sequence,
@@ -204,13 +209,11 @@ MergeResult MergeContigs(AssemblyGraph& graph, const LabelingResult& labels,
     out.push_back(std::move(merged));
   };
 
-  MapReduceConfig mr_config;
-  mr_config.num_workers = W;
-  mr_config.num_threads = options.num_threads;
-  mr_config.job_name = "contig-merging";
+  // No combiner: stitching needs every path vertex individually.
   Partitioned<MergedContig> merged =
       RunMapReduce<AsmNode, uint64_t, AsmNode, MergedContig>(
-          input, map_fn, reduce_fn, mr_config, &result.merge_stats);
+          input, map_fn, reduce_fn, MakeMrConfig(options, "contig-merging"),
+          &result.merge_stats);
   if (stats != nullptr) stats->Add(result.merge_stats);
   result.tips_dropped = tips_dropped.load();
   result.circular_contigs = circular_count.load();
@@ -245,24 +248,30 @@ MergeResult MergeContigs(AssemblyGraph& graph, const LabelingResult& labels,
       notice.old_node = o.old_node;
       notice.old_node_end = o.old_node_end;
       notice.coverage = o.coverage;
-      emitter.Emit(o.outer_id, notice);
+      emitter.Emit(o.outer_id, LinkNotices{notice});
     }
   };
+  // Map-side combiner: one batched pair per (source, ambiguous vertex)
+  // instead of one pair per notice. Notices are structurally distinct (one
+  // per (contig, side); old_node is unique per contig), so appending alone
+  // is a complete union.
+  auto notice_combine_fn = [](LinkNotices& acc, LinkNotices&& incoming) {
+    acc.insert(acc.end(), incoming.begin(), incoming.end());
+  };
   auto notice_reduce_fn = [](const uint64_t& outer_id,
-                             std::span<LinkNotice> group,
+                             std::span<LinkNotices> group,
                              std::vector<std::pair<uint64_t, LinkNotice>>&
                                  out) {
-    for (const LinkNotice& n : group) out.emplace_back(outer_id, n);
+    for (const LinkNotices& batch : group) {
+      for (const LinkNotice& n : batch) out.emplace_back(outer_id, n);
+    }
   };
 
-  MapReduceConfig link_config;
-  link_config.num_workers = W;
-  link_config.num_threads = options.num_threads;
-  link_config.job_name = "contig-merging-link-update";
   Partitioned<std::pair<uint64_t, LinkNotice>> notices =
-      RunMapReduce<MergedContig, uint64_t, LinkNotice,
+      RunMapReduce<MergedContig, uint64_t, LinkNotices,
                    std::pair<uint64_t, LinkNotice>>(
-          merged, notice_map_fn, notice_reduce_fn, link_config,
+          merged, notice_map_fn, notice_combine_fn, notice_reduce_fn,
+          MakeMrConfig(options, "contig-merging-link-update"),
           &result.link_stats);
   if (stats != nullptr) stats->Add(result.link_stats);
 

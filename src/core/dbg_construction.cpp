@@ -14,10 +14,34 @@ namespace ppa {
 
 namespace {
 
-/// Contribution of one (k+1)-mer to one endpoint vertex's adjacency list.
-struct AdjContribution {
-  uint8_t item_byte = 0;
-  uint32_t coverage = 0;
+/// Combinable partial adjacency of one vertex: (bitmap bit, coverage)
+/// entries from the (k+1)-mers one source partition holds. A vertex has at
+/// most 8 incident canonical edge mers, each contributing at most 2 items
+/// (both endpoints, for self-loop mers), so 16 inline slots always suffice
+/// and the value ships without heap indirection. Entries are appended, not
+/// pre-summed: PackedAdjacency::Build is the one place duplicate bits are
+/// merged, so the combined path stays bit-identical to per-item shuffling.
+struct AdjPartial {
+  uint8_t count = 0;
+  uint8_t bits[16];
+  uint32_t covs[16];
+
+  static AdjPartial Of(int bit, uint32_t coverage) {
+    AdjPartial p;
+    p.count = 1;
+    p.bits[0] = static_cast<uint8_t>(bit);
+    p.covs[0] = coverage;
+    return p;
+  }
+
+  void Append(const AdjPartial& other) {
+    PPA_CHECK(count + other.count <= 16);
+    for (uint8_t i = 0; i < other.count; ++i) {
+      bits[count] = other.bits[i];
+      covs[count] = other.covs[i];
+      ++count;
+    }
+  }
 };
 
 /// The counting configuration both BuildDbg overloads derive from options.
@@ -46,10 +70,8 @@ DbgResult BuildDbgFromEdgeMers(
   }
   result.count_stats = std::move(count_stats);
   RunStats phase2;
-  MapReduceConfig mr_config;
-  mr_config.num_workers = W;
-  mr_config.num_threads = options.num_threads;
-  mr_config.job_name = "dbg-construction-phase2";
+  const MapReduceConfig mr_config =
+      MakeMrConfig(options, "dbg-construction-phase2");
 
   const int k = options.k;
   auto map_fn = [k](const std::pair<uint64_t, uint32_t>& edge_mer,
@@ -57,19 +79,26 @@ DbgResult BuildDbgFromEdgeMers(
     Kmer mer(edge_mer.first, k + 1);
     EdgeEndpoints e = MakeEdge(mer);
     emitter.Emit(e.prefix_vertex.code(),
-                 AdjContribution{e.prefix_item.Encode(), edge_mer.second});
+                 AdjPartial::Of(BitmapBit(e.prefix_item), edge_mer.second));
     emitter.Emit(e.suffix_vertex.code(),
-                 AdjContribution{e.suffix_item.Encode(), edge_mer.second});
+                 AdjPartial::Of(BitmapBit(e.suffix_item), edge_mer.second));
+  };
+
+  // Map-side combiner: union of the adjacency contributions a source holds
+  // for one vertex, so the shuffle ships one pair per (source, vertex)
+  // instead of one per incident edge mer.
+  auto combine_fn = [](AdjPartial& acc, AdjPartial&& incoming) {
+    acc.Append(incoming);
   };
 
   auto reduce_fn = [k](const uint64_t& vertex_code,
-                       std::span<AdjContribution> group,
+                       std::span<AdjPartial> group,
                        std::vector<AsmNode>& out) {
     std::vector<std::pair<int, uint32_t>> entries;
-    entries.reserve(group.size());
-    for (const AdjContribution& c : group) {
-      entries.emplace_back(BitmapBit(AdjItem::Decode(c.item_byte)),
-                           c.coverage);
+    for (const AdjPartial& p : group) {
+      for (uint8_t i = 0; i < p.count; ++i) {
+        entries.emplace_back(p.bits[i], p.covs[i]);
+      }
     }
     PackedAdjacency packed = PackedAdjacency::Build(std::move(entries));
 
@@ -99,8 +128,9 @@ DbgResult BuildDbgFromEdgeMers(
   };
 
   Partitioned<AsmNode> nodes =
-      RunMapReduce<std::pair<uint64_t, uint32_t>, uint64_t, AdjContribution,
-                   AsmNode>(edge_mers, map_fn, reduce_fn, mr_config, &phase2);
+      RunMapReduce<std::pair<uint64_t, uint32_t>, uint64_t, AdjPartial,
+                   AsmNode>(edge_mers, map_fn, combine_fn, reduce_fn,
+                            mr_config, &phase2);
   if (stats != nullptr) stats->Add(phase2);
 
   // MrKeyHash routes by Mix64(key) % W, which equals PartitionOf(id, W), so

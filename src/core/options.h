@@ -3,7 +3,10 @@
 #define PPA_CORE_OPTIONS_H_
 
 #include <cstdint>
+#include <string>
+#include <utility>
 
+#include "pregel/mapreduce.h"
 #include "util/logging.h"
 
 namespace ppa {
@@ -29,12 +32,30 @@ struct AssemblerOptions {
                                       // shard counters (backpressure); 0 =
                                       // CounterSession::kDefaultMaxQueuedCodes.
 
+  // MapReduce shuffle (every grouping operation: DBG construction phase
+  // (ii), both contig-merging jobs, bubble filtering). kSort is the
+  // reference path; both produce bit-identical pipeline output.
+  ShuffleStrategy shuffle_strategy = ShuffleStrategy::kHash;
+
   void Validate() const {
     PPA_CHECK(k >= 3 && k <= 31);
     PPA_CHECK(k % 2 == 1);  // Odd k rules out palindromic k-mers.
     PPA_CHECK(num_workers >= 1);
   }
 };
+
+/// The one place the assembly operations derive a MapReduceConfig from the
+/// pipeline options, so num_workers / num_threads / shuffle_strategy cannot
+/// drift between call sites.
+inline MapReduceConfig MakeMrConfig(const AssemblerOptions& options,
+                                    std::string job_name) {
+  MapReduceConfig config;
+  config.num_workers = options.num_workers;
+  config.num_threads = options.num_threads;
+  config.shuffle_strategy = options.shuffle_strategy;
+  config.job_name = std::move(job_name);
+  return config;
+}
 
 }  // namespace ppa
 

@@ -1,4 +1,5 @@
-// Mini MapReduce — the paper's second Pregel+ API extension (Sec. II).
+// Mini MapReduce — the paper's second Pregel+ API extension (Sec. II),
+// rebuilt as a sharded hash group-by shuffle engine.
 //
 // "Each line may generate (zero or more) key-value pairs (using UDF map()),
 //  ... shuffled according to vertex ID ... sorted by key, so that all pairs
@@ -6,16 +7,51 @@
 //  reduce())".
 //
 // Used by DBG construction (both phases), contig merging (group by contig
-// label) and bubble filtering (group by ambiguous-endpoint pair). Inputs
-// and outputs are partitioned vectors so jobs chain without serialization,
-// and the shuffle volume is recorded into RunStats for the cluster model.
+// label, then by outer endpoint), bubble filtering (group by
+// ambiguous-endpoint pair) and the ABySS-like baseline. Inputs and outputs
+// are partitioned vectors so jobs chain without serialization, and the
+// shuffle volume is recorded into RunStats for the cluster model.
+//
+// Engine shape:
+//
+//   Map side — each source partition emits routed (K, V) pairs into
+//   fixed-capacity chunks, one active chunk per destination, sealed into a
+//   per-(src, dst) chunk list when full. Pairs are written exactly once and
+//   never moved again until the reduce side consumes them — unlike the old
+//   outbox[src][dst] vector-of-vectors, whose W^2 buffers re-copied every
+//   pair O(log n) times while doubling. With a combiner (see below) the
+//   pairs pass through a per-source open-addressing table first.
+//
+//   Reduce side — per destination, pairs are grouped either by
+//   ShuffleStrategy::kSort (stable sort by key + linear scan; the original
+//   engine and the equivalence oracle in tests) or by ShuffleStrategy::kHash
+//   (the kmer_counter idiom: an open-addressing key index assigns each pair
+//   a dense group id in one pass, then a counting-scatter lays the values
+//   out contiguously per group — O(n) instead of O(n log n), and only the
+//   distinct keys are ever sorted).
+//
+// Determinism contract (both strategies, any thread count):
+//   * reduce_fn is invoked in ascending key order within each destination;
+//   * each group's values arrive in (source, emit) order.
+// This makes kSort and kHash produce bit-identical outputs — property
+// tests assert the whole pipeline agrees between them — and makes output
+// independent of num_threads.
+//
+// Combiners: the overload taking combine_fn(V&, V&&) pre-aggregates
+// same-key emissions on the map side (per source), so associative reducers
+// ship one combined value per (source, key) instead of one pair per
+// emission. RunStats then records both the emitted and the actually
+// shuffled pair counts, so the saving is visible in reports.
 #ifndef PPA_PREGEL_MAPREDUCE_H_
 #define PPA_PREGEL_MAPREDUCE_H_
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
+#include <numeric>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -34,7 +70,10 @@ using Partitioned = std::vector<std::vector<T>>;
 /// Flattens a partitioned dataset (test/report convenience).
 template <typename T>
 std::vector<T> Flatten(const Partitioned<T>& parts) {
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
   std::vector<T> flat;
+  flat.reserve(total);
   for (const auto& p : parts) flat.insert(flat.end(), p.begin(), p.end());
   return flat;
 }
@@ -43,6 +82,9 @@ std::vector<T> Flatten(const Partitioned<T>& parts) {
 template <typename T>
 Partitioned<T> Scatter(const std::vector<T>& data, uint32_t num_workers) {
   Partitioned<T> parts(num_workers);
+  for (uint32_t w = 0; w < num_workers; ++w) {
+    parts[w].reserve(data.size() / num_workers + 1);
+  }
   for (size_t i = 0; i < data.size(); ++i) {
     parts[i % num_workers].push_back(data[i]);
   }
@@ -62,108 +104,340 @@ struct MrKeyHash<std::pair<uint64_t, uint64_t>> {
   }
 };
 
+/// How the reduce side groups pairs by key.
+enum class ShuffleStrategy : uint8_t {
+  kSort = 0,  // stable sort + linear scan (the reference/oracle path)
+  kHash = 1,  // open-addressing group-by (default; O(n) grouping)
+};
+
+inline const char* ShuffleStrategyName(ShuffleStrategy s) {
+  return s == ShuffleStrategy::kSort ? "sort" : "hash";
+}
+
+inline bool ParseShuffleStrategy(const std::string& name,
+                                 ShuffleStrategy* out) {
+  if (name == "sort") {
+    *out = ShuffleStrategy::kSort;
+    return true;
+  }
+  if (name == "hash") {
+    *out = ShuffleStrategy::kHash;
+    return true;
+  }
+  return false;
+}
+
 /// Mini MapReduce job configuration.
 struct MapReduceConfig {
   uint32_t num_workers = 16;
   unsigned num_threads = 0;  // 0 = hardware concurrency.
+  ShuffleStrategy shuffle_strategy = ShuffleStrategy::kHash;
   std::string job_name = "mini-mr";
 };
 
-/// Runs a mini MapReduce job.
-///
-///   map_fn:    void(const In&, Emitter&)  with Emitter::Emit(K, V)
-///   reduce_fn: void(const K&, std::span<V>, std::vector<Out>&)
-///
-/// Returns the reduce outputs, partitioned by the shuffle hash of the key
-/// that produced them (so k-mer-keyed outputs land on the k-mer's worker).
-/// If `stats` is non-null, shuffle volumes are appended as two supersteps
-/// (map+shuffle, reduce).
+namespace mr_internal {
+
+/// Pairs per sealed shuffle chunk. Large enough that chunk bookkeeping is
+/// negligible, small enough that a (src, dst) lane with little traffic does
+/// not pin much memory.
+constexpr size_t kChunkPairs = 1024;
+
+/// Open-addressing key -> dense index map (linear probing, the
+/// dbg/kmer_counter.h table idiom generalized to composite keys: slots hold
+/// dense indices instead of keys, so no sentinel key is needed). Doubles at
+/// ~70% load. Assigned indices are insertion-ordered and survive rehashing.
+template <typename K>
+class KeyIndex {
+ public:
+  explicit KeyIndex(size_t expected = 0) {
+    capacity_ = std::bit_ceil(std::max<size_t>(64, expected * 2));
+    slots_.assign(capacity_, 0);
+  }
+
+  /// Returns the dense index of `key`, inserting it if new.
+  uint32_t FindOrAdd(const K& key) {
+    size_t i = MrKeyHash<K>{}(key) & (capacity_ - 1);
+    for (;;) {
+      const uint32_t slot = slots_[i];
+      if (slot == 0) {
+        if ((keys_.size() + 1) * 10 >= capacity_ * 7) {
+          Rehash(capacity_ * 2);
+          return FindOrAdd(key);
+        }
+        keys_.push_back(key);
+        slots_[i] = static_cast<uint32_t>(keys_.size());  // index + 1
+        return static_cast<uint32_t>(keys_.size() - 1);
+      }
+      if (keys_[slot - 1] == key) return slot - 1;
+      i = (i + 1) & (capacity_ - 1);
+    }
+  }
+
+  size_t size() const { return keys_.size(); }
+  const std::vector<K>& keys() const { return keys_; }
+
+ private:
+  void Rehash(size_t new_capacity) {
+    capacity_ = new_capacity;
+    slots_.assign(capacity_, 0);
+    for (size_t idx = 0; idx < keys_.size(); ++idx) {
+      size_t i = MrKeyHash<K>{}(keys_[idx]) & (capacity_ - 1);
+      while (slots_[i] != 0) i = (i + 1) & (capacity_ - 1);
+      slots_[i] = static_cast<uint32_t>(idx + 1);
+    }
+  }
+
+  std::vector<uint32_t> slots_;  // 0 = empty, else dense index + 1
+  std::vector<K> keys_;
+  size_t capacity_ = 0;
+};
+
+/// Sealed chunk lists of one map task: chunks[dst] holds the task's routed
+/// pairs for destination dst, in emit order. Only the owning source task
+/// writes here, so the map phase takes no locks.
+template <typename K, typename V>
+using ChunkLists = std::vector<std::vector<std::vector<std::pair<K, V>>>>;
+
+struct NoCombine {};
+
+/// Routed, chunked emit buffer of one map task. With a combiner, emissions
+/// pass through a per-source KeyIndex first and only the combined pairs are
+/// routed into chunks (at Flush time).
+template <typename K, typename V, typename CombineFn>
+class Emitter {
+ public:
+  Emitter(ChunkLists<K, V>* sealed, uint32_t num_workers,
+          CombineFn* combine_fn)
+      : sealed_(sealed), active_(num_workers), num_workers_(num_workers),
+        combine_fn_(combine_fn) {}
+
+  void Emit(K key, V value) {
+    ++emitted_;
+    if constexpr (!std::is_same_v<CombineFn, NoCombine>) {
+      const uint32_t idx = combined_.FindOrAdd(key);
+      if (idx == combined_values_.size()) {
+        combined_values_.push_back(std::move(value));
+      } else {
+        (*combine_fn_)(combined_values_[idx], std::move(value));
+      }
+    } else {
+      Route(std::move(key), std::move(value));
+    }
+  }
+
+  /// Seals all pending pairs into the chunk lists. Call once, after the
+  /// last Emit.
+  void Flush() {
+    if constexpr (!std::is_same_v<CombineFn, NoCombine>) {
+      const std::vector<K>& keys = combined_.keys();
+      for (size_t i = 0; i < keys.size(); ++i) {
+        Route(keys[i], std::move(combined_values_[i]));
+      }
+    }
+    for (uint32_t d = 0; d < num_workers_; ++d) {
+      if (!active_[d].empty()) (*sealed_)[d].push_back(std::move(active_[d]));
+    }
+  }
+
+  uint64_t emitted() const { return emitted_; }
+  uint64_t shuffled() const { return shuffled_; }
+
+ private:
+  void Route(K key, V value) {
+    ++shuffled_;
+    const uint32_t d =
+        static_cast<uint32_t>(MrKeyHash<K>{}(key) % num_workers_);
+    auto& chunk = active_[d];
+    if (chunk.capacity() == 0) chunk.reserve(kChunkPairs);
+    chunk.emplace_back(std::move(key), std::move(value));
+    if (chunk.size() >= kChunkPairs) {
+      (*sealed_)[d].push_back(std::move(chunk));
+      chunk = {};
+    }
+  }
+
+  ChunkLists<K, V>* sealed_;
+  std::vector<std::vector<std::pair<K, V>>> active_;  // one per destination
+  uint32_t num_workers_;
+  CombineFn* combine_fn_;
+  KeyIndex<K> combined_;
+  std::vector<V> combined_values_;
+  uint64_t emitted_ = 0;
+  uint64_t shuffled_ = 0;
+};
+
+/// Groups one destination's chunks with a stable sort and reduces each run
+/// of equal keys. Consumes (and frees) the chunks.
+template <typename K, typename V, typename Out, typename ReduceFn>
+uint64_t SortGroupBy(std::vector<std::vector<std::pair<K, V>>*>& chunks,
+                     size_t total, ReduceFn& reduce_fn,
+                     std::vector<Out>& out) {
+  std::vector<std::pair<K, V>> pairs;
+  pairs.reserve(total);
+  for (auto* chunk : chunks) {
+    std::move(chunk->begin(), chunk->end(), std::back_inserter(pairs));
+    *chunk = {};
+  }
+  // Stable: equal-key pairs keep (source, emit) order, matching the hash
+  // strategy's arrival-order scatter so the two are bit-identical.
+  std::stable_sort(pairs.begin(), pairs.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  uint64_t reduce_ops = 0;
+  size_t i = 0;
+  std::vector<V> group;
+  while (i < pairs.size()) {
+    size_t j = i;
+    group.clear();
+    while (j < pairs.size() && pairs[j].first == pairs[i].first) {
+      group.push_back(std::move(pairs[j].second));
+      ++j;
+    }
+    reduce_fn(pairs[i].first, std::span<V>(group), out);
+    reduce_ops += group.size();
+    i = j;
+  }
+  return reduce_ops;
+}
+
+/// Groups one destination's chunks with an open-addressing key index and a
+/// counting scatter, then reduces groups in ascending key order. Consumes
+/// (and frees) the chunks. O(total) grouping; only distinct keys are sorted.
+template <typename K, typename V, typename Out, typename ReduceFn>
+uint64_t HashGroupBy(std::vector<std::vector<std::pair<K, V>>*>& chunks,
+                     size_t total, ReduceFn& reduce_fn,
+                     std::vector<Out>& out) {
+  // Pass 1: assign each pair its dense group id; count group sizes.
+  KeyIndex<K> index(total / 2 + 1);
+  std::vector<uint32_t> pair_group;
+  pair_group.reserve(total);
+  std::vector<uint32_t> group_size;
+  for (const auto* chunk : chunks) {
+    for (const auto& [key, value] : *chunk) {
+      const uint32_t g = index.FindOrAdd(key);
+      if (g == group_size.size()) group_size.push_back(0);
+      ++group_size[g];
+      pair_group.push_back(g);
+    }
+  }
+  const size_t num_groups = index.size();
+
+  // Offsets of each group in the flat value array.
+  std::vector<size_t> group_begin(num_groups + 1, 0);
+  for (size_t g = 0; g < num_groups; ++g) {
+    group_begin[g + 1] = group_begin[g] + group_size[g];
+  }
+
+  // Pass 2: scatter values into their group's slice, preserving arrival
+  // order within each group; chunks are freed as they drain.
+  std::vector<V> values(total);
+  std::vector<size_t> fill(group_begin.begin(), group_begin.end() - 1);
+  size_t p = 0;
+  for (auto* chunk : chunks) {
+    for (auto& [key, value] : *chunk) {
+      values[fill[pair_group[p++]]++] = std::move(value);
+    }
+    *chunk = {};
+  }
+
+  // Reduce in ascending key order (the engine's ordering contract).
+  std::vector<uint32_t> order(num_groups);
+  std::iota(order.begin(), order.end(), 0);
+  const std::vector<K>& keys = index.keys();
+  std::sort(order.begin(), order.end(), [&keys](uint32_t a, uint32_t b) {
+    return keys[a] < keys[b];
+  });
+  uint64_t reduce_ops = 0;
+  for (uint32_t g : order) {
+    reduce_fn(keys[g],
+              std::span<V>(values.data() + group_begin[g], group_size[g]),
+              out);
+    reduce_ops += group_size[g];
+  }
+  return reduce_ops;
+}
+
+/// Shared implementation behind both RunMapReduce overloads.
 template <typename In, typename K, typename V, typename Out, typename MapFn,
-          typename ReduceFn>
-Partitioned<Out> RunMapReduce(const Partitioned<In>& input, MapFn map_fn,
-                              ReduceFn reduce_fn,
-                              const MapReduceConfig& config,
-                              RunStats* stats = nullptr) {
+          typename CombineFn, typename ReduceFn>
+Partitioned<Out> RunMapReduceImpl(const Partitioned<In>& input, MapFn map_fn,
+                                  CombineFn combine_fn, ReduceFn reduce_fn,
+                                  const MapReduceConfig& config,
+                                  RunStats* stats) {
   Timer timer;
   const uint32_t W = config.num_workers;
   PPA_CHECK(input.size() == W);
   ThreadPool pool(config.num_threads == 0 ? ThreadPool::DefaultThreads()
                                           : config.num_threads);
 
-  // --- Map phase: each input partition emits routed (K, V) pairs. ---------
-  struct Emitter {
-    std::vector<std::vector<std::pair<K, V>>>* out;
-    uint32_t num_workers;
-    void Emit(K key, V value) {
-      uint64_t h = MrKeyHash<K>{}(key);
-      (*out)[h % num_workers].emplace_back(std::move(key), std::move(value));
-    }
-  };
-
-  // outbox[src][dst] -> pairs.
-  std::vector<std::vector<std::vector<std::pair<K, V>>>> outbox(W);
+  // --- Map phase: each source emits routed pairs into sealed chunks. -------
+  std::vector<ChunkLists<K, V>> sealed(W);
+  std::vector<uint64_t> emitted(W, 0);
+  std::vector<uint64_t> shuffled(W, 0);
   pool.Run(W, [&](uint32_t src) {
-    outbox[src].resize(W);
-    Emitter emitter{&outbox[src], W};
+    sealed[src].resize(W);
+    Emitter<K, V, CombineFn> emitter(&sealed[src], W, &combine_fn);
     for (const In& record : input[src]) {
       map_fn(record, emitter);
     }
+    emitter.Flush();
+    emitted[src] = emitter.emitted();
+    shuffled[src] = emitter.shuffled();
   });
 
-  uint64_t shuffled_pairs = 0;
   SuperstepStats map_ss;
   map_ss.superstep = 0;
+  uint64_t pairs_emitted = 0;
+  uint64_t pairs_shuffled = 0;
+  for (uint32_t src = 0; src < W; ++src) {
+    pairs_emitted += emitted[src];
+    pairs_shuffled += shuffled[src];
+  }
   if (stats != nullptr) {
     map_ss.worker_messages.resize(W);
     map_ss.worker_bytes.resize(W);
     map_ss.worker_ops.resize(W);
     for (uint32_t src = 0; src < W; ++src) {
-      uint64_t sent = 0;
-      for (uint32_t d = 0; d < W; ++d) sent += outbox[src][d].size();
-      shuffled_pairs += sent;
-      map_ss.worker_messages[src] = sent;
-      map_ss.worker_bytes[src] = sent * sizeof(std::pair<K, V>);
-      map_ss.worker_ops[src] = input[src].size() + sent;
+      map_ss.worker_messages[src] = shuffled[src];
+      // Byte volume is modeled as the inline pair footprint; values with
+      // heap payloads (node sequences, notice batches) are counted at
+      // their header size only. Pair counts are exact — use those when
+      // comparing jobs whose value types differ in indirection.
+      map_ss.worker_bytes[src] = shuffled[src] * sizeof(std::pair<K, V>);
+      // Combining work (one table probe per emission) counts as map ops.
+      map_ss.worker_ops[src] = input[src].size() + emitted[src];
       map_ss.active_vertices += input[src].size();
     }
-    map_ss.messages_sent = shuffled_pairs;
-    map_ss.message_bytes = shuffled_pairs * sizeof(std::pair<K, V>);
-    map_ss.compute_ops = shuffled_pairs;
+    map_ss.messages_sent = pairs_shuffled;
+    map_ss.message_bytes = pairs_shuffled * sizeof(std::pair<K, V>);
+    map_ss.compute_ops = pairs_emitted;
   }
 
-  // --- Shuffle + sort + reduce phase. --------------------------------------
+  // --- Shuffle + group-by + reduce phase. ----------------------------------
   Partitioned<Out> output(W);
   std::vector<uint64_t> reduce_ops(W, 0);
   pool.Run(W, [&](uint32_t dst) {
-    std::vector<std::pair<K, V>> pairs;
+    // Collect this destination's chunks in (source, emit) order — the
+    // deterministic arrival order both strategies preserve within groups.
+    std::vector<std::vector<std::pair<K, V>>*> chunks;
     size_t total = 0;
-    for (uint32_t src = 0; src < W; ++src) total += outbox[src][dst].size();
-    pairs.reserve(total);
     for (uint32_t src = 0; src < W; ++src) {
-      auto& buf = outbox[src][dst];
-      std::move(buf.begin(), buf.end(), std::back_inserter(pairs));
-      buf.clear();
-      buf.shrink_to_fit();
-    }
-    std::sort(pairs.begin(), pairs.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
-    size_t i = 0;
-    std::vector<V> group;
-    while (i < pairs.size()) {
-      size_t j = i;
-      group.clear();
-      while (j < pairs.size() && pairs[j].first == pairs[i].first) {
-        group.push_back(std::move(pairs[j].second));
-        ++j;
+      for (auto& chunk : sealed[src][dst]) {
+        chunks.push_back(&chunk);
+        total += chunk.size();
       }
-      reduce_fn(pairs[i].first, std::span<V>(group), output[dst]);
-      reduce_ops[dst] += group.size();
-      i = j;
     }
+    reduce_ops[dst] =
+        config.shuffle_strategy == ShuffleStrategy::kSort
+            ? SortGroupBy<K, V, Out>(chunks, total, reduce_fn, output[dst])
+            : HashGroupBy<K, V, Out>(chunks, total, reduce_fn, output[dst]);
   });
 
   if (stats != nullptr) {
     stats->job_name = config.job_name;
+    stats->pairs_emitted += pairs_emitted;
+    stats->pairs_shuffled += pairs_shuffled;
     stats->supersteps.push_back(std::move(map_ss));
     SuperstepStats reduce_ss;
     reduce_ss.superstep = 1;
@@ -179,6 +453,49 @@ Partitioned<Out> RunMapReduce(const Partitioned<In>& input, MapFn map_fn,
     stats->wall_seconds += timer.Seconds();
   }
   return output;
+}
+
+}  // namespace mr_internal
+
+/// Runs a mini MapReduce job.
+///
+///   map_fn:    void(const In&, Emitter&)  with Emitter::Emit(K, V)
+///   reduce_fn: void(const K&, std::span<V>, std::vector<Out>&)
+///
+/// Returns the reduce outputs, partitioned by the shuffle hash of the key
+/// that produced them (so k-mer-keyed outputs land on the k-mer's worker).
+/// reduce_fn is invoked in ascending key order per destination, and each
+/// group's values arrive in (source, emit) order — under either
+/// shuffle strategy and any thread count, so outputs are deterministic.
+/// If `stats` is non-null, shuffle volumes are appended as two supersteps
+/// (map+shuffle, reduce).
+template <typename In, typename K, typename V, typename Out, typename MapFn,
+          typename ReduceFn>
+Partitioned<Out> RunMapReduce(const Partitioned<In>& input, MapFn map_fn,
+                              ReduceFn reduce_fn,
+                              const MapReduceConfig& config,
+                              RunStats* stats = nullptr) {
+  return mr_internal::RunMapReduceImpl<In, K, V, Out>(
+      input, map_fn, mr_internal::NoCombine{}, reduce_fn, config, stats);
+}
+
+/// Runs a mini MapReduce job with a map-side combiner.
+///
+///   combine_fn: void(V& accumulated, V&& incoming)
+///
+/// combine_fn must be associative and order-insensitive with respect to the
+/// reduce: same-key emissions of one source are pre-aggregated into a
+/// single shuffled pair, so reduce_fn sees at most num_workers values per
+/// group (still in source order). RunStats records pairs_emitted (before
+/// combining) vs pairs_shuffled (after) so reports can show the saving.
+template <typename In, typename K, typename V, typename Out, typename MapFn,
+          typename CombineFn, typename ReduceFn>
+Partitioned<Out> RunMapReduce(const Partitioned<In>& input, MapFn map_fn,
+                              CombineFn combine_fn, ReduceFn reduce_fn,
+                              const MapReduceConfig& config,
+                              RunStats* stats = nullptr) {
+  return mr_internal::RunMapReduceImpl<In, K, V, Out>(
+      input, map_fn, combine_fn, reduce_fn, config, stats);
 }
 
 }  // namespace ppa

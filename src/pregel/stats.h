@@ -34,6 +34,11 @@ struct RunStats {
   std::vector<SuperstepStats> supersteps;
   double wall_seconds = 0;
 
+  // MapReduce jobs only: map-side emissions before and after combining.
+  // Equal when the job has no combiner; the gap is the combiner's saving.
+  uint64_t pairs_emitted = 0;
+  uint64_t pairs_shuffled = 0;
+
   uint32_t num_supersteps() const {
     return static_cast<uint32_t>(supersteps.size());
   }
@@ -81,6 +86,18 @@ struct PipelineStats {
     return n;
   }
 
+  uint64_t total_pairs_emitted() const {
+    uint64_t n = 0;
+    for (const auto& j : jobs) n += j.pairs_emitted;
+    return n;
+  }
+
+  uint64_t total_pairs_shuffled() const {
+    uint64_t n = 0;
+    for (const auto& j : jobs) n += j.pairs_shuffled;
+    return n;
+  }
+
   /// Finds accumulated stats of all jobs whose name contains `substr`.
   RunStats Aggregate(const std::string& substr) const {
     RunStats out;
@@ -88,6 +105,8 @@ struct PipelineStats {
     for (const auto& j : jobs) {
       if (j.job_name.find(substr) == std::string::npos) continue;
       out.wall_seconds += j.wall_seconds;
+      out.pairs_emitted += j.pairs_emitted;
+      out.pairs_shuffled += j.pairs_shuffled;
       out.supersteps.insert(out.supersteps.end(), j.supersteps.begin(),
                             j.supersteps.end());
     }

@@ -36,7 +36,8 @@ TEST(AssembleCliParseTest, FlagsMapOntoOptions) {
   std::string error;
   ASSERT_TRUE(Parse({"-k", "21", "--theta", "3", "--tip-length", "60",
                      "--bubble-edit", "4", "--workers", "8", "--threads", "2",
-                     "--rounds", "2", "--labeling", "sv", "--shards", "16",
+                     "--rounds", "2", "--labeling", "sv", "--shuffle", "sort",
+                     "--shards", "16",
                      "--queue-codes", "5000", "--batch-reads", "128",
                      "--batch-bases", "65536", "--queue-depth", "2",
                      "--contigs", "c.fasta", "--stats", "s.txt",
@@ -52,6 +53,7 @@ TEST(AssembleCliParseTest, FlagsMapOntoOptions) {
   EXPECT_EQ(opts.assembler.num_threads, 2u);
   EXPECT_EQ(opts.assembler.error_correction_rounds, 2);
   EXPECT_EQ(opts.labeling, LabelingMethod::kSimplifiedSv);
+  EXPECT_EQ(opts.assembler.shuffle_strategy, ShuffleStrategy::kSort);
   EXPECT_EQ(opts.assembler.kmer_shards, 16u);
   EXPECT_EQ(opts.assembler.kmer_queue_codes, 5000u);
   EXPECT_EQ(opts.stream.batch_reads, 128u);
@@ -88,6 +90,9 @@ TEST(AssembleCliParseTest, RejectsBadInput) {
   EXPECT_NE(error.find("odd"), std::string::npos);
   opts = {};
   EXPECT_FALSE(Parse({"--workers", "0", "in.fastq"}, &opts, &error));
+  opts = {};
+  EXPECT_FALSE(Parse({"--shuffle", "merge", "in.fastq"}, &opts, &error));
+  EXPECT_NE(error.find("--shuffle"), std::string::npos);
   opts = {};
   // Serial counting only exists on the in-memory path.
   EXPECT_FALSE(Parse({"--serial-counting", "in.fastq"}, &opts, &error));
@@ -166,9 +171,14 @@ TEST(AssembleCliRunTest, StreamedFileRunMatchesInMemoryPipeline) {
   std::sort(expected_seqs.begin(), expected_seqs.end());
   EXPECT_EQ(SortedContigSeqs(opts.contigs_out), expected_seqs);
 
-  // The stats report carries the streaming bound evidence.
+  // The stats report carries the streaming bound evidence and the shuffle
+  // engine's combiner effectiveness (combining must have removed pairs).
   const std::string stats = ReadFile(opts.stats_out);
   EXPECT_NE(stats.find("mode=stream"), std::string::npos);
+  EXPECT_NE(stats.find("shuffle: strategy=hash pairs_emitted="),
+            std::string::npos)
+      << stats;
+  EXPECT_EQ(stats.find("combined_away=0\n"), std::string::npos) << stats;
   EXPECT_NE(stats.find("peak_queued_codes="), std::string::npos);
   EXPECT_NE(stats.find("n50="), std::string::npos);
   EXPECT_NE(stats.find("queue_bound=16384"), std::string::npos) << stats;
