@@ -4,18 +4,47 @@
 // binary runs standalone with no arguments and prints both the measured
 // rows and the corresponding numbers the paper reports, so the shape
 // comparison is visible in the output. Dataset sizes scale with the
-// PPA_DATASET_SCALE environment variable (see sim/datasets.h).
+// PPA_DATASET_SCALE environment variable (see sim/datasets.h); thread
+// counts follow PPA_BENCH_THREADS (0/unset = hardware concurrency), so the
+// same binaries measure real parallel speedups on multi-core hardware.
 #ifndef PPA_BENCH_BENCH_COMMON_H_
 #define PPA_BENCH_BENCH_COMMON_H_
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <thread>
 
 #include "core/options.h"
 #include "sim/datasets.h"
 #include "util/logging.h"
 
 namespace ppa::bench {
+
+/// Thread count for bench runs from PPA_BENCH_THREADS; 0 (also for unset or
+/// blank) means hardware concurrency. Like PPA_DATASET_SCALE, junk refuses
+/// loudly instead of silently benching the wrong configuration.
+inline unsigned BenchThreads() {
+  const char* env = std::getenv("PPA_BENCH_THREADS");
+  if (env == nullptr) return 0;
+  const char* start = env;
+  while (std::isspace(static_cast<unsigned char>(*start))) ++start;
+  if (*start == '\0') return 0;  // empty/blank: unset
+  char* end = nullptr;
+  const unsigned long threads = std::strtoul(start, &end, 10);
+  while (end != nullptr && std::isspace(static_cast<unsigned char>(*end))) {
+    ++end;
+  }
+  if (end == start || *end != '\0' || threads > 4096) {
+    std::fprintf(stderr,
+                 "PPA_BENCH_THREADS='%s' is invalid: expected a thread count "
+                 "(0 = hardware concurrency)\n",
+                 env);
+    std::exit(2);
+  }
+  return static_cast<unsigned>(threads);
+}
 
 /// The evaluation configuration of Sec. V (k = 31, edit distance 5, tip
 /// length 80) with container-scale worker counts.
@@ -26,13 +55,22 @@ inline AssemblerOptions PaperOptions() {
   options.tip_length_threshold = 80;
   options.bubble_edit_distance = 5;
   options.num_workers = 16;
-  options.num_threads = 0;
+  options.num_threads = BenchThreads();
   return options;
 }
 
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=============================================================\n");
   std::printf("%s\n", title.c_str());
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned override_threads = BenchThreads();
+  if (override_threads == 0) {
+    std::printf("hardware_concurrency=%u threads=%u (PPA_BENCH_THREADS unset)\n",
+                hw, hw);
+  } else {
+    std::printf("hardware_concurrency=%u threads=%u (PPA_BENCH_THREADS)\n",
+                hw, override_threads);
+  }
   std::printf("=============================================================\n");
 }
 

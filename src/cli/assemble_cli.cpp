@@ -44,13 +44,17 @@ void WriteIngestLines(std::ostream& out, const char* mode, uint64_t reads,
                       const KmerCountStats& counting) {
   out << "reads=" << reads << " bases=" << bases << " batches=" << batches
       << '\n';
-  out << "counting: mode=" << mode << " shards=" << counting.shards
-      << " threads=" << counting.threads
+  out << "counting: mode=" << mode
+      << " pass1=" << Pass1EncodingName(counting.encoding)
+      << " minimizer_len=" << counting.minimizer_len
+      << " shards=" << counting.shards << " threads=" << counting.threads
       << " windows=" << counting.total_windows
+      << " superkmers=" << counting.superkmers
+      << " pass1_bytes=" << counting.shuffled_bytes
       << " distinct=" << counting.distinct_mers
       << " surviving=" << counting.surviving_mers
-      << " peak_queued_codes=" << counting.peak_queued_codes
-      << " queue_bound=" << counting.queue_bound << '\n';
+      << " peak_queued_bytes=" << counting.peak_queued_bytes
+      << " queue_bound_bytes=" << counting.queue_bound_bytes << '\n';
 }
 
 void WriteReport(const AssembleCliOptions& opts, std::ostream& out,
@@ -68,6 +72,7 @@ void WriteReport(const AssembleCliOptions& opts, std::ostream& out,
   out << "pipeline: jobs=" << pipeline.jobs.size()
       << " supersteps=" << pipeline.total_supersteps()
       << " messages=" << pipeline.total_messages()
+      << " message_bytes=" << pipeline.total_bytes()
       << " wall_seconds=" << wall_seconds << '\n';
   // Combiner effectiveness across the MapReduce jobs: pairs the map UDFs
   // emitted vs pairs that actually crossed the shuffle after map-side
@@ -133,8 +138,16 @@ std::string AssembleCliUsage() {
       "\n"
       "counting options:\n"
       "  --shards INT        counting shards; 0 = auto\n"
-      "  --queue-codes INT   bound on buffered pass-1 codes (streaming;\n"
-      "                      0 = default 4Mi codes = 32 MB)\n"
+      "  --pass1-encoding superkmer|raw\n"
+      "                      pass-1 shuffle unit (default superkmer:\n"
+      "                      2-bit-packed minimizer-bucketed super-k-mers,\n"
+      "                      ~4-6x fewer shuffle bytes; raw = one 8-byte\n"
+      "                      code per window, the equivalence oracle —\n"
+      "                      both give identical contigs)\n"
+      "  --minimizer-len INT minimizer length for superkmer encoding,\n"
+      "                      in [1, 31], clamped to k+1 (default 11)\n"
+      "  --queue-bytes INT   bound on buffered pass-1 chunk bytes\n"
+      "                      (streaming; 0 = default 32 MB)\n"
       "  --in-memory         load all reads, use the in-memory pipeline\n"
       "  --serial-counting   with --in-memory: single-thread reference "
       "counter\n"
@@ -219,9 +232,28 @@ bool ParseAssembleCliArgs(int argc, const char* const* argv,
     } else if (arg == "--shards") {
       if (!need_value(i, arg) || !u64_flag(arg, argv[++i], &v)) return false;
       opts->assembler.kmer_shards = static_cast<uint32_t>(v);
-    } else if (arg == "--queue-codes") {
+    } else if (arg == "--pass1-encoding") {
+      if (!need_value(i, arg)) return false;
+      const std::string value = argv[++i];
+      if (!ParsePass1Encoding(value, &opts->assembler.pass1_encoding)) {
+        *error =
+            "--pass1-encoding: expected 'raw' or 'superkmer', got '" + value +
+            "'";
+        return false;
+      }
+    } else if (arg == "--minimizer-len") {
       if (!need_value(i, arg) || !u64_flag(arg, argv[++i], &v)) return false;
-      opts->assembler.kmer_queue_codes = v;
+      // Range-check the full 64-bit value so out-of-range inputs cannot
+      // wrap into range through the uint32 cast.
+      if (v < 1 || v > 31) {
+        *error =
+            "--minimizer-len: must be in [1, 31], got " + std::string(argv[i]);
+        return false;
+      }
+      opts->assembler.minimizer_len = static_cast<uint32_t>(v);
+    } else if (arg == "--queue-bytes") {
+      if (!need_value(i, arg) || !u64_flag(arg, argv[++i], &v)) return false;
+      opts->assembler.kmer_queue_bytes = v;
     } else if (arg == "--in-memory") {
       opts->in_memory = true;
     } else if (arg == "--serial-counting") {
@@ -277,6 +309,11 @@ bool ParseAssembleCliArgs(int argc, const char* const* argv,
   }
   if (opts->assembler.num_workers < 1) {
     *error = "--workers: must be >= 1";
+    return false;
+  }
+  const uint32_t m = opts->assembler.minimizer_len;
+  if (m < 1 || m > 31) {
+    *error = "--minimizer-len: must be in [1, 31], got " + std::to_string(m);
     return false;
   }
   return true;

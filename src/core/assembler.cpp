@@ -39,6 +39,7 @@ AssemblyResult Assembler::Assemble(const std::vector<Read>& reads,
                  << (options_.sharded_kmer_counting ? "sharded" : "serial")
                  << " (threads=" << options_.num_threads
                  << ", shards=" << options_.kmer_shards << "; 0 = auto)"
+                 << ", pass1=" << Pass1EncodingName(options_.pass1_encoding)
                  << ", shuffle="
                  << ShuffleStrategyName(options_.shuffle_strategy);
   DbgResult dbg = BuildDbg(reads, options_, &result.stats);
@@ -55,7 +56,8 @@ AssemblyResult Assembler::Assemble(ReadStream& reads,
   PPA_LOG(kInfo) << "k-mer counting: streaming sharded"
                  << " (threads=" << options_.num_threads
                  << ", shards=" << options_.kmer_shards
-                 << ", queue_codes=" << options_.kmer_queue_codes
+                 << ", pass1=" << Pass1EncodingName(options_.pass1_encoding)
+                 << ", queue_bytes=" << options_.kmer_queue_bytes
                  << "; 0 = auto)";
   DbgResult dbg = BuildDbg(reads, options_, &result.stats);
   FinishAssembly(&result, std::move(dbg), method);

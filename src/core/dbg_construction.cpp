@@ -52,6 +52,8 @@ KmerCountConfig MakeCountConfig(const AssemblerOptions& options) {
   count_config.num_threads = options.num_threads;
   count_config.num_shards = options.kmer_shards;
   count_config.coverage_threshold = options.coverage_threshold;
+  count_config.pass1_encoding = options.pass1_encoding;
+  count_config.minimizer_len = static_cast<int>(options.minimizer_len);
   return count_config;
 }
 
@@ -181,7 +183,7 @@ DbgResult BuildDbg(ReadStream& reads, const AssemblerOptions& options,
   // to the CounterSession, whose shard counter threads drain concurrently.
   // The code stream is never resident — the session blocks the scanners
   // (and, transitively, the reader) when they outrun the counters.
-  CounterSession session(MakeCountConfig(options), options.kmer_queue_codes);
+  CounterSession session(MakeCountConfig(options), options.kmer_queue_bytes);
   const unsigned scan_threads = options.num_threads == 0
                                     ? ThreadPool::DefaultThreads()
                                     : options.num_threads;

@@ -52,7 +52,7 @@ DbgResult BuildDbg(const std::vector<Read>& reads,
 /// Streaming variant: consumes a bounded-memory ReadStream, counting
 /// (k+1)-mers while scanning (dbg/kmer_counter.h CounterSession) so the
 /// input is never fully resident. Always uses the sharded counter; the
-/// queued-code bound comes from AssemblerOptions::kmer_queue_codes.
+/// queued-byte bound comes from AssemblerOptions::kmer_queue_bytes.
 /// Thread footprint: num_threads scanner threads PLUS up to num_threads
 /// shard counter threads (the overlap is the point) plus the stream's
 /// reader thread; counter threads sleep whenever their queues are empty,

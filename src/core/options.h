@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "dbg/kmer_counter.h"
 #include "pregel/mapreduce.h"
 #include "util/logging.h"
 
@@ -27,10 +28,18 @@ struct AssemblerOptions {
   uint32_t kmer_shards = 0;           // counting shards; 0 = auto (4x threads),
                                       // rounded up to a power of two and
                                       // capped at 1024.
-  uint64_t kmer_queue_codes = 0;      // streaming ingestion only: bound on
-                                      // codes buffered between scanners and
-                                      // shard counters (backpressure); 0 =
-                                      // CounterSession::kDefaultMaxQueuedCodes.
+  uint64_t kmer_queue_bytes = 0;      // streaming ingestion only: bound on
+                                      // chunk bytes buffered between scanners
+                                      // and shard counters (backpressure);
+                                      // 0 = CounterSession default (32 MB).
+
+  // Pass-1 shuffle encoding of the sharded counter. kSuperkmer ships
+  // 2-bit-packed minimizer-bucketed super-k-mers (~4-6x fewer bytes than
+  // kRaw's 8-byte codes); kRaw is the equivalence oracle — both produce
+  // bit-identical counts and contigs. minimizer_len is clamped internally
+  // to min(minimizer_len, k + 1, 31).
+  Pass1Encoding pass1_encoding = Pass1Encoding::kSuperkmer;
+  uint32_t minimizer_len = 11;
 
   // MapReduce shuffle (every grouping operation: DBG construction phase
   // (ii), both contig-merging jobs, bubble filtering). kSort is the
@@ -41,6 +50,7 @@ struct AssemblerOptions {
     PPA_CHECK(k >= 3 && k <= 31);
     PPA_CHECK(k % 2 == 1);  // Odd k rules out palindromic k-mers.
     PPA_CHECK(num_workers >= 1);
+    PPA_CHECK(minimizer_len >= 1 && minimizer_len <= 31);
   }
 };
 

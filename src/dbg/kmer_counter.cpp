@@ -6,10 +6,12 @@
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 
 #include "dna/kmer.h"
+#include "dna/superkmer.h"
 #include "util/hash.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -24,15 +26,23 @@ namespace {
 // is safe as the empty-slot sentinel.
 constexpr uint64_t kEmptySlot = ~0ULL;
 
-// Codes appended per (thread, shard) buffer before it is moved into the
-// shard's chunk queue. Large enough that the per-shard mutex is touched
-// once per several thousand mers, small enough to stay cache-resident.
-constexpr size_t kFlushThreshold = 4096;
+// Payload appended per (thread, shard) chunk before it is moved into the
+// shard's queue. Large enough that the per-shard mutex is touched once per
+// tens of kilobytes, small enough to stay cache-resident. Raw chunks flush
+// at kFlushCodes codes (= kFlushChunkBytes); super-k-mer chunks flush at
+// the first record that reaches kFlushChunkBytes, so a chunk never exceeds
+// kFlushChunkBytes + kMaxSuperkmerRecordBytes.
+constexpr size_t kFlushCodes = 4096;
+constexpr size_t kFlushChunkBytes = kFlushCodes * sizeof(uint64_t);
 
 // Reads claimed per grab of the shared cursor in pass 1.
 constexpr size_t kReadBlock = 256;
 
 uint64_t NextPow2(uint64_t x) { return std::bit_ceil(std::max<uint64_t>(x, 1)); }
+
+int EffectiveMinimizerLen(const KmerCountConfig& config) {
+  return std::min({config.minimizer_len, config.mer_length, 31});
+}
 
 /// Shared scanning semantics of both counters: cut `read` into canonical
 /// mers, splitting at non-ACGT bases (Sec. IV.B-1), and call fn(code) for
@@ -50,6 +60,33 @@ void ScanCanonicalMers(const Read& read, KmerWindow& window, Fn&& fn) {
     if (window.Push(static_cast<uint8_t>(b))) {
       fn(window.Current().Canonical().code());
     }
+  }
+}
+
+/// One flushed pass-1 buffer. Exactly one payload is populated: `codes`
+/// under Pass1Encoding::kRaw, `packed` (back-to-back superkmer records)
+/// under kSuperkmer.
+struct Pass1Chunk {
+  std::vector<uint64_t> codes;
+  std::vector<uint8_t> packed;
+  uint64_t windows = 0;  // canonical windows this chunk carries
+  uint64_t records = 0;  // shipped units (codes, or super-k-mer records)
+
+  size_t SizeBytes() const {
+    return codes.size() * sizeof(uint64_t) + packed.size();
+  }
+};
+
+/// Replays a chunk's canonical codes into the given consumer — the one
+/// place pass 2 undoes what pass 1 encoded.
+template <typename Fn>
+void ForEachChunkCode(const Pass1Chunk& chunk, int mer_length, Fn&& fn) {
+  for (uint64_t code : chunk.codes) fn(code);
+  if (!chunk.packed.empty()) {
+    // Chunks never leave this process, so a decode failure is a program
+    // invariant violation, not an input error.
+    PPA_CHECK(DecodeSuperkmers(chunk.packed.data(), chunk.packed.size(),
+                               mer_length, fn));
   }
 }
 
@@ -122,14 +159,14 @@ class CountTable {
 
 struct Shard {
   std::mutex mu;
-  std::vector<std::vector<uint64_t>> chunks;  // flushed pass-1 buffers
+  std::vector<Pass1Chunk> chunks;  // flushed pass-1 buffers
 };
 
 /// Resolved execution shape of one counting job.
 struct Plan {
   unsigned threads;
   uint32_t shards;
-  int shard_shift;  // shard = Mix64(code) >> shard_shift (64 = single shard)
+  int shard_shift;  // shard = hash >> shard_shift (64 = single shard)
 };
 
 Plan MakePlan(const KmerCountConfig& config) {
@@ -145,6 +182,126 @@ Plan MakePlan(const KmerCountConfig& config) {
   return plan;
 }
 
+/// Per-thread pass-1 state shared by the batch counter and CounterSession:
+/// cuts reads into per-shard chunks under the configured encoding and hands
+/// full chunks to a sink (which locks/queues them). The per-base hot path
+/// touches only thread-local state.
+class Pass1Scanner {
+ public:
+  Pass1Scanner(const KmerCountConfig& config, const Plan& plan)
+      : config_(config),
+        plan_(plan),
+        window_(config.mer_length),
+        sk_scanner_(config.mer_length, config.minimizer_len),
+        local_(plan.shards) {}
+
+  uint64_t bases() const { return bases_; }
+  uint64_t windows() const { return windows_; }
+  uint64_t superkmers() const { return superkmers_; }
+
+  /// Sink signature: void(uint32_t shard, Pass1Chunk&&).
+  template <typename Sink>
+  void ScanRead(const Read& read, Sink&& sink) {
+    bases_ += read.bases.size();
+    if (config_.pass1_encoding == Pass1Encoding::kRaw) {
+      ScanCanonicalMers(read, window_, [&](uint64_t code) {
+        const uint32_t s = ShardOf(Mix64(code));
+        ++windows_;
+        local_[s].codes.push_back(code);
+        if (local_[s].codes.size() >= kFlushCodes) {
+          Flush(s, /*refill=*/true, sink);
+        }
+      });
+      return;
+    }
+    const std::string_view bases(read.bases);
+    sk_scanner_.Scan(bases, [&](const Superkmer& sk) {
+      const uint32_t s = ShardOf(sk.minimizer_hash);
+      Pass1Chunk& chunk = local_[s];
+      AppendSuperkmer(bases.substr(sk.base_offset, sk.base_length),
+                      /*first_window_offset=*/0, &chunk.packed);
+      chunk.windows += sk.windows;
+      chunk.records += 1;
+      windows_ += sk.windows;
+      ++superkmers_;
+      if (chunk.packed.size() >= kFlushChunkBytes) {
+        Flush(s, /*refill=*/true, sink);
+      }
+    });
+  }
+
+  /// Hands the remaining partial chunks to the sink.
+  template <typename Sink>
+  void Drain(Sink&& sink) {
+    for (uint32_t s = 0; s < plan_.shards; ++s) {
+      if (local_[s].SizeBytes() != 0) Flush(s, /*refill=*/false, sink);
+    }
+  }
+
+ private:
+  uint32_t ShardOf(uint64_t hash) const {
+    return plan_.shard_shift >= 64
+               ? 0
+               : static_cast<uint32_t>(hash >> plan_.shard_shift);
+  }
+
+  template <typename Sink>
+  void Flush(uint32_t s, bool refill, Sink&& sink) {
+    Pass1Chunk chunk = std::move(local_[s]);
+    if (chunk.codes.size() != 0) {
+      // Raw chunks tally at flush time — one code is one window is one
+      // shipped unit.
+      chunk.windows = chunk.codes.size();
+      chunk.records = chunk.codes.size();
+    }
+    local_[s] = Pass1Chunk{};
+    // Buffers start unreserved: with S buffers per thread, eager reserves
+    // would cost threads x shards x 32 KB before any input is seen. Only a
+    // buffer that actually filled once gets the full-size replacement, and
+    // the final drain never writes one.
+    if (refill) {
+      if (config_.pass1_encoding == Pass1Encoding::kRaw) {
+        local_[s].codes.reserve(kFlushCodes);
+      } else {
+        local_[s].packed.reserve(kFlushChunkBytes + kMaxSuperkmerRecordBytes);
+      }
+    }
+    sink(s, std::move(chunk));
+  }
+
+  const KmerCountConfig& config_;
+  const Plan& plan_;
+  KmerWindow window_;
+  SuperkmerScanner sk_scanner_;
+  std::vector<Pass1Chunk> local_;
+  uint64_t bases_ = 0;
+  uint64_t windows_ = 0;
+  uint64_t superkmers_ = 0;
+};
+
+/// Fills the encoding/shuffle-volume fields shared by the batch counter and
+/// CounterSession from the per-shard measurements.
+void FillShardStats(const KmerCountConfig& config, KmerCountStats* stats,
+                    std::vector<uint64_t> shard_windows,
+                    std::vector<uint64_t> shard_bytes,
+                    std::vector<uint64_t> shard_messages,
+                    uint64_t superkmers) {
+  stats->encoding = config.pass1_encoding;
+  for (uint64_t b : shard_bytes) stats->shuffled_bytes += b;
+  if (config.pass1_encoding == Pass1Encoding::kRaw) {
+    stats->shuffled_messages = stats->total_windows;
+    stats->message_size = sizeof(uint64_t);
+  } else {
+    stats->minimizer_len = EffectiveMinimizerLen(config);
+    stats->superkmers = superkmers;
+    stats->shuffled_messages = superkmers;
+    stats->message_size = 0;  // variable-size records; see shuffled_bytes
+  }
+  stats->shard_windows = std::move(shard_windows);
+  stats->shard_bytes = std::move(shard_bytes);
+  stats->shard_messages = std::move(shard_messages);
+}
+
 }  // namespace
 
 MerCounts CountCanonicalMers(const std::vector<Read>& reads,
@@ -152,78 +309,62 @@ MerCounts CountCanonicalMers(const std::vector<Read>& reads,
                              KmerCountStats* stats) {
   PPA_CHECK(config.mer_length >= 1 && config.mer_length <= kMaxMerLength);
   PPA_CHECK(config.num_workers >= 1);
+  PPA_CHECK(config.minimizer_len >= 1);
   const Plan plan = MakePlan(config);
   const uint32_t S = plan.shards;
   const uint32_t W = config.num_workers;
   ThreadPool pool(plan.threads);
 
-  // ---- Pass 1: partition canonical codes into shards. ----------------------
+  // ---- Pass 1: partition encoded chunks into shards. -----------------------
   Timer pass1_timer;
   std::vector<Shard> shards(S);
   std::atomic<size_t> cursor{0};
   std::vector<uint64_t> scanned_bases(plan.threads, 0);
   std::vector<uint64_t> scanned_windows(plan.threads, 0);
+  std::vector<uint64_t> scanned_superkmers(plan.threads, 0);
 
   pool.Run(plan.threads, [&](uint32_t t) {
-    // Buffers start unreserved: with S buffers per thread, eager reserves
-    // would cost threads x shards x 32 KB before any input is seen. Only a
-    // buffer that actually filled once gets the full-size replacement.
-    std::vector<std::vector<uint64_t>> local(S);
-    auto flush = [&](uint32_t s, bool refill) {
-      std::vector<uint64_t> fresh;
-      // The final drain never writes the replacement buffer, so only a
-      // mid-scan flush pays for the full-size reserve.
-      if (refill) fresh.reserve(kFlushThreshold);
+    Pass1Scanner scanner(config, plan);
+    auto sink = [&](uint32_t s, Pass1Chunk&& chunk) {
       std::lock_guard<std::mutex> lock(shards[s].mu);
-      shards[s].chunks.push_back(std::move(local[s]));
-      local[s] = std::move(fresh);
+      shards[s].chunks.push_back(std::move(chunk));
     };
-
-    // Accumulate scan totals in locals; the shared per-thread slots are
-    // written once at the end, keeping the hot loop free of cross-thread
-    // cache-line traffic.
-    uint64_t bases = 0;
-    uint64_t windows = 0;
-    KmerWindow window(config.mer_length);
     for (;;) {
       const size_t begin = cursor.fetch_add(kReadBlock);
       if (begin >= reads.size()) break;
       const size_t end = std::min(begin + kReadBlock, reads.size());
-      for (size_t r = begin; r < end; ++r) {
-        bases += reads[r].bases.size();
-        ScanCanonicalMers(reads[r], window, [&](uint64_t code) {
-          const uint32_t s =
-              plan.shard_shift >= 64
-                  ? 0
-                  : static_cast<uint32_t>(Mix64(code) >> plan.shard_shift);
-          ++windows;
-          local[s].push_back(code);
-          if (local[s].size() >= kFlushThreshold) flush(s, /*refill=*/true);
-        });
-      }
+      for (size_t r = begin; r < end; ++r) scanner.ScanRead(reads[r], sink);
     }
-    for (uint32_t s = 0; s < S; ++s) {
-      if (!local[s].empty()) flush(s, /*refill=*/false);
-    }
-    scanned_bases[t] = bases;
-    scanned_windows[t] = windows;
+    scanner.Drain(sink);
+    scanned_bases[t] = scanner.bases();
+    scanned_windows[t] = scanner.windows();
+    scanned_superkmers[t] = scanner.superkmers();
   });
   const double pass1_seconds = pass1_timer.Seconds();
 
-  // ---- Pass 2: count each shard independently, filter, route. --------------
+  // ---- Pass 2: decode + count each shard independently, filter, route. -----
   Timer pass2_timer;
   std::vector<uint64_t> distinct_per_shard(S, 0);
   std::vector<uint64_t> windows_per_shard(S, 0);
+  std::vector<uint64_t> bytes_per_shard(S, 0);
+  std::vector<uint64_t> messages_per_shard(S, 0);
   std::vector<MerCounts> shard_out(S);
   pool.Run(S, [&](uint32_t s) {
-    uint64_t total = 0;
-    for (const auto& chunk : shards[s].chunks) total += chunk.size();
-    windows_per_shard[s] = total;
+    uint64_t windows = 0, bytes = 0, messages = 0;
+    for (const Pass1Chunk& chunk : shards[s].chunks) {
+      windows += chunk.windows;
+      bytes += chunk.SizeBytes();
+      messages += chunk.records;
+    }
+    windows_per_shard[s] = windows;
+    bytes_per_shard[s] = bytes;
+    messages_per_shard[s] = messages;
     // Start from a coverage-informed estimate; the table grows if the data
     // turns out more diverse.
-    CountTable table(total / 4 + 16);
-    for (const auto& chunk : shards[s].chunks) {
-      for (uint64_t code : chunk) table.Add(code);
+    CountTable table(windows / 4 + 16);
+    for (const Pass1Chunk& chunk : shards[s].chunks) {
+      ForEachChunkCode(chunk, config.mer_length,
+                       [&](uint64_t code) { table.Add(code); });
     }
     shards[s].chunks.clear();
     shards[s].chunks.shrink_to_fit();
@@ -256,17 +397,19 @@ MerCounts CountCanonicalMers(const std::vector<Read>& reads,
     stats->threads = plan.threads;
     stats->pass1_seconds = pass1_seconds;
     stats->pass2_seconds = pass2_seconds;
+    uint64_t superkmers = 0;
     for (unsigned t = 0; t < plan.threads; ++t) {
       stats->total_bases += scanned_bases[t];
       stats->total_windows += scanned_windows[t];
+      superkmers += scanned_superkmers[t];
     }
     for (uint32_t s = 0; s < S; ++s) {
       stats->distinct_mers += distinct_per_shard[s];
     }
     for (uint32_t d = 0; d < W; ++d) stats->surviving_mers += result[d].size();
-    stats->shuffled_messages = stats->total_windows;
-    stats->message_size = sizeof(uint64_t);
-    stats->shard_windows = std::move(windows_per_shard);
+    FillShardStats(config, stats, std::move(windows_per_shard),
+                   std::move(bytes_per_shard), std::move(messages_per_shard),
+                   superkmers);
   }
   return result;
 }
@@ -288,25 +431,30 @@ struct CounterSession::Impl {
   std::mutex mu;
   std::condition_variable not_full;   // scanners wait here (backpressure)
   std::condition_variable not_empty;  // counters wait here
-  std::vector<std::deque<std::vector<uint64_t>>> pending;  // per shard
-  std::vector<uint64_t> shard_windows;                     // enqueued codes
-  uint64_t queued_codes = 0;
-  uint64_t peak_queued_codes = 0;
+  std::vector<std::deque<Pass1Chunk>> pending;  // per shard
+  std::vector<uint64_t> shard_windows;   // enqueued windows per shard
+  std::vector<uint64_t> shard_bytes;     // enqueued chunk bytes per shard
+  std::vector<uint64_t> shard_messages;  // enqueued shipped units per shard
+  uint64_t queued_bytes = 0;
+  uint64_t peak_queued_bytes = 0;
   bool finishing = false;
 
   std::atomic<uint64_t> total_bases{0};
   std::atomic<uint64_t> total_windows{0};
+  std::atomic<uint64_t> total_superkmers{0};
   std::vector<std::thread> counters;
   Timer wall;
   bool finished = false;
 
-  explicit Impl(const KmerCountConfig& cfg, uint64_t max_queued_codes)
+  explicit Impl(const KmerCountConfig& cfg, uint64_t max_queued_bytes)
       : config(cfg), plan(MakePlan(cfg)) {
-    bound = max_queued_codes == 0 ? CounterSession::kDefaultMaxQueuedCodes
-                                  : max_queued_codes;
-    // A single flushed buffer (<= kFlushThreshold codes) must always be
-    // admissible when the queue is empty, or enqueue would deadlock.
-    bound = std::max<uint64_t>(bound, kFlushThreshold);
+    bound = max_queued_bytes == 0 ? CounterSession::kDefaultMaxQueuedBytes
+                                  : max_queued_bytes;
+    // A single flushed chunk (<= flush threshold + one maximal super-k-mer
+    // record) must always be admissible when the queue is empty, or
+    // enqueue would deadlock.
+    bound = std::max<uint64_t>(bound,
+                               kFlushChunkBytes + kMaxSuperkmerRecordBytes);
     num_counters = std::min<unsigned>(plan.threads, plan.shards);
     tables.reserve(plan.shards);
     for (uint32_t s = 0; s < plan.shards; ++s) {
@@ -316,25 +464,29 @@ struct CounterSession::Impl {
     }
     pending.resize(plan.shards);
     shard_windows.assign(plan.shards, 0);
+    shard_bytes.assign(plan.shards, 0);
+    shard_messages.assign(plan.shards, 0);
     counters.reserve(num_counters);
     for (unsigned c = 0; c < num_counters; ++c) {
       counters.emplace_back([this, c] { CounterLoop(c); });
     }
   }
 
-  void Enqueue(uint32_t s, std::vector<uint64_t>&& buf) {
-    const uint64_t n = buf.size();
+  void Enqueue(uint32_t s, Pass1Chunk&& chunk) {
+    const uint64_t n = chunk.SizeBytes();
     std::unique_lock<std::mutex> lock(mu);
     // Admit when under the bound — or unconditionally when the queue is
-    // empty, which keeps progress guaranteed (n <= kFlushThreshold <=
-    // bound, so the invariant queued_codes <= bound still holds).
+    // empty, which keeps progress guaranteed (n <= flush threshold + one
+    // record <= bound, so the invariant queued_bytes <= bound still holds).
     not_full.wait(lock, [&] {
-      return queued_codes == 0 || queued_codes + n <= bound;
+      return queued_bytes == 0 || queued_bytes + n <= bound;
     });
-    queued_codes += n;
-    peak_queued_codes = std::max(peak_queued_codes, queued_codes);
-    shard_windows[s] += n;
-    pending[s].push_back(std::move(buf));
+    queued_bytes += n;
+    peak_queued_bytes = std::max(peak_queued_bytes, queued_bytes);
+    shard_windows[s] += chunk.windows;
+    shard_bytes[s] += n;
+    shard_messages[s] += chunk.records;
+    pending[s].push_back(std::move(chunk));
     not_empty.notify_all();
   }
 
@@ -344,12 +496,13 @@ struct CounterSession::Impl {
       bool worked = false;
       for (uint32_t s = c; s < plan.shards; s += num_counters) {
         while (!pending[s].empty()) {
-          std::vector<uint64_t> chunk = std::move(pending[s].front());
+          Pass1Chunk chunk = std::move(pending[s].front());
           pending[s].pop_front();
           lock.unlock();
-          for (uint64_t code : chunk) tables[s].Add(code);
+          ForEachChunkCode(chunk, config.mer_length,
+                           [&](uint64_t code) { tables[s].Add(code); });
           lock.lock();
-          queued_codes -= chunk.size();
+          queued_bytes -= chunk.SizeBytes();
           not_full.notify_all();
           worked = true;
         }
@@ -363,10 +516,11 @@ struct CounterSession::Impl {
 };
 
 CounterSession::CounterSession(const KmerCountConfig& config,
-                               uint64_t max_queued_codes) {
+                               uint64_t max_queued_bytes) {
   PPA_CHECK(config.mer_length >= 1 && config.mer_length <= kMaxMerLength);
   PPA_CHECK(config.num_workers >= 1);
-  impl_ = std::make_unique<Impl>(config, max_queued_codes);
+  PPA_CHECK(config.minimizer_len >= 1);
+  impl_ = std::make_unique<Impl>(config, max_queued_bytes);
 }
 
 CounterSession::~CounterSession() {
@@ -382,32 +536,16 @@ CounterSession::~CounterSession() {
 void CounterSession::AddBatch(const Read* reads, size_t n) {
   Impl& impl = *impl_;
   PPA_CHECK(!impl.finished);
-  const uint32_t S = impl.plan.shards;
-  std::vector<std::vector<uint64_t>> local(S);
-  uint64_t bases = 0;
-  uint64_t windows = 0;
-  KmerWindow window(impl.config.mer_length);
-  for (size_t r = 0; r < n; ++r) {
-    bases += reads[r].bases.size();
-    ScanCanonicalMers(reads[r], window, [&](uint64_t code) {
-      const uint32_t s =
-          impl.plan.shard_shift >= 64
-              ? 0
-              : static_cast<uint32_t>(Mix64(code) >> impl.plan.shard_shift);
-      ++windows;
-      local[s].push_back(code);
-      if (local[s].size() >= kFlushThreshold) {
-        impl.Enqueue(s, std::move(local[s]));
-        local[s] = {};
-        local[s].reserve(kFlushThreshold);
-      }
-    });
-  }
-  for (uint32_t s = 0; s < S; ++s) {
-    if (!local[s].empty()) impl.Enqueue(s, std::move(local[s]));
-  }
-  impl.total_bases.fetch_add(bases, std::memory_order_relaxed);
-  impl.total_windows.fetch_add(windows, std::memory_order_relaxed);
+  Pass1Scanner scanner(impl.config, impl.plan);
+  auto sink = [&impl](uint32_t s, Pass1Chunk&& chunk) {
+    impl.Enqueue(s, std::move(chunk));
+  };
+  for (size_t r = 0; r < n; ++r) scanner.ScanRead(reads[r], sink);
+  scanner.Drain(sink);
+  impl.total_bases.fetch_add(scanner.bases(), std::memory_order_relaxed);
+  impl.total_windows.fetch_add(scanner.windows(), std::memory_order_relaxed);
+  impl.total_superkmers.fetch_add(scanner.superkmers(),
+                                  std::memory_order_relaxed);
 }
 
 MerCounts CounterSession::Finish(KmerCountStats* stats) {
@@ -463,11 +601,12 @@ MerCounts CounterSession::Finish(KmerCountStats* stats) {
       stats->distinct_mers += distinct_per_shard[s];
     }
     for (uint32_t d = 0; d < W; ++d) stats->surviving_mers += result[d].size();
-    stats->shuffled_messages = stats->total_windows;
-    stats->message_size = sizeof(uint64_t);
-    stats->shard_windows = std::move(impl.shard_windows);
-    stats->peak_queued_codes = impl.peak_queued_codes;
-    stats->queue_bound = impl.bound;
+    FillShardStats(impl.config, stats, std::move(impl.shard_windows),
+                   std::move(impl.shard_bytes),
+                   std::move(impl.shard_messages),
+                   impl.total_superkmers.load());
+    stats->peak_queued_bytes = impl.peak_queued_bytes;
+    stats->queue_bound_bytes = impl.bound;
   }
   return result;
 }
@@ -513,8 +652,10 @@ MerCounts CountCanonicalMersSerial(const std::vector<Read>& reads,
     stats->pass2_seconds = timer.Seconds();
     // Seed shuffle model: one locally pre-aggregated (code, count) pair per
     // distinct mer.
+    stats->encoding = Pass1Encoding::kRaw;
     stats->shuffled_messages = counts.size();
     stats->message_size = sizeof(std::pair<uint64_t, uint32_t>);
+    stats->shuffled_bytes = stats->shuffled_messages * stats->message_size;
   }
   return result;
 }
@@ -533,50 +674,57 @@ RunStats MerCountRunStats(const KmerCountStats& stats, uint32_t num_workers,
   };
   // Measured shard loads folded into worker slots (shard s -> s % W); this
   // preserves real shard imbalance for the cluster model's skew estimate.
-  std::vector<uint64_t> measured(num_workers, 0);
-  const bool has_shard_loads = !stats.shard_windows.empty();
-  if (has_shard_loads) {
-    for (size_t s = 0; s < stats.shard_windows.size(); ++s) {
-      measured[s % num_workers] += stats.shard_windows[s];
+  auto fold_shards = [&](const std::vector<uint64_t>& per_shard) {
+    std::vector<uint64_t> folded(num_workers, 0);
+    for (size_t s = 0; s < per_shard.size(); ++s) {
+      folded[s % num_workers] += per_shard[s];
     }
-  }
-  // Per-worker share of the shuffled units: measured shard loads when
-  // available, even split otherwise.
-  auto message_share = [&](uint32_t w) {
-    return has_shard_loads ? measured[w]
-                           : even_share(stats.shuffled_messages, w);
+    return folded;
   };
+  const bool measured = !stats.shard_windows.empty();
+  const std::vector<uint64_t> worker_windows = fold_shards(stats.shard_windows);
+  const std::vector<uint64_t> worker_bytes = fold_shards(stats.shard_bytes);
+  const std::vector<uint64_t> worker_msgs = fold_shards(stats.shard_messages);
+  // Pass-2 work units: one table probe per window for the sharded paths
+  // (whatever the pass-1 encoding), one pair summation per aggregated pair
+  // for the serial fallback.
+  const uint64_t reduce_units =
+      measured ? stats.total_windows : stats.shuffled_messages;
 
-  // Map/shuffle superstep: one message per shuffled unit (raw code for the
-  // sharded counter, pre-aggregated pair for the serial fallback — matching
-  // the seed model, which also charged map/reduce ops in aggregated pairs).
+  // Map/shuffle superstep: one message per shipped unit (raw code or
+  // super-k-mer record for the sharded counter, pre-aggregated pair for the
+  // serial fallback), with the measured chunk payload as the byte volume.
   SuperstepStats map_ss;
   map_ss.superstep = 0;
   map_ss.active_vertices = stats.distinct_mers;
   map_ss.messages_sent = stats.shuffled_messages;
-  map_ss.message_bytes = stats.shuffled_messages * stats.message_size;
-  map_ss.compute_ops = stats.total_bases + stats.shuffled_messages;
+  map_ss.message_bytes = stats.shuffled_bytes;
+  map_ss.compute_ops = stats.total_bases + reduce_units;
   map_ss.worker_messages.assign(num_workers, 0);
   map_ss.worker_bytes.assign(num_workers, 0);
   map_ss.worker_ops.assign(num_workers, 0);
   for (uint32_t w = 0; w < num_workers; ++w) {
-    map_ss.worker_messages[w] = message_share(w);
-    map_ss.worker_bytes[w] = map_ss.worker_messages[w] * stats.message_size;
-    map_ss.worker_ops[w] = even_share(stats.total_bases, w) + message_share(w);
+    map_ss.worker_messages[w] =
+        measured ? worker_msgs[w] : even_share(stats.shuffled_messages, w);
+    map_ss.worker_bytes[w] =
+        measured ? worker_bytes[w] : even_share(stats.shuffled_bytes, w);
+    map_ss.worker_ops[w] =
+        even_share(stats.total_bases, w) +
+        (measured ? worker_windows[w] : even_share(reduce_units, w));
   }
   run.supersteps.push_back(std::move(map_ss));
 
-  // Reduce superstep: one op per shuffled unit (table insert per raw code,
-  // or pair summation per aggregated pair); survivors come out.
+  // Reduce superstep: one op per pass-2 work unit; survivors come out.
   SuperstepStats reduce_ss;
   reduce_ss.superstep = 1;
   reduce_ss.active_vertices = stats.surviving_mers;
-  reduce_ss.compute_ops = stats.shuffled_messages;
+  reduce_ss.compute_ops = reduce_units;
   reduce_ss.worker_messages.assign(num_workers, 0);
   reduce_ss.worker_bytes.assign(num_workers, 0);
   reduce_ss.worker_ops.assign(num_workers, 0);
   for (uint32_t w = 0; w < num_workers; ++w) {
-    reduce_ss.worker_ops[w] = message_share(w);
+    reduce_ss.worker_ops[w] =
+        measured ? worker_windows[w] : even_share(reduce_units, w);
   }
   run.supersteps.push_back(std::move(reduce_ss));
   return run;

@@ -5,43 +5,50 @@
 // per-logical-worker std::unordered_maps; this subsystem replaces it with
 // the two-pass sharded design proven in k-mer tools such as yak:
 //
-//   Pass 1 (partition): scanner threads cut reads into canonical mer codes
-//   and append each code to a thread-local buffer for its target shard
-//   (shard = high bits of Mix64(code)). A full buffer is moved into the
-//   shard's chunk queue under a per-shard mutex — the mutex is taken once
-//   per few thousand mers, so the per-base hot path takes no locks and
-//   shares no cache lines between threads.
+//   Pass 1 (partition): scanner threads cut reads into per-shard chunks and
+//   move a full chunk into the shard's queue under a per-shard mutex — the
+//   mutex is taken once per tens of kilobytes, so the per-base hot path
+//   takes no locks and shares no cache lines between threads. What a chunk
+//   holds depends on Pass1Encoding:
+//
+//     kSuperkmer (default): minimizer-bucketed super-k-mers — maximal runs
+//     of consecutive windows sharing one Mix64-ordered minimizer, shipped
+//     as 2-bit-packed bases with a varint header (dna/superkmer.h). Shard =
+//     high bits of Mix64(minimizer); strand-invariant minimizers guarantee
+//     every occurrence of a canonical mer lands in the same shard. A run of
+//     w windows costs ~(w + L - 1)/4 + 2 bytes instead of 8w, cutting the
+//     pass-1 shuffle volume ~4-6x on real read sets.
+//
+//     kRaw: one 8-byte canonical code per window, shard = high bits of
+//     Mix64(code). The PR-2 path, kept as the equivalence oracle (like the
+//     shuffle engine's sort strategy) and as the bench baseline.
 //
 //   Pass 2 (count): each shard owns a disjoint slice of mer space, so the
 //   shards are counted fully independently in parallel, one open-addressing
-//   (linear-probe) table per shard. No atomics, no merging of tables.
+//   (linear-probe) table per shard; super-k-mer chunks are decoded locally
+//   right before the table probes. No atomics, no merging of tables.
 //
 // Survivors of the coverage filter are routed into `num_workers` output
 // partitions by Mix64(code) % num_workers — the same routing the seed path
-// used — so downstream phase (ii) MapReduce consumes the result unchanged.
+// used — so downstream phase (ii) MapReduce consumes the result unchanged,
+// bit-identically under either encoding.
 //
-// Memory tradeoff: the pass-1/pass-2 barrier holds the whole raw code
-// stream (8 bytes per window, i.e. proportional to coverage x genome size),
-// where the replaced pre-aggregating path peaked at ~12 bytes per distinct
-// mer. CounterSession removes that barrier: shard counter threads drain the
-// chunk queues into the count tables *while* the scanners are still
-// producing, and the queue depth is bounded — a scanner flushing into a
-// full queue blocks until the counters catch up (backpressure that
-// propagates through ReadStream to the input file). Peak transient memory
-// is the configured code bound plus the tables (~12 bytes per distinct
-// mer), restoring the pre-aggregating path's bound for high-coverage runs.
-//
-// Compared to the hash-map seed path, the shuffle unit is a raw 8-byte code
-// rather than a locally pre-aggregated (code, count) pair; RunStats built
-// from KmerCountStats therefore report the raw window count as the sharded
-// path's message volume, while the serial fallback keeps the seed model of
-// one aggregated pair per distinct mer — so PipelineStats comparisons
-// between the two paths show their genuinely different shuffle costs.
+// Memory tradeoff: the pass-1/pass-2 barrier of the batch counters holds
+// the whole chunk stream (proportional to coverage x genome size; ~4-6x
+// smaller under kSuperkmer). CounterSession removes that barrier: shard
+// counter threads drain the chunk queues into the count tables *while* the
+// scanners are still producing, and the queued *bytes* are bounded — a
+// scanner flushing into a full queue blocks until the counters catch up
+// (backpressure that propagates through ReadStream to the input file). Peak
+// transient memory is the configured byte bound plus the tables (~12 bytes
+// per distinct mer). Under kSuperkmer the same byte bound buys ~4-6x more
+// in-flight windows, or the same backlog in ~4-6x less memory.
 #ifndef PPA_DBG_KMER_COUNTER_H_
 #define PPA_DBG_KMER_COUNTER_H_
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -51,6 +58,28 @@
 
 namespace ppa {
 
+/// What pass 1 ships through the shard chunk queues.
+enum class Pass1Encoding : uint8_t {
+  kRaw = 0,        // one 8-byte canonical code per window (oracle path)
+  kSuperkmer = 1,  // 2-bit-packed minimizer-bucketed super-k-mers (default)
+};
+
+inline const char* Pass1EncodingName(Pass1Encoding e) {
+  return e == Pass1Encoding::kRaw ? "raw" : "superkmer";
+}
+
+inline bool ParsePass1Encoding(const std::string& name, Pass1Encoding* out) {
+  if (name == "raw") {
+    *out = Pass1Encoding::kRaw;
+    return true;
+  }
+  if (name == "superkmer") {
+    *out = Pass1Encoding::kSuperkmer;
+    return true;
+  }
+  return false;
+}
+
 /// Configuration of one counting job.
 struct KmerCountConfig {
   int mer_length = 32;         // length of the counted mers; <= 32.
@@ -59,12 +88,17 @@ struct KmerCountConfig {
   uint32_t num_shards = 0;     // rounded up to a power of two, capped at
                                // 1024; 0 = auto (4x threads).
   uint32_t coverage_threshold = 1;  // keep mers with count >= threshold.
+
+  // Pass-1 shuffle encoding. minimizer_len only applies to kSuperkmer and
+  // is clamped internally to min(minimizer_len, mer_length, 31).
+  Pass1Encoding pass1_encoding = Pass1Encoding::kSuperkmer;
+  int minimizer_len = 11;
 };
 
 /// Execution metrics of one counting job (feeds RunStats / benches).
 struct KmerCountStats {
   uint64_t total_bases = 0;     // bases scanned (incl. 'N')
-  uint64_t total_windows = 0;   // canonical mers emitted (with duplicates)
+  uint64_t total_windows = 0;   // canonical mers counted (with duplicates)
   uint64_t distinct_mers = 0;   // distinct canonical mers
   uint64_t surviving_mers = 0;  // after the coverage-threshold filter
   uint32_t shards = 0;          // shard count actually used
@@ -72,20 +106,30 @@ struct KmerCountStats {
   double pass1_seconds = 0;     // partition pass
   double pass2_seconds = 0;     // count pass
 
-  // Shuffle model for RunStats: the sharded counter moves one raw 8-byte
-  // code per window; the serial fallback models the paper's worker-local
-  // pre-aggregation, one (code, count) pair per distinct mer.
+  // Pass-1 shuffle volume. shuffled_messages counts the shipped units (raw
+  // codes, super-k-mer records, or — serial fallback — pre-aggregated
+  // (code, count) pairs); shuffled_bytes is the measured chunk payload.
+  // message_size is the fixed per-unit size, or 0 when variable
+  // (superkmer — shuffled_bytes is authoritative).
+  Pass1Encoding encoding = Pass1Encoding::kRaw;
+  int minimizer_len = 0;        // effective m (superkmer encoding only)
+  uint64_t superkmers = 0;      // super-k-mer records (superkmer only)
   uint64_t shuffled_messages = 0;
+  uint64_t shuffled_bytes = 0;
   uint32_t message_size = sizeof(uint64_t);
-  // Codes landing in each shard (sharded counter only; empty for serial).
-  // This is the measured pass-2 load, used for per-worker skew attribution.
-  std::vector<uint64_t> shard_windows;
 
-  // Streaming sessions (CounterSession) only: high-water mark of codes
-  // buffered between the scanners and the shard counters, and the bound it
-  // is guaranteed to stay under. Both zero for the batch counters.
-  uint64_t peak_queued_codes = 0;
-  uint64_t queue_bound = 0;
+  // Measured per-shard pass-2 load (sharded counters only; empty for
+  // serial): windows counted, chunk payload bytes, shipped units. Used for
+  // per-worker skew attribution in MerCountRunStats.
+  std::vector<uint64_t> shard_windows;
+  std::vector<uint64_t> shard_bytes;
+  std::vector<uint64_t> shard_messages;
+
+  // Streaming sessions (CounterSession) only: high-water mark of chunk
+  // bytes buffered between the scanners and the shard counters, and the
+  // bound it is guaranteed to stay under. Both zero for the batch counters.
+  uint64_t peak_queued_bytes = 0;
+  uint64_t queue_bound_bytes = 0;
 };
 
 /// (canonical code, count) pairs partitioned by Mix64(code) % num_workers.
@@ -98,14 +142,14 @@ MerCounts CountCanonicalMers(const std::vector<Read>& reads,
 
 /// Single-threaded reference counter. Bit-identical multiset of (code,
 /// count) pairs per output partition as the sharded counter; used as the
-/// `--serial` fallback and as the property-test oracle.
+/// `--serial-counting` fallback and as the property-test oracle.
 MerCounts CountCanonicalMersSerial(const std::vector<Read>& reads,
                                    const KmerCountConfig& config,
                                    KmerCountStats* stats = nullptr);
 
 /// Streaming batch-ingest counter: the same sharded design as
 /// CountCanonicalMers, but counting runs concurrently with scanning under a
-/// bounded buffer, so the whole code stream is never resident. Intended
+/// bounded buffer, so the whole chunk stream is never resident. Intended
 /// consumers are the io/read_stream.h worker threads:
 ///
 ///   CounterSession session(config);
@@ -117,24 +161,25 @@ MerCounts CountCanonicalMersSerial(const std::vector<Read>& reads,
 /// Finish() yields the same partitioned (code, count) multiset as
 /// CountCanonicalMers / CountCanonicalMersSerial over the concatenation of
 /// all batches (counting is commutative, including the saturating
-/// increment), and stats.peak_queued_codes <= stats.queue_bound always
-/// holds.
+/// increment), and stats.peak_queued_bytes <= stats.queue_bound_bytes
+/// always holds.
 class CounterSession {
  public:
-  /// `max_queued_codes` bounds the codes buffered between scanners and
-  /// counters; 0 picks kDefaultMaxQueuedCodes. Values below the internal
-  /// flush granularity are rounded up to it so a single flush always fits.
+  /// `max_queued_bytes` bounds the chunk bytes buffered between scanners
+  /// and counters; 0 picks kDefaultMaxQueuedBytes. Values below the
+  /// internal flush granularity (plus one maximal super-k-mer record) are
+  /// rounded up to it so a single flushed chunk always fits.
   explicit CounterSession(const KmerCountConfig& config,
-                          uint64_t max_queued_codes = 0);
+                          uint64_t max_queued_bytes = 0);
   ~CounterSession();
 
   CounterSession(const CounterSession&) = delete;
   CounterSession& operator=(const CounterSession&) = delete;
 
-  static constexpr uint64_t kDefaultMaxQueuedCodes = 4ULL << 20;  // 32 MB
+  static constexpr uint64_t kDefaultMaxQueuedBytes = 32ULL << 20;  // 32 MB
 
   /// Scans `reads` and feeds their canonical mers to the shard counters.
-  /// Thread-safe; blocks while the queued-code bound is exceeded.
+  /// Thread-safe; blocks while the queued-byte bound is exceeded.
   void AddBatch(const Read* reads, size_t n);
   void AddBatch(const std::vector<Read>& reads) {
     AddBatch(reads.data(), reads.size());

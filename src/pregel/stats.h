@@ -80,6 +80,14 @@ struct PipelineStats {
     return n;
   }
 
+  /// Shuffled payload across all jobs — phase (i) reports its measured
+  /// pass-1 chunk bytes here, so encoding choices show up pipeline-wide.
+  uint64_t total_bytes() const {
+    uint64_t n = 0;
+    for (const auto& j : jobs) n += j.total_bytes();
+    return n;
+  }
+
   uint32_t total_supersteps() const {
     uint32_t n = 0;
     for (const auto& j : jobs) n += j.num_supersteps();

@@ -37,8 +37,9 @@ TEST(AssembleCliParseTest, FlagsMapOntoOptions) {
   ASSERT_TRUE(Parse({"-k", "21", "--theta", "3", "--tip-length", "60",
                      "--bubble-edit", "4", "--workers", "8", "--threads", "2",
                      "--rounds", "2", "--labeling", "sv", "--shuffle", "sort",
-                     "--shards", "16",
-                     "--queue-codes", "5000", "--batch-reads", "128",
+                     "--shards", "16", "--pass1-encoding", "raw",
+                     "--minimizer-len", "9",
+                     "--queue-bytes", "5000", "--batch-reads", "128",
                      "--batch-bases", "65536", "--queue-depth", "2",
                      "--contigs", "c.fasta", "--stats", "s.txt",
                      "--reference", "r.fasta", "--min-contig", "100",
@@ -55,7 +56,9 @@ TEST(AssembleCliParseTest, FlagsMapOntoOptions) {
   EXPECT_EQ(opts.labeling, LabelingMethod::kSimplifiedSv);
   EXPECT_EQ(opts.assembler.shuffle_strategy, ShuffleStrategy::kSort);
   EXPECT_EQ(opts.assembler.kmer_shards, 16u);
-  EXPECT_EQ(opts.assembler.kmer_queue_codes, 5000u);
+  EXPECT_EQ(opts.assembler.pass1_encoding, Pass1Encoding::kRaw);
+  EXPECT_EQ(opts.assembler.minimizer_len, 9u);
+  EXPECT_EQ(opts.assembler.kmer_queue_bytes, 5000u);
   EXPECT_EQ(opts.stream.batch_reads, 128u);
   EXPECT_EQ(opts.stream.batch_bases, 65536u);
   EXPECT_EQ(opts.stream.queue_depth, 2u);
@@ -93,6 +96,20 @@ TEST(AssembleCliParseTest, RejectsBadInput) {
   opts = {};
   EXPECT_FALSE(Parse({"--shuffle", "merge", "in.fastq"}, &opts, &error));
   EXPECT_NE(error.find("--shuffle"), std::string::npos);
+  opts = {};
+  EXPECT_FALSE(Parse({"--pass1-encoding", "packed", "in.fastq"}, &opts,
+                     &error));
+  EXPECT_NE(error.find("--pass1-encoding"), std::string::npos);
+  opts = {};
+  EXPECT_FALSE(Parse({"--minimizer-len", "0", "in.fastq"}, &opts, &error));
+  EXPECT_NE(error.find("--minimizer-len"), std::string::npos);
+  opts = {};
+  EXPECT_FALSE(Parse({"--minimizer-len", "32", "in.fastq"}, &opts, &error));
+  opts = {};
+  // 2^32 + 11 must not wrap into range through the uint32 cast.
+  EXPECT_FALSE(
+      Parse({"--minimizer-len", "4294967307", "in.fastq"}, &opts, &error));
+  EXPECT_NE(error.find("--minimizer-len"), std::string::npos);
   opts = {};
   // Serial counting only exists on the in-memory path.
   EXPECT_FALSE(Parse({"--serial-counting", "in.fastq"}, &opts, &error));
@@ -136,7 +153,7 @@ TEST(AssembleCliRunTest, StreamedFileRunMatchesInMemoryPipeline) {
   opts.stats_out = TempPath("hc2_e2e.stats.txt");
   opts.assembler.num_workers = 8;
   opts.assembler.num_threads = 2;
-  opts.assembler.kmer_queue_codes = 16384;  // small bound: force backpressure
+  opts.assembler.kmer_queue_bytes = 65536;  // small bound: force backpressure
   opts.stream.batch_reads = 100;
   std::ostringstream out, err;
   ASSERT_EQ(RunAssembleCli(opts, out, err), 0) << err.str();
@@ -179,9 +196,60 @@ TEST(AssembleCliRunTest, StreamedFileRunMatchesInMemoryPipeline) {
             std::string::npos)
       << stats;
   EXPECT_EQ(stats.find("combined_away=0\n"), std::string::npos) << stats;
-  EXPECT_NE(stats.find("peak_queued_codes="), std::string::npos);
+  EXPECT_NE(stats.find("pass1=superkmer"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("peak_queued_bytes="), std::string::npos);
   EXPECT_NE(stats.find("n50="), std::string::npos);
-  EXPECT_NE(stats.find("queue_bound=16384"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("queue_bound_bytes=65536"), std::string::npos)
+      << stats;
+}
+
+// The acceptance property of the pass-1 encodings: streaming ppa_assemble
+// under --pass1-encoding raw and superkmer produces identical surviving-mer
+// counts, identical contig multisets, and identical QUAST metrics — the
+// superkmer run just ships fewer pass-1 bytes.
+TEST(AssembleCliRunTest, Pass1EncodingsProduceIdenticalAssemblies) {
+  Dataset dataset = MakeDataset(DatasetId::kHc2, 0.04);
+  const std::string prefix = TempPath("hc2_pass1");
+  std::vector<std::string> written = ExportDatasetFastq(dataset, prefix);
+
+  auto run = [&](const char* encoding) {
+    AssembleCliOptions opts;
+    opts.inputs = {written[0]};
+    opts.reference = written[1];
+    opts.contigs_out =
+        TempPath(std::string("hc2_pass1.") + encoding + ".fasta");
+    opts.stats_out = TempPath(std::string("hc2_pass1.") + encoding + ".txt");
+    opts.assembler.num_workers = 8;
+    opts.assembler.num_threads = 2;
+    EXPECT_TRUE(
+        ParsePass1Encoding(encoding, &opts.assembler.pass1_encoding));
+    std::ostringstream out, err;
+    EXPECT_EQ(RunAssembleCli(opts, out, err), 0) << err.str();
+    return opts;
+  };
+  const AssembleCliOptions raw = run("raw");
+  const AssembleCliOptions sk = run("superkmer");
+
+  EXPECT_EQ(SortedContigSeqs(raw.contigs_out), SortedContigSeqs(sk.contigs_out));
+
+  // Grep the per-encoding evidence out of the stats reports: identical
+  // surviving/window counts, and a smaller pass-1 byte volume for superkmer.
+  auto field = [](const std::string& stats, const std::string& key) {
+    const size_t at = stats.find(" " + key + "=");
+    EXPECT_NE(at, std::string::npos) << key << " missing in:\n" << stats;
+    if (at == std::string::npos) return uint64_t{0};
+    return static_cast<uint64_t>(
+        std::stoull(stats.substr(at + key.size() + 2)));
+  };
+  const std::string raw_stats = ReadFile(raw.stats_out);
+  const std::string sk_stats = ReadFile(sk.stats_out);
+  EXPECT_NE(raw_stats.find("pass1=raw"), std::string::npos);
+  EXPECT_NE(sk_stats.find("pass1=superkmer"), std::string::npos);
+  EXPECT_EQ(field(raw_stats, "windows"), field(sk_stats, "windows"));
+  EXPECT_EQ(field(raw_stats, "distinct"), field(sk_stats, "distinct"));
+  EXPECT_EQ(field(raw_stats, "surviving"), field(sk_stats, "surviving"));
+  EXPECT_EQ(field(raw_stats, "n50"), field(sk_stats, "n50"));
+  EXPECT_LT(field(sk_stats, "pass1_bytes"), field(raw_stats, "pass1_bytes"));
 }
 
 // The CLI's own in-memory mode must agree with its streaming mode.

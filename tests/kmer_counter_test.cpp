@@ -1,7 +1,9 @@
 // Tests for the sharded parallel k-mer counter: the central property is
-// that the sharded counter and the single-thread serial reference produce
-// bit-identical (code, count) sets, per output partition, on simulated
-// genomes across k-mer sizes, thread counts and shard counts.
+// that the sharded counter — under both pass-1 encodings (raw codes and
+// minimizer-bucketed super-k-mers) — and the single-thread serial reference
+// produce bit-identical (code, count) sets, per output partition, on
+// simulated genomes across k-mer sizes, minimizer lengths, thread counts
+// and shard counts.
 #include "dbg/kmer_counter.h"
 
 #include <gtest/gtest.h>
@@ -48,7 +50,7 @@ std::vector<Read> SimulatedReads(uint64_t genome_length, double coverage,
 
 // The headline property: parallel sharded counts are bit-identical to the
 // serial reference, per output partition, for every (k, threads) combo the
-// issue calls out.
+// issue calls out — under both pass-1 encodings.
 TEST(KmerCounterTest, ShardedMatchesSerialAcrossKAndThreads) {
   std::vector<Read> reads = SimulatedReads(20000, 12.0, 0.01, 99);
   for (int k : {15, 21, 31}) {
@@ -57,14 +59,70 @@ TEST(KmerCounterTest, ShardedMatchesSerialAcrossKAndThreads) {
     config.num_workers = 4;
     config.coverage_threshold = 1;
     auto expected = SortedPartitions(CountCanonicalMersSerial(reads, config));
-    for (unsigned threads : {1u, 4u, 8u}) {
-      config.num_threads = threads;
-      config.num_shards = 0;  // auto
-      KmerCountStats stats;
-      auto actual =
-          SortedPartitions(CountCanonicalMers(reads, config, &stats));
-      EXPECT_EQ(actual, expected) << "k=" << k << " threads=" << threads;
-      EXPECT_EQ(stats.threads, threads);
+    for (Pass1Encoding enc : {Pass1Encoding::kRaw, Pass1Encoding::kSuperkmer}) {
+      for (unsigned threads : {1u, 4u, 8u}) {
+        config.pass1_encoding = enc;
+        config.num_threads = threads;
+        config.num_shards = 0;  // auto
+        KmerCountStats stats;
+        auto actual =
+            SortedPartitions(CountCanonicalMers(reads, config, &stats));
+        EXPECT_EQ(actual, expected)
+            << "k=" << k << " threads=" << threads << " encoding="
+            << Pass1EncodingName(enc);
+        EXPECT_EQ(stats.threads, threads);
+        EXPECT_EQ(stats.encoding, enc);
+      }
+    }
+  }
+}
+
+// The tentpole's equivalence grid: raw and superkmer pass-1 produce
+// bit-identical surviving-mer sets and per-worker partitions across
+// k x minimizer-length x threads, with shuffle-volume accounting that sums
+// exactly and shows the superkmer compression.
+TEST(KmerCounterTest, SuperkmerMatchesRawAcrossKMinimizerAndThreads) {
+  std::vector<Read> reads = SimulatedReads(20000, 12.0, 0.01, 42);
+  // Exercise the edge paths inside the grid too.
+  reads.push_back({"n_runs", "ACGTACGTNNNNNNNNNNACGTACGATCGATTACA", ""});
+  reads.push_back({"short", "ACGTACG", ""});
+  reads.push_back({"poly_a", std::string(200, 'A'), ""});
+  for (int k : {15, 21, 31}) {
+    KmerCountConfig config;
+    config.mer_length = k;
+    config.num_workers = 4;
+    config.coverage_threshold = 2;
+    config.pass1_encoding = Pass1Encoding::kRaw;
+    KmerCountStats raw_stats;
+    auto expected =
+        SortedPartitions(CountCanonicalMers(reads, config, &raw_stats));
+    for (int m : {7, 11}) {
+      for (unsigned threads : {1u, 4u, 8u}) {
+        config.pass1_encoding = Pass1Encoding::kSuperkmer;
+        config.minimizer_len = m;
+        config.num_threads = threads;
+        KmerCountStats stats;
+        auto actual =
+            SortedPartitions(CountCanonicalMers(reads, config, &stats));
+        EXPECT_EQ(actual, expected)
+            << "k=" << k << " m=" << m << " threads=" << threads;
+        EXPECT_EQ(stats.total_windows, raw_stats.total_windows);
+        EXPECT_EQ(stats.distinct_mers, raw_stats.distinct_mers);
+        EXPECT_EQ(stats.surviving_mers, raw_stats.surviving_mers);
+        // Accounting integrity: per-shard measurements sum to the totals.
+        uint64_t windows = 0, bytes = 0, records = 0;
+        for (uint64_t w : stats.shard_windows) windows += w;
+        for (uint64_t b : stats.shard_bytes) bytes += b;
+        for (uint64_t r : stats.shard_messages) records += r;
+        EXPECT_EQ(windows, stats.total_windows);
+        EXPECT_EQ(bytes, stats.shuffled_bytes);
+        EXPECT_EQ(records, stats.superkmers);
+        EXPECT_EQ(stats.shuffled_messages, stats.superkmers);
+        EXPECT_EQ(stats.minimizer_len, std::min(m, k));
+        // The point of the encoding: fewer shuffle bytes than 8 B/window.
+        EXPECT_LT(stats.shuffled_bytes, raw_stats.shuffled_bytes)
+            << "k=" << k << " m=" << m;
+      }
     }
   }
 }
@@ -212,12 +270,14 @@ TEST(KmerCounterTest, RunStatsTotalsAreExact) {
   KmerCountConfig config;
   config.mer_length = 21;
   config.num_workers = 4;
+  config.pass1_encoding = Pass1Encoding::kRaw;
   KmerCountStats stats;
   CountCanonicalMers(reads, config, &stats);
-  // Sharded shuffle model: one raw 8-byte code per window, and per-shard
-  // measured loads folded into the worker slots.
+  // Raw shuffle model: one 8-byte code per window, and per-shard measured
+  // loads folded into the worker slots.
   EXPECT_EQ(stats.shuffled_messages, stats.total_windows);
   EXPECT_EQ(stats.message_size, sizeof(uint64_t));
+  EXPECT_EQ(stats.shuffled_bytes, stats.total_windows * sizeof(uint64_t));
   ASSERT_EQ(stats.shard_windows.size(), stats.shards);
   uint64_t shard_sum = 0;
   for (uint64_t w : stats.shard_windows) shard_sum += w;
@@ -226,13 +286,48 @@ TEST(KmerCounterTest, RunStatsTotalsAreExact) {
   RunStats run = MerCountRunStats(stats, 4, "phase1");
   ASSERT_EQ(run.num_supersteps(), 2u);
   EXPECT_EQ(run.total_messages(), stats.total_windows);
+  EXPECT_EQ(run.supersteps[0].message_bytes, stats.shuffled_bytes);
   // Per-worker attributions sum exactly to the totals.
   const SuperstepStats& map_ss = run.supersteps[0];
   uint64_t worker_sum = 0;
   for (uint64_t m : map_ss.worker_messages) worker_sum += m;
   EXPECT_EQ(worker_sum, map_ss.messages_sent);
+  uint64_t bytes_sum = 0;
+  for (uint64_t b : map_ss.worker_bytes) bytes_sum += b;
+  EXPECT_EQ(bytes_sum, map_ss.message_bytes);
   uint64_t ops_sum = 0;
   for (uint64_t o : map_ss.worker_ops) ops_sum += o;
+  EXPECT_EQ(ops_sum, map_ss.compute_ops);
+}
+
+// Same exactness under the superkmer encoding: messages are super-k-mer
+// records, bytes are the measured packed chunks, and reduce ops stay one
+// table probe per window.
+TEST(KmerCounterTest, SuperkmerRunStatsTotalsAreExact) {
+  std::vector<Read> reads = SimulatedReads(5000, 10.0, 0.01, 23);
+  KmerCountConfig config;
+  config.mer_length = 21;
+  config.num_workers = 4;
+  config.pass1_encoding = Pass1Encoding::kSuperkmer;
+  KmerCountStats stats;
+  CountCanonicalMers(reads, config, &stats);
+  EXPECT_EQ(stats.shuffled_messages, stats.superkmers);
+  EXPECT_GT(stats.superkmers, 0u);
+  EXPECT_LT(stats.superkmers, stats.total_windows);
+  EXPECT_EQ(stats.message_size, 0u);  // variable-size records
+
+  RunStats run = MerCountRunStats(stats, 4, "phase1-superkmer");
+  ASSERT_EQ(run.num_supersteps(), 2u);
+  EXPECT_EQ(run.total_messages(), stats.superkmers);
+  EXPECT_EQ(run.supersteps[0].message_bytes, stats.shuffled_bytes);
+  EXPECT_EQ(run.supersteps[1].compute_ops, stats.total_windows);
+  const SuperstepStats& map_ss = run.supersteps[0];
+  uint64_t worker_sum = 0, bytes_sum = 0, ops_sum = 0;
+  for (uint64_t m : map_ss.worker_messages) worker_sum += m;
+  for (uint64_t b : map_ss.worker_bytes) bytes_sum += b;
+  for (uint64_t o : map_ss.worker_ops) ops_sum += o;
+  EXPECT_EQ(worker_sum, map_ss.messages_sent);
+  EXPECT_EQ(bytes_sum, map_ss.message_bytes);
   EXPECT_EQ(ops_sum, map_ss.compute_ops);
 }
 
@@ -268,15 +363,21 @@ void ExpectSerialShardedAgree(const std::vector<Read>& reads, int mer_length,
   config.mer_length = mer_length;
   config.num_workers = 3;
   config.num_threads = 4;
-  KmerCountStats serial_stats, sharded_stats;
+  KmerCountStats serial_stats;
   auto expected =
       SortedPartitions(CountCanonicalMersSerial(reads, config, &serial_stats));
-  auto actual =
-      SortedPartitions(CountCanonicalMers(reads, config, &sharded_stats));
-  EXPECT_EQ(actual, expected) << label;
-  EXPECT_EQ(sharded_stats.total_bases, serial_stats.total_bases) << label;
-  EXPECT_EQ(sharded_stats.total_windows, serial_stats.total_windows) << label;
-  EXPECT_EQ(sharded_stats.distinct_mers, serial_stats.distinct_mers) << label;
+  for (Pass1Encoding enc : {Pass1Encoding::kRaw, Pass1Encoding::kSuperkmer}) {
+    config.pass1_encoding = enc;
+    KmerCountStats sharded_stats;
+    auto actual =
+        SortedPartitions(CountCanonicalMers(reads, config, &sharded_stats));
+    EXPECT_EQ(actual, expected) << label << " " << Pass1EncodingName(enc);
+    EXPECT_EQ(sharded_stats.total_bases, serial_stats.total_bases) << label;
+    EXPECT_EQ(sharded_stats.total_windows, serial_stats.total_windows)
+        << label << " " << Pass1EncodingName(enc);
+    EXPECT_EQ(sharded_stats.distinct_mers, serial_stats.distinct_mers)
+        << label << " " << Pass1EncodingName(enc);
+  }
 }
 
 TEST(KmerCounterTest, NRunsSplitIdenticallyOnBothPaths) {
@@ -335,39 +436,48 @@ TEST(KmerCounterTest, EmptyInputOnBothPaths) {
 
 // ---------------------------------------------------------------------------
 // CounterSession: the streaming batch-ingest path must be bit-identical to
-// the batch counters on the concatenated input, and its buffered-code
-// high-water mark must respect the configured bound.
+// the batch counters on the concatenated input, and its buffered-byte
+// high-water mark must respect the configured bound — under both pass-1
+// encodings.
 // ---------------------------------------------------------------------------
 
 TEST(CounterSessionTest, MatchesBatchCounterAcrossBatchSizes) {
   std::vector<Read> reads = SimulatedReads(20000, 12.0, 0.01, 99);
-  KmerCountConfig config;
-  config.mer_length = 21;
-  config.num_workers = 4;
-  config.num_threads = 4;
-  KmerCountStats batch_stats;
-  auto expected =
-      SortedPartitions(CountCanonicalMers(reads, config, &batch_stats));
-  for (size_t batch_size : {size_t{1}, size_t{7}, size_t{64}, reads.size()}) {
-    CounterSession session(config);
-    for (size_t begin = 0; begin < reads.size(); begin += batch_size) {
-      const size_t n = std::min(batch_size, reads.size() - begin);
-      session.AddBatch(reads.data() + begin, n);
+  for (Pass1Encoding enc : {Pass1Encoding::kRaw, Pass1Encoding::kSuperkmer}) {
+    KmerCountConfig config;
+    config.mer_length = 21;
+    config.num_workers = 4;
+    config.num_threads = 4;
+    config.pass1_encoding = enc;
+    KmerCountStats batch_stats;
+    auto expected =
+        SortedPartitions(CountCanonicalMers(reads, config, &batch_stats));
+    for (size_t batch_size :
+         {size_t{1}, size_t{7}, size_t{64}, reads.size()}) {
+      CounterSession session(config);
+      for (size_t begin = 0; begin < reads.size(); begin += batch_size) {
+        const size_t n = std::min(batch_size, reads.size() - begin);
+        session.AddBatch(reads.data() + begin, n);
+      }
+      KmerCountStats stats;
+      auto actual = SortedPartitions(session.Finish(&stats));
+      EXPECT_EQ(actual, expected) << "batch_size=" << batch_size
+                                  << " encoding=" << Pass1EncodingName(enc);
+      EXPECT_EQ(stats.total_bases, batch_stats.total_bases);
+      EXPECT_EQ(stats.total_windows, batch_stats.total_windows);
+      EXPECT_EQ(stats.distinct_mers, batch_stats.distinct_mers);
+      EXPECT_EQ(stats.surviving_mers, batch_stats.surviving_mers);
+      EXPECT_EQ(stats.queue_bound_bytes,
+                CounterSession::kDefaultMaxQueuedBytes);
+      EXPECT_LE(stats.peak_queued_bytes, stats.queue_bound_bytes)
+          << "batch_size=" << batch_size;
+      // Enqueued accounting covers every window and every shipped byte.
+      uint64_t shard_sum = 0, bytes_sum = 0;
+      for (uint64_t w : stats.shard_windows) shard_sum += w;
+      for (uint64_t b : stats.shard_bytes) bytes_sum += b;
+      EXPECT_EQ(shard_sum, stats.total_windows);
+      EXPECT_EQ(bytes_sum, stats.shuffled_bytes);
     }
-    KmerCountStats stats;
-    auto actual = SortedPartitions(session.Finish(&stats));
-    EXPECT_EQ(actual, expected) << "batch_size=" << batch_size;
-    EXPECT_EQ(stats.total_bases, batch_stats.total_bases);
-    EXPECT_EQ(stats.total_windows, batch_stats.total_windows);
-    EXPECT_EQ(stats.distinct_mers, batch_stats.distinct_mers);
-    EXPECT_EQ(stats.surviving_mers, batch_stats.surviving_mers);
-    EXPECT_EQ(stats.queue_bound, CounterSession::kDefaultMaxQueuedCodes);
-    EXPECT_LE(stats.peak_queued_codes, stats.queue_bound)
-        << "batch_size=" << batch_size;
-    // Enqueued-code accounting covers every window.
-    uint64_t shard_sum = 0;
-    for (uint64_t w : stats.shard_windows) shard_sum += w;
-    EXPECT_EQ(shard_sum, stats.total_windows);
   }
 }
 
@@ -381,15 +491,15 @@ TEST(CounterSessionTest, TightQueueBoundIsRespectedUnderBackpressure) {
   auto expected = SortedPartitions(CountCanonicalMers(reads, config));
   // A bound below the flush granularity is clamped up to it; the session
   // must still finish (no deadlock) and stay under the clamped bound.
-  CounterSession session(config, /*max_queued_codes=*/1);
+  CounterSession session(config, /*max_queued_bytes=*/1);
   session.AddBatch(reads);
   KmerCountStats stats;
   auto actual = SortedPartitions(session.Finish(&stats));
   EXPECT_EQ(actual, expected);
-  EXPECT_GT(stats.queue_bound, 0u);
-  EXPECT_LT(stats.queue_bound, CounterSession::kDefaultMaxQueuedCodes);
-  EXPECT_LE(stats.peak_queued_codes, stats.queue_bound);
-  EXPECT_GT(stats.peak_queued_codes, 0u);
+  EXPECT_GT(stats.queue_bound_bytes, 0u);
+  EXPECT_LT(stats.queue_bound_bytes, CounterSession::kDefaultMaxQueuedBytes);
+  EXPECT_LE(stats.peak_queued_bytes, stats.queue_bound_bytes);
+  EXPECT_GT(stats.peak_queued_bytes, 0u);
 }
 
 TEST(CounterSessionTest, ConcurrentAddBatchCallersAgreeWithSerial) {
@@ -399,7 +509,7 @@ TEST(CounterSessionTest, ConcurrentAddBatchCallersAgreeWithSerial) {
   config.num_workers = 5;
   config.num_threads = 4;
   auto expected = SortedPartitions(CountCanonicalMersSerial(reads, config));
-  CounterSession session(config, /*max_queued_codes=*/8192);
+  CounterSession session(config, /*max_queued_bytes=*/65536);
   const unsigned kCallers = 4;
   std::vector<std::thread> callers;
   for (unsigned c = 0; c < kCallers; ++c) {
@@ -416,7 +526,7 @@ TEST(CounterSessionTest, ConcurrentAddBatchCallersAgreeWithSerial) {
   KmerCountStats stats;
   auto actual = SortedPartitions(session.Finish(&stats));
   EXPECT_EQ(actual, expected);
-  EXPECT_LE(stats.peak_queued_codes, stats.queue_bound);
+  EXPECT_LE(stats.peak_queued_bytes, stats.queue_bound_bytes);
 }
 
 TEST(CounterSessionTest, EdgeCaseReadsMatchBatchCounter) {
@@ -441,7 +551,7 @@ TEST(CounterSessionTest, EdgeCaseReadsMatchBatchCounter) {
   ASSERT_EQ(empty.size(), 2u);
   for (const auto& part : empty) EXPECT_TRUE(part.empty());
   EXPECT_EQ(empty_stats.total_windows, 0u);
-  EXPECT_EQ(empty_stats.peak_queued_codes, 0u);
+  EXPECT_EQ(empty_stats.peak_queued_bytes, 0u);
 }
 
 }  // namespace

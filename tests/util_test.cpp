@@ -48,6 +48,77 @@ TEST(VarintTest, TruncatedInputFails) {
   EXPECT_FALSE(GetVarint64(buf.data(), buf.size(), &pos, &v));
 }
 
+// Every continuation-byte boundary: 2^(7k) needs one more byte than
+// 2^(7k) - 1, for every k up to the 10-byte 64-bit ceiling. The super-k-mer
+// record header (dna/superkmer.h) leans on these exact lengths.
+TEST(VarintTest, ContinuationByteBoundaries) {
+  for (int k = 1; k <= 9; ++k) {
+    const uint64_t boundary = 1ULL << (7 * k);
+    EXPECT_EQ(VarintLength(boundary - 1), static_cast<size_t>(k))
+        << "k=" << k;
+    EXPECT_EQ(VarintLength(boundary), static_cast<size_t>(k) + 1) << "k=" << k;
+    for (uint64_t v : {boundary - 1, boundary, boundary + 1}) {
+      std::vector<uint8_t> buf;
+      EXPECT_EQ(PutVarint64(&buf, v), VarintLength(v));
+      size_t pos = 0;
+      uint64_t decoded = 0;
+      ASSERT_TRUE(GetVarint64(buf.data(), buf.size(), &pos, &decoded));
+      EXPECT_EQ(decoded, v);
+      EXPECT_EQ(pos, buf.size());
+      // Each intermediate byte must carry the continuation bit; the last
+      // must not.
+      for (size_t i = 0; i + 1 < buf.size(); ++i) EXPECT_NE(buf[i] & 0x80, 0);
+      EXPECT_EQ(buf.back() & 0x80, 0);
+    }
+  }
+}
+
+TEST(VarintTest, MaxValueUsesTenBytesAndRoundTrips) {
+  std::vector<uint8_t> buf;
+  EXPECT_EQ(VarintLength(UINT64_MAX), 10u);
+  EXPECT_EQ(PutVarint64(&buf, UINT64_MAX), 10u);
+  ASSERT_EQ(buf.size(), 10u);
+  EXPECT_EQ(buf.back(), 0x01);  // bit 63 alone in the final byte
+  size_t pos = 0;
+  uint64_t v = 0;
+  ASSERT_TRUE(GetVarint64(buf.data(), buf.size(), &pos, &v));
+  EXPECT_EQ(v, UINT64_MAX);
+  EXPECT_EQ(pos, 10u);
+}
+
+TEST(VarintTest, OverlongEncodingsAreRejected) {
+  // Eleven continuation bytes: more than any 64-bit value can need.
+  std::vector<uint8_t> overlong(11, 0x80);
+  size_t pos = 0;
+  uint64_t v = 0;
+  EXPECT_FALSE(GetVarint64(overlong.data(), overlong.size(), &pos, &v));
+  EXPECT_EQ(pos, 0u);  // a failed decode must not advance the cursor
+
+  // Ten continuation bytes then a terminator: also past the 64-bit ceiling.
+  std::vector<uint8_t> eleven_bytes(10, 0x80);
+  eleven_bytes.push_back(0x01);
+  pos = 0;
+  EXPECT_FALSE(
+      GetVarint64(eleven_bytes.data(), eleven_bytes.size(), &pos, &v));
+}
+
+TEST(VarintTest, DecodeStopsAtRecordBoundaries) {
+  // Back-to-back records: the cursor must land exactly on each boundary,
+  // the framing property text_store and the super-k-mer codec rely on.
+  std::vector<uint8_t> buf;
+  const std::vector<uint64_t> values = {0, 300, 127, UINT64_MAX, 1};
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  size_t pos = 0;
+  for (uint64_t expected : values) {
+    const size_t before = pos;
+    uint64_t v = 0;
+    ASSERT_TRUE(GetVarint64(buf.data(), buf.size(), &pos, &v));
+    EXPECT_EQ(v, expected);
+    EXPECT_EQ(pos - before, VarintLength(expected));
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
 TEST(VarintTest, ZigZag) {
   for (int64_t v : {0L, -1L, 1L, -64L, 63L, INT64_MIN, INT64_MAX}) {
     EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
