@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -24,6 +25,8 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "spill/spill.h"
+#include "util/timer.h"
 #include "dbg/adjacency.h"
 #include "dbg/kmer_counter.h"
 #include "dna/kmer.h"
@@ -251,6 +254,48 @@ EncodingMeasurement MeasureEncoding(Pass1Encoding encoding,
   return m;
 }
 
+/// Streaming-session throughput under a spill mode (satellite of the spill
+/// subsystem): --spill-mode always routes every pass-1 chunk through disk,
+/// so always/never prices the external store's overhead per run.
+struct SpillMeasurement {
+  double wall_seconds = 0;
+  KmerCountStats stats;
+};
+
+SpillMeasurement MeasureCounterSpill(SpillMode mode, unsigned threads) {
+  const std::vector<Read>& reads = Hc2Reads();
+  KmerCountConfig config = Hc2CountConfig();
+  config.num_threads = threads;
+  std::unique_ptr<SpillContext> context =
+      MakeSpillContext(mode, "", /*budget_bytes=*/8ULL << 20);
+  config.spill = context.get();
+  SpillMeasurement m;
+  Timer timer;
+  CounterSession session(config);
+  constexpr size_t kBatch = 1024;
+  for (size_t begin = 0; begin < reads.size(); begin += kBatch) {
+    session.AddBatch(reads.data() + begin,
+                     std::min(kBatch, reads.size() - begin));
+  }
+  session.Finish(&m.stats);
+  m.wall_seconds = timer.Seconds();
+  return m;
+}
+
+void WriteSpillJson(std::ofstream& out, const char* key,
+                    const SpillMeasurement& m) {
+  out << "  \"" << key << "\": {\n"
+      << "    \"wall_seconds\": " << m.wall_seconds << ",\n"
+      << "    \"surviving_mers\": " << m.stats.surviving_mers << ",\n"
+      << "    \"spilled_chunks\": " << m.stats.spilled_chunks << ",\n"
+      << "    \"spilled_bytes\": " << m.stats.spilled_bytes << ",\n"
+      << "    \"spill_files\": " << m.stats.spill_files << ",\n"
+      << "    \"readback_bytes\": " << m.stats.readback_bytes << ",\n"
+      << "    \"peak_queued_bytes\": " << m.stats.peak_queued_bytes << ",\n"
+      << "    \"queue_bound_bytes\": " << m.stats.queue_bound_bytes << "\n"
+      << "  }";
+}
+
 double BytesPerWindow(const KmerCountStats& stats) {
   return stats.total_windows == 0
              ? 0
@@ -311,6 +356,25 @@ double RunPass1EncodingComparison() {
   std::printf("chunk-byte ratio raw/superkmer = %.2fx, surviving_mers %s\n",
               ratio, identical ? "identical" : "MISMATCH");
 
+  // Spill overhead: the streaming session with every chunk through disk
+  // (--spill-mode always) vs fully memory-resident (never).
+  const SpillMeasurement spill_never =
+      MeasureCounterSpill(SpillMode::kNever, threads);
+  const SpillMeasurement spill_always =
+      MeasureCounterSpill(SpillMode::kAlways, threads);
+  const double spill_overhead =
+      spill_never.wall_seconds == 0
+          ? 0
+          : spill_always.wall_seconds / spill_never.wall_seconds;
+  const bool spill_identical =
+      spill_never.stats.surviving_mers == spill_always.stats.surviving_mers;
+  std::printf(
+      "spill always/never = %.3fs/%.3fs = %.2fx overhead, %llu bytes "
+      "spilled+replayed, surviving_mers %s\n",
+      spill_always.wall_seconds, spill_never.wall_seconds, spill_overhead,
+      static_cast<unsigned long long>(spill_always.stats.spilled_bytes),
+      spill_identical ? "identical" : "MISMATCH");
+
   const char* json_env = std::getenv("PPA_BENCH_JSON");
   const std::string json_path =
       (json_env != nullptr && *json_env != '\0') ? json_env
@@ -328,8 +392,15 @@ double RunPass1EncodingComparison() {
   WriteEncodingJson(out, "raw", raw);
   out << ",\n";
   WriteEncodingJson(out, "superkmer", sk);
+  out << ",\n";
+  WriteSpillJson(out, "spill_never", spill_never);
+  out << ",\n";
+  WriteSpillJson(out, "spill_always", spill_always);
   out << ",\n"
       << "  \"chunk_bytes_ratio_raw_over_superkmer\": " << ratio << ",\n"
+      << "  \"spill_always_over_never_seconds\": " << spill_overhead << ",\n"
+      << "  \"spill_surviving_mers_identical\": "
+      << (spill_identical ? "true" : "false") << ",\n"
       << "  \"surviving_mers_identical\": " << (identical ? "true" : "false")
       << "\n}\n";
   std::printf("wrote %s\n", json_path.c_str());

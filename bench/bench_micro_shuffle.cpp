@@ -10,19 +10,36 @@
 //
 // Both strategies produce bit-identical output (shuffle_equivalence_test);
 // this file prices them.
+//
+// The custom main() additionally measures sort vs hash (vs hash+combine)
+// once per process on both workloads — plus the external-spill overhead
+// (spill/spill.h, --spill-mode always vs never) on the adjacency workload —
+// and writes BENCH_shuffle.json (override the path with PPA_BENCH_JSON),
+// mirroring bench_micro_kmer's BENCH_kmer.json so the shuffle engine's perf
+// trajectory accumulates in machine-readable form. CI runs just that part
+// with --benchmark_filter='^NONE$'.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <span>
+#include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "dbg/adjacency.h"
 #include "dbg/kmer_counter.h"
 #include "dna/kmer.h"
 #include "pregel/mapreduce.h"
 #include "sim/datasets.h"
+#include "spill/spill.h"
 #include "util/random.h"
+#include "util/timer.h"
 
 namespace ppa {
 namespace {
@@ -37,8 +54,8 @@ constexpr uint32_t kWorkers = 16;
 /// benchmark-local form (entries appended, merged only at reduce).
 struct AdjPartial {
   uint8_t count = 0;
-  uint8_t bits[16];
-  uint32_t covs[16];
+  uint8_t bits[16] = {};  // zero-filled: the spill case serializes all slots
+  uint32_t covs[16] = {};
 };
 
 /// Edge-mer survivors of HC-2-sim counting (k = 31, theta = 2), the real
@@ -54,8 +71,10 @@ const Partitioned<std::pair<uint64_t, uint32_t>>& Hc2EdgeMers() {
   return mers;
 }
 
-void RunAdjacencyShuffle(benchmark::State& state, ShuffleStrategy strategy,
-                         bool combine) {
+/// One adjacency-workload job run; shared by the registered benchmarks and
+/// the BENCH_shuffle.json measurement.
+size_t RunAdjacencyJob(ShuffleStrategy strategy, bool combine,
+                       SpillContext* spill, RunStats* stats) {
   const auto& edge_mers = Hc2EdgeMers();
   const int k = 31;
   auto map_fn = [k](const std::pair<uint64_t, uint32_t>& edge_mer,
@@ -94,18 +113,28 @@ void RunAdjacencyShuffle(benchmark::State& state, ShuffleStrategy strategy,
   config.num_workers = kWorkers;
   config.num_threads = 1;  // isolate group-by cost from parallelism
   config.shuffle_strategy = strategy;
+  config.job_name = "bench-adjacency";
+  config.spill = spill;
+  auto result =
+      combine
+          ? RunMapReduce<std::pair<uint64_t, uint32_t>, uint64_t,
+                         AdjPartial, std::pair<uint64_t, uint32_t>>(
+                edge_mers, map_fn, combine_fn, reduce_fn, config, stats)
+          : RunMapReduce<std::pair<uint64_t, uint32_t>, uint64_t,
+                         AdjPartial, std::pair<uint64_t, uint32_t>>(
+                edge_mers, map_fn, reduce_fn, config, stats);
+  size_t outputs = 0;
+  for (const auto& part : result) outputs += part.size();
+  return outputs;
+}
+
+void RunAdjacencyShuffle(benchmark::State& state, ShuffleStrategy strategy,
+                         bool combine) {
   uint64_t pairs = 0;
   for (auto _ : state) {
     RunStats stats;
-    auto result =
-        combine
-            ? RunMapReduce<std::pair<uint64_t, uint32_t>, uint64_t,
-                           AdjPartial, std::pair<uint64_t, uint32_t>>(
-                  edge_mers, map_fn, combine_fn, reduce_fn, config, &stats)
-            : RunMapReduce<std::pair<uint64_t, uint32_t>, uint64_t,
-                           AdjPartial, std::pair<uint64_t, uint32_t>>(
-                  edge_mers, map_fn, reduce_fn, config, &stats);
-    benchmark::DoNotOptimize(result);
+    benchmark::DoNotOptimize(
+        RunAdjacencyJob(strategy, combine, nullptr, &stats));
     pairs = stats.pairs_emitted;
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
@@ -138,16 +167,24 @@ struct FatNode {
   uint8_t payload[120] = {};
 };
 
-void RunMergeShuffle(benchmark::State& state, ShuffleStrategy strategy) {
-  // 200k nodes in 10k label groups of ~20 (typical unambiguous-path
-  // lengths), scattered round-robin like a real partitioned graph.
-  constexpr size_t kNodes = 200000;
-  constexpr uint64_t kLabels = 10000;
-  Rng rng(23);
-  std::vector<FatNode> nodes(kNodes);
-  for (size_t i = 0; i < kNodes; ++i) nodes[i].id = rng.Next();
-  auto input = Scatter(nodes, kWorkers);
+constexpr size_t kMergeNodes = 200000;
 
+/// One merge-workload job run (shared with the JSON measurement): 200k
+/// nodes in 10k label groups of ~20 (typical unambiguous-path lengths),
+/// scattered round-robin like a real partitioned graph.
+const Partitioned<FatNode>& MergeInput() {
+  static const Partitioned<FatNode> input = [] {
+    Rng rng(23);
+    std::vector<FatNode> nodes(kMergeNodes);
+    for (size_t i = 0; i < kMergeNodes; ++i) nodes[i].id = rng.Next();
+    return Scatter(nodes, kWorkers);
+  }();
+  return input;
+}
+
+size_t RunMergeJob(ShuffleStrategy strategy, SpillContext* spill,
+                   RunStats* stats) {
+  constexpr uint64_t kLabels = 10000;
   auto map_fn = [](const FatNode& node, auto& emitter) {
     emitter.Emit(node.id % kLabels, node);
   };
@@ -162,15 +199,24 @@ void RunMergeShuffle(benchmark::State& state, ShuffleStrategy strategy) {
   config.num_workers = kWorkers;
   config.num_threads = 1;
   config.shuffle_strategy = strategy;
+  config.job_name = "bench-merge";
+  config.spill = spill;
+  auto result =
+      RunMapReduce<FatNode, uint64_t, FatNode,
+                   std::pair<uint64_t, uint64_t>>(MergeInput(), map_fn,
+                                                  reduce_fn, config, stats);
+  size_t outputs = 0;
+  for (const auto& part : result) outputs += part.size();
+  return outputs;
+}
+
+void RunMergeShuffle(benchmark::State& state, ShuffleStrategy strategy) {
   for (auto _ : state) {
-    auto result =
-        RunMapReduce<FatNode, uint64_t, FatNode,
-                     std::pair<uint64_t, uint64_t>>(input, map_fn, reduce_fn,
-                                                    config);
-    benchmark::DoNotOptimize(result);
+    RunStats stats;
+    benchmark::DoNotOptimize(RunMergeJob(strategy, nullptr, &stats));
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(kNodes));
+                          static_cast<int64_t>(kMergeNodes));
 }
 
 void BM_MergeShuffleSort(benchmark::State& state) {
@@ -183,7 +229,128 @@ void BM_MergeShuffleHash(benchmark::State& state) {
 }
 BENCHMARK(BM_MergeShuffleHash)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Once-per-process comparison emitted as BENCH_shuffle.json (mirrors
+// BENCH_kmer.json): sort vs hash vs hash+combine on both workloads, plus
+// the external-spill overhead (always vs never) on the adjacency workload.
+// ---------------------------------------------------------------------------
+
+struct JobMeasurement {
+  double seconds = 0;
+  size_t outputs = 0;
+  RunStats stats;
+};
+
+template <typename JobFn>
+JobMeasurement Measure(JobFn&& job) {
+  JobMeasurement m;
+  Timer timer;
+  m.outputs = job(&m.stats);
+  m.seconds = timer.Seconds();
+  return m;
+}
+
+void RunShuffleComparison() {
+  bench::PrintHeader(
+      "bench_micro_shuffle: sort vs hash group-by (+ spill overhead), "
+      "HC-2-sim adjacency + fat-value merge workloads");
+
+  const JobMeasurement adj_sort = Measure([](RunStats* s) {
+    return RunAdjacencyJob(ShuffleStrategy::kSort, false, nullptr, s);
+  });
+  const JobMeasurement adj_hash = Measure([](RunStats* s) {
+    return RunAdjacencyJob(ShuffleStrategy::kHash, false, nullptr, s);
+  });
+  const JobMeasurement adj_combine = Measure([](RunStats* s) {
+    return RunAdjacencyJob(ShuffleStrategy::kHash, true, nullptr, s);
+  });
+  const JobMeasurement merge_sort = Measure([](RunStats* s) {
+    return RunMergeJob(ShuffleStrategy::kSort, nullptr, s);
+  });
+  const JobMeasurement merge_hash = Measure([](RunStats* s) {
+    return RunMergeJob(ShuffleStrategy::kHash, nullptr, s);
+  });
+  // Spill overhead on the adjacency workload: same hash job, every sealed
+  // chunk through disk under a 4 MB budget.
+  std::unique_ptr<SpillContext> spill =
+      MakeSpillContext(SpillMode::kAlways, "", 4ULL << 20);
+  const JobMeasurement adj_spill = Measure([&](RunStats* s) {
+    return RunAdjacencyJob(ShuffleStrategy::kHash, false, spill.get(), s);
+  });
+
+  std::printf("%-24s %10s %12s %12s %12s\n", "case", "seconds", "pairs",
+              "spilled_B", "readback_B");
+  const auto row = [](const char* name, const JobMeasurement& m) {
+    std::printf("%-24s %10.3f %12llu %12llu %12llu\n", name, m.seconds,
+                static_cast<unsigned long long>(m.stats.pairs_shuffled),
+                static_cast<unsigned long long>(m.stats.spilled_bytes),
+                static_cast<unsigned long long>(m.stats.readback_bytes));
+  };
+  row("adjacency/sort", adj_sort);
+  row("adjacency/hash", adj_hash);
+  row("adjacency/hash+combine", adj_combine);
+  row("adjacency/hash+spill", adj_spill);
+  row("merge/sort", merge_sort);
+  row("merge/hash", merge_hash);
+
+  const char* json_env = std::getenv("PPA_BENCH_JSON");
+  const std::string json_path =
+      (json_env != nullptr && *json_env != '\0') ? json_env
+                                                 : "BENCH_shuffle.json";
+  const auto obj = [](std::ofstream& out, const char* key,
+                      const JobMeasurement& m, bool last = false) {
+    out << "    \"" << key << "\": {\"seconds\": " << m.seconds
+        << ", \"outputs\": " << m.outputs
+        << ", \"pairs_emitted\": " << m.stats.pairs_emitted
+        << ", \"pairs_shuffled\": " << m.stats.pairs_shuffled
+        << ", \"spilled_bytes\": " << m.stats.spilled_bytes
+        << ", \"readback_bytes\": " << m.stats.readback_bytes << "}"
+        << (last ? "\n" : ",\n");
+  };
+  std::ofstream out(json_path);
+  out << "{\n"
+      << "  \"bench\": \"bench_micro_shuffle.group_by\",\n"
+      << "  \"dataset\": \"HC-2-sim\",\n"
+      << "  \"dataset_scale\": " << DatasetScaleFromEnv() << ",\n"
+      << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+      << ",\n"
+      << "  \"adjacency\": {\n";
+  obj(out, "sort", adj_sort);
+  obj(out, "hash", adj_hash);
+  obj(out, "hash_combine", adj_combine);
+  obj(out, "hash_spill_always", adj_spill, /*last=*/true);
+  out << "  },\n"
+      << "  \"merge\": {\n";
+  obj(out, "sort", merge_sort);
+  obj(out, "hash", merge_hash, /*last=*/true);
+  out << "  },\n"
+      << "  \"sort_over_hash_adjacency\": "
+      << (adj_hash.seconds == 0 ? 0 : adj_sort.seconds / adj_hash.seconds)
+      << ",\n"
+      << "  \"sort_over_hash_merge\": "
+      << (merge_hash.seconds == 0 ? 0 : merge_sort.seconds / merge_hash.seconds)
+      << ",\n"
+      << "  \"spill_always_over_never_adjacency\": "
+      << (adj_hash.seconds == 0 ? 0 : adj_spill.seconds / adj_hash.seconds)
+      << ",\n"
+      << "  \"outputs_identical\": "
+      << ((adj_sort.outputs == adj_hash.outputs &&
+           adj_hash.outputs == adj_spill.outputs &&
+           merge_sort.outputs == merge_hash.outputs)
+              ? "true"
+              : "false")
+      << "\n}\n";
+  std::printf("wrote %s\n", json_path.c_str());
+}
+
 }  // namespace
 }  // namespace ppa
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ppa::RunShuffleComparison();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

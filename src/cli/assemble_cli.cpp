@@ -3,7 +3,9 @@
 #include <cctype>
 #include <cerrno>
 #include <cstdlib>
+#include <exception>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "core/assembler.h"
@@ -11,6 +13,7 @@
 #include "io/fasta_writer.h"
 #include "io/fastx.h"
 #include "quality/quast.h"
+#include "spill/spill.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -54,12 +57,29 @@ void WriteIngestLines(std::ostream& out, const char* mode, uint64_t reads,
       << " distinct=" << counting.distinct_mers
       << " surviving=" << counting.surviving_mers
       << " peak_queued_bytes=" << counting.peak_queued_bytes
-      << " queue_bound_bytes=" << counting.queue_bound_bytes << '\n';
+      << " queue_bound_bytes=" << counting.queue_bound_bytes
+      << " spilled_bytes=" << counting.spilled_bytes
+      << " readback_bytes=" << counting.readback_bytes << '\n';
+}
+
+/// The pipeline-wide spill line (both report modes): policy, budget, the
+/// measured high-water mark of resident chunk bytes, and the volume that
+/// moved through the external store across counting + every shuffle job.
+void WriteSpillLine(std::ostream& out, SpillMode mode, uint64_t budget_bytes,
+                    uint64_t peak_resident, const PipelineStats& pipeline) {
+  out << "spill: mode=" << SpillModeName(mode)
+      << " budget_bytes=" << budget_bytes
+      << " peak_resident_bytes=" << peak_resident
+      << " spilled_chunks=" << pipeline.total_spilled_chunks()
+      << " spilled_bytes=" << pipeline.total_spilled_bytes()
+      << " spill_files=" << pipeline.total_spill_files()
+      << " readback_bytes=" << pipeline.total_readback_bytes() << '\n';
 }
 
 void WriteReport(const AssembleCliOptions& opts, std::ostream& out,
                  uint64_t reads, uint64_t bases, uint64_t batches,
                  const KmerCountStats& counting, const PipelineStats& pipeline,
+                 uint64_t spill_budget_bytes, uint64_t spill_peak_resident,
                  uint64_t kmer_vertices,
                  const std::vector<std::string>& contigs,
                  double wall_seconds) {
@@ -83,6 +103,8 @@ void WriteReport(const AssembleCliOptions& opts, std::ostream& out,
       << ShuffleStrategyName(opts.assembler.shuffle_strategy)
       << " pairs_emitted=" << emitted << " pairs_shuffled=" << shuffled
       << " combined_away=" << (emitted - shuffled) << '\n';
+  WriteSpillLine(out, opts.assembler.spill_mode, spill_budget_bytes,
+                 spill_peak_resident, pipeline);
   out << "dbg: kmer_vertices=" << kmer_vertices << '\n';
 
   PackedSequence reference;
@@ -149,6 +171,23 @@ std::string AssembleCliUsage() {
       "  --queue-bytes INT   bound on buffered pass-1 chunk bytes\n"
       "                      (streaming; 0 = default 32 MB)\n"
       "  --in-memory         load all reads, use the in-memory pipeline\n"
+      "\n"
+      "memory budget & spilling:\n"
+      "  --spill-mode never|auto|always\n"
+      "                      never (default): chunk queues stay in memory;\n"
+      "                      auto: seal-and-spill the largest queues to\n"
+      "                      per-shard files when the budget is exceeded;\n"
+      "                      always: every sealed chunk goes through disk.\n"
+      "                      All modes produce identical contigs\n"
+      "  --memory-budget-bytes INT\n"
+      "                      pipeline-wide bound on resident chunk bytes\n"
+      "                      (counting queues + shuffle chunks); 0 = no\n"
+      "                      budget. Also caps the counting queue bound.\n"
+      "                      Held under always, overshot by ~one sealed\n"
+      "                      chunk under auto; budgets below one chunk\n"
+      "                      (~100 KB) are floored to keep progress\n"
+      "  --spill-dir PATH    parent directory for the run's spill files\n"
+      "                      (default: system temp; removed after the run)\n"
       "  --serial-counting   with --in-memory: single-thread reference "
       "counter\n"
       "\n"
@@ -254,6 +293,20 @@ bool ParseAssembleCliArgs(int argc, const char* const* argv,
     } else if (arg == "--queue-bytes") {
       if (!need_value(i, arg) || !u64_flag(arg, argv[++i], &v)) return false;
       opts->assembler.kmer_queue_bytes = v;
+    } else if (arg == "--spill-mode") {
+      if (!need_value(i, arg)) return false;
+      const std::string value = argv[++i];
+      if (!ParseSpillMode(value, &opts->assembler.spill_mode)) {
+        *error = "--spill-mode: expected 'never', 'auto' or 'always', got '" +
+                 value + "'";
+        return false;
+      }
+    } else if (arg == "--memory-budget-bytes") {
+      if (!need_value(i, arg) || !u64_flag(arg, argv[++i], &v)) return false;
+      opts->assembler.memory_budget_bytes = v;
+    } else if (arg == "--spill-dir") {
+      if (!need_value(i, arg)) return false;
+      opts->assembler.spill_dir = argv[++i];
     } else if (arg == "--in-memory") {
       opts->in_memory = true;
     } else if (arg == "--serial-counting") {
@@ -341,46 +394,66 @@ int RunAssembleCli(const AssembleCliOptions& opts, std::ostream& out,
   Timer timer;
   std::ostringstream report;
 
-  // ---- DBG-construction-only mode. ----------------------------------------
-  if (!opts.dbg_out.empty()) {
-    ReadStream stream(OpenFastxFiles(opts.inputs), opts.stream);
-    PipelineStats pipeline;
-    DbgResult dbg = BuildDbg(stream, opts.assembler, &pipeline);
-    WriteDbgFasta(opts.dbg_out, dbg.graph);
-    report << "== ppa_assemble report ==\n"
-           << "mode: dbg-only\n";
-    WriteIngestLines(report, "stream", stream.total_reads(),
-                     stream.total_bases(), stream.total_batches(),
-                     dbg.count_stats);
-    report << "dbg: kmer_vertices=" << dbg.graph.live_size()
-           << " wall_seconds=" << timer.Seconds() << '\n';
-  } else {
-    // ---- Full pipeline. ----------------------------------------------------
-    Assembler assembler(opts.assembler);
-    AssemblyResult result;
-    uint64_t reads = 0, bases = 0, batches = 0;
-    if (opts.in_memory) {
-      std::vector<Read> all;
-      std::unique_ptr<ReadSource> source = OpenFastxFiles(opts.inputs);
-      Read read;
-      while (source->Next(&read)) {
-        bases += read.bases.size();
-        all.push_back(std::move(read));
-      }
-      reads = all.size();
-      batches = 1;
-      result = assembler.Assemble(all, opts.labeling);
-    } else {
+  try {
+    // ---- DBG-construction-only mode. --------------------------------------
+    if (!opts.dbg_out.empty()) {
+      AssemblerOptions assembler_options = opts.assembler;
+      std::unique_ptr<SpillContext> spill_guard =
+          WireSpillContext(&assembler_options);
       ReadStream stream(OpenFastxFiles(opts.inputs), opts.stream);
-      result = assembler.Assemble(stream, opts.labeling);
-      reads = stream.total_reads();
-      bases = stream.total_bases();
-      batches = stream.total_batches();
+      PipelineStats pipeline;
+      DbgResult dbg = BuildDbg(stream, assembler_options, &pipeline);
+      WriteDbgFasta(opts.dbg_out, dbg.graph);
+      report << "== ppa_assemble report ==\n"
+             << "mode: dbg-only\n";
+      WriteIngestLines(report, "stream", stream.total_reads(),
+                       stream.total_bases(), stream.total_batches(),
+                       dbg.count_stats);
+      WriteSpillLine(report, assembler_options.spill_mode,
+                     spill_guard == nullptr
+                         ? 0
+                         : spill_guard->budget.budget_bytes(),
+                     spill_guard == nullptr
+                         ? 0
+                         : spill_guard->budget.peak_resident_bytes(),
+                     pipeline);
+      report << "dbg: kmer_vertices=" << dbg.graph.live_size()
+             << " wall_seconds=" << timer.Seconds() << '\n';
+    } else {
+      // ---- Full pipeline. --------------------------------------------------
+      Assembler assembler(opts.assembler);
+      AssemblyResult result;
+      uint64_t reads = 0, bases = 0, batches = 0;
+      if (opts.in_memory) {
+        std::vector<Read> all;
+        std::unique_ptr<ReadSource> source = OpenFastxFiles(opts.inputs);
+        Read read;
+        while (source->Next(&read)) {
+          bases += read.bases.size();
+          all.push_back(std::move(read));
+        }
+        reads = all.size();
+        batches = 1;
+        result = assembler.Assemble(all, opts.labeling);
+      } else {
+        ReadStream stream(OpenFastxFiles(opts.inputs), opts.stream);
+        result = assembler.Assemble(stream, opts.labeling);
+        reads = stream.total_reads();
+        bases = stream.total_bases();
+        batches = stream.total_batches();
+      }
+      WriteContigsFasta(opts.contigs_out, result.contigs);
+      WriteReport(opts, report, reads, bases, batches, result.count_stats,
+                  result.stats, result.spill_budget_bytes,
+                  result.spill_peak_resident_bytes, result.kmer_vertices,
+                  result.ContigStrings(), timer.Seconds());
     }
-    WriteContigsFasta(opts.contigs_out, result.contigs);
-    WriteReport(opts, report, reads, bases, batches, result.count_stats,
-                result.stats, result.kmer_vertices, result.ContigStrings(),
-                timer.Seconds());
+  } catch (const std::exception& e) {
+    // Spill-store failures (unwritable spill dir, disk full, corrupt
+    // readback) surface here as diagnostics, not crashes; the SpillContext
+    // guards have already removed their temp directories by now.
+    err << "ppa_assemble: " << e.what() << '\n';
+    return 1;
   }
 
   if (opts.stats_out.empty()) {

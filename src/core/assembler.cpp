@@ -1,5 +1,6 @@
 #include "core/assembler.h"
 
+#include <memory>
 #include <utility>
 
 #include "core/bubble_filter.h"
@@ -30,20 +31,36 @@ std::vector<ContigRecord> CollectContigs(const AssemblyGraph& graph) {
   return contigs;
 }
 
+namespace {
+
+void RecordSpillSummary(const AssemblerOptions& options,
+                        AssemblyResult* result) {
+  if (options.spill_context == nullptr) return;
+  result->spill_budget_bytes = options.spill_context->budget.budget_bytes();
+  result->spill_peak_resident_bytes =
+      options.spill_context->budget.peak_resident_bytes();
+}
+
+}  // namespace
+
 AssemblyResult Assembler::Assemble(const std::vector<Read>& reads,
                                    LabelingMethod method) const {
   Timer timer;
   AssemblyResult result;
+  AssemblerOptions options = options_;
+  std::unique_ptr<SpillContext> spill_guard = WireSpillContext(&options);
   // ---- (1) DBG construction. ----------------------------------------------
   PPA_LOG(kInfo) << "k-mer counting: "
-                 << (options_.sharded_kmer_counting ? "sharded" : "serial")
-                 << " (threads=" << options_.num_threads
-                 << ", shards=" << options_.kmer_shards << "; 0 = auto)"
-                 << ", pass1=" << Pass1EncodingName(options_.pass1_encoding)
+                 << (options.sharded_kmer_counting ? "sharded" : "serial")
+                 << " (threads=" << options.num_threads
+                 << ", shards=" << options.kmer_shards << "; 0 = auto)"
+                 << ", pass1=" << Pass1EncodingName(options.pass1_encoding)
                  << ", shuffle="
-                 << ShuffleStrategyName(options_.shuffle_strategy);
-  DbgResult dbg = BuildDbg(reads, options_, &result.stats);
-  FinishAssembly(&result, std::move(dbg), method);
+                 << ShuffleStrategyName(options.shuffle_strategy)
+                 << ", spill=" << SpillModeName(options.spill_mode);
+  DbgResult dbg = BuildDbg(reads, options, &result.stats);
+  FinishAssembly(&result, std::move(dbg), options, method);
+  RecordSpillSummary(options, &result);
   result.wall_seconds = timer.Seconds();
   return result;
 }
@@ -52,23 +69,28 @@ AssemblyResult Assembler::Assemble(ReadStream& reads,
                                    LabelingMethod method) const {
   Timer timer;
   AssemblyResult result;
+  AssemblerOptions options = options_;
+  std::unique_ptr<SpillContext> spill_guard = WireSpillContext(&options);
   // ---- (1) DBG construction, streaming. -----------------------------------
   PPA_LOG(kInfo) << "k-mer counting: streaming sharded"
-                 << " (threads=" << options_.num_threads
-                 << ", shards=" << options_.kmer_shards
-                 << ", pass1=" << Pass1EncodingName(options_.pass1_encoding)
-                 << ", queue_bytes=" << options_.kmer_queue_bytes
-                 << "; 0 = auto)";
-  DbgResult dbg = BuildDbg(reads, options_, &result.stats);
-  FinishAssembly(&result, std::move(dbg), method);
+                 << " (threads=" << options.num_threads
+                 << ", shards=" << options.kmer_shards
+                 << ", pass1=" << Pass1EncodingName(options.pass1_encoding)
+                 << ", queue_bytes=" << options.kmer_queue_bytes
+                 << "; 0 = auto)"
+                 << ", spill=" << SpillModeName(options.spill_mode);
+  DbgResult dbg = BuildDbg(reads, options, &result.stats);
+  FinishAssembly(&result, std::move(dbg), options, method);
+  RecordSpillSummary(options, &result);
   result.wall_seconds = timer.Seconds();
   return result;
 }
 
 void Assembler::FinishAssembly(AssemblyResult* result_out, DbgResult dbg,
+                               const AssemblerOptions& options,
                                LabelingMethod method) const {
   AssemblyResult& result = *result_out;
-  std::vector<uint32_t> contig_ordinals(options_.num_workers, 0);
+  std::vector<uint32_t> contig_ordinals(options.num_workers, 0);
 
   result.kmer_vertices = dbg.graph.live_size();
   result.packed_adjacency_bytes = dbg.packed_adjacency_bytes;
@@ -81,8 +103,8 @@ void Assembler::FinishAssembly(AssemblyResult* result_out, DbgResult dbg,
 
   // ---- (2)+(3) label and merge unambiguous k-mers. ------------------------
   LabelingResult labels1 =
-      LabelContigs(graph, options_, method, &result.stats);
-  MergeContigs(graph, labels1, options_, &contig_ordinals, &result.stats);
+      LabelContigs(graph, options, method, &result.stats);
+  MergeContigs(graph, labels1, options, &contig_ordinals, &result.stats);
   result.vertices_after_round1 = graph.live_size();
   for (const ContigRecord& c : CollectContigs(graph)) {
     result.round1_contig_lengths.push_back(c.seq.size());
@@ -91,15 +113,15 @@ void Assembler::FinishAssembly(AssemblyResult* result_out, DbgResult dbg,
                  << " vertices after merging";
 
   // ---- (4)(5)(6)(2)(3): error correction + one more merge round. ----------
-  for (int round = 0; round < options_.error_correction_rounds; ++round) {
-    BubbleResult bubbles = FilterBubbles(graph, options_, &result.stats);
+  for (int round = 0; round < options.error_correction_rounds; ++round) {
+    BubbleResult bubbles = FilterBubbles(graph, options, &result.stats);
     result.bubbles_pruned += bubbles.contigs_pruned;
-    TipResult tips = RemoveTips(graph, options_, &result.stats);
+    TipResult tips = RemoveTips(graph, options, &result.stats);
     result.tips_removed += tips.vertices_removed;
 
     LabelingResult labels2 =
-        LabelContigs(graph, options_, method, &result.stats);
-    MergeContigs(graph, labels2, options_, &contig_ordinals, &result.stats);
+        LabelContigs(graph, options, method, &result.stats);
+    MergeContigs(graph, labels2, options, &contig_ordinals, &result.stats);
   }
   result.vertices_after_round2 = graph.live_size();
   PPA_LOG(kInfo) << "round 2: " << result.vertices_after_round2

@@ -50,6 +50,13 @@ struct AssemblyResult {
   uint64_t unpacked_adjacency_bytes = 0;
   double wall_seconds = 0;
 
+  // External spill (spill/spill.h): the run's budget and the pipeline-wide
+  // high-water mark of resident chunk bytes tracked against it. Zero when
+  // spill_mode is kNever. Per-job spill volumes live in `stats` and
+  // `count_stats`.
+  uint64_t spill_budget_bytes = 0;
+  uint64_t spill_peak_resident_bytes = 0;
+
   /// Contig sequences as strings (reporting convenience).
   std::vector<std::string> ContigStrings() const {
     std::vector<std::string> out;
@@ -82,8 +89,10 @@ class Assembler {
 
  private:
   /// Operations (2)..(6) shared by both Assemble overloads; appends to the
-  /// PipelineStats BuildDbg already populated in `result`.
+  /// PipelineStats BuildDbg already populated in `result`. `options` is the
+  /// per-run copy carrying the spill wiring.
   void FinishAssembly(AssemblyResult* result, DbgResult dbg,
+                      const AssemblerOptions& options,
                       LabelingMethod method) const;
 
   AssemblerOptions options_;

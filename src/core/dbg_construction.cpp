@@ -21,10 +21,13 @@ namespace {
 /// and the value ships without heap indirection. Entries are appended, not
 /// pre-summed: PackedAdjacency::Build is the one place duplicate bits are
 /// merged, so the combined path stays bit-identical to per-item shuffling.
+// Arrays are zero-initialized (not just count-delimited) because the spill
+// path serializes the full value representation: uninitialized slots would
+// leak indeterminate bytes into spill files and make them nondeterministic.
 struct AdjPartial {
   uint8_t count = 0;
-  uint8_t bits[16];
-  uint32_t covs[16];
+  uint8_t bits[16] = {};
+  uint32_t covs[16] = {};
 
   static AdjPartial Of(int bit, uint32_t coverage) {
     AdjPartial p;
@@ -54,6 +57,7 @@ KmerCountConfig MakeCountConfig(const AssemblerOptions& options) {
   count_config.coverage_threshold = options.coverage_threshold;
   count_config.pass1_encoding = options.pass1_encoding;
   count_config.minimizer_len = static_cast<int>(options.minimizer_len);
+  count_config.spill = options.spill_context;
   return count_config;
 }
 

@@ -3,11 +3,13 @@
 #define PPA_CORE_OPTIONS_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 
 #include "dbg/kmer_counter.h"
 #include "pregel/mapreduce.h"
+#include "spill/spill.h"
 #include "util/logging.h"
 
 namespace ppa {
@@ -46,6 +48,20 @@ struct AssemblerOptions {
   // reference path; both produce bit-identical pipeline output.
   ShuffleStrategy shuffle_strategy = ShuffleStrategy::kHash;
 
+  // External spill (spill/spill.h): ppa_assemble --spill-mode/--spill-dir/
+  // --memory-budget-bytes. kNever keeps every chunk queue memory-resident
+  // (the oracle path); kAuto seals-and-spills to per-shard files when
+  // resident chunk bytes exceed memory_budget_bytes; kAlways routes every
+  // sealed chunk through disk. All modes produce bit-identical contigs.
+  SpillMode spill_mode = SpillMode::kNever;
+  std::string spill_dir;             // parent directory; empty = system temp
+  uint64_t memory_budget_bytes = 0;  // 0 = no budget (queue bounds only)
+
+  // Runtime wiring: the per-run SpillContext every operation shares.
+  // Assembler::Assemble (or any caller driving operations directly) sets
+  // this from MakeSpillContext; leave null for in-memory runs.
+  SpillContext* spill_context = nullptr;
+
   void Validate() const {
     PPA_CHECK(k >= 3 && k <= 31);
     PPA_CHECK(k % 2 == 1);  // Odd k rules out palindromic k-mers.
@@ -53,6 +69,25 @@ struct AssemblerOptions {
     PPA_CHECK(minimizer_len >= 1 && minimizer_len <= 31);
   }
 };
+
+/// The one place a run's spill context is wired into its options copy:
+/// when spilling is requested and the caller has not injected a context
+/// already, one context (temp dir, writer pool, budget) is created for the
+/// whole run and every operation shares it through options->spill_context.
+/// The returned guard owns it; the temp directory dies with the guard on
+/// every path. Used by Assembler::Assemble and the CLI's dbg-only branch —
+/// keep them on this helper so wiring semantics cannot drift.
+inline std::unique_ptr<SpillContext> WireSpillContext(
+    AssemblerOptions* options) {
+  if (options->spill_mode == SpillMode::kNever ||
+      options->spill_context != nullptr) {
+    return nullptr;
+  }
+  std::unique_ptr<SpillContext> context = MakeSpillContext(
+      options->spill_mode, options->spill_dir, options->memory_budget_bytes);
+  options->spill_context = context.get();
+  return context;
+}
 
 /// The one place the assembly operations derive a MapReduceConfig from the
 /// pipeline options, so num_workers / num_threads / shuffle_strategy cannot
@@ -64,6 +99,7 @@ inline MapReduceConfig MakeMrConfig(const AssemblerOptions& options,
   config.num_threads = options.num_threads;
   config.shuffle_strategy = options.shuffle_strategy;
   config.job_name = std::move(job_name);
+  config.spill = options.spill_context;
   return config;
 }
 

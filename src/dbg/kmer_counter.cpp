@@ -6,16 +6,19 @@
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <stdexcept>
 #include <string_view>
 #include <thread>
 #include <unordered_map>
 
 #include "dna/kmer.h"
 #include "dna/superkmer.h"
+#include "spill/spill.h"
 #include "util/hash.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
+#include "util/varint.h"
 
 namespace ppa {
 
@@ -76,6 +79,51 @@ struct Pass1Chunk {
     return codes.size() * sizeof(uint64_t) + packed.size();
   }
 };
+
+/// Serialized spill-record payload of one Pass1Chunk:
+///
+///   varint(windows) varint(records)
+///   varint(#codes)  #codes x 8-byte little-endian canonical codes
+///   varint(#packed) packed super-k-mer bytes
+///
+/// Framing (length, CRC) is the spill store's job; this is just the chunk.
+std::vector<uint8_t> EncodePass1Chunk(const Pass1Chunk& chunk) {
+  std::vector<uint8_t> payload;
+  payload.reserve(chunk.SizeBytes() + 4 * 10);
+  PutVarint64(&payload, chunk.windows);
+  PutVarint64(&payload, chunk.records);
+  PutVarint64(&payload, chunk.codes.size());
+  for (uint64_t code : chunk.codes) {
+    for (int b = 0; b < 8; ++b) {
+      payload.push_back(static_cast<uint8_t>(code >> (8 * b)));
+    }
+  }
+  PutVarint64(&payload, chunk.packed.size());
+  payload.insert(payload.end(), chunk.packed.begin(), chunk.packed.end());
+  return payload;
+}
+
+bool DecodePass1Chunk(const uint8_t* data, size_t size, Pass1Chunk* chunk) {
+  size_t pos = 0;
+  uint64_t n = 0;
+  if (!GetVarint64(data, size, &pos, &chunk->windows)) return false;
+  if (!GetVarint64(data, size, &pos, &chunk->records)) return false;
+  if (!GetVarint64(data, size, &pos, &n)) return false;
+  if (n > (size - pos) / sizeof(uint64_t)) return false;
+  chunk->codes.clear();
+  chunk->codes.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t code = 0;
+    for (int b = 0; b < 8; ++b) {
+      code |= static_cast<uint64_t>(data[pos++]) << (8 * b);
+    }
+    chunk->codes.push_back(code);
+  }
+  if (!GetVarint64(data, size, &pos, &n)) return false;
+  if (n != size - pos) return false;  // packed bytes must end the record
+  chunk->packed.assign(data + pos, data + size);
+  return true;
+}
 
 /// Replays a chunk's canonical codes into the given consumer — the one
 /// place pass 2 undoes what pass 1 encoded.
@@ -424,6 +472,11 @@ struct CounterSession::Impl {
   uint64_t bound;
   unsigned num_counters;
 
+  // External spill wiring (null or kNever = fully memory-resident).
+  SpillContext* spill;
+  bool spilling;                        // spill != nullptr && mode != kNever
+  std::vector<uint32_t> spill_file;     // shard -> spill file id
+
   // One open-addressing table per shard; tables[s] is touched only by the
   // counter thread owning shard s (s % num_counters), never under mu.
   std::vector<CountTable> tables;
@@ -432,10 +485,15 @@ struct CounterSession::Impl {
   std::condition_variable not_full;   // scanners wait here (backpressure)
   std::condition_variable not_empty;  // counters wait here
   std::vector<std::deque<Pass1Chunk>> pending;  // per shard
+  std::vector<uint64_t> pending_bytes;   // bytes currently in pending[s]
   std::vector<uint64_t> shard_windows;   // enqueued windows per shard
   std::vector<uint64_t> shard_bytes;     // enqueued chunk bytes per shard
   std::vector<uint64_t> shard_messages;  // enqueued shipped units per shard
-  uint64_t queued_bytes = 0;
+  std::vector<uint64_t> shard_spilled;   // chunks spilled per shard
+  // Serialized record bytes written; atomic because encoding and Append
+  // run outside mu (see SpillChunkUnlocked).
+  std::atomic<uint64_t> spilled_payload_bytes{0};
+  uint64_t queued_bytes = 0;  // pending deques + async writer backlog
   uint64_t peak_queued_bytes = 0;
   bool finishing = false;
 
@@ -448,14 +506,25 @@ struct CounterSession::Impl {
 
   explicit Impl(const KmerCountConfig& cfg, uint64_t max_queued_bytes)
       : config(cfg), plan(MakePlan(cfg)) {
+    spill = cfg.spill;
+    spilling = spill != nullptr && spill->mode != SpillMode::kNever;
     bound = max_queued_bytes == 0 ? CounterSession::kDefaultMaxQueuedBytes
                                   : max_queued_bytes;
+    // A nonzero pipeline memory budget also caps this session's resident
+    // chunk bytes (the budget is the reason to spill at all).
+    if (spilling && spill->budget.budget_bytes() != 0) {
+      bound = std::min(bound, spill->budget.budget_bytes());
+    }
     // A single flushed chunk (<= flush threshold + one maximal super-k-mer
     // record) must always be admissible when the queue is empty, or
     // enqueue would deadlock.
     bound = std::max<uint64_t>(bound,
                                kFlushChunkBytes + kMaxSuperkmerRecordBytes);
-    num_counters = std::min<unsigned>(plan.threads, plan.shards);
+    // Under kAlways every chunk goes through disk and is counted at
+    // readback, so in-memory counter threads would only ever sleep.
+    num_counters = spilling && spill->mode == SpillMode::kAlways
+                       ? 0
+                       : std::min<unsigned>(plan.threads, plan.shards);
     tables.reserve(plan.shards);
     for (uint32_t s = 0; s < plan.shards; ++s) {
       // Streaming has no per-shard window total to size from; start small
@@ -463,13 +532,65 @@ struct CounterSession::Impl {
       tables.emplace_back(1024);
     }
     pending.resize(plan.shards);
+    pending_bytes.assign(plan.shards, 0);
     shard_windows.assign(plan.shards, 0);
     shard_bytes.assign(plan.shards, 0);
     shard_messages.assign(plan.shards, 0);
+    shard_spilled.assign(plan.shards, 0);
+    if (spilling) {
+      spill_file.reserve(plan.shards);
+      for (uint32_t s = 0; s < plan.shards; ++s) {
+        spill_file.push_back(
+            spill->manager.NewFile("kmer-shard-" + std::to_string(s)));
+      }
+    }
     counters.reserve(num_counters);
     for (unsigned c = 0; c < num_counters; ++c) {
       counters.emplace_back([this, c] { CounterLoop(c); });
     }
+  }
+
+  // Serializes `chunk` and hands it to the async writer. Runs OUTSIDE mu —
+  // encoding copies tens of kilobytes, and doing that under the session
+  // mutex would serialize every scanner and counter thread on each spill.
+  // The chunk's bytes stay in queued_bytes (writer backlog, accounted by
+  // the caller under mu before calling this) until the write completes, so
+  // the session bound keeps covering every resident chunk byte. Counting
+  // is commutative, so cross-thread interleaving of a shard's records is
+  // fine; per-shard record counts still reconcile at readback.
+  void SpillChunkUnlocked(uint32_t s, const Pass1Chunk& chunk) {
+    const uint64_t n = chunk.SizeBytes();
+    std::vector<uint8_t> payload = EncodePass1Chunk(chunk);
+    spilled_payload_bytes.fetch_add(payload.size(),
+                                    std::memory_order_relaxed);
+    spill->manager.Append(spill_file[s], std::move(payload), [this, n] {
+      std::lock_guard<std::mutex> lock(mu);
+      queued_bytes -= n;
+      spill->budget.Release(n);
+      not_full.notify_all();
+    });
+  }
+
+  // Requires mu. Seals the shard queue holding the most pending bytes and
+  // moves it into `victim` (bookkeeping done here; the caller serializes
+  // and appends after dropping the lock). Returns plan.shards when nothing
+  // is pending — all resident bytes are already on the writer, so the only
+  // relief left is write completion.
+  uint32_t TakeLargestLocked(std::deque<Pass1Chunk>* victim) {
+    uint32_t best = plan.shards;
+    uint64_t best_bytes = 0;
+    for (uint32_t s = 0; s < plan.shards; ++s) {
+      if (pending_bytes[s] > best_bytes) {
+        best_bytes = pending_bytes[s];
+        best = s;
+      }
+    }
+    if (best == plan.shards) return best;
+    *victim = std::move(pending[best]);
+    pending[best].clear();
+    pending_bytes[best] = 0;
+    shard_spilled[best] += victim->size();
+    return best;
   }
 
   void Enqueue(uint32_t s, Pass1Chunk&& chunk) {
@@ -478,14 +599,46 @@ struct CounterSession::Impl {
     // Admit when under the bound — or unconditionally when the queue is
     // empty, which keeps progress guaranteed (n <= flush threshold + one
     // record <= bound, so the invariant queued_bytes <= bound still holds).
-    not_full.wait(lock, [&] {
-      return queued_bytes == 0 || queued_bytes + n <= bound;
-    });
+    // Under kAuto a would-block first seals-and-spills the largest pending
+    // queue, so the scanners stall on disk bandwidth, not on counter
+    // throughput.
+    if (spilling && spill->mode == SpillMode::kAuto) {
+      while (!(queued_bytes == 0 || queued_bytes + n <= bound)) {
+        std::deque<Pass1Chunk> victim;
+        const uint32_t victim_shard = TakeLargestLocked(&victim);
+        if (victim_shard == plan.shards) {
+          not_full.wait(lock);
+          continue;
+        }
+        lock.unlock();
+        // Destroy each original as soon as its serialized copy is queued:
+        // otherwise the whole victim deque would stay alive alongside its
+        // unaccounted serialized copies, transiently doubling real
+        // residency against what queued_bytes (and the budget) report.
+        while (!victim.empty()) {
+          SpillChunkUnlocked(victim_shard, victim.front());
+          victim.pop_front();
+        }
+        lock.lock();
+      }
+    } else {
+      not_full.wait(lock, [&] {
+        return queued_bytes == 0 || queued_bytes + n <= bound;
+      });
+    }
     queued_bytes += n;
     peak_queued_bytes = std::max(peak_queued_bytes, queued_bytes);
+    if (spilling) spill->budget.Charge(n);
     shard_windows[s] += chunk.windows;
     shard_bytes[s] += n;
     shard_messages[s] += chunk.records;
+    if (spilling && spill->mode == SpillMode::kAlways) {
+      ++shard_spilled[s];
+      lock.unlock();
+      SpillChunkUnlocked(s, chunk);
+      return;
+    }
+    pending_bytes[s] += n;
     pending[s].push_back(std::move(chunk));
     not_empty.notify_all();
   }
@@ -498,11 +651,13 @@ struct CounterSession::Impl {
         while (!pending[s].empty()) {
           Pass1Chunk chunk = std::move(pending[s].front());
           pending[s].pop_front();
+          pending_bytes[s] -= chunk.SizeBytes();
           lock.unlock();
           ForEachChunkCode(chunk, config.mer_length,
                            [&](uint64_t code) { tables[s].Add(code); });
           lock.lock();
           queued_bytes -= chunk.SizeBytes();
+          if (spilling) spill->budget.Release(chunk.SizeBytes());
           not_full.notify_all();
           worked = true;
         }
@@ -531,6 +686,9 @@ CounterSession::~CounterSession() {
     impl_->not_empty.notify_all();
   }
   for (auto& t : impl_->counters) t.join();
+  // Abandoned-without-Finish path: queued spill writes hold callbacks that
+  // lock this session's state, so they must settle before impl_ dies.
+  if (impl_->spilling) impl_->spill->manager.Sync();
 }
 
 void CounterSession::AddBatch(const Read* reads, size_t n) {
@@ -558,17 +716,58 @@ MerCounts CounterSession::Finish(KmerCountStats* stats) {
     impl.not_empty.notify_all();
   }
   for (auto& t : impl.counters) t.join();
+  // Barrier the spill writers before pass 2: every spilled chunk must be on
+  // disk (and every byte-accounting callback run) before readback starts.
+  if (impl.spilling && !impl.spill->manager.Sync()) {
+    throw std::runtime_error(impl.spill->manager.error());
+  }
   const double pass1_seconds = impl.wall.Seconds();
 
-  // Filter + route + concatenate, exactly as the batch counter's pass-2
-  // tail, so the output contract is shared.
+  // Replay spilled chunks shard-locally, then filter + route + concatenate,
+  // exactly as the batch counter's pass-2 tail, so the output contract is
+  // shared. Readback errors are collected (not thrown) inside the pool —
+  // an exception on a pool worker thread would terminate the process.
   Timer pass2_timer;
   const uint32_t S = impl.plan.shards;
   const uint32_t W = impl.config.num_workers;
   ThreadPool pool(impl.plan.threads);
   std::vector<uint64_t> distinct_per_shard(S, 0);
+  std::vector<uint64_t> readback_chunks(S, 0);
+  std::vector<uint64_t> readback_bytes(S, 0);
+  std::vector<std::string> readback_errors(S);
   std::vector<MerCounts> shard_out(S);
   pool.Run(S, [&](uint32_t s) {
+    if (impl.spilling && impl.shard_spilled[s] != 0) {
+      SpillReader reader = impl.spill->manager.OpenReader(impl.spill_file[s]);
+      std::vector<uint8_t> payload;
+      Pass1Chunk chunk;
+      while (reader.Next(&payload)) {
+        if (!DecodePass1Chunk(payload.data(), payload.size(), &chunk)) {
+          readback_errors[s] = "spill readback failed: malformed Pass1Chunk "
+                               "record in " +
+                               impl.spill->manager.FilePath(impl.spill_file[s]);
+          return;
+        }
+        ForEachChunkCode(chunk, impl.config.mer_length,
+                         [&](uint64_t code) { impl.tables[s].Add(code); });
+        ++readback_chunks[s];
+        readback_bytes[s] += payload.size();
+      }
+      if (!reader.ok()) {
+        readback_errors[s] = reader.error();
+        return;
+      }
+      if (reader.records() != impl.shard_spilled[s]) {
+        // A spill file that parses cleanly but holds fewer records than
+        // were written would silently drop counts; refuse it.
+        readback_errors[s] =
+            "spill readback failed: " +
+            impl.spill->manager.FilePath(impl.spill_file[s]) + " holds " +
+            std::to_string(reader.records()) + " records, expected " +
+            std::to_string(impl.shard_spilled[s]);
+        return;
+      }
+    }
     distinct_per_shard[s] = impl.tables[s].size();
     shard_out[s].resize(W);
     impl.tables[s].ForEach([&](uint64_t code, uint32_t count) {
@@ -577,6 +776,9 @@ MerCounts CounterSession::Finish(KmerCountStats* stats) {
       }
     });
   });
+  for (const std::string& error : readback_errors) {
+    if (!error.empty()) throw std::runtime_error(error);
+  }
   MerCounts result(W);
   pool.Run(W, [&](uint32_t d) {
     size_t total = 0;
@@ -607,6 +809,13 @@ MerCounts CounterSession::Finish(KmerCountStats* stats) {
                    impl.total_superkmers.load());
     stats->peak_queued_bytes = impl.peak_queued_bytes;
     stats->queue_bound_bytes = impl.bound;
+    for (uint32_t s = 0; s < S; ++s) {
+      stats->spilled_chunks += impl.shard_spilled[s];
+      if (impl.shard_spilled[s] != 0) ++stats->spill_files;
+      stats->readback_chunks += readback_chunks[s];
+      stats->readback_bytes += readback_bytes[s];
+    }
+    stats->spilled_bytes = impl.spilled_payload_bytes.load();
   }
   return result;
 }
@@ -665,6 +874,13 @@ RunStats MerCountRunStats(const KmerCountStats& stats, uint32_t num_workers,
   RunStats run;
   run.job_name = job_name;
   run.wall_seconds = stats.pass1_seconds + stats.pass2_seconds;
+  // Carry the pass-1 spill volume so PipelineStats' spill totals cover
+  // counting alongside the MapReduce jobs.
+  run.spilled_chunks = stats.spilled_chunks;
+  run.spilled_bytes = stats.spilled_bytes;
+  run.spill_files = stats.spill_files;
+  run.readback_chunks = stats.readback_chunks;
+  run.readback_bytes = stats.readback_bytes;
 
   // Even split with the remainder on the low workers, so totals stay exact.
   // Used where no per-worker measurement exists (the serial fallback, and

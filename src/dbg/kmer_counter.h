@@ -58,6 +58,8 @@
 
 namespace ppa {
 
+struct SpillContext;  // spill/spill.h
+
 /// What pass 1 ships through the shard chunk queues.
 enum class Pass1Encoding : uint8_t {
   kRaw = 0,        // one 8-byte canonical code per window (oracle path)
@@ -93,6 +95,14 @@ struct KmerCountConfig {
   // is clamped internally to min(minimizer_len, mer_length, 31).
   Pass1Encoding pass1_encoding = Pass1Encoding::kSuperkmer;
   int minimizer_len = 11;
+
+  // External spill (spill/spill.h), streaming sessions only. nullptr (or
+  // SpillMode::kNever) keeps the chunk queues fully memory-resident; kAuto
+  // seals-and-spills the largest shard queues to per-shard files when the
+  // context's memory budget is exceeded instead of blocking the scanners on
+  // counter throughput; kAlways routes every sealed chunk through disk.
+  // A nonzero budget also caps the session's queued-byte bound.
+  SpillContext* spill = nullptr;
 };
 
 /// Execution metrics of one counting job (feeds RunStats / benches).
@@ -128,8 +138,19 @@ struct KmerCountStats {
   // Streaming sessions (CounterSession) only: high-water mark of chunk
   // bytes buffered between the scanners and the shard counters, and the
   // bound it is guaranteed to stay under. Both zero for the batch counters.
+  // With spilling on, queued bytes include the async writer backlog, so the
+  // bound covers every resident chunk byte of the session.
   uint64_t peak_queued_bytes = 0;
   uint64_t queue_bound_bytes = 0;
+
+  // External spill volume (spill/spill.h); all zero when spilling is off.
+  // spilled/readback bytes are serialized record payloads, so equal totals
+  // mean every spilled chunk was replayed.
+  uint64_t spilled_chunks = 0;
+  uint64_t spilled_bytes = 0;
+  uint64_t spill_files = 0;
+  uint64_t readback_chunks = 0;
+  uint64_t readback_bytes = 0;
 };
 
 /// (canonical code, count) pairs partitioned by Mix64(code) % num_workers.
@@ -187,6 +208,9 @@ class CounterSession {
 
   /// Drains the counters and returns the partitioned survivor counts. Must
   /// be called exactly once, after all AddBatch callers have finished.
+  /// With spilling enabled this is where spilled chunks are read back
+  /// shard-locally; a failed spill write or a corrupt readback throws
+  /// std::runtime_error with the store's diagnostic.
   MerCounts Finish(KmerCountStats* stats = nullptr);
 
  private:

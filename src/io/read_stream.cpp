@@ -17,6 +17,11 @@ ReadStream::ReadStream(std::unique_ptr<ReadSource> source,
 }
 
 ReadStream::~ReadStream() {
+  // Consumer-abandonment contract: the reader can only ever block in
+  // emit()'s not_full wait, whose predicate also watches stopped_, so
+  // setting it and notifying is sufficient to unblock and join on every
+  // path — queue full with no consumer, mid-parse, or reader already done.
+  // (io_test exercises all three.)
   {
     std::lock_guard<std::mutex> lock(mu_);
     stopped_ = true;

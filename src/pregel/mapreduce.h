@@ -46,20 +46,25 @@
 #define PPA_PREGEL_MAPREDUCE_H_
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cstdint>
+#include <cstring>
 #include <numeric>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "pregel/stats.h"
+#include "spill/spill.h"
 #include "util/hash.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
+#include "util/varint.h"
 
 namespace ppa {
 
@@ -133,6 +138,16 @@ struct MapReduceConfig {
   unsigned num_threads = 0;  // 0 = hardware concurrency.
   ShuffleStrategy shuffle_strategy = ShuffleStrategy::kHash;
   std::string job_name = "mini-mr";
+
+  // External spill (spill/spill.h): with a context whose mode is not
+  // kNever, sealed emit chunks move to per-destination spill files instead
+  // of staying resident between map and reduce — every chunk under
+  // kAlways, the over-budget ones under kAuto. Readback reassembles the
+  // exact (source, emit) chunk order, so output stays bit-identical to the
+  // in-memory path. Only jobs whose key and value types are trivially
+  // copyable spill; jobs shipping heap-indirect values (node payloads,
+  // notice batches) ignore the context and stay resident.
+  SpillContext* spill = nullptr;
 };
 
 namespace mr_internal {
@@ -200,6 +215,212 @@ using ChunkLists = std::vector<std::vector<std::vector<std::pair<K, V>>>>;
 
 struct NoCombine {};
 
+/// Only pair types whose bytes round-trip through disk may spill.
+template <typename K, typename V>
+inline constexpr bool kSpillablePair =
+    std::is_trivially_copyable_v<K> && std::is_trivially_copyable_v<V>;
+
+/// Per-job spill state of the shuffle: one spill file per destination,
+/// records tagged (source, seq) so readback reassembles the exact chunk
+/// order the in-memory path would have seen.
+///
+/// Record payload:
+///
+///   varint(src) varint(seq) varint(#pairs) #pairs x (K bytes, V bytes)
+///
+/// where seq is the chunk's index in the (src, dst) sealed-chunk lane. The
+/// map side pushes an empty placeholder chunk at that index, so lanes keep
+/// their numbering; the reduce side substitutes the read-back pairs and
+/// refuses to proceed when a placeholder has no matching record (a short
+/// or duplicated record stream can never silently drop pairs).
+template <typename K, typename V>
+class ShuffleSpill {
+ public:
+  ShuffleSpill(SpillContext* context, const std::string& job_name,
+               uint32_t num_workers)
+      : context_(context) {
+    if constexpr (!kSpillablePair<K, V>) return;
+    if (context_ == nullptr || context_->mode == SpillMode::kNever) return;
+    files_.reserve(num_workers);
+    for (uint32_t d = 0; d < num_workers; ++d) {
+      files_.push_back(context_->manager.NewFile(job_name + "-dst-" +
+                                                 std::to_string(d)));
+    }
+    dst_spilled_ = std::vector<std::atomic<uint64_t>>(num_workers);
+  }
+
+  ~ShuffleSpill() {
+    // Chunks kept resident were charged at seal time and consumed by the
+    // reduce; settle their budget accounting when the job ends.
+    if (context_ != nullptr) {
+      context_->budget.ReleasePinned(
+          charged_.load(std::memory_order_relaxed));
+    }
+  }
+
+  bool enabled() const { return !files_.empty(); }
+
+  /// Seal-time policy. Returns true after serializing and queuing `chunk`
+  /// for its destination's file (the caller pushes the placeholder);
+  /// returns false — charging the chunk to the budget — when it stays
+  /// resident. Thread-safe across map tasks.
+  bool OfferSealed(uint32_t src, uint32_t dst, uint64_t seq,
+                   const std::vector<std::pair<K, V>>& chunk) {
+    if constexpr (kSpillablePair<K, V>) {
+      const uint64_t footprint = chunk.size() * sizeof(std::pair<K, V>);
+      // Check-and-charge must be one atomic step: concurrent map tasks
+      // probing the budget separately would all pass and collectively
+      // exceed it. A kept chunk stays resident until the reduce consumes
+      // it: pinned, so spill backpressure never waits on it.
+      if (context_->mode != SpillMode::kAlways &&
+          context_->budget.TryChargePinned(footprint)) {
+        charged_.fetch_add(footprint, std::memory_order_relaxed);
+        return false;
+      }
+      std::vector<uint8_t> payload;
+      payload.reserve(footprint + 3 * 10);
+      PutVarint64(&payload, src);
+      PutVarint64(&payload, seq);
+      PutVarint64(&payload, chunk.size());
+      for (const auto& [key, value] : chunk) {
+        AppendRaw(&payload, &key, sizeof(K));
+        AppendRaw(&payload, &value, sizeof(V));
+      }
+      spilled_chunks_.fetch_add(1, std::memory_order_relaxed);
+      spilled_bytes_.fetch_add(payload.size(), std::memory_order_relaxed);
+      dst_spilled_[dst].fetch_add(1, std::memory_order_relaxed);
+      // The serialized bytes are resident on the writer until written;
+      // blocking here is the map side's backpressure on disk bandwidth,
+      // which is what holds peak residency under the budget.
+      context_->budget.ChargeBlocking(payload.size());
+      MemoryBudget* budget = &context_->budget;
+      const uint64_t written = payload.size();
+      context_->manager.Append(files_[dst], std::move(payload),
+                               [budget, written] { budget->Release(written); });
+      return true;
+    } else {
+      (void)src;
+      (void)dst;
+      (void)seq;
+      (void)chunk;
+      return false;
+    }
+  }
+
+  /// One read-back chunk of a destination, in its lane position.
+  struct ReadChunk {
+    uint64_t src = 0;
+    uint64_t seq = 0;
+    std::vector<std::pair<K, V>> pairs;
+  };
+
+  /// Replays destination `dst`'s spill file, sorted by (src, seq). On
+  /// corruption fills `error` (the partial result must not be used).
+  std::vector<ReadChunk> ReadBack(uint32_t dst, std::string* error) {
+    std::vector<ReadChunk> out;
+    if (!enabled() ||
+        dst_spilled_[dst].load(std::memory_order_relaxed) == 0) {
+      return out;
+    }
+    if constexpr (kSpillablePair<K, V>) {
+      SpillReader reader = context_->manager.OpenReader(files_[dst]);
+      std::vector<uint8_t> payload;
+      while (reader.Next(&payload)) {
+        ReadChunk chunk;
+        size_t pos = 0;
+        uint64_t n = 0;
+        // Overflow-safe pair-count check: n is an untrusted varint, so the
+        // product form `n * pair_bytes == remaining` could wrap.
+        constexpr uint64_t kPairBytes = sizeof(K) + sizeof(V);
+        const bool header_ok =
+            GetVarint64(payload.data(), payload.size(), &pos, &chunk.src) &&
+            GetVarint64(payload.data(), payload.size(), &pos, &chunk.seq) &&
+            GetVarint64(payload.data(), payload.size(), &pos, &n) &&
+            n == (payload.size() - pos) / kPairBytes &&
+            (payload.size() - pos) % kPairBytes == 0;
+        if (!header_ok) {
+          *error = "spill readback failed: malformed shuffle record in " +
+                   context_->manager.FilePath(files_[dst]);
+          return out;
+        }
+        chunk.pairs.resize(n);
+        for (uint64_t i = 0; i < n; ++i) {
+          std::memcpy(&chunk.pairs[i].first, payload.data() + pos, sizeof(K));
+          pos += sizeof(K);
+          std::memcpy(&chunk.pairs[i].second, payload.data() + pos,
+                      sizeof(V));
+          pos += sizeof(V);
+        }
+        readback_chunks_.fetch_add(1, std::memory_order_relaxed);
+        readback_bytes_.fetch_add(payload.size(), std::memory_order_relaxed);
+        out.push_back(std::move(chunk));
+      }
+      if (!reader.ok()) {
+        *error = reader.error();
+        return out;
+      }
+      const uint64_t expected =
+          dst_spilled_[dst].load(std::memory_order_relaxed);
+      if (out.size() != expected) {
+        *error = "spill readback failed: " +
+                 context_->manager.FilePath(files_[dst]) + " holds " +
+                 std::to_string(out.size()) + " records, expected " +
+                 std::to_string(expected);
+        return out;
+      }
+      std::sort(out.begin(), out.end(),
+                [](const ReadChunk& a, const ReadChunk& b) {
+                  return a.src != b.src ? a.src < b.src : a.seq < b.seq;
+                });
+    }
+    return out;
+  }
+
+  /// Barriers the writers between map and reduce. Throws on write failure.
+  void SyncOrThrow() {
+    if (enabled() && spilled_chunks_.load(std::memory_order_relaxed) != 0 &&
+        !context_->manager.Sync()) {
+      throw std::runtime_error(context_->manager.error());
+    }
+  }
+
+  uint64_t spilled_chunks() const {
+    return spilled_chunks_.load(std::memory_order_relaxed);
+  }
+  uint64_t spilled_bytes() const {
+    return spilled_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t spill_files() const {
+    uint64_t n = 0;
+    for (const auto& c : dst_spilled_) {
+      if (c.load(std::memory_order_relaxed) != 0) ++n;
+    }
+    return n;
+  }
+  uint64_t readback_chunks() const {
+    return readback_chunks_.load(std::memory_order_relaxed);
+  }
+  uint64_t readback_bytes() const {
+    return readback_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static void AppendRaw(std::vector<uint8_t>* out, const void* data,
+                        size_t n) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    out->insert(out->end(), p, p + n);
+  }
+
+  SpillContext* context_;
+  std::vector<uint32_t> files_;  // one per destination; empty = disabled
+  std::vector<std::atomic<uint64_t>> dst_spilled_;
+  std::atomic<uint64_t> spilled_chunks_{0};
+  std::atomic<uint64_t> spilled_bytes_{0};
+  std::atomic<uint64_t> readback_chunks_{0};
+  std::atomic<uint64_t> readback_bytes_{0};
+  std::atomic<uint64_t> charged_{0};
+};
+
 /// Routed, chunked emit buffer of one map task. With a combiner, emissions
 /// pass through a per-source KeyIndex first and only the combined pairs are
 /// routed into chunks (at Flush time).
@@ -207,9 +428,10 @@ template <typename K, typename V, typename CombineFn>
 class Emitter {
  public:
   Emitter(ChunkLists<K, V>* sealed, uint32_t num_workers,
-          CombineFn* combine_fn)
+          CombineFn* combine_fn, uint32_t src = 0,
+          ShuffleSpill<K, V>* spill = nullptr)
       : sealed_(sealed), active_(num_workers), num_workers_(num_workers),
-        combine_fn_(combine_fn) {}
+        combine_fn_(combine_fn), src_(src), spill_(spill) {}
 
   void Emit(K key, V value) {
     ++emitted_;
@@ -235,7 +457,7 @@ class Emitter {
       }
     }
     for (uint32_t d = 0; d < num_workers_; ++d) {
-      if (!active_[d].empty()) (*sealed_)[d].push_back(std::move(active_[d]));
+      if (!active_[d].empty()) Seal(d);
     }
   }
 
@@ -250,16 +472,31 @@ class Emitter {
     auto& chunk = active_[d];
     if (chunk.capacity() == 0) chunk.reserve(kChunkPairs);
     chunk.emplace_back(std::move(key), std::move(value));
-    if (chunk.size() >= kChunkPairs) {
-      (*sealed_)[d].push_back(std::move(chunk));
-      chunk = {};
+    if (chunk.size() >= kChunkPairs) Seal(d);
+  }
+
+  // Seals the active chunk of destination d into its lane — to disk (an
+  // empty placeholder keeps the lane's seq numbering) when the spill
+  // policy takes it, into memory otherwise. Sealed chunks are never empty,
+  // which is what lets readback recognize placeholders.
+  void Seal(uint32_t d) {
+    auto& chunk = active_[d];
+    if (spill_ != nullptr && spill_->enabled() &&
+        spill_->OfferSealed(src_, d, (*sealed_)[d].size(), chunk)) {
+      (*sealed_)[d].emplace_back();
+      chunk.clear();  // keep the capacity for the next fill
+      return;
     }
+    (*sealed_)[d].push_back(std::move(chunk));
+    chunk = {};
   }
 
   ChunkLists<K, V>* sealed_;
   std::vector<std::vector<std::pair<K, V>>> active_;  // one per destination
   uint32_t num_workers_;
   CombineFn* combine_fn_;
+  uint32_t src_;
+  ShuffleSpill<K, V>* spill_;
   KeyIndex<K> combined_;
   std::vector<V> combined_values_;
   uint64_t emitted_ = 0;
@@ -371,13 +608,16 @@ Partitioned<Out> RunMapReduceImpl(const Partitioned<In>& input, MapFn map_fn,
   ThreadPool pool(config.num_threads == 0 ? ThreadPool::DefaultThreads()
                                           : config.num_threads);
 
-  // --- Map phase: each source emits routed pairs into sealed chunks. -------
+  // --- Map phase: each source emits routed pairs into sealed chunks; the
+  // spill policy may divert sealed chunks to per-destination files. -------
+  ShuffleSpill<K, V> spill(config.spill, config.job_name, W);
   std::vector<ChunkLists<K, V>> sealed(W);
   std::vector<uint64_t> emitted(W, 0);
   std::vector<uint64_t> shuffled(W, 0);
   pool.Run(W, [&](uint32_t src) {
     sealed[src].resize(W);
-    Emitter<K, V, CombineFn> emitter(&sealed[src], W, &combine_fn);
+    Emitter<K, V, CombineFn> emitter(&sealed[src], W, &combine_fn, src,
+                                     &spill);
     for (const In& record : input[src]) {
       map_fn(record, emitter);
     }
@@ -385,6 +625,9 @@ Partitioned<Out> RunMapReduceImpl(const Partitioned<In>& input, MapFn map_fn,
     emitted[src] = emitter.emitted();
     shuffled[src] = emitter.shuffled();
   });
+  // Spilled chunks must be durable (and their byte accounting settled)
+  // before any destination starts reading them back.
+  spill.SyncOrThrow();
 
   SuperstepStats map_ss;
   map_ss.superstep = 0;
@@ -417,24 +660,61 @@ Partitioned<Out> RunMapReduceImpl(const Partitioned<In>& input, MapFn map_fn,
   // --- Shuffle + group-by + reduce phase. ----------------------------------
   Partitioned<Out> output(W);
   std::vector<uint64_t> reduce_ops(W, 0);
+  std::vector<std::string> readback_errors(W);
   pool.Run(W, [&](uint32_t dst) {
     // Collect this destination's chunks in (source, emit) order — the
     // deterministic arrival order both strategies preserve within groups.
+    // Spilled chunks are read back here, shard-locally, and slotted into
+    // the lane positions their placeholders hold, so the order is the one
+    // the in-memory path would have produced. Errors are collected, not
+    // thrown — an exception on a pool worker thread would terminate.
+    auto readback = spill.ReadBack(dst, &readback_errors[dst]);
+    if (!readback_errors[dst].empty()) return;
+    size_t next_readback = 0;  // readback is sorted by (src, seq)
     std::vector<std::vector<std::pair<K, V>>*> chunks;
     size_t total = 0;
     for (uint32_t src = 0; src < W; ++src) {
-      for (auto& chunk : sealed[src][dst]) {
-        chunks.push_back(&chunk);
-        total += chunk.size();
+      auto& lane = sealed[src][dst];
+      for (size_t seq = 0; seq < lane.size(); ++seq) {
+        std::vector<std::pair<K, V>>* chunk = &lane[seq];
+        if (spill.enabled() && chunk->empty()) {
+          if (next_readback >= readback.size() ||
+              readback[next_readback].src != src ||
+              readback[next_readback].seq != seq) {
+            readback_errors[dst] =
+                "spill readback failed: no record for spilled chunk (src " +
+                std::to_string(src) + ", seq " + std::to_string(seq) +
+                ") of " + config.job_name;
+            return;
+          }
+          chunk = &readback[next_readback++].pairs;
+        }
+        chunks.push_back(chunk);
+        total += chunk->size();
       }
+    }
+    if (next_readback != readback.size()) {
+      readback_errors[dst] =
+          "spill readback failed: " +
+          std::to_string(readback.size() - next_readback) +
+          " spilled chunks have no placeholder in " + config.job_name;
+      return;
     }
     reduce_ops[dst] =
         config.shuffle_strategy == ShuffleStrategy::kSort
             ? SortGroupBy<K, V, Out>(chunks, total, reduce_fn, output[dst])
             : HashGroupBy<K, V, Out>(chunks, total, reduce_fn, output[dst]);
   });
+  for (const std::string& error : readback_errors) {
+    if (!error.empty()) throw std::runtime_error(error);
+  }
 
   if (stats != nullptr) {
+    stats->spilled_chunks += spill.spilled_chunks();
+    stats->spilled_bytes += spill.spilled_bytes();
+    stats->spill_files += spill.spill_files();
+    stats->readback_chunks += spill.readback_chunks();
+    stats->readback_bytes += spill.readback_bytes();
     stats->job_name = config.job_name;
     stats->pairs_emitted += pairs_emitted;
     stats->pairs_shuffled += pairs_shuffled;

@@ -39,6 +39,16 @@ struct RunStats {
   uint64_t pairs_emitted = 0;
   uint64_t pairs_shuffled = 0;
 
+  // External spill volume (spill/spill.h): sealed chunks written to the
+  // job's per-shard/per-destination spill files and read back by the
+  // consuming pass. All zero when spilling is off (SpillMode::kNever) or
+  // the job's pair type cannot be serialized.
+  uint64_t spilled_chunks = 0;
+  uint64_t spilled_bytes = 0;
+  uint64_t spill_files = 0;
+  uint64_t readback_chunks = 0;
+  uint64_t readback_bytes = 0;
+
   uint32_t num_supersteps() const {
     return static_cast<uint32_t>(supersteps.size());
   }
@@ -106,6 +116,32 @@ struct PipelineStats {
     return n;
   }
 
+  // Spill volume across all jobs (counting reports its pass-1 spill here
+  // too, via MerCountRunStats), so the CLI report can show one line.
+  uint64_t total_spilled_chunks() const {
+    uint64_t n = 0;
+    for (const auto& j : jobs) n += j.spilled_chunks;
+    return n;
+  }
+
+  uint64_t total_spilled_bytes() const {
+    uint64_t n = 0;
+    for (const auto& j : jobs) n += j.spilled_bytes;
+    return n;
+  }
+
+  uint64_t total_spill_files() const {
+    uint64_t n = 0;
+    for (const auto& j : jobs) n += j.spill_files;
+    return n;
+  }
+
+  uint64_t total_readback_bytes() const {
+    uint64_t n = 0;
+    for (const auto& j : jobs) n += j.readback_bytes;
+    return n;
+  }
+
   /// Finds accumulated stats of all jobs whose name contains `substr`.
   RunStats Aggregate(const std::string& substr) const {
     RunStats out;
@@ -115,6 +151,11 @@ struct PipelineStats {
       out.wall_seconds += j.wall_seconds;
       out.pairs_emitted += j.pairs_emitted;
       out.pairs_shuffled += j.pairs_shuffled;
+      out.spilled_chunks += j.spilled_chunks;
+      out.spilled_bytes += j.spilled_bytes;
+      out.spill_files += j.spill_files;
+      out.readback_chunks += j.readback_chunks;
+      out.readback_bytes += j.readback_bytes;
       out.supersteps.insert(out.supersteps.end(), j.supersteps.begin(),
                             j.supersteps.end());
     }

@@ -1,0 +1,349 @@
+// External spill subsystem: disk-backed overflow for pipeline chunk queues.
+//
+// The pass-1 shard queues of the k-mer counter (dbg/kmer_counter.h) and the
+// sealed emit chunks of the MapReduce shuffle (pregel/mapreduce.h) are the
+// two places the pipeline buffers a data volume proportional to the input
+// between a producer pass and a consumer pass. Both were fully memory-
+// resident, capping shuffle volume at RAM. This subsystem gives them a
+// shared external store, shaped like the per-shard run files of disk-based
+// k-mer counters (yak, KMC):
+//
+//   * SpillManager owns a unique temporary directory and a small pool of
+//     async writer threads. Producers register named files and append
+//     records; appends are non-blocking (the backlog is accounted by the
+//     producer's own byte bound) and per-file write order equals
+//     submission order. The directory is removed on destruction — success,
+//     early Finish, and exception unwinds all converge there.
+//
+//   * Spill files are framed: an 8-byte magic, then per record a
+//     varint payload length, a CRC-32 of the payload, and the payload.
+//     SpillReader replays records in write order and fails with a
+//     diagnostic (never a short record stream) on truncation, bad magic,
+//     CRC mismatch, or a record length past EOF.
+//
+//   * MemoryBudget tracks resident chunk bytes pipeline-wide. Producers
+//     charge bytes when a chunk is sealed into memory and release them
+//     when the chunk is consumed or its spill write completes; when the
+//     budget would be exceeded, they seal-and-spill their largest queues
+//     instead of growing. Readback working memory (one shard / one
+//     destination at a time) is intentionally outside the budget, like the
+//     count tables themselves.
+//
+// Consumers read a shard's records back shard-locally (counter pass 2, the
+// reduce side), so counts, partitions and contigs are bit-identical to the
+// in-memory path, which SpillMode::kNever keeps as the oracle. A spill
+// file is also the serialization format a remote shard would receive in
+// the planned network-endpoint distributed mode.
+#ifndef PPA_SPILL_SPILL_H_
+#define PPA_SPILL_SPILL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ppa {
+
+/// When producers move sealed chunks to disk.
+enum class SpillMode : uint8_t {
+  kNever = 0,   // fully memory-resident (the oracle path)
+  kAuto = 1,    // spill largest queues when the memory budget is exceeded
+  kAlways = 2,  // every sealed chunk goes to disk (max-pressure testing)
+};
+
+inline const char* SpillModeName(SpillMode mode) {
+  switch (mode) {
+    case SpillMode::kNever:
+      return "never";
+    case SpillMode::kAuto:
+      return "auto";
+    default:
+      return "always";
+  }
+}
+
+inline bool ParseSpillMode(const std::string& name, SpillMode* out) {
+  if (name == "never") {
+    *out = SpillMode::kNever;
+    return true;
+  }
+  if (name == "auto") {
+    *out = SpillMode::kAuto;
+    return true;
+  }
+  if (name == "always") {
+    *out = SpillMode::kAlways;
+    return true;
+  }
+  return false;
+}
+
+/// Pipeline-wide accounting of resident (sealed but unconsumed) chunk
+/// bytes. Thread-safe; budget_bytes == 0 means "no budget" (never exceeded,
+/// ChargeBlocking never waits). Charge/Release run once per sealed chunk
+/// (tens of kilobytes), so a mutex is plenty.
+class MemoryBudget {
+ public:
+  explicit MemoryBudget(uint64_t budget_bytes = 0) : budget_(budget_bytes) {}
+
+  uint64_t budget_bytes() const { return budget_; }
+
+  void Charge(uint64_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ChargeLocked(n);
+  }
+
+  /// Charges bytes that will stay resident for a whole job (the shuffle's
+  /// kept-in-memory chunks, consumed only by the reduce). Pinned bytes are
+  /// excluded from ChargeBlocking's wait condition — they cannot drain
+  /// while the charger's own phase is still running, so waiting on them
+  /// would deadlock.
+  void ChargePinned(uint64_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pinned_ += n;
+    ChargeLocked(n);
+  }
+
+  /// ChargePinned iff `n` more bytes fit under the budget, atomically —
+  /// check and charge under one lock acquisition, so concurrent producers
+  /// cannot all pass a WouldExceed() probe and then collectively blow the
+  /// budget. Returns false (charging nothing) when it does not fit.
+  bool TryChargePinned(uint64_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (budget_ != 0 && resident_ + n > budget_) return false;
+    pinned_ += n;
+    ChargeLocked(n);
+    return true;
+  }
+
+  /// Charges `n` once it fits under the budget — or unconditionally when
+  /// no drainable (unpinned) bytes remain, so progress never depends on
+  /// bytes that only the caller's own completion can free. This is the
+  /// backpressure for spill writer backlogs: producers stall on disk drain
+  /// instead of growing the backlog.
+  void ChargeBlocking(uint64_t n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    released_.wait(lock, [&] {
+      return budget_ == 0 || resident_ == pinned_ ||
+             resident_ + n <= budget_;
+    });
+    ChargeLocked(n);
+  }
+
+  void Release(uint64_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    resident_ -= n;
+    released_.notify_all();
+  }
+
+  void ReleasePinned(uint64_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pinned_ -= n;
+    resident_ -= n;
+    released_.notify_all();
+  }
+
+  uint64_t resident_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return resident_;
+  }
+
+  uint64_t peak_resident_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_;
+  }
+
+  /// Would charging `extra` more bytes put the accounting over budget?
+  bool WouldExceed(uint64_t extra) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return budget_ != 0 && resident_ + extra > budget_;
+  }
+
+ private:
+  void ChargeLocked(uint64_t n) {
+    resident_ += n;
+    if (resident_ > peak_) peak_ = resident_;
+  }
+
+  uint64_t budget_;
+  mutable std::mutex mu_;
+  std::condition_variable released_;
+  uint64_t resident_ = 0;
+  uint64_t pinned_ = 0;  // subset of resident_ that drains only at job end
+  uint64_t peak_ = 0;
+};
+
+/// Replays one spill file's records in write order.
+///
+///   SpillReader reader(path);
+///   std::vector<uint8_t> payload;
+///   while (reader.Next(&payload)) { ...consume payload... }
+///   if (!reader.ok()) { ...reader.error() says what is corrupt... }
+///
+/// A missing file reads as zero records with ok() == true (a shard that
+/// never spilled has no file). Every corruption mode — truncated file, bad
+/// magic, CRC mismatch, record length past EOF — turns Next() false with
+/// ok() == false and a path/record/offset diagnostic in error(), so a
+/// consumer can never mistake a damaged file for a short one.
+class SpillReader {
+ public:
+  explicit SpillReader(std::string path);
+  ~SpillReader();
+
+  SpillReader(SpillReader&&) noexcept;
+  SpillReader& operator=(SpillReader&&) = delete;
+  SpillReader(const SpillReader&) = delete;
+  SpillReader& operator=(const SpillReader&) = delete;
+
+  /// Fills `payload` with the next record; false at end of file or on
+  /// corruption (distinguish with ok()).
+  bool Next(std::vector<uint8_t>* payload);
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+  uint64_t records() const { return records_; }
+  uint64_t bytes_read() const { return bytes_read_; }
+
+  /// The 8-byte magic every spill file starts with.
+  static const char kMagic[8];
+
+ private:
+  bool Fail(const std::string& what);
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  uint64_t file_size_ = 0;
+  uint64_t offset_ = 0;  // bytes consumed so far
+  uint64_t records_ = 0;
+  uint64_t bytes_read_ = 0;
+  std::string error_;
+};
+
+/// Owns a unique temp directory of framed spill files and the async writer
+/// pool that fills them.
+///
+/// Threading contract: Append never blocks on I/O (jobs queue to a writer
+/// thread chosen by file id, so per-file order is submission order across
+/// any number of producers). The producer's own byte accounting bounds the
+/// backlog: a chunk's bytes stay "resident" until its `done` callback runs
+/// on the writer thread. Sync() barriers all pending writes and flushes.
+///
+/// Lifecycle contract: the directory (and everything in it) is removed by
+/// the destructor on every path — normal completion, early destruction
+/// with writes still queued (they are drained first so `done` callbacks
+/// always run), and stack unwinding.
+class SpillManager {
+ public:
+  struct Config {
+    std::string parent_dir;      // empty = std::filesystem::temp_directory_path()
+    unsigned writer_threads = 1; // clamped to >= 1
+  };
+
+  SpillManager();  // defaults: system temp parent, one writer thread
+  explicit SpillManager(const Config& config);
+  ~SpillManager();
+
+  SpillManager(const SpillManager&) = delete;
+  SpillManager& operator=(const SpillManager&) = delete;
+
+  /// Registers a spill file under `name` (sanitized to [A-Za-z0-9._-]).
+  /// The file is created on its first Append.
+  uint32_t NewFile(const std::string& name);
+
+  /// Queues one framed record append. `done`, if given, runs on the writer
+  /// thread after the record's bytes have been handed to the OS (use it to
+  /// release byte accounting). Payloads are moved, never copied.
+  void Append(uint32_t file, std::vector<uint8_t> payload,
+              std::function<void()> done = {});
+
+  /// Blocks until every Append so far is written and flushed. Returns
+  /// false (with the diagnostic in error()) if any write failed — never
+  /// throws, so it is destructor-safe.
+  bool Sync();
+
+  /// Opens a reader over `file`'s records in write order. Call Sync()
+  /// first; reading a file with queued writes sees a prefix.
+  SpillReader OpenReader(uint32_t file) const;
+
+  /// Filesystem path of `file` (tests use this to corrupt records).
+  std::string FilePath(uint32_t file) const;
+
+  const std::string& dir() const { return dir_; }
+  std::string error() const;
+
+  uint64_t files_written() const;  // files holding >= 1 record
+  uint64_t spilled_chunks() const {
+    return spilled_chunks_.load(std::memory_order_relaxed);
+  }
+  uint64_t spilled_bytes() const {
+    return spilled_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct WriteJob {
+    uint32_t file = 0;
+    std::vector<uint8_t> payload;
+    std::function<void()> done;
+  };
+  struct Writer {
+    std::mutex mu;
+    std::condition_variable cv;       // wakes the writer thread
+    std::condition_variable drained;  // wakes Sync waiters
+    std::deque<WriteJob> queue;
+    size_t in_flight = 0;  // queued + currently being written
+    bool stop = false;
+    std::thread thread;
+  };
+  struct File {
+    std::string path;
+    std::FILE* stream = nullptr;  // opened by the writer on first append
+    std::atomic<uint64_t> records{0};
+  };
+
+  void WriterLoop(unsigned w);
+  void WriteRecord(File* file, const WriteJob& job);
+  void RecordError(const std::string& what);
+
+  std::string dir_;
+  std::vector<std::unique_ptr<Writer>> writers_;
+
+  // deque: stable element addresses while NewFile keeps appending.
+  mutable std::mutex files_mu_;
+  std::deque<File> files_;
+
+  mutable std::mutex error_mu_;
+  std::string error_;
+  std::atomic<bool> failed_{false};
+
+  std::atomic<uint64_t> spilled_chunks_{0};
+  std::atomic<uint64_t> spilled_bytes_{0};
+};
+
+/// The spill wiring one pipeline run shares across the counter and every
+/// MapReduce job: the policy knob, the pipeline-wide budget, and the store.
+struct SpillContext {
+  SpillMode mode;
+  MemoryBudget budget;
+  SpillManager manager;
+
+  SpillContext(SpillMode mode_in, uint64_t budget_bytes,
+               const SpillManager::Config& config)
+      : mode(mode_in), budget(budget_bytes), manager(config) {}
+};
+
+/// Builds the context for one run, or nullptr when mode == kNever (the
+/// in-memory oracle path allocates nothing, not even the temp directory).
+std::unique_ptr<SpillContext> MakeSpillContext(SpillMode mode,
+                                               const std::string& parent_dir,
+                                               uint64_t budget_bytes);
+
+}  // namespace ppa
+
+#endif  // PPA_SPILL_SPILL_H_

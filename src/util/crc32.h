@@ -1,0 +1,50 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Used by the external spill subsystem (spill/spill.h) to checksum every
+// record written to a spill file, so readback detects truncation and bit
+// rot instead of silently counting fewer mers. Table-driven, one table per
+// process; the classic byte-at-a-time form is plenty for spill traffic,
+// which is bounded by disk bandwidth anyway.
+#ifndef PPA_UTIL_CRC32_H_
+#define PPA_UTIL_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace ppa {
+
+namespace internal {
+
+inline const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace internal
+
+/// CRC-32 of `data[0, size)`. Pass a previous result as `seed` to extend a
+/// running checksum over discontiguous buffers.
+inline uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0) {
+  const auto& table = internal::Crc32Table();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace ppa
+
+#endif  // PPA_UTIL_CRC32_H_

@@ -39,7 +39,9 @@ TEST(AssembleCliParseTest, FlagsMapOntoOptions) {
                      "--rounds", "2", "--labeling", "sv", "--shuffle", "sort",
                      "--shards", "16", "--pass1-encoding", "raw",
                      "--minimizer-len", "9",
-                     "--queue-bytes", "5000", "--batch-reads", "128",
+                     "--queue-bytes", "5000", "--spill-mode", "auto",
+                     "--memory-budget-bytes", "123456", "--spill-dir",
+                     "/tmp/spill-parent", "--batch-reads", "128",
                      "--batch-bases", "65536", "--queue-depth", "2",
                      "--contigs", "c.fasta", "--stats", "s.txt",
                      "--reference", "r.fasta", "--min-contig", "100",
@@ -59,6 +61,9 @@ TEST(AssembleCliParseTest, FlagsMapOntoOptions) {
   EXPECT_EQ(opts.assembler.pass1_encoding, Pass1Encoding::kRaw);
   EXPECT_EQ(opts.assembler.minimizer_len, 9u);
   EXPECT_EQ(opts.assembler.kmer_queue_bytes, 5000u);
+  EXPECT_EQ(opts.assembler.spill_mode, SpillMode::kAuto);
+  EXPECT_EQ(opts.assembler.memory_budget_bytes, 123456u);
+  EXPECT_EQ(opts.assembler.spill_dir, "/tmp/spill-parent");
   EXPECT_EQ(opts.stream.batch_reads, 128u);
   EXPECT_EQ(opts.stream.batch_bases, 65536u);
   EXPECT_EQ(opts.stream.queue_depth, 2u);
@@ -110,6 +115,13 @@ TEST(AssembleCliParseTest, RejectsBadInput) {
   EXPECT_FALSE(
       Parse({"--minimizer-len", "4294967307", "in.fastq"}, &opts, &error));
   EXPECT_NE(error.find("--minimizer-len"), std::string::npos);
+  opts = {};
+  EXPECT_FALSE(Parse({"--spill-mode", "sometimes", "in.fastq"}, &opts,
+                     &error));
+  EXPECT_NE(error.find("--spill-mode"), std::string::npos);
+  opts = {};
+  EXPECT_FALSE(
+      Parse({"--memory-budget-bytes", "-5", "in.fastq"}, &opts, &error));
   opts = {};
   // Serial counting only exists on the in-memory path.
   EXPECT_FALSE(Parse({"--serial-counting", "in.fastq"}, &opts, &error));
@@ -250,6 +262,70 @@ TEST(AssembleCliRunTest, Pass1EncodingsProduceIdenticalAssemblies) {
   EXPECT_EQ(field(raw_stats, "surviving"), field(sk_stats, "surviving"));
   EXPECT_EQ(field(raw_stats, "n50"), field(sk_stats, "n50"));
   EXPECT_LT(field(sk_stats, "pass1_bytes"), field(raw_stats, "pass1_bytes"));
+}
+
+// The spill acceptance property: `ppa_assemble --spill-mode always
+// --memory-budget-bytes <tiny>` on the HC-2-sim dataset produces
+// bit-identical contigs and counts to `--spill-mode never`, with peak
+// resident chunk bytes held under the budget (asserted from the report).
+TEST(AssembleCliRunTest, SpillAlwaysMatchesNeverUnderTinyBudget) {
+  Dataset dataset = MakeDataset(DatasetId::kHc2, 0.04);
+  const std::string prefix = TempPath("hc2_spill");
+  std::vector<std::string> written = ExportDatasetFastq(dataset, prefix);
+  constexpr uint64_t kBudget = 262144;
+
+  auto run = [&](const char* mode) {
+    AssembleCliOptions opts;
+    opts.inputs = {written[0]};
+    opts.reference = written[1];
+    opts.contigs_out = TempPath(std::string("hc2_spill.") + mode + ".fasta");
+    opts.stats_out = TempPath(std::string("hc2_spill.") + mode + ".txt");
+    opts.assembler.num_workers = 8;
+    opts.assembler.num_threads = 2;
+    EXPECT_TRUE(ParseSpillMode(mode, &opts.assembler.spill_mode));
+    if (opts.assembler.spill_mode != SpillMode::kNever) {
+      opts.assembler.memory_budget_bytes = kBudget;
+      opts.assembler.spill_dir = ::testing::TempDir();
+    }
+    std::ostringstream out, err;
+    EXPECT_EQ(RunAssembleCli(opts, out, err), 0) << err.str();
+    return opts;
+  };
+  const AssembleCliOptions never = run("never");
+  const AssembleCliOptions always = run("always");
+
+  // Bit-identical contigs.
+  EXPECT_EQ(SortedContigSeqs(always.contigs_out),
+            SortedContigSeqs(never.contigs_out));
+
+  auto field = [](const std::string& stats, const std::string& key) {
+    const size_t at = stats.find(" " + key + "=");
+    EXPECT_NE(at, std::string::npos) << key << " missing in:\n" << stats;
+    if (at == std::string::npos) return uint64_t{0};
+    return static_cast<uint64_t>(
+        std::stoull(stats.substr(at + key.size() + 2)));
+  };
+  const std::string never_stats = ReadFile(never.stats_out);
+  const std::string always_stats = ReadFile(always.stats_out);
+  EXPECT_NE(always_stats.find("spill: mode=always"), std::string::npos);
+  EXPECT_NE(never_stats.find("spill: mode=never"), std::string::npos);
+  // Identical counting + assembly metrics.
+  for (const char* key : {"windows", "distinct", "surviving", "n50",
+                          "total_length", "pairs_shuffled"}) {
+    EXPECT_EQ(field(always_stats, key), field(never_stats, key)) << key;
+  }
+  // The always run really spilled, replayed everything it spilled, and the
+  // pipeline-wide peak of resident chunk bytes stayed under the budget.
+  EXPECT_GT(field(always_stats, "spilled_chunks"), 0u);
+  EXPECT_GT(field(always_stats, "spill_files"), 0u);
+  EXPECT_EQ(field(always_stats, "readback_bytes"),
+            field(always_stats, "spilled_bytes"));
+  EXPECT_EQ(field(always_stats, "budget_bytes"), kBudget);
+  EXPECT_LE(field(always_stats, "peak_resident_bytes"), kBudget);
+  EXPECT_LE(field(always_stats, "peak_queued_bytes"),
+            field(always_stats, "queue_bound_bytes"));
+  EXPECT_LE(field(always_stats, "queue_bound_bytes"), kBudget);
+  EXPECT_EQ(field(never_stats, "spilled_bytes"), 0u);
 }
 
 // The CLI's own in-memory mode must agree with its streaming mode.

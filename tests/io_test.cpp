@@ -195,6 +195,30 @@ TEST(ReadStreamTest, AbandonedStreamShutsDownCleanly) {
   ASSERT_TRUE(stream.Next(&batch));
 }
 
+TEST(ReadStreamTest, AbandonedWithoutAnyConsumptionJoinsReader) {
+  // The reader blocks on a full queue before the consumer ever calls
+  // Next(); destruction alone must wake and join it. Run it many times —
+  // the reader may be parked in emit's not_full wait, mid-parse, or
+  // already done when the destructor fires.
+  for (int round = 0; round < 20; ++round) {
+    ReadStreamConfig config;
+    config.batch_reads = 1;
+    config.queue_depth = 1;
+    ReadStream stream(
+        std::make_unique<VectorReadSource>(NumberedReads(128, 16)), config);
+    // No Next() at all.
+  }
+}
+
+TEST(ReadStreamTest, AbandonAfterReaderFinishedJoinsReader) {
+  // Tiny source: the reader finishes (done_) long before destruction; the
+  // destructor's stop signal must not deadlock against an exited reader.
+  ReadStream stream(std::make_unique<VectorReadSource>(NumberedReads(2, 4)));
+  ReadBatch batch;
+  ASSERT_TRUE(stream.Next(&batch));
+  // Remaining batch left unconsumed.
+}
+
 TEST(FastaWriterTest, ContigsRoundTripThroughParser) {
   std::vector<ContigRecord> contigs(2);
   contigs[0].id = 7;

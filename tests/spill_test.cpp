@@ -1,0 +1,615 @@
+// Tests for the external spill subsystem (spill/spill.h) and its two
+// consumers. The headline properties:
+//
+//   * readback corruption — truncated file, bad magic, CRC mismatch, a
+//     record length past EOF — fails with a diagnostic, never a silently
+//     short record stream;
+//   * the temp directory is removed on success AND on early-destruction
+//     paths;
+//   * always-spill and auto-spill runs are bit-identical to never-spill
+//     across a k x shards x threads grid, for counts and for whole-pipeline
+//     contigs, with peak resident chunk bytes held under the budget.
+#include "spill/spill.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/assembler.h"
+#include "dbg/kmer_counter.h"
+#include "io/fastx.h"
+#include "io/read_stream.h"
+#include "pregel/mapreduce.h"
+#include "sim/genome.h"
+#include "sim/read_simulator.h"
+#include "util/crc32.h"
+
+namespace ppa {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// CRC32 + MemoryBudget
+// ---------------------------------------------------------------------------
+
+TEST(Crc32Test, KnownAnswers) {
+  // The classic IEEE 802.3 check value.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+  // Extension across discontiguous buffers equals one pass.
+  const uint32_t head = Crc32("12345", 5);
+  EXPECT_EQ(Crc32("6789", 4, head), 0xCBF43926u);
+}
+
+TEST(MemoryBudgetTest, TracksResidentAndPeak) {
+  MemoryBudget budget(1000);
+  EXPECT_EQ(budget.budget_bytes(), 1000u);
+  budget.Charge(400);
+  EXPECT_FALSE(budget.WouldExceed(600));
+  EXPECT_TRUE(budget.WouldExceed(601));
+  budget.Charge(500);
+  EXPECT_EQ(budget.resident_bytes(), 900u);
+  budget.Release(600);
+  EXPECT_EQ(budget.resident_bytes(), 300u);
+  EXPECT_EQ(budget.peak_resident_bytes(), 900u);
+  budget.ChargePinned(100);
+  EXPECT_EQ(budget.resident_bytes(), 400u);
+  // Atomic check-and-charge: admits only what fits, charges nothing on
+  // refusal.
+  EXPECT_TRUE(budget.TryChargePinned(600));
+  EXPECT_FALSE(budget.TryChargePinned(1));
+  EXPECT_EQ(budget.resident_bytes(), 1000u);
+  budget.ReleasePinned(600);
+  budget.ReleasePinned(100);
+  budget.Release(300);
+  EXPECT_EQ(budget.resident_bytes(), 0u);
+  EXPECT_EQ(budget.peak_resident_bytes(), 1000u);
+}
+
+TEST(MemoryBudgetTest, UnlimitedNeverExceeds) {
+  MemoryBudget budget(0);
+  budget.Charge(1 << 30);
+  EXPECT_FALSE(budget.WouldExceed(1 << 30));
+  budget.ChargeBlocking(1 << 30);  // must not wait with no budget
+  EXPECT_EQ(budget.peak_resident_bytes(), 2u << 30);
+}
+
+// ---------------------------------------------------------------------------
+// SpillManager / SpillReader round trips
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> Bytes(std::initializer_list<int> values) {
+  std::vector<uint8_t> out;
+  for (int v : values) out.push_back(static_cast<uint8_t>(v));
+  return out;
+}
+
+TEST(SpillManagerTest, RoundTripsRecordsInWriteOrder) {
+  std::string dir;
+  {
+    SpillManager manager;
+    dir = manager.dir();
+    EXPECT_TRUE(fs::is_directory(dir));
+    const uint32_t a = manager.NewFile("shard-a");
+    const uint32_t b = manager.NewFile("shard b/../evil");  // sanitized
+    manager.Append(a, Bytes({1, 2, 3}));
+    manager.Append(b, Bytes({9}));
+    manager.Append(a, Bytes({}));  // empty payloads are legal records
+    manager.Append(a, Bytes({4, 5}));
+    ASSERT_TRUE(manager.Sync()) << manager.error();
+    EXPECT_EQ(manager.spilled_chunks(), 4u);
+    EXPECT_EQ(manager.spilled_bytes(), 6u);
+    EXPECT_EQ(manager.files_written(), 2u);
+    // The sanitized path stays inside the spill directory.
+    EXPECT_EQ(fs::path(manager.FilePath(b)).parent_path(), fs::path(dir));
+
+    SpillReader reader = manager.OpenReader(a);
+    std::vector<uint8_t> payload;
+    ASSERT_TRUE(reader.Next(&payload));
+    EXPECT_EQ(payload, Bytes({1, 2, 3}));
+    ASSERT_TRUE(reader.Next(&payload));
+    EXPECT_TRUE(payload.empty());
+    ASSERT_TRUE(reader.Next(&payload));
+    EXPECT_EQ(payload, Bytes({4, 5}));
+    EXPECT_FALSE(reader.Next(&payload));
+    EXPECT_TRUE(reader.ok()) << reader.error();
+    EXPECT_EQ(reader.records(), 3u);
+    EXPECT_EQ(reader.bytes_read(), 5u);
+  }
+  // Success path: the directory is gone with the manager.
+  EXPECT_FALSE(fs::exists(dir));
+}
+
+TEST(SpillManagerTest, PerFileOrderHoldsAcrossWriterPool) {
+  SpillManager::Config config;
+  config.writer_threads = 3;
+  SpillManager manager(config);
+  std::vector<uint32_t> files;
+  for (int f = 0; f < 5; ++f) {
+    files.push_back(manager.NewFile("f" + std::to_string(f)));
+  }
+  constexpr int kRecords = 200;
+  for (int i = 0; i < kRecords; ++i) {
+    for (uint32_t file : files) {
+      manager.Append(file, Bytes({i & 0xFF, (i >> 8) & 0xFF}));
+    }
+  }
+  ASSERT_TRUE(manager.Sync()) << manager.error();
+  for (uint32_t file : files) {
+    SpillReader reader = manager.OpenReader(file);
+    std::vector<uint8_t> payload;
+    for (int i = 0; i < kRecords; ++i) {
+      ASSERT_TRUE(reader.Next(&payload)) << reader.error();
+      EXPECT_EQ(payload, Bytes({i & 0xFF, (i >> 8) & 0xFF}));
+    }
+    EXPECT_FALSE(reader.Next(&payload));
+    EXPECT_TRUE(reader.ok()) << reader.error();
+  }
+}
+
+TEST(SpillManagerTest, DirRemovedOnEarlyDestructionWithQueuedWrites) {
+  std::string dir;
+  int done_calls = 0;
+  {
+    SpillManager manager;
+    dir = manager.dir();
+    const uint32_t f = manager.NewFile("abandoned");
+    for (int i = 0; i < 64; ++i) {
+      manager.Append(f, std::vector<uint8_t>(4096, 0x5A),
+                     [&done_calls] { ++done_calls; });
+    }
+    // No Sync: destruction must drain (so every done callback runs) and
+    // then remove the directory.
+  }
+  EXPECT_EQ(done_calls, 64);
+  EXPECT_FALSE(fs::exists(dir));
+}
+
+TEST(SpillManagerTest, MakeSpillContextHonorsMode) {
+  EXPECT_EQ(MakeSpillContext(SpillMode::kNever, "", 123), nullptr);
+  std::unique_ptr<SpillContext> context =
+      MakeSpillContext(SpillMode::kAuto, "", 123);
+  ASSERT_NE(context, nullptr);
+  EXPECT_EQ(context->mode, SpillMode::kAuto);
+  EXPECT_EQ(context->budget.budget_bytes(), 123u);
+  EXPECT_TRUE(fs::is_directory(context->manager.dir()));
+}
+
+// ---------------------------------------------------------------------------
+// Readback corruption: every damage mode is a diagnostic, never a silently
+// short stream.
+// ---------------------------------------------------------------------------
+
+/// Writes a one-file spill store with three records and returns the file's
+/// path inside `dir` (copied out so the manager can be destroyed).
+std::string WriteCorruptibleFile(const std::string& copy_to) {
+  SpillManager manager;
+  const uint32_t f = manager.NewFile("victim");
+  manager.Append(f, Bytes({10, 11, 12, 13}));
+  manager.Append(f, Bytes({20, 21}));
+  manager.Append(f, Bytes({30, 31, 32}));
+  EXPECT_TRUE(manager.Sync());
+  fs::copy_file(manager.FilePath(f), copy_to,
+                fs::copy_options::overwrite_existing);
+  return copy_to;
+}
+
+std::string CorruptionTempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<uint8_t> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Reads records until Next() stops; returns how many were delivered.
+uint64_t DrainReader(SpillReader& reader) {
+  std::vector<uint8_t> payload;
+  uint64_t n = 0;
+  while (reader.Next(&payload)) ++n;
+  return n;
+}
+
+TEST(SpillReaderTest, MissingFileIsEmptyAndOk) {
+  SpillReader reader(CorruptionTempPath("never_written.spill"));
+  EXPECT_EQ(DrainReader(reader), 0u);
+  EXPECT_TRUE(reader.ok());
+}
+
+TEST(SpillReaderTest, BadMagicFails) {
+  const std::string path =
+      WriteCorruptibleFile(CorruptionTempPath("bad_magic.spill"));
+  std::vector<uint8_t> bytes = ReadAll(path);
+  bytes[0] ^= 0xFF;
+  WriteAll(path, bytes);
+  SpillReader reader(path);
+  EXPECT_EQ(DrainReader(reader), 0u);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("bad magic"), std::string::npos)
+      << reader.error();
+}
+
+TEST(SpillReaderTest, HeaderShorterThanMagicFails) {
+  const std::string path = CorruptionTempPath("stub.spill");
+  WriteAll(path, Bytes({'P', 'P', 'A'}));
+  SpillReader reader(path);
+  EXPECT_EQ(DrainReader(reader), 0u);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("bad magic"), std::string::npos);
+}
+
+TEST(SpillReaderTest, TruncatedFileFailsInsteadOfShortStream) {
+  const std::string path =
+      WriteCorruptibleFile(CorruptionTempPath("truncated.spill"));
+  std::vector<uint8_t> bytes = ReadAll(path);
+  bytes.resize(bytes.size() - 2);  // cut into the last record's payload
+  WriteAll(path, bytes);
+  SpillReader reader(path);
+  EXPECT_EQ(DrainReader(reader), 2u);  // the two intact records
+  EXPECT_FALSE(reader.ok()) << "a truncated file must not read as short";
+  EXPECT_NE(reader.error().find("past end of file"), std::string::npos)
+      << reader.error();
+}
+
+TEST(SpillReaderTest, CrcMismatchFails) {
+  const std::string path =
+      WriteCorruptibleFile(CorruptionTempPath("crc.spill"));
+  std::vector<uint8_t> bytes = ReadAll(path);
+  bytes.back() ^= 0x01;  // flip a payload bit of the last record
+  WriteAll(path, bytes);
+  SpillReader reader(path);
+  EXPECT_EQ(DrainReader(reader), 2u);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("CRC mismatch"), std::string::npos)
+      << reader.error();
+}
+
+TEST(SpillReaderTest, RecordLengthPastEofFails) {
+  const std::string path = CorruptionTempPath("huge_len.spill");
+  std::vector<uint8_t> bytes(SpillReader::kMagic,
+                             SpillReader::kMagic + 8);
+  // Varint 0xFF 0xFF 0x7F = 2097151 bytes claimed, none present.
+  bytes.push_back(0xFF);
+  bytes.push_back(0xFF);
+  bytes.push_back(0x7F);
+  WriteAll(path, bytes);
+  SpillReader reader(path);
+  EXPECT_EQ(DrainReader(reader), 0u);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("past end of file"), std::string::npos)
+      << reader.error();
+}
+
+TEST(SpillReaderTest, NearMaxRecordLengthFailsWithoutOverflow) {
+  // A length varint decoding to 2^64-1: the naive `4 + length > remaining`
+  // bound check would wrap and admit it, then crash in resize(). It must
+  // be the same past-EOF diagnostic as any other oversized length.
+  const std::string path = CorruptionTempPath("wrap_len.spill");
+  std::vector<uint8_t> bytes(SpillReader::kMagic,
+                             SpillReader::kMagic + 8);
+  for (int i = 0; i < 9; ++i) bytes.push_back(0xFF);
+  bytes.push_back(0x01);  // varint(0xFFFFFFFFFFFFFFFF)
+  bytes.push_back(0x00);  // a stray byte so remaining > 0
+  WriteAll(path, bytes);
+  SpillReader reader(path);
+  EXPECT_EQ(DrainReader(reader), 0u);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("past end of file"), std::string::npos)
+      << reader.error();
+}
+
+TEST(SpillReaderTest, TruncatedLengthVarintFails) {
+  const std::string path = CorruptionTempPath("bad_varint.spill");
+  std::vector<uint8_t> bytes(SpillReader::kMagic,
+                             SpillReader::kMagic + 8);
+  bytes.push_back(0x80);  // continuation bit set, then EOF
+  WriteAll(path, bytes);
+  SpillReader reader(path);
+  EXPECT_EQ(DrainReader(reader), 0u);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("truncated record length"),
+            std::string::npos)
+      << reader.error();
+}
+
+// ---------------------------------------------------------------------------
+// CounterSession equivalence: always/auto spill vs the in-memory oracle.
+// ---------------------------------------------------------------------------
+
+using Pair = std::pair<uint64_t, uint32_t>;
+
+std::vector<std::vector<Pair>> SortedPartitions(const MerCounts& counts) {
+  std::vector<std::vector<Pair>> out;
+  out.reserve(counts.size());
+  for (const auto& part : counts) {
+    std::vector<Pair> sorted(part.begin(), part.end());
+    std::sort(sorted.begin(), sorted.end());
+    out.push_back(std::move(sorted));
+  }
+  return out;
+}
+
+std::vector<Read> SimulatedReads(uint64_t genome_length, double coverage,
+                                 uint64_t seed) {
+  GenomeConfig genome_config;
+  genome_config.length = genome_length;
+  genome_config.seed = seed;
+  PackedSequence reference = GenerateGenome(genome_config);
+  ReadSimConfig read_config;
+  read_config.coverage = coverage;
+  read_config.error_rate = 0.01;
+  read_config.seed = seed + 1;
+  return SimulateReads(reference, read_config);
+}
+
+MerCounts RunSession(const std::vector<Read>& reads, KmerCountConfig config,
+                     SpillContext* spill, KmerCountStats* stats) {
+  config.spill = spill;
+  CounterSession session(config);
+  constexpr size_t kBatch = 64;
+  for (size_t begin = 0; begin < reads.size(); begin += kBatch) {
+    session.AddBatch(reads.data() + begin,
+                     std::min(kBatch, reads.size() - begin));
+  }
+  return session.Finish(stats);
+}
+
+TEST(CounterSessionSpillTest, AlwaysAndAutoMatchNeverAcrossGrid) {
+  const std::vector<Read> reads = SimulatedReads(15000, 10.0, 7);
+  constexpr uint64_t kBudget = 128 << 10;
+  for (int k : {15, 31}) {
+    for (uint32_t shards : {1u, 8u}) {
+      for (unsigned threads : {1u, 4u}) {
+        KmerCountConfig config;
+        config.mer_length = k;
+        config.num_workers = 4;
+        config.coverage_threshold = 2;
+        config.num_shards = shards;
+        config.num_threads = threads;
+        KmerCountStats never_stats;
+        const auto expected = SortedPartitions(
+            RunSession(reads, config, nullptr, &never_stats));
+        EXPECT_EQ(never_stats.spilled_chunks, 0u);
+        EXPECT_EQ(never_stats.spill_files, 0u);
+
+        for (SpillMode mode : {SpillMode::kAlways, SpillMode::kAuto}) {
+          std::unique_ptr<SpillContext> context =
+              MakeSpillContext(mode, "", kBudget);
+          KmerCountStats stats;
+          const auto actual = SortedPartitions(
+              RunSession(reads, config, context.get(), &stats));
+          const std::string label =
+              std::string(SpillModeName(mode)) + " k=" + std::to_string(k) +
+              " shards=" + std::to_string(shards) +
+              " threads=" + std::to_string(threads);
+          EXPECT_EQ(actual, expected) << label;
+          EXPECT_EQ(stats.total_windows, never_stats.total_windows) << label;
+          EXPECT_EQ(stats.distinct_mers, never_stats.distinct_mers) << label;
+          // Readback replayed exactly what was spilled.
+          EXPECT_EQ(stats.readback_chunks, stats.spilled_chunks) << label;
+          EXPECT_EQ(stats.readback_bytes, stats.spilled_bytes) << label;
+          // The budget caps the session's queued-byte bound, and the bound
+          // held (so resident chunk bytes never exceeded the budget).
+          EXPECT_LE(stats.queue_bound_bytes, kBudget) << label;
+          EXPECT_LE(stats.peak_queued_bytes, stats.queue_bound_bytes)
+              << label;
+          if (mode == SpillMode::kAlways) {
+            EXPECT_GT(stats.spilled_chunks, 0u) << label;
+            EXPECT_GT(stats.spill_files, 0u) << label;
+            EXPECT_LE(stats.spill_files, stats.shards) << label;
+            EXPECT_LE(context->budget.peak_resident_bytes(), kBudget)
+                << label;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Abandoning a session without Finish must not leak writer callbacks or
+// the temp directory (the early-Finish lifecycle satellite).
+TEST(CounterSessionSpillTest, AbandonedSessionCleansUp) {
+  const std::vector<Read> reads = SimulatedReads(8000, 8.0, 11);
+  std::string dir;
+  {
+    std::unique_ptr<SpillContext> context =
+        MakeSpillContext(SpillMode::kAlways, "", 64 << 10);
+    dir = context->manager.dir();
+    KmerCountConfig config;
+    config.mer_length = 31;
+    config.num_workers = 4;
+    config.num_threads = 2;
+    config.spill = context.get();
+    CounterSession session(config);
+    session.AddBatch(reads);
+    // No Finish: the session joins its threads and settles the writer
+    // callbacks; the context removes the directory.
+  }
+  EXPECT_FALSE(fs::exists(dir));
+}
+
+// ---------------------------------------------------------------------------
+// Shuffle-engine spill equivalence.
+// ---------------------------------------------------------------------------
+
+/// A shuffle workload with enough pairs to seal many chunks: key = value
+/// bucket, reduce = ordered concatenation marker (order-sensitive, so any
+/// readback misordering changes the output).
+Partitioned<std::pair<uint64_t, uint64_t>> RunSumJob(SpillContext* spill,
+                                                     ShuffleStrategy strategy,
+                                                     RunStats* stats) {
+  constexpr uint32_t kWorkers = 8;
+  std::vector<uint64_t> data(40000);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = i;
+  Partitioned<uint64_t> input = Scatter(data, kWorkers);
+
+  auto map_fn = [](const uint64_t& x, auto& emitter) {
+    emitter.Emit(x % 1024, x);
+  };
+  auto reduce_fn = [](const uint64_t& key, std::span<uint64_t> group,
+                      std::vector<std::pair<uint64_t, uint64_t>>& out) {
+    // Order-sensitive mix: misordered values change the result.
+    uint64_t acc = 0;
+    for (uint64_t v : group) acc = acc * 1000003 + v;
+    out.emplace_back(key, acc);
+  };
+
+  MapReduceConfig config;
+  config.num_workers = kWorkers;
+  config.num_threads = 4;
+  config.shuffle_strategy = strategy;
+  config.job_name = "spill-sum-test";
+  config.spill = spill;
+  return RunMapReduce<uint64_t, uint64_t, uint64_t,
+                      std::pair<uint64_t, uint64_t>>(input, map_fn, reduce_fn,
+                                                     config, stats);
+}
+
+TEST(ShuffleSpillTest, AlwaysAndAutoMatchNever) {
+  RunStats never_stats;
+  const auto expected =
+      RunSumJob(nullptr, ShuffleStrategy::kHash, &never_stats);
+  EXPECT_EQ(never_stats.spilled_chunks, 0u);
+  for (SpillMode mode : {SpillMode::kAlways, SpillMode::kAuto}) {
+    for (ShuffleStrategy strategy :
+         {ShuffleStrategy::kHash, ShuffleStrategy::kSort}) {
+      std::unique_ptr<SpillContext> context =
+          MakeSpillContext(mode, "", 64 << 10);
+      RunStats stats;
+      const auto actual = RunSumJob(context.get(), strategy, &stats);
+      EXPECT_EQ(actual, expected)
+          << SpillModeName(mode) << "/" << ShuffleStrategyName(strategy);
+      EXPECT_EQ(stats.readback_chunks, stats.spilled_chunks);
+      EXPECT_EQ(stats.readback_bytes, stats.spilled_bytes);
+      if (mode == SpillMode::kAlways) {
+        EXPECT_GT(stats.spilled_chunks, 0u);
+        EXPECT_GT(stats.spill_files, 0u);
+        EXPECT_LE(context->budget.peak_resident_bytes(), 64u << 10);
+      }
+    }
+  }
+}
+
+TEST(ShuffleSpillTest, HeapIndirectValuesStayResident) {
+  // Values with heap payloads cannot round-trip through bytes; the spill
+  // context must be ignored (and the job still correct) even under
+  // kAlways.
+  constexpr uint32_t kWorkers = 4;
+  std::vector<uint64_t> data(2000);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = i;
+  Partitioned<uint64_t> input = Scatter(data, kWorkers);
+  auto map_fn = [](const uint64_t& x, auto& emitter) {
+    emitter.Emit(x % 16, std::to_string(x));
+  };
+  auto reduce_fn = [](const uint64_t& key, std::span<std::string> group,
+                      std::vector<std::pair<uint64_t, uint64_t>>& out) {
+    uint64_t total = 0;
+    for (const std::string& s : group) total += s.size();
+    out.emplace_back(key, total);
+  };
+  std::unique_ptr<SpillContext> context =
+      MakeSpillContext(SpillMode::kAlways, "", 1024);
+  MapReduceConfig config;
+  config.num_workers = kWorkers;
+  config.job_name = "string-values";
+  RunStats never_stats;
+  const auto expected =
+      RunMapReduce<uint64_t, uint64_t, std::string,
+                   std::pair<uint64_t, uint64_t>>(input, map_fn, reduce_fn,
+                                                  config, &never_stats);
+  config.spill = context.get();
+  RunStats stats;
+  const auto actual =
+      RunMapReduce<uint64_t, uint64_t, std::string,
+                   std::pair<uint64_t, uint64_t>>(input, map_fn, reduce_fn,
+                                                  config, &stats);
+  EXPECT_EQ(actual, expected);
+  EXPECT_EQ(stats.spilled_chunks, 0u);
+  EXPECT_EQ(stats.spill_files, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-pipeline equivalence grid: bit-identical contigs.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> SortedContigs(const AssemblyResult& result) {
+  std::vector<std::string> contigs = result.ContigStrings();
+  std::sort(contigs.begin(), contigs.end());
+  return contigs;
+}
+
+TEST(PipelineSpillTest, ContigsBitIdenticalAcrossGrid) {
+  const std::vector<Read> reads = SimulatedReads(15000, 10.0, 23);
+  constexpr uint64_t kBudget = 256 << 10;
+  for (int k : {15, 31}) {
+    for (uint32_t shards : {1u, 8u}) {
+      for (unsigned threads : {1u, 4u}) {
+        AssemblerOptions options;
+        options.k = k;
+        options.num_workers = 4;
+        options.num_threads = threads;
+        options.kmer_shards = shards;
+        ReadStream never_stream(std::make_unique<VectorReadSource>(reads));
+        const AssemblyResult never =
+            Assembler(options).Assemble(never_stream);
+
+        options.spill_mode = SpillMode::kAlways;
+        options.memory_budget_bytes = kBudget;
+        ReadStream always_stream(std::make_unique<VectorReadSource>(reads));
+        const AssemblyResult always =
+            Assembler(options).Assemble(always_stream);
+
+        const std::string label = "k=" + std::to_string(k) + " shards=" +
+                                  std::to_string(shards) + " threads=" +
+                                  std::to_string(threads);
+        EXPECT_EQ(SortedContigs(always), SortedContigs(never)) << label;
+        EXPECT_EQ(always.count_stats.surviving_mers,
+                  never.count_stats.surviving_mers)
+            << label;
+        EXPECT_EQ(always.kmer_vertices, never.kmer_vertices) << label;
+        EXPECT_GT(always.count_stats.spilled_chunks, 0u) << label;
+        EXPECT_GT(always.stats.total_spilled_bytes(), 0u) << label;
+        EXPECT_EQ(always.stats.total_readback_bytes(),
+                  always.stats.total_spilled_bytes())
+            << label;
+        EXPECT_EQ(always.spill_budget_bytes, kBudget) << label;
+        // The acceptance bound: resident chunk bytes stayed under budget.
+        EXPECT_LE(always.spill_peak_resident_bytes, kBudget) << label;
+        EXPECT_EQ(never.spill_peak_resident_bytes, 0u) << label;
+      }
+    }
+  }
+}
+
+TEST(PipelineSpillTest, AutoModeMatchesNeverOnInMemoryPipeline) {
+  const std::vector<Read> reads = SimulatedReads(15000, 10.0, 31);
+  AssemblerOptions options;
+  options.k = 21;
+  options.num_workers = 4;
+  options.num_threads = 2;
+  const AssemblyResult never = Assembler(options).Assemble(reads);
+
+  options.spill_mode = SpillMode::kAuto;
+  options.memory_budget_bytes = 64 << 10;  // tiny: most shuffles spill
+  const AssemblyResult auto_spill = Assembler(options).Assemble(reads);
+  EXPECT_EQ(SortedContigs(auto_spill), SortedContigs(never));
+  EXPECT_GT(auto_spill.stats.total_spilled_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace ppa
