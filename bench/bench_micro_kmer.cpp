@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -25,6 +26,8 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "net/coordinator.h"
+#include "net/worker.h"
 #include "spill/spill.h"
 #include "util/timer.h"
 #include "dbg/adjacency.h"
@@ -220,6 +223,68 @@ void BM_CountEdgeMersStream(benchmark::State& state) {
 BENCHMARK(BM_CountEdgeMersStream)
     ->Arg(0)
     ->Arg(1 << 16)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Distributed counting against an in-process worker fleet on unix-domain
+// sockets (the framing, flow control and result collection are the real
+// wire path; only the process boundary is elided). Arg = worker count;
+// compare against BM_CountEdgeMersStream to price the shuffle-over-socket
+// round trip per run.
+void BM_CountEdgeMersDistributed(benchmark::State& state) {
+  const std::vector<Read>& reads = Hc2Reads();
+  const uint32_t workers = static_cast<uint32_t>(state.range(0));
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     "ppa-bench-net-XXXXXX").string();
+  if (mkdtemp(dir.data()) == nullptr) {
+    state.SkipWithError("mkdtemp failed");
+    return;
+  }
+  std::vector<std::unique_ptr<net::ShardWorkerServer>> servers;
+  std::string endpoints;
+  for (uint32_t w = 0; w < workers; ++w) {
+    net::WorkerOptions options;
+    options.listen = "unix:" + dir + "/w" + std::to_string(w) + ".sock";
+    servers.push_back(std::make_unique<net::ShardWorkerServer>(options));
+    std::string error;
+    if (!servers.back()->Start(&error)) {
+      state.SkipWithError(error.c_str());
+      return;
+    }
+    if (!endpoints.empty()) endpoints += ',';
+    endpoints += options.listen;
+  }
+  KmerCountConfig config = Hc2CountConfig();
+  config.num_threads = 4;
+  uint64_t bases = 0, net_bytes = 0;
+  for (auto _ : state) {
+    NetConfig net_config;
+    net_config.endpoints = endpoints;
+    std::unique_ptr<NetContext> context = MakeNetContext(net_config);
+    config.net = context.get();
+    CounterSession session(config);
+    constexpr size_t kBatch = 1024;
+    for (size_t begin = 0; begin < reads.size(); begin += kBatch) {
+      session.AddBatch(reads.data() + begin,
+                       std::min(kBatch, reads.size() - begin));
+    }
+    KmerCountStats stats;
+    MerCounts counts = session.Finish(&stats);
+    benchmark::DoNotOptimize(counts);
+    bases = stats.total_bases;
+    net_bytes = stats.net_sent_bytes;
+    config.net = nullptr;
+  }
+  state.counters["net_sent_bytes"] = static_cast<double>(net_bytes);
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bases));
+  for (auto& server : servers) server->Stop();
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_CountEdgeMersDistributed)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -105,6 +105,13 @@ void WriteReport(const AssembleCliOptions& opts, std::ostream& out,
       << " combined_away=" << (emitted - shuffled) << '\n';
   WriteSpillLine(out, opts.assembler.spill_mode, spill_budget_bytes,
                  spill_peak_resident, pipeline);
+  // Distributed execution (all zero for in-process runs). Byte totals
+  // depend on chunk boundaries, so equivalence comparisons mask (or drop)
+  // this line, like the queue/spill byte fields.
+  out << "net: workers=" << counting.distributed_workers
+      << " chunks=" << counting.net_chunks
+      << " sent_bytes=" << counting.net_sent_bytes
+      << " received_bytes=" << counting.net_received_bytes << '\n';
   out << "dbg: kmer_vertices=" << kmer_vertices << '\n';
 
   PackedSequence reference;
@@ -190,6 +197,28 @@ std::string AssembleCliUsage() {
       "                      (default: system temp; removed after the run)\n"
       "  --serial-counting   with --in-memory: single-thread reference "
       "counter\n"
+      "\n"
+      "distributed execution:\n"
+      "  --shard-workers INT spawn this many local ppa_shard_worker\n"
+      "                      processes (unix sockets in a private temp\n"
+      "                      dir) and stream counting pass-2 shards to\n"
+      "                      them; with spilling on, shuffle spill chunks\n"
+      "                      also land in the workers' memory. 0 =\n"
+      "                      in-process (default). Identical contigs\n"
+      "  --worker-endpoints LIST\n"
+      "                      comma-separated endpoints of already-running\n"
+      "                      workers (unix:/path, host:port, or port);\n"
+      "                      wins over --shard-workers\n"
+      "  --worker-binary PATH\n"
+      "                      worker binary to spawn (default:\n"
+      "                      ppa_shard_worker next to this binary)\n"
+      "  --net-window-bytes INT\n"
+      "                      per-worker cap on unacknowledged in-flight\n"
+      "                      bytes (default 8 MB)\n"
+      "  --net-timeout-ms INT\n"
+      "                      connect/read/write timeout; a hung worker\n"
+      "                      fails the run with a diagnostic instead of\n"
+      "                      stalling it (default 30000; 0 = no timeout)\n"
       "\n"
       "streaming options:\n"
       "  --batch-reads INT   max records per batch (default 1024)\n"
@@ -307,6 +336,21 @@ bool ParseAssembleCliArgs(int argc, const char* const* argv,
     } else if (arg == "--spill-dir") {
       if (!need_value(i, arg)) return false;
       opts->assembler.spill_dir = argv[++i];
+    } else if (arg == "--shard-workers") {
+      if (!need_value(i, arg) || !u64_flag(arg, argv[++i], &v)) return false;
+      opts->assembler.shard_workers = static_cast<uint32_t>(v);
+    } else if (arg == "--worker-endpoints") {
+      if (!need_value(i, arg)) return false;
+      opts->assembler.worker_endpoints = argv[++i];
+    } else if (arg == "--worker-binary") {
+      if (!need_value(i, arg)) return false;
+      opts->assembler.worker_binary = argv[++i];
+    } else if (arg == "--net-window-bytes") {
+      if (!need_value(i, arg) || !u64_flag(arg, argv[++i], &v)) return false;
+      opts->assembler.net_window_bytes = v;
+    } else if (arg == "--net-timeout-ms") {
+      if (!need_value(i, arg) || !u64_flag(arg, argv[++i], &v)) return false;
+      opts->assembler.net_timeout_ms = static_cast<int>(v);
     } else if (arg == "--in-memory") {
       opts->in_memory = true;
     } else if (arg == "--serial-counting") {
@@ -369,6 +413,13 @@ bool ParseAssembleCliArgs(int argc, const char* const* argv,
     *error = "--minimizer-len: must be in [1, 31], got " + std::to_string(m);
     return false;
   }
+  const bool distributed = opts->assembler.shard_workers != 0 ||
+                           !opts->assembler.worker_endpoints.empty();
+  if (distributed && opts->in_memory) {
+    *error = "--shard-workers/--worker-endpoints require the streaming "
+             "pipeline (drop --in-memory)";
+    return false;
+  }
   return true;
 }
 
@@ -400,6 +451,8 @@ int RunAssembleCli(const AssembleCliOptions& opts, std::ostream& out,
       AssemblerOptions assembler_options = opts.assembler;
       std::unique_ptr<SpillContext> spill_guard =
           WireSpillContext(&assembler_options);
+      std::unique_ptr<NetContext> net_guard =
+          WireNetContext(&assembler_options);
       ReadStream stream(OpenFastxFiles(opts.inputs), opts.stream);
       PipelineStats pipeline;
       DbgResult dbg = BuildDbg(stream, assembler_options, &pipeline);

@@ -1,0 +1,83 @@
+// ppa_shard_worker: one distributed shard worker process. Listens on an
+// endpoint, serves the counter + record-store services over the framed
+// spill wire format (net/wire.h), and — with --once — exits after its
+// first connection ends, which is how the coordinator tears a spawned
+// fleet down by just closing the sockets.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <utility>
+
+#include "net/worker.h"
+
+namespace {
+
+const char kUsage[] =
+    "usage: ppa_shard_worker --listen <endpoint> [--once]\n"
+    "                        [--io-timeout-ms N] [--fail-after-frames N]\n"
+    "\n"
+    "Endpoints: unix:/path/to.sock, host:port, or a bare port\n"
+    "(= 127.0.0.1:port; port 0 picks a free one and logs it).\n"
+    "--once exits after the first connection ends (spawned-fleet mode).\n"
+    "--io-timeout-ms bounds each socket read/write (0 = no timeout).\n"
+    "--fail-after-frames drops every connection after N frames — a crash\n"
+    "simulation hook for tests, not for production use.\n";
+
+bool ParseU64(const char* text, uint64_t* value) {
+  char* end = nullptr;
+  *value = std::strtoull(text, &end, 10);
+  return end != text && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ppa::net::WorkerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    uint64_t value = 0;
+    if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    } else if (arg == "--once") {
+      options.once = true;
+    } else if (arg == "--listen") {
+      if (i + 1 >= argc) {
+        std::cerr << "ppa_shard_worker: --listen requires an endpoint\n";
+        return 2;
+      }
+      options.listen = argv[++i];
+    } else if (arg == "--io-timeout-ms" || arg == "--fail-after-frames") {
+      if (i + 1 >= argc || !ParseU64(argv[++i], &value)) {
+        std::cerr << "ppa_shard_worker: " << arg
+                  << " requires a non-negative integer\n";
+        return 2;
+      }
+      if (arg == "--io-timeout-ms") {
+        options.io_timeout_ms = static_cast<int>(value);
+      } else {
+        options.fail_after_frames = value;
+      }
+    } else {
+      std::cerr << "ppa_shard_worker: unexpected argument '" << arg << "'\n"
+                << kUsage;
+      return 2;
+    }
+  }
+  if (options.listen.empty()) {
+    std::cerr << kUsage;
+    return 2;
+  }
+
+  ppa::net::ShardWorkerServer server(std::move(options));
+  std::string error;
+  if (!server.Start(&error)) {
+    std::cerr << "ppa_shard_worker: " << error << "\n";
+    return 1;
+  }
+  std::cerr << "ppa_shard_worker: listening on " << server.listen_spec()
+            << "\n";
+  server.Wait();
+  server.Stop();
+  return 0;
+}

@@ -49,6 +49,9 @@ AssemblyResult Assembler::Assemble(const std::vector<Read>& reads,
   AssemblyResult result;
   AssemblerOptions options = options_;
   std::unique_ptr<SpillContext> spill_guard = WireSpillContext(&options);
+  // Wired after the spill context so the fleet's depot can take over the
+  // spill store ("spill to cluster memory").
+  std::unique_ptr<NetContext> net_guard = WireNetContext(&options);
   // ---- (1) DBG construction. ----------------------------------------------
   PPA_LOG(kInfo) << "k-mer counting: "
                  << (options.sharded_kmer_counting ? "sharded" : "serial")
@@ -58,6 +61,9 @@ AssemblyResult Assembler::Assemble(const std::vector<Read>& reads,
                  << ", shuffle="
                  << ShuffleStrategyName(options.shuffle_strategy)
                  << ", spill=" << SpillModeName(options.spill_mode);
+  if (options.net_context != nullptr) {
+    PPA_LOG(kInfo) << "distributed: " << options.net_context->description();
+  }
   DbgResult dbg = BuildDbg(reads, options, &result.stats);
   FinishAssembly(&result, std::move(dbg), options, method);
   RecordSpillSummary(options, &result);
@@ -71,6 +77,9 @@ AssemblyResult Assembler::Assemble(ReadStream& reads,
   AssemblyResult result;
   AssemblerOptions options = options_;
   std::unique_ptr<SpillContext> spill_guard = WireSpillContext(&options);
+  // Wired after the spill context so the fleet's depot can take over the
+  // spill store ("spill to cluster memory").
+  std::unique_ptr<NetContext> net_guard = WireNetContext(&options);
   // ---- (1) DBG construction, streaming. -----------------------------------
   PPA_LOG(kInfo) << "k-mer counting: streaming sharded"
                  << " (threads=" << options.num_threads
@@ -79,6 +88,9 @@ AssemblyResult Assembler::Assemble(ReadStream& reads,
                  << ", queue_bytes=" << options.kmer_queue_bytes
                  << "; 0 = auto)"
                  << ", spill=" << SpillModeName(options.spill_mode);
+  if (options.net_context != nullptr) {
+    PPA_LOG(kInfo) << "distributed: " << options.net_context->description();
+  }
   DbgResult dbg = BuildDbg(reads, options, &result.stats);
   FinishAssembly(&result, std::move(dbg), options, method);
   RecordSpillSummary(options, &result);

@@ -58,6 +58,7 @@ KmerCountConfig MakeCountConfig(const AssemblerOptions& options) {
   count_config.pass1_encoding = options.pass1_encoding;
   count_config.minimizer_len = static_cast<int>(options.minimizer_len);
   count_config.spill = options.spill_context;
+  count_config.net = options.net_context;
   return count_config;
 }
 

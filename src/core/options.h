@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "dbg/kmer_counter.h"
+#include "net/coordinator.h"
 #include "pregel/mapreduce.h"
 #include "spill/spill.h"
 #include "util/logging.h"
@@ -62,11 +63,29 @@ struct AssemblerOptions {
   // this from MakeSpillContext; leave null for in-memory runs.
   SpillContext* spill_context = nullptr;
 
+  // Distributed execution (net/): ppa_assemble --shard-workers/
+  // --worker-endpoints. shard_workers spawns that many local
+  // ppa_shard_worker processes; worker_endpoints connects to an
+  // already-running fleet instead (and wins when both are set). The fleet
+  // takes the counter's pass-2 shards, and — when spilling is also on —
+  // the shuffle's spill destinations ("spill to cluster memory"). All
+  // configurations produce bit-identical contigs.
+  uint32_t shard_workers = 0;        // 0 = in-process (no fleet)
+  std::string worker_endpoints;      // comma-separated specs, see net/wire.h
+  std::string worker_binary;         // spawn override; empty = next to argv0
+  uint64_t net_window_bytes = 8ULL << 20;  // per-worker unacked byte cap
+  int net_timeout_ms = 30000;        // connect/read/write timeout
+
+  // Runtime wiring: the per-run worker fleet, set from WireNetContext;
+  // leave null for in-process runs.
+  NetContext* net_context = nullptr;
+
   void Validate() const {
     PPA_CHECK(k >= 3 && k <= 31);
     PPA_CHECK(k % 2 == 1);  // Odd k rules out palindromic k-mers.
     PPA_CHECK(num_workers >= 1);
     PPA_CHECK(minimizer_len >= 1 && minimizer_len <= 31);
+    PPA_CHECK(net_timeout_ms >= 0);
   }
 };
 
@@ -86,6 +105,39 @@ inline std::unique_ptr<SpillContext> WireSpillContext(
   std::unique_ptr<SpillContext> context = MakeSpillContext(
       options->spill_mode, options->spill_dir, options->memory_budget_bytes);
   options->spill_context = context.get();
+  return context;
+}
+
+/// The one place a run's worker fleet is wired into its options copy: when
+/// distribution is requested and no fleet was injected, the processes are
+/// spawned/connected once for the whole run and every operation shares
+/// them through options->net_context. The returned guard owns the fleet
+/// (shutdown + reap on destruction). When a spill context is also wired,
+/// its record store is repointed at the fleet's in-memory depot, so
+/// shuffle spill chunks land in cluster memory instead of local disk.
+/// Throws std::runtime_error when the fleet cannot be reached. Mirrors
+/// WireSpillContext — keep both call sites on these helpers.
+inline std::unique_ptr<NetContext> WireNetContext(AssemblerOptions* options) {
+  if (options->net_context != nullptr ||
+      (options->shard_workers == 0 && options->worker_endpoints.empty())) {
+    if (options->net_context != nullptr &&
+        options->spill_context != nullptr) {
+      options->spill_context->store = options->net_context->depot();
+    }
+    return nullptr;
+  }
+  NetConfig config;
+  config.spawn_workers = options->shard_workers;
+  config.endpoints = options->worker_endpoints;
+  config.worker_binary = options->worker_binary;
+  config.window_bytes = options->net_window_bytes;
+  config.io_timeout_ms = options->net_timeout_ms;
+  config.connect_timeout_ms = options->net_timeout_ms;
+  std::unique_ptr<NetContext> context = MakeNetContext(config);
+  options->net_context = context.get();
+  if (context != nullptr && options->spill_context != nullptr) {
+    options->spill_context->store = context->depot();
+  }
   return context;
 }
 

@@ -13,6 +13,8 @@
 
 #include "dna/kmer.h"
 #include "dna/superkmer.h"
+#include "net/coordinator.h"
+#include "net/wire.h"
 #include "spill/spill.h"
 #include "util/hash.h"
 #include "util/logging.h"
@@ -477,6 +479,19 @@ struct CounterSession::Impl {
   bool spilling;                        // spill != nullptr && mode != kNever
   std::vector<uint32_t> spill_file;     // shard -> spill file id
 
+  // Distributed wiring (net/coordinator.h). When distributed, the local
+  // tables and counter threads are idle: every sealed chunk ships to worker
+  // s % N and queued_bytes bounds the unacknowledged in-flight bytes, so
+  // the scanners still feel backpressure from slow workers. A transport
+  // failure is recorded here (never thrown — Enqueue runs on pool threads)
+  // and surfaces from Finish.
+  NetContext* net;
+  bool distributed;
+  std::vector<uint64_t> shard_net_chunks;  // chunks shipped per shard
+  std::atomic<uint64_t> net_sent_payload_bytes{0};
+  bool net_failed = false;   // under mu
+  std::string net_error;     // under mu
+
   // One open-addressing table per shard; tables[s] is touched only by the
   // counter thread owning shard s (s % num_counters), never under mu.
   std::vector<CountTable> tables;
@@ -506,8 +521,13 @@ struct CounterSession::Impl {
 
   explicit Impl(const KmerCountConfig& cfg, uint64_t max_queued_bytes)
       : config(cfg), plan(MakePlan(cfg)) {
+    net = cfg.net;
+    distributed = net != nullptr && net->num_workers() != 0;
     spill = cfg.spill;
-    spilling = spill != nullptr && spill->mode != SpillMode::kNever;
+    // Distributed chunks leave the process instead of spilling to disk; the
+    // queued-byte bound below keeps covering them until the worker acks.
+    spilling =
+        !distributed && spill != nullptr && spill->mode != SpillMode::kNever;
     bound = max_queued_bytes == 0 ? CounterSession::kDefaultMaxQueuedBytes
                                   : max_queued_bytes;
     // A nonzero pipeline memory budget also caps this session's resident
@@ -521,8 +541,9 @@ struct CounterSession::Impl {
     bound = std::max<uint64_t>(bound,
                                kFlushChunkBytes + kMaxSuperkmerRecordBytes);
     // Under kAlways every chunk goes through disk and is counted at
-    // readback, so in-memory counter threads would only ever sleep.
-    num_counters = spilling && spill->mode == SpillMode::kAlways
+    // readback — and distributed chunks are counted by the workers — so
+    // in-memory counter threads would only ever sleep.
+    num_counters = distributed || (spilling && spill->mode == SpillMode::kAlways)
                        ? 0
                        : std::min<unsigned>(plan.threads, plan.shards);
     tables.reserve(plan.shards);
@@ -537,6 +558,19 @@ struct CounterSession::Impl {
     shard_bytes.assign(plan.shards, 0);
     shard_messages.assign(plan.shards, 0);
     shard_spilled.assign(plan.shards, 0);
+    shard_net_chunks.assign(plan.shards, 0);
+    if (distributed) {
+      // Configure every worker's bank before any chunk can arrive; frames
+      // on one connection are ordered, so no extra round trip is needed.
+      std::vector<uint8_t> open;
+      PutVarint64(&open, static_cast<uint64_t>(config.mer_length));
+      PutVarint64(&open, plan.shards);
+      PutVarint64(&open, config.num_workers);
+      PutVarint64(&open, config.coverage_threshold);
+      for (uint32_t w = 0; w < net->num_workers(); ++w) {
+        net->client(w).SendControl(net::MsgType::kCounterOpen, open);
+      }
+    }
     if (spilling) {
       spill_file.reserve(plan.shards);
       for (uint32_t s = 0; s < plan.shards; ++s) {
@@ -593,7 +627,59 @@ struct CounterSession::Impl {
     return best;
   }
 
+  // Distributed enqueue: serialize outside mu (like SpillChunkUnlocked),
+  // admit against the session bound, then ship to the shard's worker. The
+  // chunk's bytes stay in queued_bytes until the worker's ack runs the
+  // done callback. After a transport failure every call degrades to a
+  // cheap no-op so the scanners drain quickly; Finish throws the recorded
+  // error.
+  void EnqueueNet(uint32_t s, Pass1Chunk&& chunk) {
+    const uint64_t n = chunk.SizeBytes();
+    std::vector<uint8_t> body;
+    PutVarint64(&body, s);
+    {
+      const std::vector<uint8_t> payload = EncodePass1Chunk(chunk);
+      body.insert(body.end(), payload.begin(), payload.end());
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      not_full.wait(lock, [&] {
+        return net_failed || queued_bytes == 0 || queued_bytes + n <= bound;
+      });
+      if (net_failed) return;
+      queued_bytes += n;
+      peak_queued_bytes = std::max(peak_queued_bytes, queued_bytes);
+      shard_windows[s] += chunk.windows;
+      shard_bytes[s] += n;
+      shard_messages[s] += chunk.records;
+      shard_net_chunks[s] += 1;
+    }
+    net_sent_payload_bytes.fetch_add(body.size(), std::memory_order_relaxed);
+    net::WorkerClient& client = net->client(s % net->num_workers());
+    const bool sent =
+        client.SendData(net::MsgType::kCounterChunk, std::move(body),
+                        [this, n] {
+                          std::lock_guard<std::mutex> lock(mu);
+                          queued_bytes -= n;
+                          not_full.notify_all();
+                        });
+    if (!sent) {
+      // The done callback already ran (SendData runs it exactly once, on
+      // ack or on failure), so only the failure needs recording.
+      std::lock_guard<std::mutex> lock(mu);
+      if (!net_failed) {
+        net_failed = true;
+        net_error = client.error();
+      }
+      not_full.notify_all();
+    }
+  }
+
   void Enqueue(uint32_t s, Pass1Chunk&& chunk) {
+    if (distributed) {
+      EnqueueNet(s, std::move(chunk));
+      return;
+    }
     const uint64_t n = chunk.SizeBytes();
     std::unique_lock<std::mutex> lock(mu);
     // Admit when under the bound — or unconditionally when the queue is
@@ -668,6 +754,174 @@ struct CounterSession::Impl {
       }
     }
   }
+
+  // Blocks until every in-flight chunk is acknowledged (or the transport
+  // has failed, which drains the acks through the same done callbacks).
+  // Required before impl can die: pending callbacks lock this session's
+  // state.
+  void DrainNetAcks() {
+    std::unique_lock<std::mutex> lock(mu);
+    not_full.wait(lock, [&] { return queued_bytes == 0; });
+  }
+
+  // Distributed pass-2 tail: finalize + collect on every worker, reconcile
+  // the per-shard chunk/window ledgers against what this session shipped,
+  // and concatenate the per-(shard, partition) survivor slices in ascending
+  // shard order — the exact order the in-process tail uses, which is what
+  // makes the distributed output bit-identical.
+  MerCounts FinishDistributed(KmerCountStats* stats) {
+    const uint32_t S = plan.shards;
+    const uint32_t W = config.num_workers;
+    const uint32_t N = net->num_workers();
+    DrainNetAcks();
+    const double pass1_seconds = wall.Seconds();
+    auto fail = [](const std::string& why) {
+      throw std::runtime_error("distributed counting failed: " + why);
+    };
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (net_failed) fail(net_error);
+    }
+
+    Timer pass2_timer;
+    // Tell every worker to finalize before collecting from any, so their
+    // filter/route work overlaps.
+    const std::vector<uint8_t> empty;
+    for (uint32_t w = 0; w < N; ++w) {
+      net->client(w).SendControl(net::MsgType::kCounterFinish, empty);
+    }
+
+    std::vector<MerCounts> shard_out(S);
+    for (uint32_t s = 0; s < S; ++s) shard_out[s].resize(W);
+    std::vector<uint64_t> distinct_per_shard(S, 0);
+    std::vector<uint64_t> worker_chunks(S, 0);
+    std::vector<uint64_t> worker_windows(S, 0);
+    uint64_t received_bytes = 0;
+    for (uint32_t w = 0; w < N; ++w) {
+      net::WorkerClient& client = net->client(w);
+      const std::string who = "worker '" + client.endpoint() + "' ";
+      for (bool done = false; !done;) {
+        net::Frame frame;
+        if (!client.NextResponse(&frame)) fail(client.error());
+        received_bytes += frame.body.size() + 1;
+        const uint8_t* data = frame.body.data();
+        const size_t size = frame.body.size();
+        size_t pos = 0;
+        uint64_t sh = 0;
+        switch (frame.type) {
+          case net::MsgType::kCounterResult: {
+            uint64_t part = 0, pairs = 0;
+            if (!GetVarint64(data, size, &pos, &sh) ||
+                !GetVarint64(data, size, &pos, &part) ||
+                !GetVarint64(data, size, &pos, &pairs)) {
+              fail(who + "sent a malformed result header");
+            }
+            if (sh >= S || sh % N != w || part >= W) {
+              fail(who + "sent a result for shard " + std::to_string(sh) +
+                   " partition " + std::to_string(part) + " it does not own");
+            }
+            const size_t kPairBytes = sizeof(uint64_t) + sizeof(uint32_t);
+            if (pairs != (size - pos) / kPairBytes ||
+                (size - pos) % kPairBytes != 0) {
+              fail(who + "result pair count disagrees with its payload size");
+            }
+            auto& slice = shard_out[sh][part];
+            slice.reserve(slice.size() + pairs);
+            for (uint64_t i = 0; i < pairs; ++i) {
+              uint64_t code = 0;
+              for (int b = 0; b < 8; ++b) {
+                code |= static_cast<uint64_t>(data[pos++]) << (8 * b);
+              }
+              uint32_t count = 0;
+              for (int b = 0; b < 4; ++b) {
+                count |= static_cast<uint32_t>(data[pos++]) << (8 * b);
+              }
+              slice.emplace_back(code, count);
+            }
+            break;
+          }
+          case net::MsgType::kCounterShard: {
+            uint64_t chunks = 0, windows = 0, distinct = 0;
+            if (!GetVarint64(data, size, &pos, &sh) ||
+                !GetVarint64(data, size, &pos, &chunks) ||
+                !GetVarint64(data, size, &pos, &windows) ||
+                !GetVarint64(data, size, &pos, &distinct)) {
+              fail(who + "sent a malformed shard summary");
+            }
+            if (sh >= S || sh % N != w) {
+              fail(who + "summarized shard " + std::to_string(sh) +
+                   " it does not own");
+            }
+            worker_chunks[sh] = chunks;
+            worker_windows[sh] = windows;
+            distinct_per_shard[sh] = distinct;
+            break;
+          }
+          case net::MsgType::kCounterDone:
+            done = true;
+            break;
+          default:
+            fail(who + "sent unexpected " +
+                 std::string(net::MsgTypeName(frame.type)) +
+                 " during counter collection");
+        }
+      }
+    }
+    // Reconcile the ledgers: every chunk and window this session shipped
+    // must have been decoded and counted by exactly the owning worker. A
+    // mismatch means records were lost or replayed; refuse the result.
+    for (uint32_t s = 0; s < S; ++s) {
+      if (shard_net_chunks[s] != worker_chunks[s] ||
+          shard_windows[s] != worker_windows[s]) {
+        fail("shard " + std::to_string(s) + " ledger mismatch: shipped " +
+             std::to_string(shard_net_chunks[s]) + " chunks / " +
+             std::to_string(shard_windows[s]) + " windows, worker '" +
+             net->client(s % N).endpoint() + "' counted " +
+             std::to_string(worker_chunks[s]) + " / " +
+             std::to_string(worker_windows[s]));
+      }
+    }
+
+    MerCounts result(W);
+    for (uint32_t d = 0; d < W; ++d) {
+      size_t total = 0;
+      for (uint32_t s = 0; s < S; ++s) total += shard_out[s][d].size();
+      result[d].reserve(total);
+      for (uint32_t s = 0; s < S; ++s) {
+        auto& slice = shard_out[s][d];
+        std::move(slice.begin(), slice.end(), std::back_inserter(result[d]));
+        slice.clear();
+      }
+    }
+
+    if (stats != nullptr) {
+      *stats = KmerCountStats{};
+      stats->shards = S;
+      stats->threads = plan.threads;
+      stats->pass1_seconds = pass1_seconds;
+      stats->pass2_seconds = pass2_timer.Seconds();
+      stats->total_bases = total_bases.load();
+      stats->total_windows = total_windows.load();
+      for (uint32_t s = 0; s < S; ++s) {
+        stats->distinct_mers += distinct_per_shard[s];
+      }
+      for (uint32_t d = 0; d < W; ++d) {
+        stats->surviving_mers += result[d].size();
+      }
+      FillShardStats(config, stats, std::move(shard_windows),
+                     std::move(shard_bytes), std::move(shard_messages),
+                     total_superkmers.load());
+      stats->peak_queued_bytes = peak_queued_bytes;
+      stats->queue_bound_bytes = bound;
+      stats->distributed_workers = N;
+      for (uint32_t s = 0; s < S; ++s) {
+        stats->net_chunks += shard_net_chunks[s];
+      }
+      stats->net_sent_bytes = net_sent_payload_bytes.load();
+      stats->net_received_bytes = received_bytes;
+    }
+    return result;
+  }
 };
 
 CounterSession::CounterSession(const KmerCountConfig& config,
@@ -686,9 +940,11 @@ CounterSession::~CounterSession() {
     impl_->not_empty.notify_all();
   }
   for (auto& t : impl_->counters) t.join();
-  // Abandoned-without-Finish path: queued spill writes hold callbacks that
-  // lock this session's state, so they must settle before impl_ dies.
+  // Abandoned-without-Finish path: queued spill writes and unacknowledged
+  // network chunks hold callbacks that lock this session's state, so they
+  // must settle before impl_ dies.
   if (impl_->spilling) impl_->spill->manager.Sync();
+  if (impl_->distributed) impl_->DrainNetAcks();
 }
 
 void CounterSession::AddBatch(const Read* reads, size_t n) {
@@ -716,6 +972,7 @@ MerCounts CounterSession::Finish(KmerCountStats* stats) {
     impl.not_empty.notify_all();
   }
   for (auto& t : impl.counters) t.join();
+  if (impl.distributed) return impl.FinishDistributed(stats);
   // Barrier the spill writers before pass 2: every spilled chunk must be on
   // disk (and every byte-accounting callback run) before readback starts.
   if (impl.spilling && !impl.spill->manager.Sync()) {
@@ -944,6 +1201,104 @@ RunStats MerCountRunStats(const KmerCountStats& stats, uint32_t num_workers,
   }
   run.supersteps.push_back(std::move(reduce_ss));
   return run;
+}
+
+// ---------------------------------------------------------------------------
+// ShardCounterBank: the worker-process side of distributed counting.
+// ---------------------------------------------------------------------------
+
+struct ShardCounterBank::Rep {
+  int mer_length = 0;
+  std::vector<CountTable> tables;
+  std::vector<uint64_t> chunks;
+  std::vector<uint64_t> windows;
+};
+
+ShardCounterBank::ShardCounterBank(int mer_length, uint32_t num_shards)
+    : rep_(std::make_unique<Rep>()) {
+  PPA_CHECK(mer_length >= 1 && mer_length <= kMaxMerLength);
+  PPA_CHECK(num_shards >= 1);
+  rep_->mer_length = mer_length;
+  rep_->tables.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) rep_->tables.emplace_back(1024);
+  rep_->chunks.assign(num_shards, 0);
+  rep_->windows.assign(num_shards, 0);
+}
+
+ShardCounterBank::~ShardCounterBank() = default;
+
+uint32_t ShardCounterBank::num_shards() const {
+  return static_cast<uint32_t>(rep_->tables.size());
+}
+
+bool ShardCounterBank::AddChunkPayload(uint32_t shard, const uint8_t* data,
+                                       size_t size, std::string* error) {
+  if (shard >= rep_->tables.size()) {
+    *error = "chunk for shard " + std::to_string(shard) + " but the bank has " +
+             std::to_string(rep_->tables.size()) + " shards";
+    return false;
+  }
+  Pass1Chunk chunk;
+  if (!DecodePass1Chunk(data, size, &chunk)) {
+    *error = "malformed Pass1Chunk payload (" + std::to_string(size) +
+             " bytes) for shard " + std::to_string(shard);
+    return false;
+  }
+  // Unlike the in-process ForEachChunkCode, a decode failure here is an
+  // input error (the bytes crossed a socket), so it reports instead of
+  // aborting. A partially counted table is fine: the caller kills the
+  // connection, and the coordinator's ledger reconciliation would reject
+  // the shard anyway.
+  CountTable& table = rep_->tables[shard];
+  uint64_t decoded = chunk.codes.size();
+  for (uint64_t code : chunk.codes) table.Add(code);
+  if (!chunk.packed.empty() &&
+      !DecodeSuperkmers(chunk.packed.data(), chunk.packed.size(),
+                        rep_->mer_length, [&](uint64_t code) {
+                          table.Add(code);
+                          ++decoded;
+                        })) {
+    *error = "malformed super-k-mer bytes in a chunk for shard " +
+             std::to_string(shard);
+    return false;
+  }
+  if (decoded != chunk.windows) {
+    *error = "chunk for shard " + std::to_string(shard) + " declares " +
+             std::to_string(chunk.windows) + " windows but decodes to " +
+             std::to_string(decoded);
+    return false;
+  }
+  rep_->chunks[shard] += 1;
+  rep_->windows[shard] += chunk.windows;
+  return true;
+}
+
+uint64_t ShardCounterBank::chunks(uint32_t shard) const {
+  PPA_CHECK(shard < rep_->chunks.size());
+  return rep_->chunks[shard];
+}
+
+uint64_t ShardCounterBank::windows(uint32_t shard) const {
+  PPA_CHECK(shard < rep_->windows.size());
+  return rep_->windows[shard];
+}
+
+uint64_t ShardCounterBank::distinct(uint32_t shard) const {
+  PPA_CHECK(shard < rep_->tables.size());
+  return rep_->tables[shard].size();
+}
+
+Partitioned<std::pair<uint64_t, uint32_t>> ShardCounterBank::Finalize(
+    uint32_t shard, uint32_t coverage_threshold, uint32_t num_workers) {
+  PPA_CHECK(shard < rep_->tables.size());
+  PPA_CHECK(num_workers >= 1);
+  Partitioned<std::pair<uint64_t, uint32_t>> out(num_workers);
+  rep_->tables[shard].ForEach([&](uint64_t code, uint32_t count) {
+    if (count >= coverage_threshold) {
+      out[Mix64(code) % num_workers].emplace_back(code, count);
+    }
+  });
+  return out;
 }
 
 }  // namespace ppa

@@ -59,6 +59,7 @@
 namespace ppa {
 
 struct SpillContext;  // spill/spill.h
+class NetContext;     // net/coordinator.h
 
 /// What pass 1 ships through the shard chunk queues.
 enum class Pass1Encoding : uint8_t {
@@ -103,6 +104,14 @@ struct KmerCountConfig {
   // counter throughput; kAlways routes every sealed chunk through disk.
   // A nonzero budget also caps the session's queued-byte bound.
   SpillContext* spill = nullptr;
+
+  // Distributed execution (net/coordinator.h), streaming sessions only.
+  // Non-null routes every sealed pass-1 chunk to the shard's worker
+  // process (shard s -> worker s % N) instead of a local count table; the
+  // queued-byte bound then covers unacked in-flight network bytes, and the
+  // spill wiring above is ignored for the counter (the chunks leave the
+  // process instead). Output is bit-identical to the in-process path.
+  NetContext* net = nullptr;
 };
 
 /// Execution metrics of one counting job (feeds RunStats / benches).
@@ -151,6 +160,14 @@ struct KmerCountStats {
   uint64_t spill_files = 0;
   uint64_t readback_chunks = 0;
   uint64_t readback_bytes = 0;
+
+  // Distributed execution (net/); all zero for in-process runs. Byte
+  // totals depend on chunk boundaries (thread scheduling), so equivalence
+  // comparisons mask them, like peak_queued_bytes.
+  uint32_t distributed_workers = 0;  // remote shard worker processes
+  uint64_t net_chunks = 0;           // pass-1 chunks shipped to workers
+  uint64_t net_sent_bytes = 0;       // serialized chunk payload bytes sent
+  uint64_t net_received_bytes = 0;   // result payload bytes returned
 };
 
 /// (canonical code, count) pairs partitioned by Mix64(code) % num_workers.
@@ -223,6 +240,46 @@ class CounterSession {
 /// bookkeeping keeps working across the old and new counting paths.
 RunStats MerCountRunStats(const KmerCountStats& stats, uint32_t num_workers,
                           const std::string& job_name);
+
+/// Pass-2 counting state of one shard worker endpoint (net/worker.h): the
+/// batch counter's open-addressing tables and survivor routing, fed one
+/// serialized pass-1 chunk (the spill/wire record payload) at a time.
+/// Because counting is commutative and the coverage filter + partition
+/// routing reuse the exact in-process code, a bank fed any interleaving of
+/// a shard's chunks finalizes to the same (code, count) multiset per
+/// partition as the local counter. Not thread-safe: a worker drives one
+/// bank per coordinator connection.
+class ShardCounterBank {
+ public:
+  ShardCounterBank(int mer_length, uint32_t num_shards);
+  ~ShardCounterBank();
+
+  ShardCounterBank(const ShardCounterBank&) = delete;
+  ShardCounterBank& operator=(const ShardCounterBank&) = delete;
+
+  uint32_t num_shards() const;
+
+  /// Decodes one chunk payload and counts its windows into `shard`'s
+  /// table. False (with a diagnostic in *error) on a shard out of range,
+  /// a malformed payload, or a decoded window count that contradicts the
+  /// chunk header — remote bytes are never trusted to be well-formed.
+  bool AddChunkPayload(uint32_t shard, const uint8_t* data, size_t size,
+                       std::string* error);
+
+  uint64_t chunks(uint32_t shard) const;
+  uint64_t windows(uint32_t shard) const;
+  uint64_t distinct(uint32_t shard) const;
+
+  /// Coverage-filters `shard`'s table and routes survivors into
+  /// `num_workers` partitions by Mix64(code) % num_workers — the batch
+  /// counter's pass-2 tail, verbatim.
+  Partitioned<std::pair<uint64_t, uint32_t>> Finalize(
+      uint32_t shard, uint32_t coverage_threshold, uint32_t num_workers);
+
+ private:
+  struct Rep;
+  std::unique_ptr<Rep> rep_;
+};
 
 }  // namespace ppa
 

@@ -1,5 +1,6 @@
 #include "io/fastx.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,8 +49,12 @@ FastxReader::~FastxReader() {
 }
 
 void FastxReader::Fail(const std::string& why) const {
+  FailAt(line_number_, why);
+}
+
+void FastxReader::FailAt(uint64_t line, const std::string& why) const {
   std::fprintf(stderr, "FASTX error: %s:%llu: %s\n", path_.c_str(),
-               static_cast<unsigned long long>(line_number_), why.c_str());
+               static_cast<unsigned long long>(line), why.c_str());
   std::abort();
 }
 
@@ -58,11 +63,25 @@ bool FastxReader::FillBuffer() {
 #if defined(PPA_HAVE_ZLIB)
   int n = gzread(static_cast<gzFile>(file_), buffer_.data(),
                  static_cast<unsigned>(buffer_.size()));
-  if (n < 0) Fail("read error (corrupt gzip stream?)");
+  if (n < 0) {
+    int zerr = 0;
+    const char* detail = gzerror(static_cast<gzFile>(file_), &zerr);
+    Fail("read error: " +
+         (zerr == Z_ERRNO
+              ? std::string(std::strerror(errno))
+              : std::string(detail != nullptr && *detail != '\0'
+                                ? detail
+                                : "corrupt gzip stream")));
+  }
 #else
   size_t n = std::fread(buffer_.data(), 1, buffer_.size(),
                         static_cast<FILE*>(file_));
-  if (n == 0 && std::ferror(static_cast<FILE*>(file_))) Fail("read error");
+  // An I/O error can surface as a short read (fread returns the partial
+  // count, and 0 only on the following call), so checking ferror only when
+  // n == 0 would parse the truncated tail as valid records first.
+  if (n < buffer_.size() && std::ferror(static_cast<FILE*>(file_))) {
+    Fail("read error: " + std::string(std::strerror(errno)));
+  }
 #endif
   buffer_pos_ = 0;
   buffer_len_ = static_cast<size_t>(n);
@@ -142,16 +161,40 @@ bool FastxReader::Next(Read* read) {
     }
   } else {
     if (line[0] != '@') Fail("expected '@' FASTQ header");
+    // A FASTQ record is a fixed 4-line group. The three lines after the
+    // header are taken verbatim (ReadLine, not NextContentLine): a blank
+    // line inside the group is record content — the sequence/quality of a
+    // zero-length read — or a structural error reported at its own line,
+    // never whitespace to skip. Blank lines are skipped only between
+    // records, by the header read above.
+    const uint64_t header_line = line_number_;
+    const std::string at_record =
+        " (record at line " + std::to_string(header_line) + ")";
     read->name = line.substr(1);
-    if (!NextContentLine(&line)) Fail("truncated FASTQ record (no sequence)");
-    read->bases = std::move(line);
-    if (!NextContentLine(&line) || line[0] != '+') {
-      Fail("malformed FASTQ record (expected '+' separator)");
+    if (!ReadLine(&line)) {
+      FailAt(header_line + 1, "truncated FASTQ record: missing sequence line" +
+                                  at_record);
     }
-    if (!NextContentLine(&line)) Fail("truncated FASTQ record (no qualities)");
+    read->bases = std::move(line);
+    if (!ReadLine(&line)) {
+      FailAt(header_line + 2,
+             "truncated FASTQ record: missing '+' separator line" + at_record);
+    }
+    if (line.empty() || line[0] != '+') {
+      Fail("malformed FASTQ record: expected '+' separator, got " +
+           (line.empty() ? std::string("a blank line")
+                         : "'" + line.substr(0, 1) + "'") +
+           at_record);
+    }
+    if (!ReadLine(&line)) {
+      FailAt(header_line + 3,
+             "truncated FASTQ record: missing quality line" + at_record);
+    }
     read->quals = std::move(line);
     if (read->quals.size() != read->bases.size()) {
-      Fail("FASTQ quality length does not match sequence length");
+      Fail("FASTQ quality length (" + std::to_string(read->quals.size()) +
+           ") does not match sequence length (" +
+           std::to_string(read->bases.size()) + ")" + at_record);
     }
   }
   ++records_;

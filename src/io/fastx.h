@@ -79,6 +79,10 @@ class FastxReader : public ReadSource {
   bool NextContentLine(std::string* line);
   void PushBack(std::string line);
   [[noreturn]] void Fail(const std::string& why) const;
+  /// Fail with an explicit line number — used when the defect is a line
+  /// that does not exist (truncation), where line_number_ still points at
+  /// the last line actually read.
+  [[noreturn]] void FailAt(uint64_t line, const std::string& why) const;
 
   std::string path_;
   FastxFormat format_ = FastxFormat::kUnknown;

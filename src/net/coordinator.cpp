@@ -1,0 +1,525 @@
+#include "net/coordinator.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <random>
+#include <stdexcept>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/varint.h"
+
+namespace ppa {
+namespace net {
+
+WorkerClient::WorkerClient(const Options& options) : options_(options) {
+  Endpoint endpoint;
+  std::string err;
+  if (!ParseEndpoint(options.endpoint, &endpoint, &err)) {
+    throw std::runtime_error(err);
+  }
+  const int fd = ConnectWithRetry(endpoint, options.connect_timeout_ms, &err);
+  if (fd < 0) {
+    throw std::runtime_error("worker '" + options.endpoint + "': " + err);
+  }
+  conn_ = std::make_unique<FrameConn>(fd);
+  conn_->SetTimeouts(options.io_timeout_ms);
+  auto handshake_error = [&](const std::string& what) {
+    return std::runtime_error("worker '" + options_.endpoint +
+                              "': handshake failed: " + what);
+  };
+  std::vector<uint8_t> hello;
+  PutVarint64(&hello, kProtocolVersion);
+  if (!conn_->SendMagic(&err) || !conn_->Send(MsgType::kHello, hello, &err) ||
+      !conn_->ExpectMagic(&err)) {
+    throw handshake_error(err);
+  }
+  Frame frame;
+  if (conn_->Recv(&frame, &err) != FrameConn::RecvResult::kOk) {
+    throw handshake_error(err.empty() ? "connection closed" : err);
+  }
+  if (frame.type == MsgType::kError) {
+    throw handshake_error(std::string(frame.body.begin(), frame.body.end()));
+  }
+  if (frame.type != MsgType::kHelloOk) {
+    throw handshake_error(std::string("unexpected ") +
+                          MsgTypeName(frame.type));
+  }
+  size_t pos = 0;
+  uint64_t version = 0;
+  if (!GetVarint64(frame.body.data(), frame.body.size(), &pos, &version) ||
+      version != kProtocolVersion) {
+    throw handshake_error("protocol version mismatch");
+  }
+  receiver_ = std::thread([this] { ReceiveLoop(); });
+}
+
+WorkerClient::~WorkerClient() {
+  if (conn_ != nullptr) conn_->Close();
+  if (receiver_.joinable()) receiver_.join();
+}
+
+bool WorkerClient::failed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failed_;
+}
+
+std::string WorkerClient::error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return error_;
+}
+
+void WorkerClient::Fail(const std::string& what) {
+  std::deque<Pending> drained;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!failed_) {
+      failed_ = true;
+      error_ = "worker '" + options_.endpoint + "': " + what;
+    }
+    drained.swap(unacked_);
+    window_used_ = 0;
+    window_cv_.notify_all();
+    inbox_cv_.notify_all();
+  }
+  // Wake a receive (or send) blocked on the socket from another thread.
+  conn_->Close();
+  // Owed completion callbacks run outside mu_ — they take the owners'
+  // locks (e.g. the counter session's) and must never nest under ours.
+  for (Pending& pending : drained) {
+    if (pending.done) pending.done();
+  }
+}
+
+bool WorkerClient::SendData(MsgType type, std::vector<uint8_t> body,
+                            std::function<void()> done) {
+  const uint64_t n = body.size();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    window_cv_.wait(lock, [&] {
+      return failed_ || window_used_ == 0 ||
+             window_used_ + n <= options_.window_bytes;
+    });
+    if (failed_) {
+      lock.unlock();
+      if (done) done();
+      return false;
+    }
+    window_used_ += n;
+  }
+  std::string err;
+  bool sent = false;
+  {
+    std::lock_guard<std::mutex> send_lock(send_mu_);
+    bool queued = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!failed_) {
+        // Push before writing (both under send_mu_) so the FIFO order is
+        // exactly the wire order the worker acks in.
+        unacked_.push_back(Pending{n, std::move(done)});
+        queued = true;
+      }
+    }
+    if (!queued) {
+      // Failed while waiting for the send lock; Fail() already zeroed the
+      // window ledger, so only the callback is still owed.
+      if (done) done();
+      return false;
+    }
+    // mu_ is NOT held here: the worker acks over the same socket it reads
+    // from, so a blocked write holding mu_ would deadlock the receive
+    // thread (and with it the ack that would unblock the write).
+    sent = conn_->Send(type, body, &err);
+  }
+  if (!sent) Fail("send failed: " + err);
+  return sent;
+}
+
+bool WorkerClient::SendControl(MsgType type, const std::vector<uint8_t>& body) {
+  std::lock_guard<std::mutex> send_lock(send_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (failed_) return false;
+  }
+  std::string err;
+  if (!conn_->Send(type, body, &err)) {
+    Fail("send failed: " + err);
+    return false;
+  }
+  return true;
+}
+
+bool WorkerClient::NextResponse(Frame* frame) {
+  std::unique_lock<std::mutex> lock(mu_);
+  inbox_cv_.wait(lock, [&] { return failed_ || !inbox_.empty(); });
+  // Frames that arrived before a failure still deliver, so a worker that
+  // reports an error after valid results fails at the right boundary.
+  if (inbox_.empty()) return false;
+  *frame = std::move(inbox_.front());
+  inbox_.pop_front();
+  return true;
+}
+
+bool WorkerClient::Exchange(MsgType type, const std::vector<uint8_t>& body,
+                            MsgType end,
+                            const std::function<bool(const Frame&)>& visit) {
+  std::lock_guard<std::mutex> request_lock(request_mu_);
+  if (!SendControl(type, body)) return false;
+  for (;;) {
+    Frame frame;
+    if (!NextResponse(&frame)) return false;
+    if (!visit(frame)) {
+      Fail(std::string("unexpected ") + MsgTypeName(frame.type) +
+           " during " + MsgTypeName(type) + " exchange");
+      return false;
+    }
+    if (frame.type == end) return true;
+  }
+}
+
+void WorkerClient::ReceiveLoop() {
+  for (;;) {
+    Frame frame;
+    std::string err;
+    const FrameConn::RecvResult result = conn_->Recv(&frame, &err);
+    if (result == FrameConn::RecvResult::kEof) {
+      Fail("connection closed by worker");
+      return;
+    }
+    if (result == FrameConn::RecvResult::kError) {
+      Fail(err);
+      return;
+    }
+    if (frame.type == MsgType::kAck) {
+      size_t pos = 0;
+      uint64_t bytes = 0;
+      Pending acked;
+      bool in_order =
+          GetVarint64(frame.body.data(), frame.body.size(), &pos, &bytes);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        in_order = in_order && !unacked_.empty() &&
+                   unacked_.front().bytes == bytes;
+        if (in_order) {
+          acked = std::move(unacked_.front());
+          unacked_.pop_front();
+          window_used_ -= acked.bytes;
+          window_cv_.notify_all();
+        }
+      }
+      if (!in_order) {
+        Fail("worker acked a frame it was not sent");
+        return;
+      }
+      if (acked.done) acked.done();
+      continue;
+    }
+    if (frame.type == MsgType::kError) {
+      Fail("worker reported: " +
+           std::string(frame.body.begin(), frame.body.end()));
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    inbox_.push_back(std::move(frame));
+    inbox_cv_.notify_all();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RemoteRecordStore
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// RecordSource over an already-fetched record list (the store pulls the
+/// whole remote file in one exchange). A fetch error makes the source
+/// yield nothing and report !ok(), so partial data is never consumed.
+class FetchedRecordSource : public RecordSource {
+ public:
+  FetchedRecordSource(std::vector<std::vector<uint8_t>> records,
+                      std::string error)
+      : records_(std::move(records)), error_(std::move(error)) {}
+
+  bool Next(std::vector<uint8_t>* payload) override {
+    if (!error_.empty() || pos_ >= records_.size()) return false;
+    *payload = std::move(records_[pos_++]);
+    ++returned_;
+    bytes_read_ += payload->size();
+    return true;
+  }
+  bool ok() const override { return error_.empty(); }
+  const std::string& error() const override { return error_; }
+  uint64_t records() const override { return returned_; }
+  uint64_t bytes_read() const override { return bytes_read_; }
+
+ private:
+  std::vector<std::vector<uint8_t>> records_;
+  size_t pos_ = 0;
+  uint64_t returned_ = 0;
+  uint64_t bytes_read_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+RemoteRecordStore::RemoteRecordStore(std::vector<WorkerClient*> clients)
+    : clients_(std::move(clients)) {
+  PPA_CHECK(!clients_.empty());
+}
+
+uint32_t RemoteRecordStore::NewFile(const std::string& name) {
+  uint32_t id = 0;
+  uint32_t owner = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = static_cast<uint32_t>(files_.size());
+    owner = id % static_cast<uint32_t>(clients_.size());
+    files_.push_back(File{name, owner});
+  }
+  std::vector<uint8_t> body;
+  PutVarint64(&body, id);
+  body.insert(body.end(), name.begin(), name.end());
+  // Unacknowledged: frames on one connection are ordered, so the open is
+  // processed before any append that references it.
+  clients_[owner]->SendControl(MsgType::kStoreOpen, body);
+  return id;
+}
+
+void RemoteRecordStore::Append(uint32_t file, std::vector<uint8_t> payload,
+                               std::function<void()> done) {
+  uint32_t owner = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PPA_CHECK(file < files_.size());
+    owner = files_[file].owner;
+  }
+  std::vector<uint8_t> body;
+  PutVarint64(&body, file);
+  body.insert(body.end(), payload.begin(), payload.end());
+  clients_[owner]->SendData(MsgType::kStoreAppend, std::move(body),
+                            std::move(done));
+}
+
+bool RemoteRecordStore::Sync() {
+  // In-order acks mean a sync round trip proves every prior append on that
+  // connection landed and ran its completion callback — the same barrier
+  // SpillManager::Sync gives the shuffle before readback.
+  bool ok = true;
+  for (WorkerClient* client : clients_) {
+    ok = client->Exchange(MsgType::kStoreSync, {}, MsgType::kStoreSyncOk,
+                          [](const Frame& frame) {
+                            return frame.type == MsgType::kStoreSyncOk;
+                          }) &&
+         ok;
+  }
+  return ok;
+}
+
+std::unique_ptr<RecordSource> RemoteRecordStore::OpenSource(uint32_t file) {
+  uint32_t owner = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PPA_CHECK(file < files_.size());
+    owner = files_[file].owner;
+  }
+  WorkerClient* client = clients_[owner];
+  std::vector<uint8_t> body;
+  PutVarint64(&body, file);
+  std::vector<std::vector<uint8_t>> records;
+  uint64_t declared = 0;
+  bool saw_done = false;
+  const bool ok = client->Exchange(
+      MsgType::kStoreRead, body, MsgType::kStoreReadDone,
+      [&](const Frame& frame) {
+        if (frame.type == MsgType::kStoreRecord) {
+          records.push_back(frame.body);
+          return true;
+        }
+        if (frame.type != MsgType::kStoreReadDone) return false;
+        size_t pos = 0;
+        saw_done = GetVarint64(frame.body.data(), frame.body.size(), &pos,
+                               &declared);
+        return saw_done;
+      });
+  std::string error;
+  if (!ok || !saw_done) {
+    error = client->error();
+    if (error.empty()) error = "read of " + Describe(file) + " failed";
+  } else if (declared != records.size()) {
+    error = Describe(file) + " returned " + std::to_string(records.size()) +
+            " records but declared " + std::to_string(declared);
+  }
+  return std::make_unique<FetchedRecordSource>(std::move(records),
+                                               std::move(error));
+}
+
+std::string RemoteRecordStore::Describe(uint32_t file) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file >= files_.size()) return "store file #" + std::to_string(file);
+  const File& f = files_[file];
+  return "store file #" + std::to_string(file) + " ('" + f.name +
+         "' on worker '" + clients_[f.owner]->endpoint() + "')";
+}
+
+std::string RemoteRecordStore::error() const {
+  for (WorkerClient* client : clients_) {
+    std::string e = client->error();
+    if (!e.empty()) return e;
+  }
+  return "";
+}
+
+}  // namespace net
+
+// ---------------------------------------------------------------------------
+// NetContext
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string DefaultWorkerBinary() {
+  std::error_code ec;
+  const std::filesystem::path self =
+      std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (ec) return "ppa_shard_worker";
+  return (self.parent_path() / "ppa_shard_worker").string();
+}
+
+std::string MakeSocketDir() {
+  std::error_code ec;
+  std::filesystem::path base = std::filesystem::temp_directory_path(ec);
+  if (ec) base = ".";
+  std::mt19937_64 rng(std::random_device{}());
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const std::filesystem::path dir =
+        base / ("ppa-net-" + std::to_string(getpid()) + "-" +
+                std::to_string(rng() & 0xFFFFFF));
+    if (std::filesystem::create_directory(dir, ec) && !ec) {
+      return dir.string();
+    }
+  }
+  throw std::runtime_error("could not create a worker socket directory in " +
+                           base.string());
+}
+
+pid_t SpawnWorker(const std::string& binary, const std::string& endpoint,
+                  std::string* error) {
+  const pid_t pid = fork();
+  if (pid < 0) {
+    *error = std::string("fork failed: ") + std::strerror(errno);
+    return -1;
+  }
+  if (pid == 0) {
+    execl(binary.c_str(), "ppa_shard_worker", "--listen", endpoint.c_str(),
+          "--once", static_cast<char*>(nullptr));
+    // Exec failed; the parent surfaces it as a connect failure naming the
+    // endpoint after its bounded retry.
+    _exit(127);
+  }
+  return pid;
+}
+
+}  // namespace
+
+NetContext::~NetContext() {
+  depot_.reset();
+  for (auto& client : clients_) {
+    if (client != nullptr && !client->failed()) {
+      client->SendControl(net::MsgType::kShutdown, {});
+    }
+  }
+  clients_.clear();  // closes connections; --once workers exit on EOF
+  for (const pid_t pid : spawned_) {
+    // Give the worker a moment to exit on its own, then force it — the
+    // pipeline must never hang in teardown on a wedged worker.
+    bool reaped = false;
+    for (int i = 0; i < 150 && !reaped; ++i) {
+      int status = 0;
+      const pid_t r = waitpid(pid, &status, WNOHANG);
+      if (r == pid || (r < 0 && errno == ECHILD)) {
+        reaped = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    if (!reaped) {
+      kill(pid, SIGKILL);
+      waitpid(pid, nullptr, 0);
+    }
+  }
+  if (!spawn_dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(spawn_dir_, ec);
+  }
+}
+
+std::string NetContext::error() const {
+  for (const auto& client : clients_) {
+    std::string e = client->error();
+    if (!e.empty()) return e;
+  }
+  return "";
+}
+
+std::unique_ptr<NetContext> MakeNetContext(const NetConfig& config) {
+  std::vector<std::string> specs;
+  if (!config.endpoints.empty()) {
+    specs = net::SplitEndpoints(config.endpoints);
+    if (specs.empty()) {
+      throw std::runtime_error("no worker endpoints in '" + config.endpoints +
+                               "'");
+    }
+  } else if (config.spawn_workers == 0) {
+    return nullptr;
+  }
+
+  std::unique_ptr<NetContext> ctx(new NetContext());
+  if (specs.empty()) {
+    const std::string binary = config.worker_binary.empty()
+                                   ? DefaultWorkerBinary()
+                                   : config.worker_binary;
+    ctx->spawn_dir_ = MakeSocketDir();
+    for (uint32_t w = 0; w < config.spawn_workers; ++w) {
+      const std::string spec = "unix:" + ctx->spawn_dir_ + "/worker-" +
+                               std::to_string(w) + ".sock";
+      std::string err;
+      const pid_t pid = SpawnWorker(binary, spec, &err);
+      if (pid < 0) {
+        throw std::runtime_error("spawning '" + binary + "': " + err);
+      }
+      ctx->spawned_.push_back(pid);
+      specs.push_back(spec);
+    }
+    ctx->description_ = std::to_string(config.spawn_workers) +
+                        " spawned local workers (" + binary + ")";
+  } else {
+    ctx->description_ =
+        std::to_string(specs.size()) + " worker endpoints (" +
+        config.endpoints + ")";
+  }
+
+  std::vector<net::WorkerClient*> raw;
+  raw.reserve(specs.size());
+  for (const std::string& spec : specs) {
+    net::WorkerClient::Options opts;
+    opts.endpoint = spec;
+    opts.window_bytes = config.window_bytes;
+    opts.io_timeout_ms = config.io_timeout_ms;
+    opts.connect_timeout_ms = config.connect_timeout_ms;
+    // The client constructor throws on connect/handshake failure; the
+    // partially built context then tears down whatever was spawned.
+    ctx->clients_.push_back(std::make_unique<net::WorkerClient>(opts));
+    raw.push_back(ctx->clients_.back().get());
+  }
+  ctx->depot_ = std::make_unique<net::RemoteRecordStore>(raw);
+  return ctx;
+}
+
+}  // namespace ppa

@@ -1,0 +1,203 @@
+// Coordinator side of distributed execution: per-worker framed clients
+// with windowed flow control, a RecordStore that lives in the workers'
+// memory, and the NetContext that owns the fleet (spawning local worker
+// processes or connecting to given endpoints).
+//
+// Flow control: the two data-plane messages (kCounterChunk, kStoreAppend)
+// are acknowledged by the worker in order. WorkerClient admits a send only
+// while the unacknowledged bytes stay under a per-worker window, so a slow
+// worker backpressures its producers the same way MemoryBudget does — and
+// the caller's completion callback runs when the ack arrives, which is how
+// the counter session's queued-byte bound extends over the wire.
+//
+// Failure model: any transport error (connect/read/write timeout, CRC or
+// framing violation, a worker dying mid-stream) fails the client once,
+// permanently. Failing drains every pending completion callback, wakes
+// every blocked sender, and makes all further operations cheap no-ops that
+// return false, so producer threads never hang on a dead worker; the
+// owner reads error() and raises one diagnostic.
+#ifndef PPA_NET_COORDINATOR_H_
+#define PPA_NET_COORDINATOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <sys/types.h>
+#include <thread>
+#include <vector>
+
+#include "net/wire.h"
+#include "spill/spill.h"
+
+namespace ppa {
+namespace net {
+
+/// One connected worker. Thread-safe: scanner threads SendData
+/// concurrently; a dedicated receive thread dispatches acks/errors and
+/// queues everything else for NextResponse/Exchange.
+class WorkerClient {
+ public:
+  struct Options {
+    std::string endpoint;                  // spec, see wire.h
+    uint64_t window_bytes = 8ULL << 20;    // unacked in-flight byte cap
+    int io_timeout_ms = 30000;             // per read/write; 0 = none
+    int connect_timeout_ms = 10000;        // total, across retries
+  };
+
+  /// Connects (with bounded retry) and handshakes; throws
+  /// std::runtime_error with the endpoint in the diagnostic on failure.
+  explicit WorkerClient(const Options& options);
+  ~WorkerClient();
+
+  WorkerClient(const WorkerClient&) = delete;
+  WorkerClient& operator=(const WorkerClient&) = delete;
+
+  const std::string& endpoint() const { return options_.endpoint; }
+  bool failed() const;
+  std::string error() const;
+
+  /// Sends an acknowledged data frame. Blocks while the window is full;
+  /// `done` runs exactly once — when the worker's ack arrives, or
+  /// immediately on failure — so callers can hang resource accounting on
+  /// it. False (after running done) if the client has failed.
+  bool SendData(MsgType type, std::vector<uint8_t> body,
+                std::function<void()> done);
+
+  /// Sends an unacknowledged frame. False if the client has failed.
+  bool SendControl(MsgType type, const std::vector<uint8_t>& body);
+
+  /// Blocks for the next non-ack frame from the worker. False (see
+  /// error()) once the client has failed.
+  bool NextResponse(Frame* frame);
+
+  /// One serialized request/response exchange: sends `type`+`body`, then
+  /// feeds every response frame to `visit` until one of type `end` (which
+  /// is also visited). `visit` returns false to reject a frame, which
+  /// fails the client. Exchanges from different threads are serialized
+  /// internally (the store runs them from pool threads).
+  bool Exchange(MsgType type, const std::vector<uint8_t>& body, MsgType end,
+                const std::function<bool(const Frame&)>& visit);
+
+ private:
+  void ReceiveLoop();
+  void Fail(const std::string& what);
+
+  struct Pending {
+    uint64_t bytes = 0;
+    std::function<void()> done;
+  };
+
+  Options options_;
+  std::unique_ptr<FrameConn> conn_;
+  std::thread receiver_;
+
+  // mu_ guards the window ledger, the ack FIFO, the response inbox, and
+  // the failure state. NEVER held across a socket write: the worker acks
+  // over the same socket it reads, so a blocked write with mu_ held would
+  // deadlock the receive thread against it.
+  mutable std::mutex mu_;
+  std::condition_variable window_cv_;  // senders wait for window space
+  std::condition_variable inbox_cv_;   // NextResponse waits here
+  std::deque<Pending> unacked_;        // FIFO, in socket write order
+  uint64_t window_used_ = 0;
+  std::deque<Frame> inbox_;
+  bool failed_ = false;
+  std::string error_;
+
+  // Serializes socket writes AND the unacked_ pushes that precede them,
+  // so the FIFO order always matches the wire order the worker acks in.
+  std::mutex send_mu_;
+  // Serializes whole Exchange round trips.
+  std::mutex request_mu_;
+};
+
+/// RecordStore whose files live in the workers' memory: file id -> worker
+/// id % N. Appends are acknowledged (windowed per client); Sync barriers
+/// every worker, which — acks being in-order on each connection — proves
+/// every prior append landed and its completion callback ran. OpenSource
+/// fetches the whole file back eagerly and serves it from memory.
+class RemoteRecordStore : public RecordStore {
+ public:
+  explicit RemoteRecordStore(std::vector<WorkerClient*> clients);
+
+  uint32_t NewFile(const std::string& name) override;
+  void Append(uint32_t file, std::vector<uint8_t> payload,
+              std::function<void()> done) override;
+  bool Sync() override;
+  std::unique_ptr<RecordSource> OpenSource(uint32_t file) override;
+  std::string Describe(uint32_t file) const override;
+  std::string error() const override;
+
+ private:
+  struct File {
+    std::string name;
+    uint32_t owner = 0;  // index into clients_
+  };
+
+  std::vector<WorkerClient*> clients_;
+  mutable std::mutex mu_;
+  std::deque<File> files_;  // deque: stable refs while appends run
+};
+
+}  // namespace net
+
+/// How to reach (or create) the worker fleet.
+struct NetConfig {
+  // Spawn this many local ppa_shard_worker processes on unix-domain
+  // sockets in a private temp dir. Ignored when `endpoints` is set.
+  uint32_t spawn_workers = 0;
+  // Comma-separated endpoint specs of already-running workers.
+  std::string endpoints;
+  // Worker binary to spawn; empty = ppa_shard_worker next to this binary.
+  std::string worker_binary;
+
+  uint64_t window_bytes = 8ULL << 20;  // per-worker unacked byte cap
+  int io_timeout_ms = 30000;
+  int connect_timeout_ms = 10000;
+};
+
+/// The connected fleet. Owns the clients, the remote record depot, and any
+/// processes it spawned; the destructor shuts the workers down (kShutdown
+/// + connection close), reaps spawned processes (SIGKILL after a grace
+/// period), and removes the socket dir.
+class NetContext {
+ public:
+  ~NetContext();
+
+  NetContext(const NetContext&) = delete;
+  NetContext& operator=(const NetContext&) = delete;
+
+  uint32_t num_workers() const {
+    return static_cast<uint32_t>(clients_.size());
+  }
+  net::WorkerClient& client(uint32_t w) { return *clients_[w]; }
+  RecordStore* depot() { return depot_.get(); }
+
+  /// First recorded failure across the fleet; "" while healthy.
+  std::string error() const;
+  /// Human-readable fleet summary for reports.
+  const std::string& description() const { return description_; }
+
+ private:
+  friend std::unique_ptr<NetContext> MakeNetContext(const NetConfig& config);
+  NetContext() = default;
+
+  std::vector<std::unique_ptr<net::WorkerClient>> clients_;
+  std::unique_ptr<net::RemoteRecordStore> depot_;
+  std::vector<pid_t> spawned_;
+  std::string spawn_dir_;  // owned socket dir; "" when connecting out
+  std::string description_;
+};
+
+/// Spawns/connects the fleet per `config`. Throws std::runtime_error when
+/// a worker cannot be spawned or reached (already-spawned processes are
+/// cleaned up). Returns nullptr when the config asks for no workers.
+std::unique_ptr<NetContext> MakeNetContext(const NetConfig& config);
+
+}  // namespace ppa
+
+#endif  // PPA_NET_COORDINATOR_H_

@@ -1,0 +1,342 @@
+#include "net/worker.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "dbg/kmer_counter.h"
+#include "net/wire.h"
+#include "util/varint.h"
+
+namespace ppa {
+namespace net {
+
+namespace {
+
+// Pairs per kCounterResult frame: 8192 x 12 bytes keeps result frames
+// under 100 KB, far below the frame cap, while amortizing framing.
+constexpr uint64_t kResultSlicePairs = 8192;
+
+bool GetV(const std::vector<uint8_t>& body, size_t* pos, uint64_t* value) {
+  return GetVarint64(body.data(), body.size(), pos, value);
+}
+
+/// Everything one connection accumulates: the counter bank (after
+/// kCounterOpen) and the in-memory record store files.
+struct ConnState {
+  std::unique_ptr<ShardCounterBank> bank;
+  uint32_t out_workers = 1;
+  uint32_t coverage_threshold = 1;
+  struct StoreFile {
+    std::string name;
+    std::vector<std::vector<uint8_t>> records;
+  };
+  std::unordered_map<uint64_t, StoreFile> stores;
+};
+
+/// Sends the kError diagnostic; the caller then drops the connection.
+void SendError(FrameConn& conn, const std::string& why) {
+  std::string ignored;
+  conn.Send(MsgType::kError, reinterpret_cast<const uint8_t*>(why.data()),
+            why.size(), &ignored);
+}
+
+bool SendAck(FrameConn& conn, size_t body_bytes, std::string* error) {
+  std::vector<uint8_t> ack;
+  PutVarint64(&ack, body_bytes);
+  return conn.Send(MsgType::kAck, ack, error);
+}
+
+/// Finalizes the bank and streams every non-empty (shard, partition)
+/// survivor slice, per-shard summaries, and the kCounterDone trailer.
+bool SendCounterResults(FrameConn& conn, ConnState& state,
+                        std::string* error) {
+  uint64_t shards_reported = 0;
+  const uint32_t num_shards =
+      state.bank == nullptr ? 0 : state.bank->num_shards();
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    if (state.bank->chunks(s) == 0) continue;
+    ++shards_reported;
+    const auto partitions = state.bank->Finalize(s, state.coverage_threshold,
+                                                 state.out_workers);
+    for (uint32_t d = 0; d < partitions.size(); ++d) {
+      const auto& pairs = partitions[d];
+      for (size_t begin = 0; begin < pairs.size();
+           begin += kResultSlicePairs) {
+        const size_t end =
+            std::min(pairs.size(), begin + kResultSlicePairs);
+        std::vector<uint8_t> body;
+        body.reserve(16 + (end - begin) * 12);
+        PutVarint64(&body, s);
+        PutVarint64(&body, d);
+        PutVarint64(&body, end - begin);
+        for (size_t i = begin; i < end; ++i) {
+          const uint64_t code = pairs[i].first;
+          const uint32_t count = pairs[i].second;
+          for (int b = 0; b < 8; ++b) {
+            body.push_back(static_cast<uint8_t>(code >> (8 * b)));
+          }
+          for (int b = 0; b < 4; ++b) {
+            body.push_back(static_cast<uint8_t>(count >> (8 * b)));
+          }
+        }
+        if (!conn.Send(MsgType::kCounterResult, body, error)) return false;
+      }
+    }
+    std::vector<uint8_t> summary;
+    PutVarint64(&summary, s);
+    PutVarint64(&summary, state.bank->chunks(s));
+    PutVarint64(&summary, state.bank->windows(s));
+    PutVarint64(&summary, state.bank->distinct(s));
+    if (!conn.Send(MsgType::kCounterShard, summary, error)) return false;
+  }
+  std::vector<uint8_t> done;
+  PutVarint64(&done, shards_reported);
+  return conn.Send(MsgType::kCounterDone, done, error);
+}
+
+}  // namespace
+
+ShardWorkerServer::ShardWorkerServer(WorkerOptions options)
+    : options_(std::move(options)) {}
+
+ShardWorkerServer::~ShardWorkerServer() { Stop(); }
+
+bool ShardWorkerServer::Start(std::string* error) {
+  Endpoint endpoint;
+  if (!ParseEndpoint(options_.listen, &endpoint, error)) return false;
+  listen_fd_ = ListenOn(endpoint, error);
+  if (listen_fd_ < 0) return false;
+  if (endpoint.is_unix) socket_path_ = endpoint.path;
+  listen_spec_ = options_.listen;
+  if (!endpoint.is_unix) {
+    // A TCP port 0 bind picked a free port; resolve it so callers (tests,
+    // the worker binary's log line) can hand out a connectable spec.
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &len) == 0) {
+      listen_spec_ = endpoint.host + ":" + std::to_string(ntohs(bound.sin_port));
+    }
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void ShardWorkerServer::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return done_ || stopping_; });
+}
+
+void ShardWorkerServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    done_cv_.notify_all();
+  }
+  if (listen_fd_ >= 0) {
+    // shutdown() makes a blocked accept() return; the fd closes after the
+    // acceptor is joined so it cannot be reused under it.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conns.swap(conns_);
+  }
+  for (std::thread& t : conns) t.join();
+  if (!socket_path_.empty()) {
+    ::unlink(socket_path_.c_str());
+    socket_path_.clear();
+  }
+}
+
+uint64_t ShardWorkerServer::connections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return served_;
+}
+
+void ShardWorkerServer::AcceptLoop() {
+  for (;;) {
+    std::string error;
+    const int fd = AcceptOn(listen_fd_, &error);
+    if (fd < 0) {
+      if (error.empty()) return;  // listener closed: clean shutdown
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_) return;
+      }
+      continue;  // transient accept failure
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    conns_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void ShardWorkerServer::ServeConnection(int fd) {
+  {
+    FrameConn conn(fd);
+    conn.SetTimeouts(options_.io_timeout_ms);
+    std::string err;
+
+    // Handshake: the coordinator speaks first; magic both ways.
+    bool ok = conn.ExpectMagic(&err);
+    Frame frame;
+    if (ok && conn.Recv(&frame, &err) != FrameConn::RecvResult::kOk) ok = false;
+    if (ok && conn.SendMagic(&err)) {
+      size_t pos = 0;
+      uint64_t version = 0;
+      if (frame.type != MsgType::kHello ||
+          !GetV(frame.body, &pos, &version)) {
+        SendError(conn, "handshake: expected a hello frame");
+        ok = false;
+      } else if (version != kProtocolVersion) {
+        SendError(conn, "protocol version " + std::to_string(version) +
+                            " != " + std::to_string(kProtocolVersion));
+        ok = false;
+      } else {
+        std::vector<uint8_t> hello_ok;
+        PutVarint64(&hello_ok, kProtocolVersion);
+        ok = conn.Send(MsgType::kHelloOk, hello_ok, &err);
+      }
+    }
+
+    ConnState state;
+    uint64_t frames_seen = 0;
+    while (ok) {
+      const FrameConn::RecvResult r = conn.Recv(&frame, &err);
+      if (r == FrameConn::RecvResult::kEof) break;  // coordinator is done
+      if (r == FrameConn::RecvResult::kError) {
+        SendError(conn, err);
+        break;
+      }
+      // Crash-simulation hook: drop the connection abruptly (no error
+      // frame, no ack) once the budget is spent.
+      if (options_.fail_after_frames != 0 &&
+          ++frames_seen > options_.fail_after_frames) {
+        break;
+      }
+      const std::vector<uint8_t>& body = frame.body;
+      size_t pos = 0;
+      switch (frame.type) {
+        case MsgType::kCounterOpen: {
+          uint64_t mer_length = 0, shards = 0, workers = 0, coverage = 0;
+          if (!GetV(body, &pos, &mer_length) || !GetV(body, &pos, &shards) ||
+              !GetV(body, &pos, &workers) || !GetV(body, &pos, &coverage) ||
+              mer_length < 1 || mer_length > 32 || shards < 1 ||
+              shards > 1024 || workers < 1) {
+            SendError(conn, "malformed counter-open");
+            ok = false;
+            break;
+          }
+          state.bank = std::make_unique<ShardCounterBank>(
+              static_cast<int>(mer_length), static_cast<uint32_t>(shards));
+          state.out_workers = static_cast<uint32_t>(workers);
+          state.coverage_threshold = static_cast<uint32_t>(coverage);
+          break;
+        }
+        case MsgType::kCounterChunk: {
+          uint64_t shard = 0;
+          std::string why;
+          if (state.bank == nullptr) {
+            why = "counter-chunk before counter-open";
+          } else if (!GetV(body, &pos, &shard)) {
+            why = "malformed counter-chunk header";
+          } else if (!state.bank->AddChunkPayload(
+                         static_cast<uint32_t>(shard), body.data() + pos,
+                         body.size() - pos, &why)) {
+            // why already set
+          }
+          if (!why.empty()) {
+            SendError(conn, why);
+            ok = false;
+            break;
+          }
+          ok = SendAck(conn, body.size(), &err);
+          break;
+        }
+        case MsgType::kCounterFinish:
+          ok = SendCounterResults(conn, state, &err);
+          break;
+        case MsgType::kStoreOpen: {
+          uint64_t id = 0;
+          if (!GetV(body, &pos, &id)) {
+            SendError(conn, "malformed store-open");
+            ok = false;
+            break;
+          }
+          ConnState::StoreFile& file = state.stores[id];
+          file.name.assign(body.begin() + pos, body.end());
+          break;
+        }
+        case MsgType::kStoreAppend: {
+          uint64_t id = 0;
+          if (!GetV(body, &pos, &id) ||
+              state.stores.find(id) == state.stores.end()) {
+            SendError(conn, "store-append to an unopened file");
+            ok = false;
+            break;
+          }
+          state.stores[id].records.emplace_back(body.begin() + pos,
+                                                body.end());
+          ok = SendAck(conn, body.size(), &err);
+          break;
+        }
+        case MsgType::kStoreSync: {
+          const std::vector<uint8_t> empty;
+          ok = conn.Send(MsgType::kStoreSyncOk, empty, &err);
+          break;
+        }
+        case MsgType::kStoreRead: {
+          uint64_t id = 0;
+          const auto it = GetV(body, &pos, &id) ? state.stores.find(id)
+                                                : state.stores.end();
+          if (it == state.stores.end()) {
+            SendError(conn, "store-read of an unopened file");
+            ok = false;
+            break;
+          }
+          for (const std::vector<uint8_t>& record : it->second.records) {
+            if (!(ok = conn.Send(MsgType::kStoreRecord, record, &err))) break;
+          }
+          if (ok) {
+            std::vector<uint8_t> done;
+            PutVarint64(&done, it->second.records.size());
+            ok = conn.Send(MsgType::kStoreReadDone, done, &err);
+          }
+          break;
+        }
+        case MsgType::kShutdown:
+          ok = false;  // close; with --once the process then exits
+          break;
+        default:
+          SendError(conn, std::string("unexpected ") +
+                              MsgTypeName(frame.type) + " frame");
+          ok = false;
+          break;
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++served_;
+  if (options_.once) {
+    done_ = true;
+    done_cv_.notify_all();
+  }
+}
+
+}  // namespace net
+}  // namespace ppa

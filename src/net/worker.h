@@ -1,0 +1,85 @@
+// Shard worker server: the remote end of distributed execution.
+//
+// A worker serves two things over one framed connection (wire.h): the
+// counter service — it owns the pass-2 count tables for every shard whose
+// chunks the coordinator routes to it (dbg/kmer_counter.h's
+// ShardCounterBank) — and the record store service, an in-memory RecordStore
+// the coordinator's shuffle spills into instead of local disk. Both
+// data-plane messages are acknowledged in arrival order, which is what the
+// coordinator's flow-control window and sync barrier are built on.
+//
+// Malformed input (bad frame, bad payload, a chunk whose decoded windows
+// contradict its header) is answered with a kError frame carrying the
+// diagnostic, then the connection is dropped — a worker never counts bytes
+// it could not fully validate. The server is embeddable (tests run it
+// in-process on a unix socket) and is what the ppa_shard_worker binary
+// wraps.
+#ifndef PPA_NET_WORKER_H_
+#define PPA_NET_WORKER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ppa {
+namespace net {
+
+struct WorkerOptions {
+  std::string listen;      // endpoint spec (wire.h); port 0 picks a free port
+  bool once = false;       // exit Wait() after the first connection ends
+  int io_timeout_ms = 0;   // per read/write on accepted connections; 0 = none
+  // Test hook: abruptly drop every connection after this many post-handshake
+  // frames, simulating a worker crash mid-stream. 0 = never.
+  uint64_t fail_after_frames = 0;
+};
+
+class ShardWorkerServer {
+ public:
+  explicit ShardWorkerServer(WorkerOptions options);
+  ~ShardWorkerServer();
+
+  ShardWorkerServer(const ShardWorkerServer&) = delete;
+  ShardWorkerServer& operator=(const ShardWorkerServer&) = delete;
+
+  /// Binds + starts the accept loop. False with a diagnostic on failure.
+  bool Start(std::string* error);
+
+  /// The resolved listen spec — differs from options.listen when a TCP
+  /// port 0 was bound (the actual port is filled in). Valid after Start.
+  const std::string& listen_spec() const { return listen_spec_; }
+
+  /// Blocks until Stop() — or, with options.once, until the first accepted
+  /// connection has been served.
+  void Wait();
+
+  /// Closes the listener and joins every thread. Idempotent.
+  void Stop();
+
+  uint64_t connections() const;
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  WorkerOptions options_;
+  std::string listen_spec_;
+  int listen_fd_ = -1;
+  std::string socket_path_;  // unlinked on Stop (unix endpoints)
+
+  std::thread acceptor_;
+  mutable std::mutex mu_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> conns_;
+  uint64_t served_ = 0;
+  bool stopping_ = false;
+  bool done_ = false;
+};
+
+}  // namespace net
+}  // namespace ppa
+
+#endif  // PPA_NET_WORKER_H_

@@ -243,8 +243,8 @@ class ShuffleSpill {
     if (context_ == nullptr || context_->mode == SpillMode::kNever) return;
     files_.reserve(num_workers);
     for (uint32_t d = 0; d < num_workers; ++d) {
-      files_.push_back(context_->manager.NewFile(job_name + "-dst-" +
-                                                 std::to_string(d)));
+      files_.push_back(context_->store->NewFile(job_name + "-dst-" +
+                                                std::to_string(d)));
     }
     dst_spilled_ = std::vector<std::atomic<uint64_t>>(num_workers);
   }
@@ -295,8 +295,8 @@ class ShuffleSpill {
       context_->budget.ChargeBlocking(payload.size());
       MemoryBudget* budget = &context_->budget;
       const uint64_t written = payload.size();
-      context_->manager.Append(files_[dst], std::move(payload),
-                               [budget, written] { budget->Release(written); });
+      context_->store->Append(files_[dst], std::move(payload),
+                              [budget, written] { budget->Release(written); });
       return true;
     } else {
       (void)src;
@@ -323,9 +323,10 @@ class ShuffleSpill {
       return out;
     }
     if constexpr (kSpillablePair<K, V>) {
-      SpillReader reader = context_->manager.OpenReader(files_[dst]);
+      std::unique_ptr<RecordSource> reader =
+          context_->store->OpenSource(files_[dst]);
       std::vector<uint8_t> payload;
-      while (reader.Next(&payload)) {
+      while (reader->Next(&payload)) {
         ReadChunk chunk;
         size_t pos = 0;
         uint64_t n = 0;
@@ -340,7 +341,7 @@ class ShuffleSpill {
             (payload.size() - pos) % kPairBytes == 0;
         if (!header_ok) {
           *error = "spill readback failed: malformed shuffle record in " +
-                   context_->manager.FilePath(files_[dst]);
+                   context_->store->Describe(files_[dst]);
           return out;
         }
         chunk.pairs.resize(n);
@@ -355,15 +356,15 @@ class ShuffleSpill {
         readback_bytes_.fetch_add(payload.size(), std::memory_order_relaxed);
         out.push_back(std::move(chunk));
       }
-      if (!reader.ok()) {
-        *error = reader.error();
+      if (!reader->ok()) {
+        *error = reader->error();
         return out;
       }
       const uint64_t expected =
           dst_spilled_[dst].load(std::memory_order_relaxed);
       if (out.size() != expected) {
         *error = "spill readback failed: " +
-                 context_->manager.FilePath(files_[dst]) + " holds " +
+                 context_->store->Describe(files_[dst]) + " holds " +
                  std::to_string(out.size()) + " records, expected " +
                  std::to_string(expected);
         return out;
@@ -379,8 +380,8 @@ class ShuffleSpill {
   /// Barriers the writers between map and reduce. Throws on write failure.
   void SyncOrThrow() {
     if (enabled() && spilled_chunks_.load(std::memory_order_relaxed) != 0 &&
-        !context_->manager.Sync()) {
-      throw std::runtime_error(context_->manager.error());
+        !context_->store->Sync()) {
+      throw std::runtime_error(context_->store->error());
     }
   }
 

@@ -99,13 +99,18 @@ bool SpillReader::Next(std::vector<uint8_t>* payload) {
   if (file_ == nullptr) return false;  // missing file, EOF, or prior error
   if (offset_ == file_size_) return false;  // clean end at a record boundary
 
-  // Record length varint, byte by byte.
+  // Record length varint, byte by byte. Same strictness as GetVarint64: a
+  // 10th byte may contribute bit 63 only, anything above is an overflow —
+  // wrapped bits would misframe every record after this one.
   uint64_t length = 0;
   int shift = 0;
   for (;;) {
     const int c = std::fgetc(file_);
     if (c == EOF) return Fail("truncated record length");
     ++offset_;
+    if (shift == 63 && (c & 0x7E) != 0) {
+      return Fail("record length varint overflows 64 bits");
+    }
     length |= static_cast<uint64_t>(c & 0x7F) << shift;
     if ((c & 0x80) == 0) break;
     shift += 7;

@@ -180,6 +180,47 @@ class MemoryBudget {
   uint64_t peak_ = 0;
 };
 
+/// A pull stream of byte records: the read side of a RecordStore. Exhaust
+/// with Next(), then check ok() — corruption and transport errors turn
+/// Next() false with a diagnostic in error(), never a silently short
+/// stream. Single-consumer.
+class RecordSource {
+ public:
+  virtual ~RecordSource() = default;
+
+  /// Fills `payload` with the next record; false at end of stream or on
+  /// error (distinguish with ok()).
+  virtual bool Next(std::vector<uint8_t>* payload) = 0;
+
+  virtual bool ok() const = 0;
+  virtual const std::string& error() const = 0;
+  virtual uint64_t records() const = 0;
+  virtual uint64_t bytes_read() const = 0;
+};
+
+/// Destination-addressed record transport: the surface the shuffle and the
+/// counter spill through, implemented by the local spill directory
+/// (SpillManager) and by the distributed coordinator's remote worker depot
+/// (net/coordinator.h). Producers register files, append framed records
+/// (append order per file is preserved), barrier with Sync, then read a
+/// file's records back with OpenSource.
+class RecordStore {
+ public:
+  virtual ~RecordStore() = default;
+
+  virtual uint32_t NewFile(const std::string& name) = 0;
+  virtual void Append(uint32_t file, std::vector<uint8_t> payload,
+                      std::function<void()> done) = 0;
+  /// Blocks until every Append so far is durable at its destination.
+  /// Returns false with the diagnostic in error(); never throws.
+  virtual bool Sync() = 0;
+  virtual std::unique_ptr<RecordSource> OpenSource(uint32_t file) = 0;
+  /// Human-readable location of `file` for diagnostics (a path, or a
+  /// worker endpoint + file id).
+  virtual std::string Describe(uint32_t file) const = 0;
+  virtual std::string error() const = 0;
+};
+
 /// Replays one spill file's records in write order.
 ///
 ///   SpillReader reader(path);
@@ -192,10 +233,10 @@ class MemoryBudget {
 /// magic, CRC mismatch, record length past EOF — turns Next() false with
 /// ok() == false and a path/record/offset diagnostic in error(), so a
 /// consumer can never mistake a damaged file for a short one.
-class SpillReader {
+class SpillReader : public RecordSource {
  public:
   explicit SpillReader(std::string path);
-  ~SpillReader();
+  ~SpillReader() override;
 
   SpillReader(SpillReader&&) noexcept;
   SpillReader& operator=(SpillReader&&) = delete;
@@ -204,12 +245,12 @@ class SpillReader {
 
   /// Fills `payload` with the next record; false at end of file or on
   /// corruption (distinguish with ok()).
-  bool Next(std::vector<uint8_t>* payload);
+  bool Next(std::vector<uint8_t>* payload) override;
 
-  bool ok() const { return error_.empty(); }
-  const std::string& error() const { return error_; }
-  uint64_t records() const { return records_; }
-  uint64_t bytes_read() const { return bytes_read_; }
+  bool ok() const override { return error_.empty(); }
+  const std::string& error() const override { return error_; }
+  uint64_t records() const override { return records_; }
+  uint64_t bytes_read() const override { return bytes_read_; }
 
   /// The 8-byte magic every spill file starts with.
   static const char kMagic[8];
@@ -239,7 +280,7 @@ class SpillReader {
 /// the destructor on every path — normal completion, early destruction
 /// with writes still queued (they are drained first so `done` callbacks
 /// always run), and stack unwinding.
-class SpillManager {
+class SpillManager : public RecordStore {
  public:
   struct Config {
     std::string parent_dir;      // empty = std::filesystem::temp_directory_path()
@@ -248,35 +289,42 @@ class SpillManager {
 
   SpillManager();  // defaults: system temp parent, one writer thread
   explicit SpillManager(const Config& config);
-  ~SpillManager();
+  ~SpillManager() override;
 
   SpillManager(const SpillManager&) = delete;
   SpillManager& operator=(const SpillManager&) = delete;
 
   /// Registers a spill file under `name` (sanitized to [A-Za-z0-9._-]).
   /// The file is created on its first Append.
-  uint32_t NewFile(const std::string& name);
+  uint32_t NewFile(const std::string& name) override;
 
   /// Queues one framed record append. `done`, if given, runs on the writer
   /// thread after the record's bytes have been handed to the OS (use it to
   /// release byte accounting). Payloads are moved, never copied.
   void Append(uint32_t file, std::vector<uint8_t> payload,
-              std::function<void()> done = {});
+              std::function<void()> done = {}) override;
 
   /// Blocks until every Append so far is written and flushed. Returns
   /// false (with the diagnostic in error()) if any write failed — never
   /// throws, so it is destructor-safe.
-  bool Sync();
+  bool Sync() override;
 
   /// Opens a reader over `file`'s records in write order. Call Sync()
   /// first; reading a file with queued writes sees a prefix.
   SpillReader OpenReader(uint32_t file) const;
 
+  /// RecordStore read side: OpenReader behind the polymorphic interface.
+  std::unique_ptr<RecordSource> OpenSource(uint32_t file) override {
+    return std::make_unique<SpillReader>(FilePath(file));
+  }
+
   /// Filesystem path of `file` (tests use this to corrupt records).
   std::string FilePath(uint32_t file) const;
 
+  std::string Describe(uint32_t file) const override { return FilePath(file); }
+
   const std::string& dir() const { return dir_; }
-  std::string error() const;
+  std::string error() const override;
 
   uint64_t files_written() const;  // files holding >= 1 record
   uint64_t spilled_chunks() const {
@@ -332,10 +380,17 @@ struct SpillContext {
   SpillMode mode;
   MemoryBudget budget;
   SpillManager manager;
+  /// Where sealed chunks actually go. Defaults to the local spill
+  /// directory (`manager`); the distributed coordinator repoints this at
+  /// the remote worker depot, so shuffle overflow spills to cluster memory
+  /// instead of local disk. The manager still owns the temp directory (a
+  /// harmless empty one in that case).
+  RecordStore* store;
 
   SpillContext(SpillMode mode_in, uint64_t budget_bytes,
                const SpillManager::Config& config)
-      : mode(mode_in), budget(budget_bytes), manager(config) {}
+      : mode(mode_in), budget(budget_bytes), manager(config),
+        store(&manager) {}
 };
 
 /// Builds the context for one run, or nullptr when mode == kNever (the

@@ -26,7 +26,10 @@ inline size_t PutVarint64(std::vector<uint8_t>* out, uint64_t value) {
 }
 
 /// Decodes a varint starting at data[*pos]; advances *pos past it.
-/// Returns false on truncated input or overlong (>10 byte) encodings.
+/// Returns false on truncated input, overlong (>10 byte) encodings, or a
+/// 10th byte whose payload bits would not fit in 64 bits. Strictness
+/// matters: this is the length field of every spill/wire record, and a
+/// wrapped-instead-of-rejected length misframes the rest of the stream.
 inline bool GetVarint64(const uint8_t* data, size_t size, size_t* pos,
                         uint64_t* value) {
   uint64_t result = 0;
@@ -34,6 +37,9 @@ inline bool GetVarint64(const uint8_t* data, size_t size, size_t* pos,
   size_t p = *pos;
   while (p < size && shift < 64) {
     uint8_t byte = data[p++];
+    // The 10th byte (shift 63) contributes bit 63 only; any higher payload
+    // bit encodes a value >= 2^64 and must fail rather than silently drop.
+    if (shift == 63 && (byte & 0x7E) != 0) return false;
     result |= static_cast<uint64_t>(byte & 0x7F) << shift;
     if ((byte & 0x80) == 0) {
       *pos = p;

@@ -6,13 +6,18 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/assembler.h"
 #include "io/fastx.h"
+#include "net/worker.h"
 #include "quality/quast.h"
 #include "sim/datasets.h"
 #include "sim/fastq_export.h"
@@ -131,6 +136,33 @@ TEST(AssembleCliParseTest, RejectsBadInput) {
   EXPECT_TRUE(ParseAssembleCliArgs(1, help_args.data(), &opts, &help,
                                    &error));
   EXPECT_TRUE(help);
+}
+
+TEST(AssembleCliParseTest, DistributedFlagsMapOntoOptions) {
+  AssembleCliOptions opts;
+  std::string error;
+  ASSERT_TRUE(Parse({"--shard-workers", "3", "--worker-binary", "/bin/w",
+                     "--net-window-bytes", "4096", "--net-timeout-ms", "777",
+                     "in.fastq"},
+                    &opts, &error))
+      << error;
+  EXPECT_EQ(opts.assembler.shard_workers, 3u);
+  EXPECT_EQ(opts.assembler.worker_binary, "/bin/w");
+  EXPECT_EQ(opts.assembler.net_window_bytes, 4096u);
+  EXPECT_EQ(opts.assembler.net_timeout_ms, 777);
+
+  opts = {};
+  ASSERT_TRUE(Parse({"--worker-endpoints", "unix:/a.sock,9000", "in.fastq"},
+                    &opts, &error))
+      << error;
+  EXPECT_EQ(opts.assembler.worker_endpoints, "unix:/a.sock,9000");
+
+  // Distribution rides the streaming pipeline only.
+  opts = {};
+  EXPECT_FALSE(
+      Parse({"--shard-workers", "2", "--in-memory", "in.fastq"}, &opts,
+            &error));
+  EXPECT_NE(error.find("--in-memory"), std::string::npos) << error;
 }
 
 TEST(AssembleCliRunTest, MissingInputFailsGracefully) {
@@ -326,6 +358,106 @@ TEST(AssembleCliRunTest, SpillAlwaysMatchesNeverUnderTinyBudget) {
             field(always_stats, "queue_bound_bytes"));
   EXPECT_LE(field(always_stats, "queue_bound_bytes"), kBudget);
   EXPECT_EQ(field(never_stats, "spilled_bytes"), 0u);
+}
+
+// The distributed acceptance property: ppa_assemble against a worker fleet
+// produces bit-identical contigs and counting metrics to the in-process
+// run on the same dataset — here over in-process servers on unix sockets
+// (the spawned-process path is exercised by DistributedSpawnedWorkersRun
+// and the CI smoke job).
+TEST(AssembleCliRunTest, DistributedEndpointsMatchInProcess) {
+  Dataset dataset = MakeDataset(DatasetId::kHc2, 0.04);
+  const std::string prefix = TempPath("hc2_net");
+  std::vector<std::string> written = ExportDatasetFastq(dataset, prefix);
+
+  std::vector<std::unique_ptr<net::ShardWorkerServer>> servers;
+  std::string endpoints;
+  for (int w = 0; w < 2; ++w) {
+    net::WorkerOptions options;
+    options.listen = "unix:" + TempPath("hc2_net_w" + std::to_string(w)) +
+                     ".sock";
+    servers.push_back(std::make_unique<net::ShardWorkerServer>(options));
+    std::string error;
+    ASSERT_TRUE(servers.back()->Start(&error)) << error;
+    if (!endpoints.empty()) endpoints += ',';
+    endpoints += options.listen;
+  }
+
+  auto run = [&](const std::string& worker_endpoints, const char* tag) {
+    AssembleCliOptions opts;
+    opts.inputs = {written[0]};
+    opts.contigs_out = TempPath(std::string("hc2_net.") + tag + ".fasta");
+    opts.stats_out = TempPath(std::string("hc2_net.") + tag + ".txt");
+    opts.assembler.num_workers = 8;
+    opts.assembler.num_threads = 2;
+    opts.assembler.worker_endpoints = worker_endpoints;
+    std::ostringstream out, err;
+    EXPECT_EQ(RunAssembleCli(opts, out, err), 0) << err.str();
+    return opts;
+  };
+  const AssembleCliOptions local = run("", "local");
+  const AssembleCliOptions distributed = run(endpoints, "dist");
+  for (auto& server : servers) server->Stop();
+
+  EXPECT_EQ(SortedContigSeqs(distributed.contigs_out),
+            SortedContigSeqs(local.contigs_out));
+
+  auto field = [](const std::string& stats, const std::string& key) {
+    const size_t at = stats.find(" " + key + "=");
+    EXPECT_NE(at, std::string::npos) << key << " missing in:\n" << stats;
+    if (at == std::string::npos) return uint64_t{0};
+    return static_cast<uint64_t>(
+        std::stoull(stats.substr(at + key.size() + 2)));
+  };
+  const std::string local_stats = ReadFile(local.stats_out);
+  const std::string dist_stats = ReadFile(distributed.stats_out);
+  for (const char* key : {"windows", "distinct", "surviving", "n50",
+                          "total_length", "pairs_shuffled"}) {
+    EXPECT_EQ(field(dist_stats, key), field(local_stats, key)) << key;
+  }
+  EXPECT_NE(dist_stats.find("net: workers=2"), std::string::npos)
+      << dist_stats;
+  EXPECT_NE(local_stats.find("net: workers=0"), std::string::npos)
+      << local_stats;
+  EXPECT_GT(field(dist_stats, "chunks"), 0u);
+  EXPECT_GT(field(dist_stats, "sent_bytes"), 0u);
+}
+
+// The spawned-fleet path: --shard-workers forks real ppa_shard_worker
+// processes (the binary sits next to this test binary in the build tree)
+// and must produce the same contigs. Skipped when the binary is absent
+// (non-standard build layouts).
+TEST(AssembleCliRunTest, DistributedSpawnedWorkersRun) {
+  std::string self(4096, '\0');
+  const ssize_t n = readlink("/proc/self/exe", self.data(), self.size());
+  ASSERT_GT(n, 0);
+  self.resize(static_cast<size_t>(n));
+  const std::string worker_binary =
+      self.substr(0, self.rfind('/') + 1) + "ppa_shard_worker";
+  if (!std::ifstream(worker_binary).good()) {
+    GTEST_SKIP() << "ppa_shard_worker not found at " << worker_binary;
+  }
+
+  Dataset dataset = MakeDataset(DatasetId::kHc2, 0.02);
+  const std::string prefix = TempPath("hc2_spawn");
+  std::vector<std::string> written = ExportDatasetFastq(dataset, prefix);
+
+  auto run = [&](uint32_t workers, const char* tag) {
+    AssembleCliOptions opts;
+    opts.inputs = {written[0]};
+    opts.contigs_out = TempPath(std::string("hc2_spawn.") + tag + ".fasta");
+    opts.assembler.num_workers = 4;
+    opts.assembler.num_threads = 2;
+    opts.assembler.shard_workers = workers;
+    opts.assembler.worker_binary = worker_binary;
+    std::ostringstream out, err;
+    EXPECT_EQ(RunAssembleCli(opts, out, err), 0) << err.str();
+    return opts;
+  };
+  const AssembleCliOptions local = run(0, "local");
+  const AssembleCliOptions spawned = run(2, "spawned");
+  EXPECT_EQ(SortedContigSeqs(spawned.contigs_out),
+            SortedContigSeqs(local.contigs_out));
 }
 
 // The CLI's own in-memory mode must agree with its streaming mode.

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <mutex>
 #include <set>
 #include <sstream>
@@ -94,6 +95,98 @@ TEST(FastxReaderTest, MatchesInMemoryParserOnSimulatedReads) {
     EXPECT_EQ(actual[i].bases, expected[i].bases);
     EXPECT_EQ(actual[i].quals, expected[i].quals);
   }
+}
+
+// A zero-length read is a legal FASTQ record: empty sequence and quality
+// lines are record content, not whitespace. The old parser skipped them as
+// blanks and mis-assembled the following record.
+TEST(FastxReaderTest, ZeroLengthFastqRecordParses) {
+  const std::string path = TempPath("zero_len.fastq");
+  WriteFile(path,
+            "@r1\n\n+\n\n"
+            "@r2\nACGT\n+\nIIII\n");
+  FastxReader reader(path);
+  std::vector<Read> reads = Drain(reader);
+  ASSERT_EQ(reads.size(), 2u);
+  EXPECT_EQ(reads[0].name, "r1");
+  EXPECT_TRUE(reads[0].bases.empty());
+  EXPECT_TRUE(reads[0].quals.empty());
+  EXPECT_EQ(reads[1].name, "r2");
+  EXPECT_EQ(reads[1].bases, "ACGT");
+}
+
+TEST(FastxReaderTest, BlankLinesBetweenFastqRecordsAreSkipped) {
+  const std::string path = TempPath("blanks_between.fastq");
+  WriteFile(path,
+            "\n\n@r1\nAC\n+\nII\n"
+            "\n\n\n@r2\nGT\n+\nII\n\n");
+  FastxReader reader(path);
+  std::vector<Read> reads = Drain(reader);
+  ASSERT_EQ(reads.size(), 2u);
+  EXPECT_EQ(reads[0].bases, "AC");
+  EXPECT_EQ(reads[1].bases, "GT");
+}
+
+// Malformed FASTQ aborts with the offending line number in the diagnostic —
+// attributed to the line inside the record, not wherever a blank-skipping
+// scan happened to stop.
+using FastxReaderDeathTest = ::testing::Test;
+
+TEST(FastxReaderDeathTest, BlankSeparatorLineNamesItsLine) {
+  const std::string path = TempPath("blank_sep.fastq");
+  WriteFile(path, "@r1\nACGT\n\nIIII\n");
+  auto parse = [&] {
+    FastxReader reader(path);
+    Read read;
+    while (reader.Next(&read)) {
+    }
+  };
+  EXPECT_DEATH(parse(),
+               ":3: malformed FASTQ record: expected '\\+' separator, got a "
+               "blank line \\(record at line 1\\)");
+}
+
+TEST(FastxReaderDeathTest, TruncationAfterBlanksAttributesCorrectLines) {
+  // Two leading blank lines shift the record to line 3; the missing quality
+  // line is reported at line 6 and the record anchored at line 3.
+  const std::string path = TempPath("truncated.fastq");
+  WriteFile(path, "\n\n@r1\nACGT\n+\n");
+  auto parse = [&] {
+    FastxReader reader(path);
+    Read read;
+    while (reader.Next(&read)) {
+    }
+  };
+  EXPECT_DEATH(parse(),
+               ":6: truncated FASTQ record: missing quality line "
+               "\\(record at line 3\\)");
+}
+
+TEST(FastxReaderDeathTest, QualityLengthMismatchIsFatal) {
+  const std::string path = TempPath("qual_mismatch.fastq");
+  WriteFile(path, "@r1\nACGT\n+\nIII\n");
+  auto parse = [&] {
+    FastxReader reader(path);
+    Read read;
+    while (reader.Next(&read)) {
+    }
+  };
+  EXPECT_DEATH(parse(), "quality length \\(3\\) does not match sequence "
+                        "length \\(4\\)");
+}
+
+TEST(FastxReaderDeathTest, UnreadableInputDiesWithDiagnostic) {
+  // A directory opens but every read fails; the reader must die with a
+  // FASTX diagnostic (open or read error), never parse garbage.
+  const std::string dir = TempPath("a_directory");
+  std::filesystem::create_directory(dir);
+  auto parse = [&] {
+    FastxReader reader(dir);
+    Read read;
+    while (reader.Next(&read)) {
+    }
+  };
+  EXPECT_DEATH(parse(), "FASTX error");
 }
 
 #if defined(PPA_HAVE_ZLIB)

@@ -1,0 +1,557 @@
+// Tests for the distributed shard-worker subsystem (net/): wire framing
+// strictness (every mutated byte of a valid frame stream is rejected with a
+// diagnostic, never misread), endpoint parsing, the in-process worker
+// server, and the headline property — distributed counting over a fleet of
+// workers is bit-identical to the in-process counter across a
+// k x shards x workers grid. Failure injection (a worker dropping its
+// connection mid-stream, an unreachable endpoint) must surface as a bounded
+// diagnostic, never a hang.
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "dbg/kmer_counter.h"
+#include "net/coordinator.h"
+#include "net/worker.h"
+#include "sim/genome.h"
+#include "sim/read_simulator.h"
+#include "util/varint.h"
+
+namespace ppa {
+namespace {
+
+using net::Endpoint;
+using net::Frame;
+using net::FrameConn;
+using net::MsgType;
+using net::ShardWorkerServer;
+using net::WorkerOptions;
+
+using Pair = std::pair<uint64_t, uint32_t>;
+
+// ---------------------------------------------------------------------------
+// Endpoint parsing.
+// ---------------------------------------------------------------------------
+
+TEST(EndpointTest, ParsesUnixHostPortAndBarePort) {
+  Endpoint e;
+  std::string error;
+  ASSERT_TRUE(net::ParseEndpoint("unix:/tmp/w.sock", &e, &error)) << error;
+  EXPECT_TRUE(e.is_unix);
+  EXPECT_EQ(e.path, "/tmp/w.sock");
+
+  ASSERT_TRUE(net::ParseEndpoint("example.org:9000", &e, &error)) << error;
+  EXPECT_FALSE(e.is_unix);
+  EXPECT_EQ(e.host, "example.org");
+  EXPECT_EQ(e.port, 9000);
+
+  ASSERT_TRUE(net::ParseEndpoint("127.0.0.1:80", &e, &error)) << error;
+  EXPECT_EQ(e.host, "127.0.0.1");
+  EXPECT_EQ(e.port, 80);
+
+  ASSERT_TRUE(net::ParseEndpoint("4567", &e, &error)) << error;
+  EXPECT_FALSE(e.is_unix);
+  EXPECT_EQ(e.host, "127.0.0.1");
+  EXPECT_EQ(e.port, 4567);
+}
+
+TEST(EndpointTest, RejectsMalformedSpecs) {
+  for (const char* bad : {"", "unix:", "host:", ":123", "host:99999",
+                          "host:0x50", "not a port", "a:b:c:d:"}) {
+    Endpoint e;
+    std::string error;
+    EXPECT_FALSE(net::ParseEndpoint(bad, &e, &error)) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(EndpointTest, SplitDropsEmptyItems) {
+  std::vector<std::string> parts =
+      net::SplitEndpoints(",unix:/a.sock,, 9000 ,");
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "unix:/a.sock");
+  EXPECT_EQ(parts[1], "9000");
+}
+
+// ---------------------------------------------------------------------------
+// Frame transport over a socketpair.
+// ---------------------------------------------------------------------------
+
+struct ConnPair {
+  std::unique_ptr<FrameConn> a;
+  std::unique_ptr<FrameConn> b;
+  ConnPair() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = std::make_unique<FrameConn>(fds[0]);
+    b = std::make_unique<FrameConn>(fds[1]);
+  }
+};
+
+TEST(FrameConnTest, RoundTripsFramesAndCleanEof) {
+  ConnPair pair;
+  std::string error;
+  ASSERT_TRUE(pair.a->SendMagic(&error)) << error;
+  ASSERT_TRUE(pair.b->ExpectMagic(&error)) << error;
+
+  std::vector<std::vector<uint8_t>> bodies;
+  bodies.push_back({});                          // empty body (type only)
+  bodies.push_back({0x42});
+  bodies.push_back(std::vector<uint8_t>(200, 0xAB));
+  bodies.push_back(std::vector<uint8_t>(1 << 17, 0x5C));  // crosses buffers
+  for (const auto& body : bodies) {
+    ASSERT_TRUE(pair.a->Send(MsgType::kStoreRecord, body, &error)) << error;
+  }
+  pair.a->Close();
+  for (const auto& body : bodies) {
+    Frame frame;
+    ASSERT_EQ(pair.b->Recv(&frame, &error), FrameConn::RecvResult::kOk)
+        << error;
+    EXPECT_EQ(frame.type, MsgType::kStoreRecord);
+    EXPECT_EQ(frame.body, body);
+  }
+  Frame frame;
+  EXPECT_EQ(pair.b->Recv(&frame, &error), FrameConn::RecvResult::kEof);
+}
+
+TEST(FrameConnTest, WrongMagicIsRejected) {
+  ConnPair pair;
+  const char junk[8] = {'P', 'P', 'A', 'F', 'I', 'L', 'E', '1'};
+  ASSERT_EQ(write(pair.a->fd(), junk, sizeof(junk)),
+            static_cast<ssize_t>(sizeof(junk)));
+  std::string error;
+  EXPECT_FALSE(pair.b->ExpectMagic(&error));
+  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+}
+
+// Builds the exact byte stream Send() would produce for one frame.
+std::vector<uint8_t> RawFrame(MsgType type,
+                              const std::vector<uint8_t>& body) {
+  ConnPair pair;
+  std::string error;
+  EXPECT_TRUE(pair.a->Send(type, body, &error)) << error;
+  pair.a->Close();
+  std::vector<uint8_t> raw;
+  uint8_t buf[4096];
+  ssize_t n;
+  while ((n = read(pair.b->fd(), buf, sizeof(buf))) > 0) {
+    raw.insert(raw.end(), buf, buf + n);
+  }
+  return raw;
+}
+
+// Feeds raw bytes (no magic) to a fresh FrameConn and decodes one frame.
+FrameConn::RecvResult DecodeRaw(const std::vector<uint8_t>& raw, Frame* frame,
+                                std::string* error) {
+  ConnPair pair;
+  size_t off = 0;
+  while (off < raw.size()) {
+    ssize_t n = write(pair.a->fd(), raw.data() + off, raw.size() - off);
+    if (n <= 0) break;
+    off += static_cast<size_t>(n);
+  }
+  pair.a->Close();
+  return pair.b->Recv(frame, error);
+}
+
+// Every single-bit flip of a valid frame stream must be rejected (CRC-32
+// catches all single-bit errors in the covered region; a flipped length
+// varint misframes and fails the CRC or truncates). None may decode as kOk.
+TEST(FrameConnTest, EverySingleBitFlipIsRejected) {
+  const std::vector<uint8_t> body = {1, 2, 3, 4, 5, 6, 7, 8, 0xFF, 0x00};
+  const std::vector<uint8_t> good = RawFrame(MsgType::kCounterChunk, body);
+  {
+    Frame frame;
+    std::string error;
+    ASSERT_EQ(DecodeRaw(good, &frame, &error), FrameConn::RecvResult::kOk);
+    ASSERT_EQ(frame.body, body);
+  }
+  for (size_t i = 0; i < good.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> mutated = good;
+      mutated[i] ^= static_cast<uint8_t>(1u << bit);
+      Frame frame;
+      std::string error;
+      FrameConn::RecvResult r = DecodeRaw(mutated, &frame, &error);
+      EXPECT_NE(r, FrameConn::RecvResult::kOk)
+          << "byte " << i << " bit " << bit << " decoded as a valid frame";
+      if (r == FrameConn::RecvResult::kError) {
+        EXPECT_FALSE(error.empty()) << "byte " << i << " bit " << bit;
+      }
+    }
+  }
+}
+
+TEST(FrameConnTest, TruncationMidFrameIsAnErrorNotEof) {
+  const std::vector<uint8_t> good =
+      RawFrame(MsgType::kStoreAppend, std::vector<uint8_t>(64, 0x33));
+  for (size_t keep : {size_t{1}, good.size() / 2, good.size() - 1}) {
+    std::vector<uint8_t> cut(good.begin(), good.begin() + keep);
+    Frame frame;
+    std::string error;
+    EXPECT_EQ(DecodeRaw(cut, &frame, &error), FrameConn::RecvResult::kError)
+        << "kept " << keep;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(FrameConnTest, OversizedAndOverflowingLengthsAreRejected) {
+  // Length past the frame cap.
+  std::vector<uint8_t> oversized;
+  PutVarint64(&oversized, net::kMaxFramePayload + 1);
+  Frame frame;
+  std::string error;
+  EXPECT_EQ(DecodeRaw(oversized, &frame, &error),
+            FrameConn::RecvResult::kError);
+  EXPECT_FALSE(error.empty());
+
+  // A 10-byte varint whose 10th byte has payload bits beyond bit 63 — the
+  // encoding of a >= 2^64 length. Must fail, not wrap (the satellite fix).
+  std::vector<uint8_t> overflow(9, 0xFF);
+  overflow.push_back(0x02);
+  error.clear();
+  EXPECT_EQ(DecodeRaw(overflow, &frame, &error),
+            FrameConn::RecvResult::kError);
+  EXPECT_FALSE(error.empty());
+
+  // An 11-byte (overlong) varint.
+  std::vector<uint8_t> overlong(10, 0x80);
+  overlong.push_back(0x01);
+  error.clear();
+  EXPECT_EQ(DecodeRaw(overlong, &frame, &error),
+            FrameConn::RecvResult::kError);
+
+  // A zero-length frame has no type byte.
+  std::vector<uint8_t> empty_frame = {0x00};
+  error.clear();
+  EXPECT_EQ(DecodeRaw(empty_frame, &frame, &error),
+            FrameConn::RecvResult::kError);
+}
+
+// ---------------------------------------------------------------------------
+// In-process worker fleet: servers on unix sockets + a NetContext client.
+// ---------------------------------------------------------------------------
+
+std::string MakeTempDir() {
+  std::string tmpl = (std::filesystem::temp_directory_path() /
+                      "ppa-net-test-XXXXXX").string();
+  char* made = mkdtemp(tmpl.data());
+  EXPECT_NE(made, nullptr);
+  return tmpl;
+}
+
+/// N in-process ShardWorkerServers on unix sockets plus the NetContext
+/// connected to them. The context must die before the servers stop.
+struct Fleet {
+  std::string dir;
+  std::vector<std::unique_ptr<ShardWorkerServer>> servers;
+  std::unique_ptr<NetContext> context;
+
+  explicit Fleet(uint32_t n, uint64_t fail_after_frames = 0,
+                 uint64_t window_bytes = 1 << 20) {
+    dir = MakeTempDir();
+    std::string endpoints;
+    for (uint32_t w = 0; w < n; ++w) {
+      WorkerOptions options;
+      options.listen = "unix:" + dir + "/w" + std::to_string(w) + ".sock";
+      options.fail_after_frames = fail_after_frames;
+      servers.push_back(std::make_unique<ShardWorkerServer>(options));
+      std::string error;
+      EXPECT_TRUE(servers.back()->Start(&error)) << error;
+      if (!endpoints.empty()) endpoints += ',';
+      endpoints += options.listen;
+    }
+    NetConfig config;
+    config.endpoints = endpoints;
+    config.window_bytes = window_bytes;
+    config.io_timeout_ms = 20000;
+    config.connect_timeout_ms = 5000;
+    context = MakeNetContext(config);
+    EXPECT_EQ(context->num_workers(), n);
+  }
+
+  ~Fleet() {
+    context.reset();  // closes connections before the servers stop
+    for (auto& server : servers) server->Stop();
+    std::filesystem::remove_all(dir);
+  }
+};
+
+std::vector<Read> SimulatedReads(uint64_t genome_length, double coverage,
+                                 double error_rate, uint64_t seed) {
+  GenomeConfig genome_config;
+  genome_config.length = genome_length;
+  genome_config.seed = seed;
+  PackedSequence reference = GenerateGenome(genome_config);
+  ReadSimConfig read_config;
+  read_config.coverage = coverage;
+  read_config.error_rate = error_rate;
+  read_config.seed = seed + 1;
+  return SimulateReads(reference, read_config);
+}
+
+std::vector<std::vector<Pair>> SortedPartitions(const MerCounts& counts) {
+  std::vector<std::vector<Pair>> out;
+  out.reserve(counts.size());
+  for (const auto& part : counts) {
+    std::vector<Pair> sorted(part.begin(), part.end());
+    std::sort(sorted.begin(), sorted.end());
+    out.push_back(std::move(sorted));
+  }
+  return out;
+}
+
+// The headline property: a fleet-distributed CounterSession is
+// bit-identical to the in-process batch counter, per output partition,
+// across k x shards x workers.
+TEST(DistributedCounterTest, BitIdenticalToInProcessAcrossGrid) {
+  std::vector<Read> reads = SimulatedReads(20000, 10.0, 0.01, 77);
+  for (int k : {15, 31}) {
+    KmerCountConfig config;
+    config.mer_length = k;
+    config.num_workers = 4;
+    config.num_threads = 4;
+    config.coverage_threshold = 2;
+    KmerCountStats oracle_stats;
+    auto expected =
+        SortedPartitions(CountCanonicalMers(reads, config, &oracle_stats));
+    for (uint32_t shards : {1u, 8u}) {
+      for (uint32_t workers : {1u, 2u, 3u}) {
+        Fleet fleet(workers);
+        config.num_shards = shards;
+        config.net = fleet.context.get();
+        CounterSession session(config);
+        session.AddBatch(reads);
+        KmerCountStats stats;
+        auto actual = SortedPartitions(session.Finish(&stats));
+        EXPECT_EQ(actual, expected)
+            << "k=" << k << " shards=" << shards << " workers=" << workers;
+        EXPECT_EQ(stats.distributed_workers, workers);
+        EXPECT_GT(stats.net_chunks, 0u);
+        EXPECT_GT(stats.net_sent_bytes, 0u);
+        EXPECT_GT(stats.net_received_bytes, 0u);
+        EXPECT_EQ(stats.distinct_mers, oracle_stats.distinct_mers);
+        EXPECT_EQ(stats.surviving_mers, oracle_stats.surviving_mers);
+        EXPECT_EQ(stats.total_windows, oracle_stats.total_windows);
+        config.net = nullptr;
+      }
+    }
+  }
+}
+
+// Same property over TCP (port 0 -> a free port, resolved by the server).
+TEST(DistributedCounterTest, WorksOverTcp) {
+  WorkerOptions options;
+  options.listen = "0";
+  ShardWorkerServer server(options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  ASSERT_NE(server.listen_spec(), "0");  // resolved to the bound port
+  {
+    NetConfig config;
+    config.endpoints = server.listen_spec();
+    std::unique_ptr<NetContext> context = MakeNetContext(config);
+    ASSERT_EQ(context->num_workers(), 1u);
+
+    std::vector<Read> reads = SimulatedReads(8000, 8.0, 0.01, 5);
+    KmerCountConfig count_config;
+    count_config.mer_length = 21;
+    count_config.num_workers = 2;
+    count_config.num_threads = 2;
+    auto expected = SortedPartitions(CountCanonicalMers(reads, count_config));
+    count_config.net = context.get();
+    CounterSession session(count_config);
+    session.AddBatch(reads);
+    KmerCountStats stats;
+    EXPECT_EQ(SortedPartitions(session.Finish(&stats)), expected);
+    EXPECT_EQ(stats.distributed_workers, 1u);
+  }
+  server.Stop();
+}
+
+// A tiny flow-control window forces real backpressure (many round trips);
+// counts must be unaffected and the session must not deadlock.
+TEST(DistributedCounterTest, TinyWindowStillBitIdentical) {
+  std::vector<Read> reads = SimulatedReads(10000, 8.0, 0.02, 13);
+  KmerCountConfig config;
+  config.mer_length = 17;
+  config.num_workers = 3;
+  config.num_threads = 4;
+  auto expected = SortedPartitions(CountCanonicalMers(reads, config));
+  Fleet fleet(2, /*fail_after_frames=*/0, /*window_bytes=*/4096);
+  config.net = fleet.context.get();
+  CounterSession session(config);
+  session.AddBatch(reads);
+  KmerCountStats stats;
+  EXPECT_EQ(SortedPartitions(session.Finish(&stats)), expected);
+}
+
+TEST(DistributedCounterTest, EmptyInputYieldsEmptyPartitions) {
+  Fleet fleet(2);
+  KmerCountConfig config;
+  config.mer_length = 21;
+  config.num_workers = 3;
+  config.net = fleet.context.get();
+  CounterSession session(config);
+  KmerCountStats stats;
+  MerCounts counts = session.Finish(&stats);
+  ASSERT_EQ(counts.size(), 3u);
+  for (const auto& part : counts) EXPECT_TRUE(part.empty());
+  EXPECT_EQ(stats.distributed_workers, 2u);
+  EXPECT_EQ(stats.net_chunks, 0u);
+}
+
+// A worker that drops its connection mid-stream (crash simulation) must
+// surface as one diagnostic from Finish — not a hang, not an abort.
+TEST(DistributedCounterTest, WorkerDeathMidStreamFailsWithDiagnostic) {
+  std::vector<Read> reads = SimulatedReads(30000, 12.0, 0.02, 3);
+  Fleet fleet(2, /*fail_after_frames=*/3);
+  KmerCountConfig config;
+  config.mer_length = 21;
+  config.num_workers = 2;
+  config.num_threads = 4;
+  config.net = fleet.context.get();
+  CounterSession session(config);
+  session.AddBatch(reads);
+  KmerCountStats stats;
+  EXPECT_THROW(session.Finish(&stats), std::runtime_error);
+}
+
+// An unreachable endpoint fails fleet construction within the bounded
+// retry budget, with the endpoint named in the diagnostic.
+TEST(NetContextTest, UnreachableEndpointFailsWithBoundedRetry) {
+  NetConfig config;
+  config.endpoints = "unix:/nonexistent-dir-zzz/no.sock";
+  config.connect_timeout_ms = 300;
+  try {
+    MakeNetContext(config);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("no.sock"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(NetContextTest, NoWorkersAskedReturnsNull) {
+  NetConfig config;
+  EXPECT_EQ(MakeNetContext(config), nullptr);
+}
+
+// A client speaking a future protocol version is refused at the hello.
+TEST(WorkerServerTest, VersionMismatchIsRefused) {
+  Fleet fleet(1);  // reuses its server; open one more raw connection
+  net::Endpoint endpoint;
+  std::string error;
+  ASSERT_TRUE(net::ParseEndpoint(fleet.servers[0]->listen_spec(), &endpoint,
+                                 &error))
+      << error;
+  int fd = net::ConnectWithRetry(endpoint, 2000, &error);
+  ASSERT_GE(fd, 0) << error;
+  FrameConn conn(fd);
+  ASSERT_TRUE(conn.SendMagic(&error)) << error;
+  std::vector<uint8_t> hello;
+  PutVarint64(&hello, net::kProtocolVersion + 7);
+  ASSERT_TRUE(conn.Send(MsgType::kHello, hello, &error)) << error;
+  ASSERT_TRUE(conn.ExpectMagic(&error)) << error;
+  Frame frame;
+  ASSERT_EQ(conn.Recv(&frame, &error), FrameConn::RecvResult::kOk) << error;
+  EXPECT_EQ(frame.type, MsgType::kError);
+  EXPECT_FALSE(frame.body.empty());
+}
+
+// Garbage after a valid handshake gets a kError frame, then the connection
+// drops — the worker never processes what it could not validate.
+TEST(WorkerServerTest, MalformedChunkGetsErrorFrame) {
+  Fleet fleet(1);
+  net::WorkerClient& client = fleet.context->client(0);
+  std::vector<uint8_t> open;
+  PutVarint64(&open, 21);  // mer_length
+  PutVarint64(&open, 4);   // num_shards
+  PutVarint64(&open, 2);   // num_workers
+  PutVarint64(&open, 1);   // coverage_threshold
+  ASSERT_TRUE(client.SendControl(MsgType::kCounterOpen, open));
+  // A chunk whose payload is not a decodable pass-1 chunk.
+  std::vector<uint8_t> junk;
+  PutVarint64(&junk, 1);  // shard
+  for (int i = 0; i < 32; ++i) junk.push_back(0xEE);
+  bool done_ran = false;
+  client.SendData(MsgType::kCounterChunk, junk,
+                  [&done_ran] { done_ran = true; });
+  // The worker answers kError and drops the connection; the client fails
+  // and the pending completion drains.
+  Frame frame;
+  EXPECT_FALSE(client.NextResponse(&frame));
+  EXPECT_TRUE(client.failed());
+  EXPECT_FALSE(client.error().empty());
+  EXPECT_TRUE(done_ran);
+}
+
+// ---------------------------------------------------------------------------
+// Remote record store (the shuffle's "spill to cluster memory" path).
+// ---------------------------------------------------------------------------
+
+TEST(RemoteRecordStoreTest, RoundTripsRecordsAcrossWorkers) {
+  Fleet fleet(3);
+  RecordStore* store = fleet.context->depot();
+  const uint32_t kFiles = 7;  // > workers: several files share an owner
+  std::vector<uint32_t> ids;
+  for (uint32_t f = 0; f < kFiles; ++f) {
+    ids.push_back(store->NewFile("shard-" + std::to_string(f)));
+  }
+  std::atomic<int> done_count{0};
+  std::vector<std::vector<std::vector<uint8_t>>> written(kFiles);
+  for (uint32_t f = 0; f < kFiles; ++f) {
+    for (uint32_t r = 0; r < 5 + f; ++r) {
+      std::vector<uint8_t> payload((r * 37) % 256 + 1,
+                                   static_cast<uint8_t>(f * 16 + r));
+      written[f].push_back(payload);
+      store->Append(ids[f], std::move(payload),
+                    [&done_count] { ++done_count; });
+    }
+  }
+  ASSERT_TRUE(store->Sync()) << store->error();
+  // In-order acks: the barrier proves every completion callback ran.
+  int expected_done = 0;
+  for (uint32_t f = 0; f < kFiles; ++f) {
+    expected_done += static_cast<int>(written[f].size());
+  }
+  EXPECT_EQ(done_count.load(), expected_done);
+
+  for (uint32_t f = 0; f < kFiles; ++f) {
+    std::unique_ptr<RecordSource> source = store->OpenSource(ids[f]);
+    ASSERT_NE(source, nullptr);
+    std::vector<std::vector<uint8_t>> got;
+    std::vector<uint8_t> record;
+    while (source->Next(&record)) got.push_back(record);
+    EXPECT_TRUE(source->ok()) << source->error();
+    EXPECT_EQ(got, written[f]) << "file " << f;
+    EXPECT_FALSE(store->Describe(ids[f]).empty());
+  }
+  EXPECT_TRUE(store->error().empty());
+}
+
+TEST(RemoteRecordStoreTest, EmptyFileReadsBackEmpty) {
+  Fleet fleet(1);
+  RecordStore* store = fleet.context->depot();
+  uint32_t id = store->NewFile("empty");
+  ASSERT_TRUE(store->Sync());
+  std::unique_ptr<RecordSource> source = store->OpenSource(id);
+  ASSERT_NE(source, nullptr);
+  std::vector<uint8_t> record;
+  EXPECT_FALSE(source->Next(&record));
+  EXPECT_TRUE(source->ok()) << source->error();
+}
+
+}  // namespace
+}  // namespace ppa

@@ -313,6 +313,28 @@ TEST(SpillReaderTest, NearMaxRecordLengthFailsWithoutOverflow) {
       << reader.error();
 }
 
+// Fuzz-ish sweep: every single-bit flip anywhere in a valid spill file —
+// magic, length varints, CRCs, payloads — must surface as a failed reader,
+// never a clean stream with altered content (CRC-32 catches any single-bit
+// damage in a record; a damaged length misframes into a CRC or EOF error).
+TEST(SpillReaderTest, EverySingleBitFlipIsRejected) {
+  const std::string path =
+      WriteCorruptibleFile(CorruptionTempPath("bitflip.spill"));
+  const std::vector<uint8_t> good = ReadAll(path);
+  for (size_t i = 0; i < good.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> mutated = good;
+      mutated[i] ^= static_cast<uint8_t>(1u << bit);
+      WriteAll(path, mutated);
+      SpillReader reader(path);
+      DrainReader(reader);
+      EXPECT_FALSE(reader.ok())
+          << "byte " << i << " bit " << bit << " read back as a clean file";
+      EXPECT_FALSE(reader.error().empty()) << "byte " << i << " bit " << bit;
+    }
+  }
+}
+
 TEST(SpillReaderTest, TruncatedLengthVarintFails) {
   const std::string path = CorruptionTempPath("bad_varint.spill");
   std::vector<uint8_t> bytes(SpillReader::kMagic,

@@ -102,6 +102,37 @@ TEST(VarintTest, OverlongEncodingsAreRejected) {
       GetVarint64(eleven_bytes.data(), eleven_bytes.size(), &pos, &v));
 }
 
+// The 10th byte of a maximal varint may carry bit 63 only. Any payload bit
+// above it encodes a value >= 2^64; the old decoder shifted those bits out
+// and returned a silently wrapped value — as a record length, that misframes
+// every spill file and wire frame after it.
+TEST(VarintTest, TenthBytePayloadBitsBeyondBit63AreRejected) {
+  // Every set of excess payload bits in the 10th byte must fail.
+  for (uint8_t tenth : {0x02, 0x04, 0x40, 0x7E, 0x7F, 0x03}) {
+    std::vector<uint8_t> buf(9, 0xFF);
+    buf.push_back(tenth);
+    size_t pos = 0;
+    uint64_t v = 0;
+    EXPECT_FALSE(GetVarint64(buf.data(), buf.size(), &pos, &v))
+        << "tenth byte 0x" << std::hex << int(tenth);
+    EXPECT_EQ(pos, 0u);
+  }
+  // The two valid 10th bytes still decode: bit 63 set, or (non-canonical
+  // but in-range) a bare terminator.
+  std::vector<uint8_t> max(9, 0xFF);
+  max.push_back(0x01);
+  size_t pos = 0;
+  uint64_t v = 0;
+  ASSERT_TRUE(GetVarint64(max.data(), max.size(), &pos, &v));
+  EXPECT_EQ(v, UINT64_MAX);
+
+  std::vector<uint8_t> low63(9, 0xFF);
+  low63.push_back(0x00);
+  pos = 0;
+  ASSERT_TRUE(GetVarint64(low63.data(), low63.size(), &pos, &v));
+  EXPECT_EQ(v, UINT64_MAX >> 1);
+}
+
 TEST(VarintTest, DecodeStopsAtRecordBoundaries) {
   // Back-to-back records: the cursor must land exactly on each boundary,
   // the framing property text_store and the super-k-mer codec rely on.
