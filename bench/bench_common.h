@@ -13,6 +13,7 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <string>
 #include <thread>
 
@@ -76,6 +77,35 @@ inline void PrintHeader(const std::string& title) {
 
 inline void PrintRule() {
   std::printf("-------------------------------------------------------------\n");
+}
+
+/// The commit a BENCH_*.json came from: GITHUB_SHA in CI, PPA_GIT_SHA for
+/// local runs, "unknown" otherwise (the bench binary cannot shell out).
+inline std::string GitSha() {
+  for (const char* var : {"GITHUB_SHA", "PPA_GIT_SHA"}) {
+    const char* sha = std::getenv(var);
+    if (sha != nullptr && *sha != '\0') return sha;
+  }
+  return "unknown";
+}
+
+/// Wall-clock run stamp, ISO 8601 UTC ("2026-08-07T12:34:56Z").
+inline std::string UtcTimestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buf;
+}
+
+/// The provenance fields every BENCH_*.json embeds, as JSON object members
+/// (no surrounding braces; prepend to the writer's own fields).
+inline std::string JsonProvenanceFields() {
+  return "  \"hardware_concurrency\": " +
+         std::to_string(std::thread::hardware_concurrency()) +
+         ",\n  \"git_sha\": \"" + GitSha() + "\",\n  \"timestamp_utc\": \"" +
+         UtcTimestamp() + "\",\n";
 }
 
 }  // namespace ppa::bench

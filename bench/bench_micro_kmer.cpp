@@ -451,8 +451,7 @@ double RunPass1EncodingComparison() {
       << "  \"dataset_scale\": " << DatasetScaleFromEnv() << ",\n"
       << "  \"mer_length\": 32,\n"
       << "  \"minimizer_len\": " << sk.batch.minimizer_len << ",\n"
-      << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
-      << ",\n"
+      << bench::JsonProvenanceFields()
       << "  \"threads\": " << threads << ",\n";
   WriteEncodingJson(out, "raw", raw);
   out << ",\n";

@@ -312,8 +312,7 @@ void RunShuffleComparison() {
       << "  \"bench\": \"bench_micro_shuffle.group_by\",\n"
       << "  \"dataset\": \"HC-2-sim\",\n"
       << "  \"dataset_scale\": " << DatasetScaleFromEnv() << ",\n"
-      << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
-      << ",\n"
+      << bench::JsonProvenanceFields()
       << "  \"adjacency\": {\n";
   obj(out, "sort", adj_sort);
   obj(out, "hash", adj_hash);

@@ -2,16 +2,24 @@
 
 #include <cctype>
 #include <cerrno>
+#include <chrono>
+#include <condition_variable>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "core/assembler.h"
 #include "core/dbg_construction.h"
 #include "io/fasta_writer.h"
 #include "io/fastx.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "quality/quast.h"
 #include "spill/spill.h"
 #include "util/logging.h"
@@ -41,88 +49,72 @@ const char* CountingModeName(const AssembleCliOptions& opts) {
                                               : "in-memory-serial";
 }
 
-/// The one rendering of ingest + counting metrics (both report modes).
-void WriteIngestLines(std::ostream& out, const char* mode, uint64_t reads,
-                      uint64_t bases, uint64_t batches,
-                      const KmerCountStats& counting) {
-  out << "reads=" << reads << " bases=" << bases << " batches=" << batches
-      << '\n';
-  out << "counting: mode=" << mode
-      << " pass1=" << Pass1EncodingName(counting.encoding)
-      << " minimizer_len=" << counting.minimizer_len
-      << " shards=" << counting.shards << " threads=" << counting.threads
-      << " windows=" << counting.total_windows
-      << " superkmers=" << counting.superkmers
-      << " pass1_bytes=" << counting.shuffled_bytes
-      << " distinct=" << counting.distinct_mers
-      << " surviving=" << counting.surviving_mers
-      << " peak_queued_bytes=" << counting.peak_queued_bytes
-      << " queue_bound_bytes=" << counting.queue_bound_bytes
-      << " spilled_bytes=" << counting.spilled_bytes
-      << " readback_bytes=" << counting.readback_bytes << '\n';
+/// The one rendering of ingest + counting metrics (both report modes),
+/// read from the run's registry snapshot. `mode`/`pass1` are the
+/// non-numeric facts the snapshot does not carry.
+void WriteIngestLines(std::ostream& out, const char* mode, const char* pass1,
+                      const obs::SnapshotView& s) {
+  out << "reads=" << s.Get("ingest.reads") << " bases=" << s.Get("ingest.bases")
+      << " batches=" << s.Get("ingest.batches") << '\n';
+  out << "counting: mode=" << mode << " pass1=" << pass1
+      << " minimizer_len=" << s.Get("counting.minimizer_len")
+      << " shards=" << s.Get("counting.shards")
+      << " threads=" << s.Get("counting.threads")
+      << " windows=" << s.Get("counting.windows")
+      << " superkmers=" << s.Get("counting.superkmers")
+      << " pass1_bytes=" << s.Get("counting.pass1_bytes")
+      << " distinct=" << s.Get("counting.distinct")
+      << " surviving=" << s.Get("counting.surviving")
+      << " peak_queued_bytes=" << s.Get("counting.peak_queued_bytes")
+      << " queue_bound_bytes=" << s.Get("counting.queue_bound_bytes")
+      << " spilled_bytes=" << s.Get("counting.spilled_bytes")
+      << " readback_bytes=" << s.Get("counting.readback_bytes") << '\n';
 }
 
 /// The pipeline-wide spill line (both report modes): policy, budget, the
 /// measured high-water mark of resident chunk bytes, and the volume that
 /// moved through the external store across counting + every shuffle job.
-void WriteSpillLine(std::ostream& out, SpillMode mode, uint64_t budget_bytes,
-                    uint64_t peak_resident, const PipelineStats& pipeline) {
+void WriteSpillLine(std::ostream& out, SpillMode mode,
+                    const obs::SnapshotView& s) {
   out << "spill: mode=" << SpillModeName(mode)
-      << " budget_bytes=" << budget_bytes
-      << " peak_resident_bytes=" << peak_resident
-      << " spilled_chunks=" << pipeline.total_spilled_chunks()
-      << " spilled_bytes=" << pipeline.total_spilled_bytes()
-      << " spill_files=" << pipeline.total_spill_files()
-      << " readback_bytes=" << pipeline.total_readback_bytes() << '\n';
+      << " budget_bytes=" << s.Get("spill.budget_bytes")
+      << " peak_resident_bytes=" << s.Get("spill.peak_resident_bytes")
+      << " spilled_chunks=" << s.Get("spill.spilled_chunks")
+      << " spilled_bytes=" << s.Get("spill.spilled_bytes")
+      << " spill_files=" << s.Get("spill.spill_files")
+      << " readback_bytes=" << s.Get("spill.readback_bytes") << '\n';
 }
 
-void WriteReport(const AssembleCliOptions& opts, std::ostream& out,
-                 uint64_t reads, uint64_t bases, uint64_t batches,
-                 const KmerCountStats& counting, const PipelineStats& pipeline,
-                 uint64_t spill_budget_bytes, uint64_t spill_peak_resident,
-                 uint64_t kmer_vertices,
-                 const std::vector<std::string>& contigs,
-                 double wall_seconds) {
-  out << "== ppa_assemble report ==\n";
-  out << "inputs:";
-  for (const std::string& path : opts.inputs) out << ' ' << path;
-  out << '\n';
-  WriteIngestLines(out, CountingModeName(opts), reads, bases, batches,
-                   counting);
-  out << "pipeline: jobs=" << pipeline.jobs.size()
-      << " supersteps=" << pipeline.total_supersteps()
-      << " messages=" << pipeline.total_messages()
-      << " message_bytes=" << pipeline.total_bytes()
-      << " wall_seconds=" << wall_seconds << '\n';
-  // Combiner effectiveness across the MapReduce jobs: pairs the map UDFs
-  // emitted vs pairs that actually crossed the shuffle after map-side
-  // combining (equal when no job combined anything).
-  const uint64_t emitted = pipeline.total_pairs_emitted();
-  const uint64_t shuffled = pipeline.total_pairs_shuffled();
-  out << "shuffle: strategy="
-      << ShuffleStrategyName(opts.assembler.shuffle_strategy)
-      << " pairs_emitted=" << emitted << " pairs_shuffled=" << shuffled
-      << " combined_away=" << (emitted - shuffled) << '\n';
-  WriteSpillLine(out, opts.assembler.spill_mode, spill_budget_bytes,
-                 spill_peak_resident, pipeline);
-  // Distributed execution (all zero for in-process runs). Byte totals
-  // depend on chunk boundaries, so equivalence comparisons mask (or drop)
-  // this line, like the queue/spill byte fields.
-  out << "net: workers=" << counting.distributed_workers
-      << " chunks=" << counting.net_chunks
-      << " sent_bytes=" << counting.net_sent_bytes
-      << " received_bytes=" << counting.net_received_bytes << '\n';
-  out << "dbg: kmer_vertices=" << kmer_vertices << '\n';
+/// Per-worker telemetry lines (distributed runs only). A fresh "worker:"
+/// prefix so equivalence diffs over counting/dbg/contigs lines never see
+/// these chunk-boundary-dependent numbers.
+void WriteWorkerLines(std::ostream& out,
+                      const std::vector<obs::TelemetrySnapshot>& workers) {
+  for (const obs::TelemetrySnapshot& w : workers) {
+    out << "worker: endpoint=" << w.source
+        << " connections=" << w.Get("worker.connections")
+        << " frames_served=" << w.Get("worker.frames_served")
+        << " chunk_bytes=" << w.Get("worker.chunk_bytes")
+        << " recv_bytes=" << w.Get("worker.bytes_received")
+        << " store_appends=" << w.Get("worker.store_appends")
+        << " crc_rejects=" << w.Get("worker.crc_rejects") << '\n';
+  }
+}
 
+/// QUAST-style evaluation shared by the text and JSON reports. Fills
+/// `warning` (instead of printing) when the reference has extra records.
+QuastReport EvaluateContigs(const AssembleCliOptions& opts,
+                            const std::vector<std::string>& contigs,
+                            std::string* warning) {
   PackedSequence reference;
   const PackedSequence* reference_ptr = nullptr;
   if (!opts.reference.empty()) {
     std::vector<Read> ref = ParseFasta(ReadFile(opts.reference));
     if (ref.size() > 1) {
       // The QUAST-style assessor aligns against a single sequence.
-      out << "warning: reference has " << ref.size()
-          << " records; metrics use only the first ('" << ref[0].name
-          << "')\n";
+      *warning = "warning: reference has " + std::to_string(ref.size()) +
+                 " records; metrics use only the first ('" + ref[0].name +
+                 "')\n";
     }
     if (!ref.empty()) {
       reference = PackedSequence::FromString(ref[0].bases);
@@ -131,12 +123,118 @@ void WriteReport(const AssembleCliOptions& opts, std::ostream& out,
   }
   QuastConfig quast_config;
   quast_config.min_contig = opts.min_contig;
-  QuastReport report = EvaluateAssembly(contigs, reference_ptr, quast_config);
-  out << "contigs: count=" << report.num_contigs
-      << " total_length=" << report.total_length << " n50=" << report.n50
-      << " largest=" << report.largest_contig << '\n';
-  out << FormatReport(report);
+  return EvaluateAssembly(contigs, reference_ptr, quast_config);
 }
+
+void WriteReport(const AssembleCliOptions& opts, std::ostream& out,
+                 const obs::SnapshotView& s, const char* pass1,
+                 const std::string& ref_warning, const QuastReport& quast,
+                 const std::vector<obs::TelemetrySnapshot>& workers,
+                 double wall_seconds) {
+  out << "== ppa_assemble report ==\n";
+  out << "inputs:";
+  for (const std::string& path : opts.inputs) out << ' ' << path;
+  out << '\n';
+  WriteIngestLines(out, CountingModeName(opts), pass1, s);
+  out << "pipeline: jobs=" << s.Get("pipeline.jobs")
+      << " supersteps=" << s.Get("pipeline.supersteps")
+      << " messages=" << s.Get("pipeline.messages")
+      << " message_bytes=" << s.Get("pipeline.message_bytes")
+      << " wall_seconds=" << wall_seconds << '\n';
+  // Combiner effectiveness across the MapReduce jobs: pairs the map UDFs
+  // emitted vs pairs that actually crossed the shuffle after map-side
+  // combining (equal when no job combined anything).
+  out << "shuffle: strategy="
+      << ShuffleStrategyName(opts.assembler.shuffle_strategy)
+      << " pairs_emitted=" << s.Get("shuffle.pairs_emitted")
+      << " pairs_shuffled=" << s.Get("shuffle.pairs_shuffled")
+      << " combined_away=" << s.Get("shuffle.combined_away") << '\n';
+  WriteSpillLine(out, opts.assembler.spill_mode, s);
+  // Distributed execution (all zero for in-process runs). Byte totals
+  // depend on chunk boundaries, so equivalence comparisons mask (or drop)
+  // this line, like the queue/spill byte fields.
+  out << "net: workers=" << s.Get("net.workers")
+      << " chunks=" << s.Get("net.chunks")
+      << " sent_bytes=" << s.Get("net.sent_bytes")
+      << " received_bytes=" << s.Get("net.received_bytes") << '\n';
+  out << "dbg: kmer_vertices=" << s.Get("dbg.kmer_vertices") << '\n';
+  out << ref_warning;
+  out << "contigs: count=" << s.Get("contigs.count")
+      << " total_length=" << s.Get("contigs.total_length")
+      << " n50=" << s.Get("contigs.n50")
+      << " largest=" << s.Get("contigs.largest") << '\n';
+  out << FormatReport(quast);
+  WriteWorkerLines(out, workers);
+}
+
+/// Periodic stderr heartbeat (--progress): reads/s, resident bytes vs
+/// budget, and per-worker unacked bytes, read live from the registry.
+/// Prints unconditionally (the user asked), bypassing the log level but
+/// sharing the log mutex so lines never interleave.
+class ProgressHeartbeat {
+ public:
+  explicit ProgressHeartbeat(bool enabled) {
+    if (enabled) thread_ = std::thread([this] { Loop(); });
+  }
+
+  ~ProgressHeartbeat() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+      cv_.notify_all();
+    }
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  void Loop() {
+    const uint64_t start_us = MonotonicMicros();
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!cv_.wait_for(lock, std::chrono::seconds(2),
+                         [&] { return stop_; })) {
+      lock.unlock();
+      Emit(start_us);
+      lock.lock();
+    }
+  }
+
+  void Emit(uint64_t start_us) {
+    const obs::SnapshotView s(obs::MetricsRegistry::Global().Snapshot());
+    const uint64_t elapsed_us = MonotonicMicros() - start_us;
+    const uint64_t reads = s.Get("io.reads");
+    const uint64_t reads_per_s =
+        elapsed_us == 0 ? 0 : reads * 1000000 / elapsed_us;
+    std::ostringstream line;
+    line << "progress: reads=" << reads << " bases=" << s.Get("io.bases")
+         << " reads_per_s=" << reads_per_s
+         << " resident_bytes=" << s.Get("mem.resident_bytes")
+         << " budget_bytes=" << s.Get("mem.budget_bytes");
+    for (const obs::MetricValue& m : s.samples()) {
+      // net.worker.<endpoint>.unacked_bytes -> lag[<endpoint>]=N
+      constexpr const char* kPrefix = "net.worker.";
+      constexpr const char* kSuffix = ".unacked_bytes";
+      if (m.name.rfind(kPrefix, 0) != 0) continue;
+      if (m.name.size() < std::strlen(kPrefix) + std::strlen(kSuffix) ||
+          m.name.compare(m.name.size() - std::strlen(kSuffix),
+                         std::string::npos, kSuffix) != 0) {
+        continue;
+      }
+      line << " lag["
+           << m.name.substr(std::strlen(kPrefix),
+                            m.name.size() - std::strlen(kPrefix) -
+                                std::strlen(kSuffix))
+           << "]=" << m.value;
+    }
+    line << '\n';
+    std::lock_guard<std::mutex> lock(internal::LogMutex());
+    std::fputs(line.str().c_str(), stderr);
+  }
+
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
 
 }  // namespace
 
@@ -232,6 +330,18 @@ std::string AssembleCliUsage() {
       "  --stats PATH        stats report (default: stdout)\n"
       "  --reference PATH    reference FASTA for QUAST-style metrics\n"
       "  --min-contig INT    assessment cutoff (default 500)\n"
+      "\n"
+      "observability:\n"
+      "  --report-json PATH  machine-readable run report (schema\n"
+      "                      ppa.run_report.v1): every metric of the text\n"
+      "                      report plus per-worker wire telemetry\n"
+      "  --trace-out PATH    collect phase/span traces and write Chrome\n"
+      "                      trace_event JSON (open in ui.perfetto.dev or\n"
+      "                      chrome://tracing)\n"
+      "  --progress          heartbeat line on stderr every ~2 s: reads/s,\n"
+      "                      resident bytes vs budget, per-worker lag\n"
+      "  --log-level LEVEL   debug|info|warn|error|silent (default warn;\n"
+      "                      wins over --verbose)\n"
       "  --verbose           info-level logging\n"
       "  --help              this text\n";
 }
@@ -379,6 +489,24 @@ bool ParseAssembleCliArgs(int argc, const char* const* argv,
     } else if (arg == "--min-contig") {
       if (!need_value(i, arg) || !u64_flag(arg, argv[++i], &v)) return false;
       opts->min_contig = static_cast<size_t>(v);
+    } else if (arg == "--report-json") {
+      if (!need_value(i, arg)) return false;
+      opts->report_json = argv[++i];
+    } else if (arg == "--trace-out") {
+      if (!need_value(i, arg)) return false;
+      opts->trace_out = argv[++i];
+    } else if (arg == "--progress") {
+      opts->progress = true;
+    } else if (arg == "--log-level") {
+      if (!need_value(i, arg)) return false;
+      const std::string value = argv[++i];
+      LogLevel level;
+      if (!ParseLogLevel(value, &level)) {
+        *error = "--log-level: expected debug|info|warn|error|silent, got '" +
+                 value + "'";
+        return false;
+      }
+      opts->log_level = value;
     } else if (arg == "--verbose") {
       opts->verbose = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -440,12 +568,31 @@ int RunAssembleCli(const AssembleCliOptions& opts, std::ostream& out,
       return 1;
     }
   }
-  if (opts.verbose) SetLogLevel(LogLevel::kInfo);
+  if (!opts.log_level.empty()) {
+    LogLevel level = LogLevel::kWarning;
+    ParseLogLevel(opts.log_level, &level);  // validated at parse time
+    SetLogLevel(level);
+  } else if (opts.verbose) {
+    SetLogLevel(LogLevel::kInfo);
+  }
+
+  // One registry, one publication, one snapshot: the text report and
+  // run.json below render from the same SnapshotView, so their totals
+  // cannot drift apart.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.ResetValues();
+  if (!opts.trace_out.empty()) obs::StartTrace();
 
   Timer timer;
   std::ostringstream report;
+  obs::RunReportInfo info;
+  info.inputs = opts.inputs;
+  std::vector<obs::TelemetrySnapshot> workers;
+  bool write_json = !opts.report_json.empty();
+  std::ostringstream run_json;
 
   try {
+    ProgressHeartbeat heartbeat(opts.progress);
     // ---- DBG-construction-only mode. --------------------------------------
     if (!opts.dbg_out.empty()) {
       AssemblerOptions assembler_options = opts.assembler;
@@ -457,21 +604,45 @@ int RunAssembleCli(const AssembleCliOptions& opts, std::ostream& out,
       PipelineStats pipeline;
       DbgResult dbg = BuildDbg(stream, assembler_options, &pipeline);
       WriteDbgFasta(opts.dbg_out, dbg.graph);
+      if (assembler_options.net_context != nullptr) {
+        workers = assembler_options.net_context->CollectMetrics();
+      }
+
+      obs::RunReportData data;
+      data.reads = stream.total_reads();
+      data.bases = stream.total_bases();
+      data.batches = stream.total_batches();
+      data.counting = &dbg.count_stats;
+      data.pipeline = &pipeline;
+      if (spill_guard != nullptr) {
+        data.spill_budget_bytes = spill_guard->budget.budget_bytes();
+        data.spill_peak_resident_bytes =
+            spill_guard->budget.peak_resident_bytes();
+      }
+      data.kmer_vertices = dbg.graph.live_size();
+      data.wall_seconds = timer.Seconds();
+      obs::PublishRunMetrics(data, &registry);
+      const obs::SnapshotView snapshot(registry.Snapshot());
+
       report << "== ppa_assemble report ==\n"
              << "mode: dbg-only\n";
-      WriteIngestLines(report, "stream", stream.total_reads(),
-                       stream.total_bases(), stream.total_batches(),
-                       dbg.count_stats);
-      WriteSpillLine(report, assembler_options.spill_mode,
-                     spill_guard == nullptr
-                         ? 0
-                         : spill_guard->budget.budget_bytes(),
-                     spill_guard == nullptr
-                         ? 0
-                         : spill_guard->budget.peak_resident_bytes(),
-                     pipeline);
-      report << "dbg: kmer_vertices=" << dbg.graph.live_size()
-             << " wall_seconds=" << timer.Seconds() << '\n';
+      WriteIngestLines(report, "stream",
+                       Pass1EncodingName(dbg.count_stats.encoding), snapshot);
+      WriteSpillLine(report, assembler_options.spill_mode, snapshot);
+      report << "dbg: kmer_vertices=" << snapshot.Get("dbg.kmer_vertices")
+             << " wall_seconds=" << data.wall_seconds << '\n';
+      WriteWorkerLines(report, workers);
+
+      if (write_json) {
+        info.counting_mode = "stream";
+        info.pass1_encoding = Pass1EncodingName(dbg.count_stats.encoding);
+        info.shuffle_strategy =
+            ShuffleStrategyName(assembler_options.shuffle_strategy);
+        info.spill_mode = SpillModeName(assembler_options.spill_mode);
+        info.wall_seconds = data.wall_seconds;
+        info.workers = workers;
+        obs::WriteRunReportJson(run_json, snapshot, info);
+      }
     } else {
       // ---- Full pipeline. --------------------------------------------------
       Assembler assembler(opts.assembler);
@@ -496,19 +667,71 @@ int RunAssembleCli(const AssembleCliOptions& opts, std::ostream& out,
         batches = stream.total_batches();
       }
       WriteContigsFasta(opts.contigs_out, result.contigs);
-      WriteReport(opts, report, reads, bases, batches, result.count_stats,
-                  result.stats, result.spill_budget_bytes,
-                  result.spill_peak_resident_bytes, result.kmer_vertices,
-                  result.ContigStrings(), timer.Seconds());
+      std::string ref_warning;
+      const QuastReport quast =
+          EvaluateContigs(opts, result.ContigStrings(), &ref_warning);
+      const double wall_seconds = timer.Seconds();
+
+      obs::RunReportData data;
+      data.reads = reads;
+      data.bases = bases;
+      data.batches = batches;
+      data.counting = &result.count_stats;
+      data.pipeline = &result.stats;
+      data.spill_budget_bytes = result.spill_budget_bytes;
+      data.spill_peak_resident_bytes = result.spill_peak_resident_bytes;
+      data.kmer_vertices = result.kmer_vertices;
+      data.has_contigs = true;
+      data.num_contigs = quast.num_contigs;
+      data.contigs_total_length = quast.total_length;
+      data.contigs_n50 = quast.n50;
+      data.largest_contig = quast.largest_contig;
+      data.wall_seconds = wall_seconds;
+      obs::PublishRunMetrics(data, &registry);
+      const obs::SnapshotView snapshot(registry.Snapshot());
+
+      WriteReport(opts, report, snapshot,
+                  Pass1EncodingName(result.count_stats.encoding), ref_warning,
+                  quast, result.worker_telemetry, wall_seconds);
+
+      if (write_json) {
+        info.counting_mode = CountingModeName(opts);
+        info.pass1_encoding = Pass1EncodingName(result.count_stats.encoding);
+        info.shuffle_strategy =
+            ShuffleStrategyName(opts.assembler.shuffle_strategy);
+        info.spill_mode = SpillModeName(opts.assembler.spill_mode);
+        info.wall_seconds = wall_seconds;
+        info.workers = result.worker_telemetry;
+        obs::WriteRunReportJson(run_json, snapshot, info);
+      }
     }
   } catch (const std::exception& e) {
     // Spill-store failures (unwritable spill dir, disk full, corrupt
     // readback) surface here as diagnostics, not crashes; the SpillContext
     // guards have already removed their temp directories by now.
+    if (!opts.trace_out.empty()) obs::StopTrace();
     err << "ppa_assemble: " << e.what() << '\n';
     return 1;
   }
 
+  if (!opts.trace_out.empty()) {
+    obs::StopTrace();
+    std::ofstream trace(opts.trace_out, std::ios::binary);
+    if (!trace.good()) {
+      err << "ppa_assemble: cannot write trace '" << opts.trace_out << "'\n";
+      return 1;
+    }
+    obs::WriteTraceJson(trace);
+  }
+  if (write_json) {
+    std::ofstream json(opts.report_json, std::ios::binary);
+    if (!json.good()) {
+      err << "ppa_assemble: cannot write report '" << opts.report_json
+          << "'\n";
+      return 1;
+    }
+    json << run_json.str();
+  }
   if (opts.stats_out.empty()) {
     out << report.str();
   } else {

@@ -32,6 +32,12 @@ struct AssembleCliOptions {
   size_t min_contig = 500;    // QUAST-style assessment cutoff
   bool in_memory = false;     // load all reads, use the in-memory pipeline
   bool verbose = false;
+
+  // Observability (obs/).
+  std::string report_json;    // non-empty: write the machine-readable report
+  std::string trace_out;      // non-empty: collect + write a Chrome trace
+  std::string log_level;      // validated at parse time; wins over --verbose
+  bool progress = false;      // periodic heartbeat line on stderr
 };
 
 /// Usage text (the --help output).

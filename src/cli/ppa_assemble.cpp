@@ -4,13 +4,14 @@
 #include <iostream>
 
 #include "cli/assemble_cli.h"
+#include "util/logging.h"
 
 int main(int argc, char** argv) {
   ppa::AssembleCliOptions opts;
   bool help = false;
   std::string error;
   if (!ppa::ParseAssembleCliArgs(argc - 1, argv + 1, &opts, &help, &error)) {
-    std::cerr << "ppa_assemble: " << error << '\n';
+    PPA_LOG(kError) << "ppa_assemble: " << error;
     return 2;
   }
   if (help) {

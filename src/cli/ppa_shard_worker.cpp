@@ -9,19 +9,23 @@
 #include <utility>
 
 #include "net/worker.h"
+#include "util/logging.h"
 
 namespace {
 
 const char kUsage[] =
     "usage: ppa_shard_worker --listen <endpoint> [--once]\n"
     "                        [--io-timeout-ms N] [--fail-after-frames N]\n"
+    "                        [--log-level LEVEL]\n"
     "\n"
     "Endpoints: unix:/path/to.sock, host:port, or a bare port\n"
     "(= 127.0.0.1:port; port 0 picks a free one and logs it).\n"
     "--once exits after the first connection ends (spawned-fleet mode).\n"
     "--io-timeout-ms bounds each socket read/write (0 = no timeout).\n"
     "--fail-after-frames drops every connection after N frames — a crash\n"
-    "simulation hook for tests, not for production use.\n";
+    "simulation hook for tests, not for production use.\n"
+    "--log-level: debug|info|warn|error|silent (default info: a server\n"
+    "should say where it is listening).\n";
 
 bool ParseU64(const char* text, uint64_t* value) {
   char* end = nullptr;
@@ -32,6 +36,9 @@ bool ParseU64(const char* text, uint64_t* value) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A server's one "I am up, here is my endpoint" line should be visible
+  // by default; --log-level turns it (and everything else) down.
+  ppa::SetLogLevel(ppa::LogLevel::kInfo);
   ppa::net::WorkerOptions options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -43,14 +50,23 @@ int main(int argc, char** argv) {
       options.once = true;
     } else if (arg == "--listen") {
       if (i + 1 >= argc) {
-        std::cerr << "ppa_shard_worker: --listen requires an endpoint\n";
+        PPA_LOG(kError) << "ppa_shard_worker: --listen requires an endpoint";
         return 2;
       }
       options.listen = argv[++i];
+    } else if (arg == "--log-level") {
+      ppa::LogLevel level;
+      if (i + 1 >= argc || !ppa::ParseLogLevel(argv[++i], &level)) {
+        PPA_LOG(kError)
+            << "ppa_shard_worker: --log-level expects "
+               "debug|info|warn|error|silent";
+        return 2;
+      }
+      ppa::SetLogLevel(level);
     } else if (arg == "--io-timeout-ms" || arg == "--fail-after-frames") {
       if (i + 1 >= argc || !ParseU64(argv[++i], &value)) {
-        std::cerr << "ppa_shard_worker: " << arg
-                  << " requires a non-negative integer\n";
+        PPA_LOG(kError) << "ppa_shard_worker: " << arg
+                        << " requires a non-negative integer";
         return 2;
       }
       if (arg == "--io-timeout-ms") {
@@ -59,8 +75,9 @@ int main(int argc, char** argv) {
         options.fail_after_frames = value;
       }
     } else {
-      std::cerr << "ppa_shard_worker: unexpected argument '" << arg << "'\n"
-                << kUsage;
+      PPA_LOG(kError) << "ppa_shard_worker: unexpected argument '" << arg
+                      << "'";
+      std::cerr << kUsage;
       return 2;
     }
   }
@@ -72,11 +89,10 @@ int main(int argc, char** argv) {
   ppa::net::ShardWorkerServer server(std::move(options));
   std::string error;
   if (!server.Start(&error)) {
-    std::cerr << "ppa_shard_worker: " << error << "\n";
+    PPA_LOG(kError) << "ppa_shard_worker: " << error;
     return 1;
   }
-  std::cerr << "ppa_shard_worker: listening on " << server.listen_spec()
-            << "\n";
+  PPA_LOG(kInfo) << "ppa_shard_worker: listening on " << server.listen_spec();
   server.Wait();
   server.Stop();
   return 0;

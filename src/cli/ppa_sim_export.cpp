@@ -7,16 +7,19 @@
 
 #include "sim/datasets.h"
 #include "sim/fastq_export.h"
+#include "util/logging.h"
 
 namespace {
 
 const char kUsage[] =
     "usage: ppa_sim_export <hc2|hcx|hc14|bi> <out_prefix> [--scale S]\n"
+    "                      [--log-level LEVEL]\n"
     "\n"
     "Writes <out_prefix>.fastq (simulated reads) and, when the dataset has\n"
     "a reference, <out_prefix>.ref.fasta. --scale overrides the\n"
     "PPA_DATASET_SCALE environment variable (positive; e.g. 0.02 for a\n"
-    "smoke-test-sized dataset).\n";
+    "smoke-test-sized dataset). --log-level: debug|info|warn|error|silent\n"
+    "(default warn).\n";
 
 }  // namespace
 
@@ -30,24 +33,33 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--scale") {
       if (i + 1 >= argc) {
-        std::cerr << "ppa_sim_export: --scale requires a value\n";
+        PPA_LOG(kError) << "ppa_sim_export: --scale requires a value";
         return 2;
       }
       char* end = nullptr;
       scale = std::strtod(argv[++i], &end);
       if (end == argv[i] || *end != '\0' || !(scale > 0)) {
-        std::cerr << "ppa_sim_export: --scale: expected a positive number, "
-                     "got '"
-                  << argv[i] << "'\n";
+        PPA_LOG(kError)
+            << "ppa_sim_export: --scale: expected a positive number, got '"
+            << argv[i] << "'";
         return 2;
       }
+    } else if (arg == "--log-level") {
+      ppa::LogLevel level;
+      if (i + 1 >= argc || !ppa::ParseLogLevel(argv[++i], &level)) {
+        PPA_LOG(kError) << "ppa_sim_export: --log-level expects "
+                           "debug|info|warn|error|silent";
+        return 2;
+      }
+      ppa::SetLogLevel(level);
     } else if (dataset_name.empty()) {
       dataset_name = arg;
     } else if (prefix.empty()) {
       prefix = arg;
     } else {
-      std::cerr << "ppa_sim_export: unexpected argument '" << arg << "'\n"
-                << kUsage;
+      PPA_LOG(kError) << "ppa_sim_export: unexpected argument '" << arg
+                      << "'";
+      std::cerr << kUsage;
       return 2;
     }
   }
@@ -66,8 +78,9 @@ int main(int argc, char** argv) {
   } else if (dataset_name == "bi") {
     id = ppa::DatasetId::kBi;
   } else {
-    std::cerr << "ppa_sim_export: unknown dataset '" << dataset_name << "'\n"
-              << kUsage;
+    PPA_LOG(kError) << "ppa_sim_export: unknown dataset '" << dataset_name
+                    << "'";
+    std::cerr << kUsage;
     return 2;
   }
 

@@ -8,6 +8,8 @@
 #include "core/dbg_construction.h"
 #include "core/tip_removal.h"
 #include "io/read_stream.h"
+#include "net/coordinator.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -64,9 +66,17 @@ AssemblyResult Assembler::Assemble(const std::vector<Read>& reads,
   if (options.net_context != nullptr) {
     PPA_LOG(kInfo) << "distributed: " << options.net_context->description();
   }
-  DbgResult dbg = BuildDbg(reads, options, &result.stats);
+  DbgResult dbg = [&] {
+    PPA_TRACE_SPAN("dbg_construction", "phase");
+    return BuildDbg(reads, options, &result.stats);
+  }();
   FinishAssembly(&result, std::move(dbg), options, method);
   RecordSpillSummary(options, &result);
+  // Last: the shuffle spills into the fleet's depot during the phases
+  // above, so only now are the workers' numbers final.
+  if (options.net_context != nullptr) {
+    result.worker_telemetry = options.net_context->CollectMetrics();
+  }
   result.wall_seconds = timer.Seconds();
   return result;
 }
@@ -91,9 +101,17 @@ AssemblyResult Assembler::Assemble(ReadStream& reads,
   if (options.net_context != nullptr) {
     PPA_LOG(kInfo) << "distributed: " << options.net_context->description();
   }
-  DbgResult dbg = BuildDbg(reads, options, &result.stats);
+  DbgResult dbg = [&] {
+    PPA_TRACE_SPAN("dbg_construction", "phase");
+    return BuildDbg(reads, options, &result.stats);
+  }();
   FinishAssembly(&result, std::move(dbg), options, method);
   RecordSpillSummary(options, &result);
+  // Last: the shuffle spills into the fleet's depot during the phases
+  // above, so only now are the workers' numbers final.
+  if (options.net_context != nullptr) {
+    result.worker_telemetry = options.net_context->CollectMetrics();
+  }
   result.wall_seconds = timer.Seconds();
   return result;
 }
@@ -114,9 +132,14 @@ void Assembler::FinishAssembly(AssemblyResult* result_out, DbgResult dbg,
                  << " (k+1)-mers kept";
 
   // ---- (2)+(3) label and merge unambiguous k-mers. ------------------------
-  LabelingResult labels1 =
-      LabelContigs(graph, options, method, &result.stats);
-  MergeContigs(graph, labels1, options, &contig_ordinals, &result.stats);
+  LabelingResult labels1 = [&] {
+    PPA_TRACE_SPAN("contig_labeling", "phase");
+    return LabelContigs(graph, options, method, &result.stats);
+  }();
+  {
+    PPA_TRACE_SPAN("contig_merging", "phase");
+    MergeContigs(graph, labels1, options, &contig_ordinals, &result.stats);
+  }
   result.vertices_after_round1 = graph.live_size();
   for (const ContigRecord& c : CollectContigs(graph)) {
     result.round1_contig_lengths.push_back(c.seq.size());
@@ -126,13 +149,21 @@ void Assembler::FinishAssembly(AssemblyResult* result_out, DbgResult dbg,
 
   // ---- (4)(5)(6)(2)(3): error correction + one more merge round. ----------
   for (int round = 0; round < options.error_correction_rounds; ++round) {
-    BubbleResult bubbles = FilterBubbles(graph, options, &result.stats);
-    result.bubbles_pruned += bubbles.contigs_pruned;
-    TipResult tips = RemoveTips(graph, options, &result.stats);
-    result.tips_removed += tips.vertices_removed;
-
-    LabelingResult labels2 =
-        LabelContigs(graph, options, method, &result.stats);
+    {
+      PPA_TRACE_SPAN("bubble_filtering", "phase");
+      BubbleResult bubbles = FilterBubbles(graph, options, &result.stats);
+      result.bubbles_pruned += bubbles.contigs_pruned;
+    }
+    {
+      PPA_TRACE_SPAN("tip_removal", "phase");
+      TipResult tips = RemoveTips(graph, options, &result.stats);
+      result.tips_removed += tips.vertices_removed;
+    }
+    LabelingResult labels2 = [&] {
+      PPA_TRACE_SPAN("contig_labeling", "phase");
+      return LabelContigs(graph, options, method, &result.stats);
+    }();
+    PPA_TRACE_SPAN("contig_merging", "phase");
     MergeContigs(graph, labels2, options, &contig_ordinals, &result.stats);
   }
   result.vertices_after_round2 = graph.live_size();

@@ -19,6 +19,7 @@
 #include "dbg/node.h"
 #include "dna/read.h"
 #include "dna/sequence.h"
+#include "obs/metrics.h"
 #include "pregel/stats.h"
 
 namespace ppa {
@@ -56,6 +57,11 @@ struct AssemblyResult {
   // `count_stats`.
   uint64_t spill_budget_bytes = 0;
   uint64_t spill_peak_resident_bytes = 0;
+
+  // Distributed runs: each shard worker's metrics registry, pulled over
+  // the wire after the last data-plane frame. Empty for local runs (and
+  // for workers whose pull failed — telemetry never fails a run).
+  std::vector<obs::TelemetrySnapshot> worker_telemetry;
 
   /// Contig sequences as strings (reporting convenience).
   std::vector<std::string> ContigStrings() const {

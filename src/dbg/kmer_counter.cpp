@@ -15,6 +15,8 @@
 #include "dna/superkmer.h"
 #include "net/coordinator.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "spill/spill.h"
 #include "util/hash.h"
 #include "util/logging.h"
@@ -374,6 +376,7 @@ MerCounts CountCanonicalMers(const std::vector<Read>& reads,
   std::vector<uint64_t> scanned_superkmers(plan.threads, 0);
 
   pool.Run(plan.threads, [&](uint32_t t) {
+    PPA_TRACE_SPAN("pass1_scan", "count");
     Pass1Scanner scanner(config, plan);
     auto sink = [&](uint32_t s, Pass1Chunk&& chunk) {
       std::lock_guard<std::mutex> lock(shards[s].mu);
@@ -400,6 +403,7 @@ MerCounts CountCanonicalMers(const std::vector<Read>& reads,
   std::vector<uint64_t> messages_per_shard(S, 0);
   std::vector<MerCounts> shard_out(S);
   pool.Run(S, [&](uint32_t s) {
+    PPA_TRACE_SPAN("pass2_count", "count");
     uint64_t windows = 0, bytes = 0, messages = 0;
     for (const Pass1Chunk& chunk : shards[s].chunks) {
       windows += chunk.windows;
@@ -642,6 +646,7 @@ struct CounterSession::Impl {
       body.insert(body.end(), payload.begin(), payload.end());
     }
     {
+      PPA_TRACE_SPAN_V("queue_wait", "count", n);
       std::unique_lock<std::mutex> lock(mu);
       not_full.wait(lock, [&] {
         return net_failed || queued_bytes == 0 || queued_bytes + n <= bound;
@@ -681,6 +686,7 @@ struct CounterSession::Impl {
       return;
     }
     const uint64_t n = chunk.SizeBytes();
+    PPA_TRACE_SPAN_V("queue_wait", "count", n);
     std::unique_lock<std::mutex> lock(mu);
     // Admit when under the bound — or unconditionally when the queue is
     // empty, which keeps progress guaranteed (n <= flush threshold + one
@@ -730,6 +736,7 @@ struct CounterSession::Impl {
   }
 
   void CounterLoop(unsigned c) {
+    obs::SetTraceThreadName("counter");
     std::unique_lock<std::mutex> lock(mu);
     for (;;) {
       bool worked = false;
@@ -739,8 +746,11 @@ struct CounterSession::Impl {
           pending[s].pop_front();
           pending_bytes[s] -= chunk.SizeBytes();
           lock.unlock();
-          ForEachChunkCode(chunk, config.mer_length,
-                           [&](uint64_t code) { tables[s].Add(code); });
+          {
+            PPA_TRACE_SPAN_V("count_chunk", "count", chunk.SizeBytes());
+            ForEachChunkCode(chunk, config.mer_length,
+                             [&](uint64_t code) { tables[s].Add(code); });
+          }
           lock.lock();
           queued_bytes -= chunk.SizeBytes();
           if (spilling) spill->budget.Release(chunk.SizeBytes());
@@ -950,12 +960,17 @@ CounterSession::~CounterSession() {
 void CounterSession::AddBatch(const Read* reads, size_t n) {
   Impl& impl = *impl_;
   PPA_CHECK(!impl.finished);
+  obs::TraceSpan span("scan_batch", "count");
   Pass1Scanner scanner(impl.config, impl.plan);
   auto sink = [&impl](uint32_t s, Pass1Chunk&& chunk) {
     impl.Enqueue(s, std::move(chunk));
   };
   for (size_t r = 0; r < n; ++r) scanner.ScanRead(reads[r], sink);
   scanner.Drain(sink);
+  span.set_arg(scanner.bases());
+  static obs::Histogram* batch_bases =
+      obs::MetricsRegistry::Global().GetHistogram("count.batch_bases");
+  batch_bases->Observe(scanner.bases());
   impl.total_bases.fetch_add(scanner.bases(), std::memory_order_relaxed);
   impl.total_windows.fetch_add(scanner.windows(), std::memory_order_relaxed);
   impl.total_superkmers.fetch_add(scanner.superkmers(),
@@ -995,6 +1010,7 @@ MerCounts CounterSession::Finish(KmerCountStats* stats) {
   std::vector<MerCounts> shard_out(S);
   pool.Run(S, [&](uint32_t s) {
     if (impl.spilling && impl.shard_spilled[s] != 0) {
+      PPA_TRACE_SPAN("spill.readback", "spill");
       SpillReader reader = impl.spill->manager.OpenReader(impl.spill_file[s]);
       std::vector<uint8_t> payload;
       Pass1Chunk chunk;

@@ -53,8 +53,7 @@ void FastxReader::Fail(const std::string& why) const {
 }
 
 void FastxReader::FailAt(uint64_t line, const std::string& why) const {
-  std::fprintf(stderr, "FASTX error: %s:%llu: %s\n", path_.c_str(),
-               static_cast<unsigned long long>(line), why.c_str());
+  PPA_LOG(kError) << "FASTX error: " << path_ << ":" << line << ": " << why;
   std::abort();
 }
 

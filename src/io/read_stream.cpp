@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace ppa {
@@ -31,9 +33,19 @@ ReadStream::~ReadStream() {
 }
 
 void ReadStream::ReaderLoop() {
+  obs::SetTraceThreadName("reader");
+  PPA_TRACE_SPAN("read_stream", "io");
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::Counter* reads_ctr = reg.GetCounter("io.reads");
+  obs::Counter* bases_ctr = reg.GetCounter("io.bases");
+  obs::Counter* batches_ctr = reg.GetCounter("io.batches");
   ReadBatch batch;
   batch.reads.reserve(config_.batch_reads);
   auto emit = [&](ReadBatch&& full) {
+    reads_ctr->Add(full.reads.size());
+    bases_ctr->Add(full.bases);
+    batches_ctr->Increment();
+    PPA_TRACE_SPAN_V("emit_batch", "io", full.bases);
     std::unique_lock<std::mutex> lock(mu_);
     not_full_.wait(lock, [&] {
       return queue_.size() < config_.queue_depth || stopped_;

@@ -12,6 +12,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/varint.h"
 
@@ -19,6 +20,8 @@ namespace ppa {
 namespace net {
 
 WorkerClient::WorkerClient(const Options& options) : options_(options) {
+  unacked_gauge_ = obs::MetricsRegistry::Global().GetGauge(
+      "net.worker." + options.endpoint + ".unacked_bytes");
   Endpoint endpoint;
   std::string err;
   if (!ParseEndpoint(options.endpoint, &endpoint, &err)) {
@@ -85,6 +88,7 @@ void WorkerClient::Fail(const std::string& what) {
     }
     drained.swap(unacked_);
     window_used_ = 0;
+    unacked_gauge_->Set(0);
     window_cv_.notify_all();
     inbox_cv_.notify_all();
   }
@@ -101,6 +105,7 @@ bool WorkerClient::SendData(MsgType type, std::vector<uint8_t> body,
                             std::function<void()> done) {
   const uint64_t n = body.size();
   {
+    PPA_TRACE_SPAN_V("net.ack_wait", "net", n);
     std::unique_lock<std::mutex> lock(mu_);
     window_cv_.wait(lock, [&] {
       return failed_ || window_used_ == 0 ||
@@ -112,10 +117,12 @@ bool WorkerClient::SendData(MsgType type, std::vector<uint8_t> body,
       return false;
     }
     window_used_ += n;
+    unacked_gauge_->Set(window_used_);
   }
   std::string err;
   bool sent = false;
   {
+    PPA_TRACE_SPAN_V("net.send", "net", n);
     std::lock_guard<std::mutex> send_lock(send_mu_);
     bool queued = false;
     {
@@ -211,6 +218,7 @@ void WorkerClient::ReceiveLoop() {
           acked = std::move(unacked_.front());
           unacked_.pop_front();
           window_used_ -= acked.bytes;
+          unacked_gauge_->Set(window_used_);
           window_cv_.notify_all();
         }
       }
@@ -466,6 +474,33 @@ std::string NetContext::error() const {
     if (!e.empty()) return e;
   }
   return "";
+}
+
+std::vector<obs::TelemetrySnapshot> NetContext::CollectMetrics() {
+  std::vector<obs::TelemetrySnapshot> out;
+  for (auto& client : clients_) {
+    if (client->failed()) continue;
+    obs::TelemetrySnapshot snap;
+    snap.source = client->endpoint();
+    bool decoded = false;
+    const bool ok = client->Exchange(
+        net::MsgType::kMetricsRequest, {}, net::MsgType::kMetricsSnapshot,
+        [&](const net::Frame& frame) {
+          if (frame.type != net::MsgType::kMetricsSnapshot) return false;
+          std::string err;
+          decoded = obs::DecodeTelemetry(frame.body.data(), frame.body.size(),
+                                         &snap.metrics, &err);
+          if (!decoded) {
+            PPA_LOG(kWarning) << "telemetry from '" << snap.source
+                              << "' did not decode: " << err;
+          }
+          // Accept the frame either way: a bad snapshot skips this worker,
+          // it does not fail a connection that served all its data.
+          return true;
+        });
+    if (ok && decoded) out.push_back(std::move(snap));
+  }
+  return out;
 }
 
 std::unique_ptr<NetContext> MakeNetContext(const NetConfig& config) {

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "net/wire.h"
+#include "obs/metrics.h"
 #include "spill/spill.h"
 
 namespace ppa {
@@ -104,6 +105,9 @@ class WorkerClient {
   std::condition_variable inbox_cv_;   // NextResponse waits here
   std::deque<Pending> unacked_;        // FIFO, in socket write order
   uint64_t window_used_ = 0;
+  // Live window occupancy, published as net.worker.<endpoint>.unacked_bytes
+  // so a heartbeat can show which worker a stalled send is waiting on.
+  obs::Gauge* unacked_gauge_ = nullptr;
   std::deque<Frame> inbox_;
   bool failed_ = false;
   std::string error_;
@@ -181,6 +185,13 @@ class NetContext {
   std::string error() const;
   /// Human-readable fleet summary for reports.
   const std::string& description() const { return description_; }
+
+  /// Pulls every worker's metrics registry over the wire
+  /// (kMetricsRequest -> kMetricsSnapshot). Workers that have failed, or
+  /// whose snapshot does not decode, are skipped — telemetry is best
+  /// effort and never fails a run. Call after all data-plane traffic is
+  /// done so the numbers are final.
+  std::vector<obs::TelemetrySnapshot> CollectMetrics();
 
  private:
   friend std::unique_ptr<NetContext> MakeNetContext(const NetConfig& config);

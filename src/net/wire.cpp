@@ -72,6 +72,8 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kAck: return "ack";
     case MsgType::kError: return "error";
     case MsgType::kShutdown: return "shutdown";
+    case MsgType::kMetricsRequest: return "metrics-request";
+    case MsgType::kMetricsSnapshot: return "metrics-snapshot";
   }
   return "unknown";
 }
@@ -395,6 +397,7 @@ FrameConn::RecvResult FrameConn::Recv(Frame* frame, std::string* error) {
   uint32_t actual = Crc32(&type_byte, 1);
   actual = Crc32(frame->body.data(), frame->body.size(), actual);
   if (actual != expected) {
+    ++crc_rejects_;
     *error = "frame CRC mismatch";
     return RecvResult::kError;
   }

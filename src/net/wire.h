@@ -32,7 +32,8 @@ namespace net {
 extern const char kNetMagic[8];
 
 /// Bumped on any incompatible wire change; checked in the hello exchange.
-constexpr uint32_t kProtocolVersion = 1;
+/// v2 added the telemetry pull (kMetricsRequest/kMetricsSnapshot).
+constexpr uint32_t kProtocolVersion = 2;
 
 /// Hard cap on one frame's payload (type byte + body). Chunks and result
 /// slices are tens of kilobytes; anything near this cap is a corrupt or
@@ -66,6 +67,8 @@ enum class MsgType : uint8_t {
   kAck = 16,           // w->c: varint(acked body bytes)
   kError = 17,         // w->c: diagnostic text; connection is then dead
   kShutdown = 18,      // c->w: worker process exits after this connection
+  kMetricsRequest = 19,   // c->w: empty; worker replies with its registry
+  kMetricsSnapshot = 20,  // w->c: obs::EncodeTelemetry payload
 };
 
 const char* MsgTypeName(MsgType type);
@@ -148,10 +151,15 @@ class FrameConn {
   /// never reused while a reader still references it. Idempotent.
   void Close();
 
+  /// CRC-mismatched frames rejected by Recv on this connection — the
+  /// worker exports this as telemetry (`worker.crc_rejects`).
+  uint64_t crc_rejects() const { return crc_rejects_; }
+
  private:
   bool ReadBytes(uint8_t* out, size_t n, bool* eof, std::string* error);
 
   int fd_ = -1;
+  uint64_t crc_rejects_ = 0;
   std::vector<uint8_t> buf_;
   size_t buf_pos_ = 0;
   size_t buf_len_ = 0;

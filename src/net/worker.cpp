@@ -187,6 +187,21 @@ void ShardWorkerServer::AcceptLoop() {
 }
 
 void ShardWorkerServer::ServeConnection(int fd) {
+  // Telemetry cells, looked up once per connection (stable pointers). The
+  // coordinator's CI consistency check relies on two of these definitions:
+  // frames_served counts accepted kCounterChunk frames (== the
+  // coordinator's net_chunks across the fleet) and chunk_bytes their body
+  // bytes (== the coordinator's net_sent_bytes).
+  obs::Counter* m_connections = metrics_.GetCounter("worker.connections");
+  obs::Counter* m_frames_total = metrics_.GetCounter("worker.frames_total");
+  obs::Counter* m_frames_served = metrics_.GetCounter("worker.frames_served");
+  obs::Counter* m_chunk_bytes = metrics_.GetCounter("worker.chunk_bytes");
+  obs::Counter* m_bytes_received =
+      metrics_.GetCounter("worker.bytes_received");
+  obs::Counter* m_store_appends = metrics_.GetCounter("worker.store_appends");
+  obs::Counter* m_store_bytes = metrics_.GetCounter("worker.store_bytes");
+  obs::Counter* m_crc_rejects = metrics_.GetCounter("worker.crc_rejects");
+  m_connections->Increment();
   {
     FrameConn conn(fd);
     conn.SetTimeouts(options_.io_timeout_ms);
@@ -216,6 +231,7 @@ void ShardWorkerServer::ServeConnection(int fd) {
 
     ConnState state;
     uint64_t frames_seen = 0;
+    uint64_t crc_folded = 0;  // rejects already added to the registry
     while (ok) {
       const FrameConn::RecvResult r = conn.Recv(&frame, &err);
       if (r == FrameConn::RecvResult::kEof) break;  // coordinator is done
@@ -230,6 +246,8 @@ void ShardWorkerServer::ServeConnection(int fd) {
         break;
       }
       const std::vector<uint8_t>& body = frame.body;
+      m_frames_total->Increment();
+      m_bytes_received->Add(body.size());
       size_t pos = 0;
       switch (frame.type) {
         case MsgType::kCounterOpen: {
@@ -265,6 +283,8 @@ void ShardWorkerServer::ServeConnection(int fd) {
             ok = false;
             break;
           }
+          m_frames_served->Increment();
+          m_chunk_bytes->Add(body.size());
           ok = SendAck(conn, body.size(), &err);
           break;
         }
@@ -292,6 +312,8 @@ void ShardWorkerServer::ServeConnection(int fd) {
           }
           state.stores[id].records.emplace_back(body.begin() + pos,
                                                 body.end());
+          m_store_appends->Increment();
+          m_store_bytes->Add(body.size() - pos);
           ok = SendAck(conn, body.size(), &err);
           break;
         }
@@ -319,6 +341,18 @@ void ShardWorkerServer::ServeConnection(int fd) {
           }
           break;
         }
+        case MsgType::kMetricsRequest: {
+          // Fold rejects seen so far on this connection in before
+          // snapshotting, so the pull reflects this very connection too.
+          if (conn.crc_rejects() != 0) {
+            m_crc_rejects->Add(conn.crc_rejects());
+            crc_folded = conn.crc_rejects();
+          }
+          std::vector<uint8_t> snapshot;
+          obs::EncodeTelemetry(metrics_.Snapshot(), &snapshot);
+          ok = conn.Send(MsgType::kMetricsSnapshot, snapshot, &err);
+          break;
+        }
         case MsgType::kShutdown:
           ok = false;  // close; with --once the process then exits
           break;
@@ -328,6 +362,11 @@ void ShardWorkerServer::ServeConnection(int fd) {
           ok = false;
           break;
       }
+    }
+    // A CRC reject kills the connection before any later pull could see
+    // it on this connection; carry it into the registry for the next one.
+    if (conn.crc_rejects() > crc_folded) {
+      m_crc_rejects->Add(conn.crc_rejects() - crc_folded);
     }
   }
   std::lock_guard<std::mutex> lock(mu_);

@@ -25,6 +25,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace ppa {
 namespace net {
 
@@ -61,10 +63,18 @@ class ShardWorkerServer {
 
   uint64_t connections() const;
 
+  /// This server's telemetry (frames served, bytes, CRC rejects, ...),
+  /// accumulated across connections for the process lifetime. The
+  /// coordinator pulls it over the wire with kMetricsRequest; tests can
+  /// read it directly. Each server owns a private registry so in-process
+  /// fleets stay isolated per worker.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
  private:
   void AcceptLoop();
   void ServeConnection(int fd);
 
+  obs::MetricsRegistry metrics_;
   WorkerOptions options_;
   std::string listen_spec_;
   int listen_fd_ = -1;

@@ -1,0 +1,173 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/varint.h"
+
+namespace ppa {
+namespace obs {
+
+namespace internal {
+
+size_t ThreadStripe() {
+  // ThisThreadId is dense (1, 2, 3, ...), so consecutive threads land on
+  // consecutive stripes — no hash needed to spread them.
+  thread_local const size_t stripe = ThisThreadId() % kStripes;
+  return stripe;
+}
+
+}  // namespace internal
+
+uint64_t Histogram::Quantile(double p) const {
+  const uint64_t n = Count();
+  if (n == 0) return 0;
+  const uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(n));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen > rank) {
+      return b == 0 ? 0 : (b >= 64 ? ~uint64_t{0} : (uint64_t{1} << b) - 1);
+    }
+  }
+  return ~uint64_t{0};
+}
+
+uint64_t TelemetrySnapshot::Get(const std::string& name,
+                                uint64_t fallback) const {
+  for (const MetricValue& m : metrics) {
+    if (m.name == name) return m.value;
+  }
+  return fallback;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = metrics_[name];
+  if (entry.counter == nullptr) {
+    PPA_CHECK(entry.gauge == nullptr && entry.histogram == nullptr);
+    entry.kind = MetricKind::kCounter;
+    entry.counter = std::make_unique<Counter>();
+  }
+  return entry.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = metrics_[name];
+  if (entry.gauge == nullptr) {
+    PPA_CHECK(entry.counter == nullptr && entry.histogram == nullptr);
+    entry.kind = MetricKind::kGauge;
+    entry.gauge = std::make_unique<Gauge>();
+  }
+  return entry.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = metrics_[name];
+  if (entry.histogram == nullptr) {
+    PPA_CHECK(entry.counter == nullptr && entry.gauge == nullptr);
+    entry.kind = MetricKind::kHistogram;
+    entry.histogram = std::make_unique<Histogram>();
+  }
+  return entry.histogram.get();
+}
+
+void MetricsRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : metrics_) {
+    if (entry.counter != nullptr) entry.counter->Reset();
+    if (entry.gauge != nullptr) entry.gauge->Reset();
+    if (entry.histogram != nullptr) entry.histogram->Reset();
+  }
+}
+
+std::vector<MetricValue> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricValue> out;
+  out.reserve(metrics_.size());
+  for (const auto& [name, entry] : metrics_) {
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        out.push_back({name, entry.kind, entry.counter->Value()});
+        break;
+      case MetricKind::kGauge:
+        out.push_back({name, entry.kind, entry.gauge->Value()});
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        out.push_back({name + ".count", entry.kind, h.Count()});
+        out.push_back({name + ".sum", entry.kind, h.Sum()});
+        out.push_back({name + ".p50", entry.kind, h.Quantile(0.5)});
+        out.push_back({name + ".p99", entry.kind, h.Quantile(0.99)});
+        break;
+      }
+    }
+  }
+  // std::map iterates name-sorted already; expansion keeps that order.
+  return out;
+}
+
+void EncodeTelemetry(const std::vector<MetricValue>& metrics,
+                     std::vector<uint8_t>* out) {
+  PutVarint64(out, metrics.size());
+  for (const MetricValue& m : metrics) {
+    PutVarint64(out, m.name.size());
+    out->insert(out->end(), m.name.begin(), m.name.end());
+    out->push_back(static_cast<uint8_t>(m.kind));
+    PutVarint64(out, m.value);
+  }
+}
+
+bool DecodeTelemetry(const uint8_t* data, size_t size,
+                     std::vector<MetricValue>* out, std::string* error) {
+  out->clear();
+  size_t pos = 0;
+  uint64_t count = 0;
+  if (!GetVarint64(data, size, &pos, &count) || count > (1u << 20)) {
+    *error = "telemetry snapshot: malformed metric count";
+    return false;
+  }
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t name_len = 0;
+    if (!GetVarint64(data, size, &pos, &name_len) ||
+        name_len > size - pos) {
+      *error = "telemetry snapshot: malformed metric name length";
+      return false;
+    }
+    MetricValue m;
+    m.name.assign(reinterpret_cast<const char*>(data) + pos,
+                  static_cast<size_t>(name_len));
+    pos += static_cast<size_t>(name_len);
+    if (pos >= size) {
+      *error = "telemetry snapshot: truncated metric kind";
+      return false;
+    }
+    const uint8_t kind = data[pos++];
+    if (kind > static_cast<uint8_t>(MetricKind::kHistogram)) {
+      *error = "telemetry snapshot: unknown metric kind";
+      return false;
+    }
+    m.kind = static_cast<MetricKind>(kind);
+    if (!GetVarint64(data, size, &pos, &m.value)) {
+      *error = "telemetry snapshot: malformed metric value";
+      return false;
+    }
+    out->push_back(std::move(m));
+  }
+  if (pos != size) {
+    *error = "telemetry snapshot: trailing bytes";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace obs
+}  // namespace ppa

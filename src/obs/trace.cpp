@@ -1,0 +1,183 @@
+#include "obs/trace.h"
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace ppa {
+namespace obs {
+
+namespace internal {
+
+std::atomic<bool> g_trace_enabled{false};
+
+namespace {
+
+constexpr size_t kMaxEventsPerThread = 1 << 20;
+
+struct TraceEvent {
+  const char* name;
+  const char* category;
+  uint64_t start_us;
+  uint64_t dur_us;
+  uint64_t arg;
+  bool has_arg;
+};
+
+// One thread's event buffer. The owning thread appends under track mu (only
+// contended by a concurrent WriteTraceJson/StartTrace); the track outlives
+// the thread via the shared_ptr held in the global list.
+struct Track {
+  std::mutex mu;
+  uint32_t tid = 0;
+  std::string name;
+  std::vector<TraceEvent> events;
+  uint64_t dropped = 0;
+  uint64_t generation = 0;  // StartTrace bumps; stale tracks self-clear
+};
+
+std::mutex& TracksMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<std::shared_ptr<Track>>& Tracks() {
+  static std::vector<std::shared_ptr<Track>>* tracks =
+      new std::vector<std::shared_ptr<Track>>();
+  return *tracks;
+}
+
+std::atomic<uint64_t>& Generation() {
+  static std::atomic<uint64_t> gen{1};
+  return gen;
+}
+
+Track& ThisThreadTrack() {
+  thread_local const std::shared_ptr<Track> track = [] {
+    auto t = std::make_shared<Track>();
+    t->tid = ThisThreadId();
+    std::lock_guard<std::mutex> lock(TracksMutex());
+    Tracks().push_back(t);
+    return t;
+  }();
+  return *track;
+}
+
+}  // namespace
+
+void RecordSpan(const char* name, const char* category, uint64_t start_us,
+                uint64_t end_us, uint64_t arg, bool has_arg) {
+  Track& track = ThisThreadTrack();
+  const uint64_t generation = Generation().load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> lock(track.mu);
+  if (track.generation != generation) {
+    // First event since StartTrace: drop events from the previous session.
+    track.generation = generation;
+    track.events.clear();
+    track.dropped = 0;
+  }
+  if (track.events.size() >= kMaxEventsPerThread) {
+    ++track.dropped;
+    return;
+  }
+  track.events.push_back(
+      {name, category, start_us, end_us - start_us, arg, has_arg});
+}
+
+}  // namespace internal
+
+void StartTrace() {
+  internal::Generation().fetch_add(1, std::memory_order_release);
+  internal::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void StopTrace() {
+  internal::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+void SetTraceThreadName(const char* name) {
+  if (!TraceEnabled()) return;
+  internal::Track& track = internal::ThisThreadTrack();
+  std::lock_guard<std::mutex> lock(track.mu);
+  track.name = name;
+}
+
+void WriteTraceJson(std::ostream& out) {
+  const uint64_t generation =
+      internal::Generation().load(std::memory_order_acquire);
+  std::vector<std::shared_ptr<internal::Track>> tracks;
+  {
+    std::lock_guard<std::mutex> lock(internal::TracksMutex());
+    tracks = internal::Tracks();
+  }
+
+  JsonWriter w(out);
+  w.BeginObject();
+  w.Key("displayTimeUnit");
+  w.Value("ms");
+  w.Key("traceEvents");
+  w.BeginArray();
+  uint64_t dropped = 0;
+  for (const auto& track : tracks) {
+    std::lock_guard<std::mutex> lock(track->mu);
+    if (track->generation != generation) continue;  // pre-StartTrace leftovers
+    dropped += track->dropped;
+    if (!track->name.empty()) {
+      // Chrome metadata event naming this thread's track.
+      w.BeginObject();
+      w.Key("ph");
+      w.Value("M");
+      w.Key("name");
+      w.Value("thread_name");
+      w.Key("pid");
+      w.Value(uint64_t{1});
+      w.Key("tid");
+      w.Value(static_cast<uint64_t>(track->tid));
+      w.Key("args");
+      w.BeginObject();
+      w.Key("name");
+      w.Value(track->name);
+      w.EndObject();
+      w.EndObject();
+    }
+    for (const internal::TraceEvent& e : track->events) {
+      w.BeginObject();
+      w.Key("ph");
+      w.Value("X");  // complete event: ts + dur
+      w.Key("name");
+      w.Value(e.name);
+      w.Key("cat");
+      w.Value(e.category);
+      w.Key("ts");
+      w.Value(e.start_us);
+      w.Key("dur");
+      w.Value(e.dur_us);
+      w.Key("pid");
+      w.Value(uint64_t{1});
+      w.Key("tid");
+      w.Value(static_cast<uint64_t>(track->tid));
+      if (e.has_arg) {
+        w.Key("args");
+        w.BeginObject();
+        w.Key("v");
+        w.Value(e.arg);
+        w.EndObject();
+      }
+      w.EndObject();
+    }
+  }
+  w.EndArray();
+  if (dropped != 0) {
+    w.Key("ppaDroppedEvents");
+    w.Value(dropped);
+  }
+  w.EndObject();
+  out << '\n';
+}
+
+}  // namespace obs
+}  // namespace ppa

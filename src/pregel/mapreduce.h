@@ -58,6 +58,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
 #include "pregel/stats.h"
 #include "spill/spill.h"
 #include "util/hash.h"
@@ -616,6 +617,7 @@ Partitioned<Out> RunMapReduceImpl(const Partitioned<In>& input, MapFn map_fn,
   std::vector<uint64_t> emitted(W, 0);
   std::vector<uint64_t> shuffled(W, 0);
   pool.Run(W, [&](uint32_t src) {
+    PPA_TRACE_SPAN("map_phase", "mapreduce");
     sealed[src].resize(W);
     Emitter<K, V, CombineFn> emitter(&sealed[src], W, &combine_fn, src,
                                      &spill);
@@ -663,6 +665,7 @@ Partitioned<Out> RunMapReduceImpl(const Partitioned<In>& input, MapFn map_fn,
   std::vector<uint64_t> reduce_ops(W, 0);
   std::vector<std::string> readback_errors(W);
   pool.Run(W, [&](uint32_t dst) {
+    PPA_TRACE_SPAN("reduce_phase", "mapreduce");
     // Collect this destination's chunks in (source, emit) order — the
     // deterministic arrival order both strategies preserve within groups.
     // Spilled chunks are read back here, shard-locally, and slotted into

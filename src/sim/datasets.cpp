@@ -23,10 +23,9 @@ double DatasetScaleFromEnv() {
   if (end == start || *end != '\0' || !std::isfinite(scale) || scale <= 0) {
     // A malformed scale silently shrinking every dataset to zero would make
     // benches/tests lie; refuse loudly instead.
-    std::fprintf(stderr,
-                 "PPA_DATASET_SCALE='%s' is invalid: expected a positive "
-                 "number (e.g. 0.5, 4)\n",
-                 env);
+    PPA_LOG(kError) << "PPA_DATASET_SCALE='" << env
+                    << "' is invalid: expected a positive number (e.g. "
+                       "0.5, 4)";
     std::exit(2);
   }
   return scale;

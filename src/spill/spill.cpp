@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <stdexcept>
 
+#include "obs/trace.h"
 #include "util/crc32.h"
 #include "util/varint.h"
 
@@ -145,6 +146,12 @@ bool SpillReader::Next(std::vector<uint8_t>* payload) {
 
   ++records_;
   bytes_read_ += length;
+  static obs::Counter* read_records =
+      obs::MetricsRegistry::Global().GetCounter("spillio.read_records");
+  static obs::Counter* read_bytes =
+      obs::MetricsRegistry::Global().GetCounter("spillio.read_bytes");
+  read_records->Increment();
+  read_bytes->Add(length);
   return true;
 }
 
@@ -280,6 +287,7 @@ void SpillManager::RecordError(const std::string& what) {
 }
 
 void SpillManager::WriterLoop(unsigned w) {
+  obs::SetTraceThreadName("spill-writer");
   Writer& writer = *writers_[w];
   for (;;) {
     WriteJob job;
@@ -311,6 +319,7 @@ void SpillManager::WriteRecord(File* file, const WriteJob& job) {
   // After the first failure the store is poisoned; keep draining jobs (the
   // done callbacks must run) but stop touching the disk.
   if (failed_.load(std::memory_order_acquire)) return;
+  PPA_TRACE_SPAN_V("spill.write", "spill", job.payload.size());
   if (file->stream == nullptr) {
     file->stream = std::fopen(file->path.c_str(), "wb");
     if (file->stream == nullptr ||

@@ -49,6 +49,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace ppa {
 
 /// When producers move sealed chunks to disk.
@@ -91,7 +93,14 @@ inline bool ParseSpillMode(const std::string& name, SpillMode* out) {
 /// (tens of kilobytes), so a mutex is plenty.
 class MemoryBudget {
  public:
-  explicit MemoryBudget(uint64_t budget_bytes = 0) : budget_(budget_bytes) {}
+  explicit MemoryBudget(uint64_t budget_bytes = 0) : budget_(budget_bytes) {
+    // Live gauges for the heartbeat / trace. Last-writer-wins across
+    // budgets, but a pipeline run owns exactly one.
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    resident_gauge_ = reg.GetGauge("mem.resident_bytes");
+    peak_gauge_ = reg.GetGauge("mem.peak_resident_bytes");
+    reg.GetGauge("mem.budget_bytes")->Set(budget_);
+  }
 
   uint64_t budget_bytes() const { return budget_; }
 
@@ -140,6 +149,7 @@ class MemoryBudget {
   void Release(uint64_t n) {
     std::lock_guard<std::mutex> lock(mu_);
     resident_ -= n;
+    resident_gauge_->Set(resident_);
     released_.notify_all();
   }
 
@@ -147,6 +157,7 @@ class MemoryBudget {
     std::lock_guard<std::mutex> lock(mu_);
     pinned_ -= n;
     resident_ -= n;
+    resident_gauge_->Set(resident_);
     released_.notify_all();
   }
 
@@ -170,8 +181,12 @@ class MemoryBudget {
   void ChargeLocked(uint64_t n) {
     resident_ += n;
     if (resident_ > peak_) peak_ = resident_;
+    resident_gauge_->Set(resident_);
+    peak_gauge_->SetMax(peak_);
   }
 
+  obs::Gauge* resident_gauge_ = nullptr;
+  obs::Gauge* peak_gauge_ = nullptr;
   uint64_t budget_;
   mutable std::mutex mu_;
   std::condition_variable released_;

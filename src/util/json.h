@@ -1,0 +1,380 @@
+// Minimal JSON writing + parsing for the observability layer.
+//
+// The writer renders the machine-readable run report (--report-json), the
+// Chrome trace file (--trace-out), and the bench BENCH_*.json files; the
+// parser exists so tests can validate that those files are well-formed and
+// carry the required keys without growing a third-party dependency. Both
+// sides are deliberately small: objects, arrays, strings (with escaping),
+// integers, doubles, booleans, null — no comments, no trailing commas.
+#ifndef PPA_UTIL_JSON_H_
+#define PPA_UTIL_JSON_H_
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ppa {
+
+/// Writes `text` JSON-escaped (without the surrounding quotes).
+inline void JsonEscape(std::ostream& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+/// Streaming JSON writer with automatic comma placement. Usage:
+///   JsonWriter w(out);
+///   w.BeginObject(); w.Key("n"); w.Value(uint64_t{3}); w.EndObject();
+/// The caller is responsible for balanced Begin/End calls; keys are only
+/// legal directly inside an object.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  void BeginObject() {
+    Prefix();
+    out_ << '{';
+    stack_.push_back(false);
+  }
+  void EndObject() {
+    stack_.pop_back();
+    out_ << '}';
+  }
+  void BeginArray() {
+    Prefix();
+    out_ << '[';
+    stack_.push_back(false);
+  }
+  void EndArray() {
+    stack_.pop_back();
+    out_ << ']';
+  }
+
+  void Key(const std::string& name) {
+    Prefix();
+    out_ << '"';
+    JsonEscape(out_, name);
+    out_ << "\":";
+    have_key_ = true;
+  }
+
+  void Value(uint64_t v) {
+    Prefix();
+    out_ << v;
+  }
+  void Value(int64_t v) {
+    Prefix();
+    out_ << v;
+  }
+  void Value(double v) {
+    Prefix();
+    if (!std::isfinite(v)) {
+      out_ << "null";  // JSON has no NaN/Inf
+      return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    out_ << buf;
+  }
+  void Value(bool v) { Prefix(); out_ << (v ? "true" : "false"); }
+  void Value(const std::string& v) {
+    Prefix();
+    out_ << '"';
+    JsonEscape(out_, v);
+    out_ << '"';
+  }
+  void Value(const char* v) { Value(std::string(v)); }
+
+ private:
+  // Emits the separating comma when this is not the first element of the
+  // enclosing object/array. A value directly after Key() never separates.
+  void Prefix() {
+    if (have_key_) {
+      have_key_ = false;
+      return;
+    }
+    if (stack_.empty()) return;
+    if (stack_.back()) out_ << ',';
+    stack_.back() = true;
+  }
+
+  std::ostream& out_;
+  std::vector<bool> stack_;  // per nesting level: "wrote an element already"
+  bool have_key_ = false;
+};
+
+/// A parsed JSON value. Numbers keep their raw token (`raw`) alongside the
+/// double so tests can compare 64-bit integers exactly.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string raw;  // numeric token as written
+  std::string str;
+  std::map<std::string, JsonValue> object;
+  std::vector<JsonValue> array;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+
+  /// Object member or nullptr.
+  const JsonValue* Find(const std::string& key) const {
+    if (type != Type::kObject) return nullptr;
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+
+  /// Numeric member as uint64 (exact, via the raw token); `fallback` when
+  /// absent or non-numeric.
+  uint64_t GetU64(const std::string& key, uint64_t fallback = 0) const {
+    const JsonValue* v = Find(key);
+    if (v == nullptr || v->type != Type::kNumber) return fallback;
+    return static_cast<uint64_t>(std::strtoull(v->raw.c_str(), nullptr, 10));
+  }
+};
+
+namespace json_internal {
+
+struct Parser {
+  const char* p;
+  const char* end;
+  std::string* error;
+  int depth = 0;
+
+  bool Fail(const std::string& why) {
+    if (error != nullptr && error->empty()) {
+      *error = why + " at offset " + std::to_string(Offset());
+    }
+    return false;
+  }
+  size_t Offset() const { return static_cast<size_t>(p_origin_distance); }
+  size_t p_origin_distance = 0;
+
+  void Skip() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+      ++p_origin_distance;
+    }
+  }
+  bool Take(char c) {
+    Skip();
+    if (p < end && *p == c) {
+      ++p;
+      ++p_origin_distance;
+      return true;
+    }
+    return false;
+  }
+  bool Literal(const char* lit) {
+    const char* q = p;
+    size_t n = 0;
+    while (*lit != '\0') {
+      if (q >= end || *q != *lit) return false;
+      ++q;
+      ++lit;
+      ++n;
+    }
+    p = q;
+    p_origin_distance += n;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Take('"')) return Fail("expected '\"'");
+    out->clear();
+    while (p < end && *p != '"') {
+      char c = *p++;
+      ++p_origin_distance;
+      if (c == '\\') {
+        if (p >= end) return Fail("truncated escape");
+        const char e = *p++;
+        ++p_origin_distance;
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (end - p < 4) return Fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = *p++;
+              ++p_origin_distance;
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Fail("bad \\u escape");
+              }
+            }
+            // The report writer only escapes control characters; decode
+            // BMP code points as UTF-8 without surrogate-pair handling.
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Fail("unknown escape");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    if (!Take('"')) return Fail("unterminated string");
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    if (++depth > 64) return Fail("nesting too deep");
+    Skip();
+    if (p >= end) return Fail("unexpected end of input");
+    bool ok = false;
+    if (*p == '{') {
+      Take('{');
+      out->type = JsonValue::Type::kObject;
+      Skip();
+      if (Take('}')) {
+        ok = true;
+      } else {
+        for (;;) {
+          std::string key;
+          JsonValue member;
+          if (!ParseString(&key)) return false;
+          if (!Take(':')) return Fail("expected ':'");
+          if (!ParseValue(&member)) return false;
+          out->object.emplace(std::move(key), std::move(member));
+          if (Take(',')) continue;
+          if (Take('}')) {
+            ok = true;
+            break;
+          }
+          return Fail("expected ',' or '}'");
+        }
+      }
+    } else if (*p == '[') {
+      Take('[');
+      out->type = JsonValue::Type::kArray;
+      Skip();
+      if (Take(']')) {
+        ok = true;
+      } else {
+        for (;;) {
+          JsonValue element;
+          if (!ParseValue(&element)) return false;
+          out->array.push_back(std::move(element));
+          if (Take(',')) continue;
+          if (Take(']')) {
+            ok = true;
+            break;
+          }
+          return Fail("expected ',' or ']'");
+        }
+      }
+    } else if (*p == '"') {
+      out->type = JsonValue::Type::kString;
+      ok = ParseString(&out->str);
+    } else if (Literal("true")) {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = true;
+      ok = true;
+    } else if (Literal("false")) {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = false;
+      ok = true;
+    } else if (Literal("null")) {
+      out->type = JsonValue::Type::kNull;
+      ok = true;
+    } else {
+      // Number: [-] digits [. digits] [eE [+-] digits]
+      const char* start = p;
+      if (p < end && *p == '-') ++p;
+      const char* digits = p;
+      while (p < end && std::isdigit(static_cast<unsigned char>(*p))) ++p;
+      if (p == digits) {
+        p = start;
+        return Fail("expected a value");
+      }
+      if (p < end && *p == '.') {
+        ++p;
+        while (p < end && std::isdigit(static_cast<unsigned char>(*p))) ++p;
+      }
+      if (p < end && (*p == 'e' || *p == 'E')) {
+        ++p;
+        if (p < end && (*p == '+' || *p == '-')) ++p;
+        while (p < end && std::isdigit(static_cast<unsigned char>(*p))) ++p;
+      }
+      out->type = JsonValue::Type::kNumber;
+      out->raw.assign(start, p);
+      out->number = std::strtod(out->raw.c_str(), nullptr);
+      p_origin_distance += static_cast<size_t>(p - start);
+      ok = true;
+    }
+    --depth;
+    return ok;
+  }
+};
+
+}  // namespace json_internal
+
+/// Parses a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected). False with a diagnostic in `error`.
+inline bool ParseJson(const std::string& text, JsonValue* out,
+                      std::string* error) {
+  json_internal::Parser parser{text.data(), text.data() + text.size(), error};
+  if (!parser.ParseValue(out)) return false;
+  parser.Skip();
+  if (parser.p != parser.end) return parser.Fail("trailing garbage");
+  return true;
+}
+
+}  // namespace ppa
+
+#endif  // PPA_UTIL_JSON_H_

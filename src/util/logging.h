@@ -12,6 +12,8 @@
 #include <sstream>
 #include <string>
 
+#include "util/timer.h"
+
 namespace ppa {
 
 enum class LogLevel : int {
@@ -21,6 +23,15 @@ enum class LogLevel : int {
   kError = 3,
   kSilent = 4,
 };
+
+/// Small dense per-thread id (1, 2, 3, ... in first-log order), shared by
+/// the logger prefix and the trace subsystem so a log line and a trace
+/// track with the same id are the same thread.
+inline uint32_t ThisThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local const uint32_t id = next.fetch_add(1);
+  return id;
+}
 
 namespace internal {
 
@@ -42,7 +53,14 @@ class LogMessage {
     for (const char* p = file; *p != '\0'; ++p) {
       if (*p == '/') base = p + 1;
     }
-    stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+    // Prefix: level, monotonic ms since process start, dense thread id,
+    // source location — e.g. "[INFO 12.345 t3 kmer_counter.cpp:88] ".
+    const uint64_t us = MonotonicMicros();
+    stream_ << "[" << LevelName(level) << " " << (us / 1000) << "."
+            << static_cast<char>('0' + (us / 100) % 10)
+            << static_cast<char>('0' + (us / 10) % 10)
+            << static_cast<char>('0' + us % 10) << " t" << ThisThreadId()
+            << " " << base << ":" << line << "] ";
   }
 
   ~LogMessage() {
@@ -83,6 +101,25 @@ inline void SetLogLevel(LogLevel level) {
 
 inline LogLevel GetLogLevel() {
   return static_cast<LogLevel>(internal::LogLevelFlag().load());
+}
+
+/// Parses a --log-level value ("debug", "info", "warn"/"warning", "error",
+/// "silent"). False on anything else.
+inline bool ParseLogLevel(const std::string& text, LogLevel* level) {
+  if (text == "debug") {
+    *level = LogLevel::kDebug;
+  } else if (text == "info") {
+    *level = LogLevel::kInfo;
+  } else if (text == "warn" || text == "warning") {
+    *level = LogLevel::kWarning;
+  } else if (text == "error") {
+    *level = LogLevel::kError;
+  } else if (text == "silent") {
+    *level = LogLevel::kSilent;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 #define PPA_LOG(level)                                                \

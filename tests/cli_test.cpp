@@ -21,6 +21,7 @@
 #include "quality/quast.h"
 #include "sim/datasets.h"
 #include "sim/fastq_export.h"
+#include "util/json.h"
 
 namespace ppa {
 namespace {
@@ -136,6 +137,24 @@ TEST(AssembleCliParseTest, RejectsBadInput) {
   EXPECT_TRUE(ParseAssembleCliArgs(1, help_args.data(), &opts, &help,
                                    &error));
   EXPECT_TRUE(help);
+}
+
+TEST(AssembleCliParseTest, ObservabilityFlagsMapOntoOptions) {
+  AssembleCliOptions opts;
+  std::string error;
+  ASSERT_TRUE(Parse({"--report-json", "run.json", "--trace-out", "trace.json",
+                     "--progress", "--log-level", "debug", "in.fastq"},
+                    &opts, &error))
+      << error;
+  EXPECT_EQ(opts.report_json, "run.json");
+  EXPECT_EQ(opts.trace_out, "trace.json");
+  EXPECT_TRUE(opts.progress);
+  EXPECT_EQ(opts.log_level, "debug");
+
+  // Bad levels are a usage error at parse time, not a silent default.
+  opts = {};
+  EXPECT_FALSE(Parse({"--log-level", "chatty", "in.fastq"}, &opts, &error));
+  EXPECT_NE(error.find("--log-level"), std::string::npos) << error;
 }
 
 TEST(AssembleCliParseTest, DistributedFlagsMapOntoOptions) {
@@ -279,7 +298,9 @@ TEST(AssembleCliRunTest, Pass1EncodingsProduceIdenticalAssemblies) {
   // Grep the per-encoding evidence out of the stats reports: identical
   // surviving/window counts, and a smaller pass-1 byte volume for superkmer.
   auto field = [](const std::string& stats, const std::string& key) {
-    const size_t at = stats.find(" " + key + "=");
+    // The key is either mid-line (" reads=") or at line start ("reads=").
+    size_t at = stats.find(" " + key + "=");
+    if (at == std::string::npos) at = stats.find("\n" + key + "=");
     EXPECT_NE(at, std::string::npos) << key << " missing in:\n" << stats;
     if (at == std::string::npos) return uint64_t{0};
     return static_cast<uint64_t>(
@@ -331,7 +352,9 @@ TEST(AssembleCliRunTest, SpillAlwaysMatchesNeverUnderTinyBudget) {
             SortedContigSeqs(never.contigs_out));
 
   auto field = [](const std::string& stats, const std::string& key) {
-    const size_t at = stats.find(" " + key + "=");
+    // The key is either mid-line (" reads=") or at line start ("reads=").
+    size_t at = stats.find(" " + key + "=");
+    if (at == std::string::npos) at = stats.find("\n" + key + "=");
     EXPECT_NE(at, std::string::npos) << key << " missing in:\n" << stats;
     if (at == std::string::npos) return uint64_t{0};
     return static_cast<uint64_t>(
@@ -403,7 +426,9 @@ TEST(AssembleCliRunTest, DistributedEndpointsMatchInProcess) {
             SortedContigSeqs(local.contigs_out));
 
   auto field = [](const std::string& stats, const std::string& key) {
-    const size_t at = stats.find(" " + key + "=");
+    // The key is either mid-line (" reads=") or at line start ("reads=").
+    size_t at = stats.find(" " + key + "=");
+    if (at == std::string::npos) at = stats.find("\n" + key + "=");
     EXPECT_NE(at, std::string::npos) << key << " missing in:\n" << stats;
     if (at == std::string::npos) return uint64_t{0};
     return static_cast<uint64_t>(
@@ -458,6 +483,92 @@ TEST(AssembleCliRunTest, DistributedSpawnedWorkersRun) {
   const AssembleCliOptions spawned = run(2, "spawned");
   EXPECT_EQ(SortedContigSeqs(spawned.contigs_out),
             SortedContigSeqs(local.contigs_out));
+}
+
+// The golden-schema property of --report-json and --trace-out: both files
+// are valid JSON with the required keys, and every total in run.json equals
+// the value printed in the legacy text report — they render one registry
+// snapshot.
+TEST(AssembleCliRunTest, ReportJsonAndTraceMatchTextReport) {
+  Dataset dataset = MakeDataset(DatasetId::kHc2, 0.04);
+  const std::string prefix = TempPath("hc2_obs");
+  std::vector<std::string> written = ExportDatasetFastq(dataset, prefix);
+
+  AssembleCliOptions opts;
+  opts.inputs = {written[0]};
+  opts.reference = written[1];
+  opts.contigs_out = TempPath("hc2_obs.contigs.fasta");
+  opts.stats_out = TempPath("hc2_obs.stats.txt");
+  opts.report_json = TempPath("hc2_obs.run.json");
+  opts.trace_out = TempPath("hc2_obs.trace.json");
+  opts.assembler.num_workers = 8;
+  opts.assembler.num_threads = 2;
+  std::ostringstream out, err;
+  ASSERT_EQ(RunAssembleCli(opts, out, err), 0) << err.str();
+
+  auto field = [](const std::string& stats, const std::string& key) {
+    // The key is either mid-line (" reads=") or at line start ("reads=").
+    size_t at = stats.find(" " + key + "=");
+    if (at == std::string::npos) at = stats.find("\n" + key + "=");
+    EXPECT_NE(at, std::string::npos) << key << " missing in:\n" << stats;
+    if (at == std::string::npos) return uint64_t{0};
+    return static_cast<uint64_t>(
+        std::stoull(stats.substr(at + key.size() + 2)));
+  };
+  const std::string stats = ReadFile(opts.stats_out);
+
+  JsonValue run;
+  std::string error;
+  ASSERT_TRUE(ParseJson(ReadFile(opts.report_json), &run, &error)) << error;
+  ASSERT_NE(run.Find("schema"), nullptr);
+  EXPECT_EQ(run.Find("schema")->str, "ppa.run_report.v1");
+  EXPECT_EQ(run.Find("counting_mode")->str, "stream");
+  EXPECT_EQ(run.Find("pass1_encoding")->str, "superkmer");
+  EXPECT_EQ(run.Find("shuffle_strategy")->str, "hash");
+  ASSERT_EQ(run.Find("inputs")->array.size(), 1u);
+  EXPECT_EQ(run.Find("inputs")->array[0].str, written[0]);
+  ASSERT_NE(run.Find("workers"), nullptr);  // present (empty: in-process)
+  EXPECT_TRUE(run.Find("workers")->array.empty());
+
+  const JsonValue* metrics = run.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  // Every JSON total equals the text report's value — one snapshot.
+  const std::pair<const char*, const char*> kPairs[] = {
+      {"ingest.reads", "reads"},
+      {"ingest.bases", "bases"},
+      {"counting.windows", "windows"},
+      {"counting.distinct", "distinct"},
+      {"counting.surviving", "surviving"},
+      {"counting.pass1_bytes", "pass1_bytes"},
+      {"shuffle.pairs_shuffled", "pairs_shuffled"},
+      {"dbg.kmer_vertices", "kmer_vertices"},
+      {"contigs.n50", "n50"},
+      {"contigs.total_length", "total_length"},
+  };
+  for (const auto& [metric, key] : kPairs) {
+    EXPECT_EQ(metrics->GetU64(metric), field(stats, key)) << metric;
+  }
+  // The live io.* counters saw the same stream the ingest totals did.
+  EXPECT_EQ(metrics->GetU64("io.reads"), field(stats, "reads"));
+  EXPECT_EQ(metrics->GetU64("io.bases"), field(stats, "bases"));
+
+  JsonValue trace;
+  ASSERT_TRUE(ParseJson(ReadFile(opts.trace_out), &trace, &error)) << error;
+  const JsonValue* events = trace.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  std::vector<std::string> names;
+  for (const JsonValue& e : events->array) {
+    const JsonValue* name = e.Find("name");
+    ASSERT_NE(name, nullptr);
+    names.push_back(name->str);
+  }
+  for (const char* span : {"read_stream", "scan_batch", "count_chunk",
+                           "map_phase", "reduce_phase", "contig_labeling",
+                           "contig_merging"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), span), names.end())
+        << span << " missing from trace";
+  }
 }
 
 // The CLI's own in-memory mode must agree with its streaming mode.

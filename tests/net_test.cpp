@@ -24,6 +24,8 @@
 #include "dbg/kmer_counter.h"
 #include "net/coordinator.h"
 #include "net/worker.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
 #include "sim/genome.h"
 #include "sim/read_simulator.h"
 #include "util/varint.h"
@@ -410,6 +412,52 @@ TEST(DistributedCounterTest, EmptyInputYieldsEmptyPartitions) {
   for (const auto& part : counts) EXPECT_TRUE(part.empty());
   EXPECT_EQ(stats.distributed_workers, 2u);
   EXPECT_EQ(stats.net_chunks, 0u);
+}
+
+// The telemetry reconciliation property: the worker-side counters pulled
+// over the wire (kMetricsRequest/kMetricsSnapshot) account for exactly the
+// traffic the client sent — every counter chunk was served by exactly one
+// worker, and every chunk byte the client counted arrived.
+TEST(DistributedCounterTest, TelemetryReconcilesWithClientCounters) {
+  std::vector<Read> reads = SimulatedReads(15000, 8.0, 0.01, 21);
+  Fleet fleet(2);
+  KmerCountConfig config;
+  config.mer_length = 21;
+  config.num_workers = 3;
+  config.num_threads = 4;
+  config.num_shards = 8;
+  config.net = fleet.context.get();
+  CounterSession session(config);
+  session.AddBatch(reads);
+  KmerCountStats stats;
+  session.Finish(&stats);
+  ASSERT_GT(stats.net_chunks, 0u);
+
+  std::vector<obs::TelemetrySnapshot> telemetry =
+      fleet.context->CollectMetrics();
+  ASSERT_EQ(telemetry.size(), 2u);
+  uint64_t frames_served = 0, chunk_bytes = 0;
+  for (const obs::TelemetrySnapshot& worker : telemetry) {
+    EXPECT_FALSE(worker.source.empty());
+    EXPECT_GE(worker.Get("worker.connections"), 1u);
+    EXPECT_EQ(worker.Get("worker.crc_rejects"), 0u);
+    // frames_total counts everything (chunks + flush + metrics request);
+    // frames_served counts only accepted counter chunks.
+    EXPECT_GE(worker.Get("worker.frames_total"),
+              worker.Get("worker.frames_served"));
+    frames_served += worker.Get("worker.frames_served");
+    chunk_bytes += worker.Get("worker.chunk_bytes");
+  }
+  EXPECT_EQ(frames_served, stats.net_chunks);
+  EXPECT_EQ(chunk_bytes, stats.net_sent_bytes);
+
+  // The wire snapshot is the server's own registry, faithfully encoded.
+  uint64_t direct_served = 0;
+  for (auto& server : fleet.servers) {
+    const obs::SnapshotView direct(server->metrics().Snapshot());
+    direct_served += direct.Get("worker.frames_served");
+  }
+  EXPECT_EQ(direct_served, frames_served);
 }
 
 // A worker that drops its connection mid-stream (crash simulation) must

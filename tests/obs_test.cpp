@@ -1,0 +1,256 @@
+// Tests for obs/: the metrics registry under concurrency (run under TSan
+// in CI), telemetry wire round-trips, trace JSON shape, the run-report
+// publication, and the strict JSON parser the goldens rely on.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "util/json.h"
+
+namespace ppa {
+namespace {
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsStablePointers) {
+  obs::MetricsRegistry registry;
+  obs::Counter* a = registry.GetCounter("test.counter");
+  obs::Counter* b = registry.GetCounter("test.counter");
+  EXPECT_EQ(a, b);
+  a->Add(3);
+  registry.ResetValues();
+  EXPECT_EQ(a->Value(), 0u);
+  // Registration survives the reset: same pointer, zeroed value.
+  EXPECT_EQ(registry.GetCounter("test.counter"), a);
+}
+
+TEST(MetricsRegistryTest, ConcurrentAddsSumExactly) {
+  obs::MetricsRegistry registry;
+  obs::Counter* counter = registry.GetCounter("race.counter");
+  obs::Gauge* peak = registry.GetGauge("race.peak");
+  obs::Histogram* histogram = registry.GetHistogram("race.histogram");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+        peak->SetMax(t * kPerThread + i);
+        histogram->Observe(i);
+        // Concurrent find-or-create of the same name must be safe too.
+        registry.GetCounter("race.latecomer")->Increment();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter->Value(), kThreads * kPerThread);
+  EXPECT_EQ(peak->Value(), (kThreads - 1) * kPerThread + kPerThread - 1);
+  EXPECT_EQ(histogram->Count(), kThreads * kPerThread);
+  EXPECT_EQ(registry.GetCounter("race.latecomer")->Value(),
+            kThreads * kPerThread);
+}
+
+TEST(MetricsRegistryTest, SnapshotExpandsHistograms) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("a.counter")->Add(7);
+  registry.GetGauge("b.gauge")->Set(11);
+  obs::Histogram* h = registry.GetHistogram("c.histogram");
+  for (uint64_t v : {1, 2, 4, 1000}) h->Observe(v);
+  const std::vector<obs::MetricValue> snapshot = registry.Snapshot();
+  const obs::SnapshotView view(snapshot);
+  EXPECT_EQ(view.Get("a.counter"), 7u);
+  EXPECT_EQ(view.Get("b.gauge"), 11u);
+  EXPECT_EQ(view.Get("c.histogram.count"), 4u);
+  EXPECT_EQ(view.Get("c.histogram.sum"), 1007u);
+  EXPECT_GE(view.Get("c.histogram.p99"), 1000u);
+  EXPECT_EQ(view.Get("never.registered"), 0u);
+  // Snapshots are ordered by registered metric name; the histogram's
+  // derived entries (.count/.sum/.p50/.p99) stay adjacent under its name.
+  std::vector<std::string> names;
+  for (const obs::MetricValue& v : snapshot) names.push_back(v.name);
+  const std::vector<std::string> expected = {
+      "a.counter",         "b.gauge",           "c.histogram.count",
+      "c.histogram.sum",   "c.histogram.p50",   "c.histogram.p99"};
+  EXPECT_EQ(names, expected);
+}
+
+TEST(HistogramTest, PowerOfTwoBuckets) {
+  obs::Histogram h;
+  h.Observe(0);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+  h.Reset();
+  for (int i = 0; i < 100; ++i) h.Observe(900);  // bucket [512, 1024)
+  EXPECT_EQ(h.Quantile(0.5), 1023u);
+  EXPECT_EQ(h.Quantile(0.99), 1023u);
+  h.Observe(1u << 20);
+  EXPECT_EQ(h.Quantile(0.5), 1023u);  // median unchanged by one outlier
+}
+
+TEST(TelemetryTest, EncodeDecodeRoundTrip) {
+  std::vector<obs::MetricValue> metrics;
+  metrics.push_back({"worker.frames_served", obs::MetricKind::kCounter, 42});
+  metrics.push_back({"worker.chunk_bytes", obs::MetricKind::kCounter,
+                     (1ULL << 40) + 17});
+  metrics.push_back({"mem.resident_bytes", obs::MetricKind::kGauge, 0});
+  std::vector<uint8_t> wire;
+  obs::EncodeTelemetry(metrics, &wire);
+  std::vector<obs::MetricValue> decoded;
+  std::string error;
+  ASSERT_TRUE(obs::DecodeTelemetry(wire.data(), wire.size(), &decoded, &error))
+      << error;
+  ASSERT_EQ(decoded.size(), metrics.size());
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    EXPECT_EQ(decoded[i].name, metrics[i].name);
+    EXPECT_EQ(decoded[i].kind, metrics[i].kind);
+    EXPECT_EQ(decoded[i].value, metrics[i].value);
+  }
+}
+
+TEST(TelemetryTest, DecodeRejectsTruncation) {
+  std::vector<obs::MetricValue> metrics;
+  metrics.push_back({"worker.connections", obs::MetricKind::kCounter, 3});
+  std::vector<uint8_t> wire;
+  obs::EncodeTelemetry(metrics, &wire);
+  std::string error;
+  // Every proper prefix must fail cleanly, never read out of bounds.
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    std::vector<obs::MetricValue> decoded;
+    error.clear();
+    EXPECT_FALSE(
+        obs::DecodeTelemetry(wire.data(), cut, &decoded, &error))
+        << "prefix of " << cut << " bytes decoded";
+  }
+}
+
+TEST(TelemetryTest, SnapshotGetFallsBack) {
+  obs::TelemetrySnapshot snap;
+  snap.metrics.push_back({"worker.connections", obs::MetricKind::kCounter, 2});
+  EXPECT_EQ(snap.Get("worker.connections"), 2u);
+  EXPECT_EQ(snap.Get("worker.frames_served"), 0u);
+  EXPECT_EQ(snap.Get("worker.frames_served", 99), 99u);
+}
+
+TEST(TraceTest, SpansAppearInJson) {
+  obs::StartTrace();
+  obs::SetTraceThreadName("obs-test");
+  {
+    PPA_TRACE_SPAN("outer_span", "test");
+    PPA_TRACE_SPAN_V("inner_span", "test", 1234);
+  }
+  std::thread other([] {
+    PPA_TRACE_SPAN("other_thread_span", "test");
+  });
+  other.join();
+  obs::StopTrace();
+  std::ostringstream out;
+  obs::WriteTraceJson(out);
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(out.str(), &doc, &error)) << error;
+  const JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  bool saw_outer = false, saw_inner = false, saw_other = false;
+  uint64_t inner_tid = 0, other_tid = 0;
+  for (const JsonValue& e : events->array) {
+    const JsonValue* name = e.Find("name");
+    ASSERT_NE(name, nullptr);
+    if (name->str == "outer_span") saw_outer = true;
+    if (name->str == "inner_span") {
+      saw_inner = true;
+      inner_tid = e.GetU64("tid");
+      const JsonValue* args = e.Find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_EQ(args->GetU64("v"), 1234u);
+    }
+    if (name->str == "other_thread_span") {
+      saw_other = true;
+      other_tid = e.GetU64("tid");
+    }
+  }
+  EXPECT_TRUE(saw_outer);
+  EXPECT_TRUE(saw_inner);
+  EXPECT_TRUE(saw_other);
+  // Distinct threads get distinct tracks.
+  EXPECT_NE(inner_tid, other_tid);
+}
+
+TEST(TraceTest, DisabledSpansRecordNothing) {
+  // Tracing off (the default): spans must be inert, and a later trace must
+  // not see them.
+  { PPA_TRACE_SPAN("ghost_span", "test"); }
+  obs::StartTrace();
+  obs::StopTrace();
+  std::ostringstream out;
+  obs::WriteTraceJson(out);
+  EXPECT_EQ(out.str().find("ghost_span"), std::string::npos);
+}
+
+TEST(RunReportTest, JsonCarriesSnapshotAndWorkers) {
+  obs::MetricsRegistry registry;
+  registry.GetGauge("dbg.kmer_vertices")->Set(123);
+  registry.GetCounter("io.reads")->Add(456);
+  const obs::SnapshotView snapshot(registry.Snapshot());
+
+  obs::RunReportInfo info;
+  info.inputs = {"a.fastq", "b.fastq"};
+  info.counting_mode = "stream";
+  info.pass1_encoding = "superkmer";
+  info.shuffle_strategy = "hash";
+  info.spill_mode = "never";
+  info.wall_seconds = 1.5;
+  obs::TelemetrySnapshot worker;
+  worker.source = "unix:/tmp/w0.sock";
+  worker.metrics.push_back(
+      {"worker.frames_served", obs::MetricKind::kCounter, 9});
+  info.workers.push_back(worker);
+
+  std::ostringstream out;
+  obs::WriteRunReportJson(out, snapshot, info);
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(out.str(), &doc, &error)) << error;
+  EXPECT_EQ(doc.Find("schema")->str, "ppa.run_report.v1");
+  EXPECT_EQ(doc.Find("inputs")->array.size(), 2u);
+  EXPECT_EQ(doc.Find("counting_mode")->str, "stream");
+  const JsonValue* metrics = doc.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->GetU64("dbg.kmer_vertices"), 123u);
+  EXPECT_EQ(metrics->GetU64("io.reads"), 456u);
+  const JsonValue* workers = doc.Find("workers");
+  ASSERT_NE(workers, nullptr);
+  ASSERT_EQ(workers->array.size(), 1u);
+  EXPECT_EQ(workers->array[0].Find("endpoint")->str, "unix:/tmp/w0.sock");
+  EXPECT_EQ(workers->array[0].Find("metrics")->GetU64("worker.frames_served"),
+            9u);
+}
+
+TEST(JsonParserTest, AcceptsTheWriterAndRejectsGarbage) {
+  JsonValue doc;
+  std::string error;
+  EXPECT_TRUE(ParseJson(R"({"a": [1, 2.5, "x\n", true, null], "b": {}})",
+                        &doc, &error))
+      << error;
+  EXPECT_EQ(doc.Find("a")->array.size(), 5u);
+  EXPECT_EQ(doc.Find("a")->array[2].str, "x\n");
+
+  for (const char* bad : {"{", "[1,]", "{\"a\":}", "{} trailing", "{'a':1}",
+                          "{\"a\":1,}", "nul", ""}) {
+    JsonValue v;
+    error.clear();
+    EXPECT_FALSE(ParseJson(bad, &v, &error)) << bad;
+  }
+  // Exact 64-bit integers survive via the raw token.
+  EXPECT_TRUE(ParseJson("{\"big\": 18446744073709551615}", &doc, &error));
+  EXPECT_EQ(doc.GetU64("big"), UINT64_MAX);
+}
+
+}  // namespace
+}  // namespace ppa
