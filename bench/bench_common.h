@@ -19,6 +19,7 @@
 
 #include "core/options.h"
 #include "sim/datasets.h"
+#include "util/cpu.h"
 #include "util/logging.h"
 
 namespace ppa::bench {
@@ -100,12 +101,17 @@ inline std::string UtcTimestamp() {
 }
 
 /// The provenance fields every BENCH_*.json embeds, as JSON object members
-/// (no surrounding braces; prepend to the writer's own fields).
+/// (no surrounding braces; prepend to the writer's own fields). simd_level
+/// records what the runtime dispatch picked for this run — a throughput
+/// number is meaningless without it — and force_scalar whether the
+/// PPA_FORCE_SCALAR escape hatch pinned it there.
 inline std::string JsonProvenanceFields() {
   return "  \"hardware_concurrency\": " +
          std::to_string(std::thread::hardware_concurrency()) +
-         ",\n  \"git_sha\": \"" + GitSha() + "\",\n  \"timestamp_utc\": \"" +
-         UtcTimestamp() + "\",\n";
+         ",\n  \"simd_level\": \"" + SimdLevelName(ActiveSimdLevel()) +
+         "\",\n  \"force_scalar\": " +
+         (SimdForcedScalar() ? "true" : "false") + ",\n  \"git_sha\": \"" +
+         GitSha() + "\",\n  \"timestamp_utc\": \"" + UtcTimestamp() + "\",\n";
 }
 
 }  // namespace ppa::bench

@@ -32,8 +32,11 @@
 #include "util/timer.h"
 #include "dbg/adjacency.h"
 #include "dbg/kmer_counter.h"
+#include "dna/encode_simd.h"
 #include "dna/kmer.h"
 #include "sim/datasets.h"
+#include "util/cpu.h"
+#include "util/crc32.h"
 #include "util/hash.h"
 #include "util/random.h"
 
@@ -131,6 +134,76 @@ void BM_LookupStringIds(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LookupStringIds);
+
+// ---------------------------------------------------------------------------
+// SIMD kernel micro-benches: base classification, 2-bit packing, and the
+// IEEE CRC-32. Each registers once per available kernel / dispatch mode so
+// a plain `--benchmark_filter=Classify|Pack|Crc32` run prints the
+// per-kernel GB/s side by side.
+// ---------------------------------------------------------------------------
+
+std::string RandomBasesBuffer(size_t size, uint64_t seed) {
+  Rng rng(seed);
+  std::string out(size, '\0');
+  for (auto& c : out) c = CharFromBase(rng.Next() & 3);
+  return out;
+}
+
+void BM_ClassifyBases(benchmark::State& state) {
+  const auto kernels = AvailableEncodeKernels();
+  const auto& kernel = kernels[static_cast<size_t>(state.range(0))];
+  if (!kernel.supported) {
+    state.SkipWithError("kernel unsupported on this host");
+    return;
+  }
+  const std::string bases = RandomBasesBuffer(1 << 20, 11);
+  std::vector<uint8_t> codes(bases.size());
+  for (auto _ : state) {
+    kernel.classify(bases.data(), bases.size(), codes.data());
+    benchmark::DoNotOptimize(codes.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bases.size()));
+  state.SetLabel(kernel.name);
+}
+BENCHMARK(BM_ClassifyBases)->DenseRange(0, 2)->UseRealTime();
+
+void BM_PackCodes(benchmark::State& state) {
+  const auto kernels = AvailableEncodeKernels();
+  const auto& kernel = kernels[static_cast<size_t>(state.range(0))];
+  if (!kernel.supported) {
+    state.SkipWithError("kernel unsupported on this host");
+    return;
+  }
+  Rng rng(12);
+  std::vector<uint8_t> codes(1 << 20);
+  for (auto& c : codes) c = static_cast<uint8_t>(rng.Next() & 3);
+  std::vector<uint8_t> packed(codes.size() / 4 + 1);
+  for (auto _ : state) {
+    kernel.pack(codes.data(), codes.size(), packed.data());
+    benchmark::DoNotOptimize(packed.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(codes.size()));
+  state.SetLabel(kernel.name);
+}
+BENCHMARK(BM_PackCodes)->DenseRange(0, 2)->UseRealTime();
+
+// Arg(0) = log2(buffer size), Arg(1) = 1 to pin the scalar table path.
+void BM_Crc32(benchmark::State& state) {
+  Rng rng(13);
+  std::vector<uint8_t> buf(1ULL << state.range(0));
+  for (auto& b : buf) b = static_cast<uint8_t>(rng.Next());
+  std::unique_ptr<ScopedForceScalar> forced;
+  if (state.range(1) != 0) forced = std::make_unique<ScopedForceScalar>();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32(buf.data(), buf.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(buf.size()));
+  state.SetLabel(state.range(1) != 0 ? "table" : "dispatched");
+}
+BENCHMARK(BM_Crc32)->ArgsProduct({{16, 22}, {0, 1}})->UseRealTime();
 
 // ---------------------------------------------------------------------------
 // Serial vs sharded (k+1)-mer counting on HC-2-sim (paper config: k = 31,
@@ -383,6 +456,213 @@ void WriteEncodingJson(std::ofstream& out, const char* key,
       << "  }";
 }
 
+// ---------------------------------------------------------------------------
+// SIMD dispatch measurements for BENCH_kmer.json: per-kernel encode
+// throughput, hardware vs table CRC-32, the scalar-vs-SIMD counter grid
+// across thread counts, and mutex vs ring queues. All once per process —
+// CI's bench-smoke runs with --benchmark_filter='^$' and still gets these.
+// ---------------------------------------------------------------------------
+
+/// Wall-clock GB/s of fn() processing `bytes` per call, repeated until the
+/// sample is at least ~50 ms so fast kernels aren't timer-noise.
+template <typename Fn>
+double MeasureGbps(uint64_t bytes, Fn&& fn) {
+  uint64_t reps = 1;
+  for (;;) {
+    Timer timer;
+    for (uint64_t r = 0; r < reps; ++r) fn();
+    const double s = timer.Seconds();
+    if (s >= 0.05 || reps > (1ULL << 30)) {
+      return s == 0 ? 0
+                    : static_cast<double>(bytes) * static_cast<double>(reps) /
+                          s / 1e9;
+    }
+    reps *= 4;
+  }
+}
+
+struct SimdKernelRow {
+  const char* name;
+  double classify_gbps = 0;
+  double pack_gbps = 0;
+};
+
+struct CrcRow {
+  size_t size;
+  double hw_gbps = 0;
+  double table_gbps = 0;
+};
+
+struct DispatchGridRow {
+  unsigned threads;
+  double scalar_seconds = 0;
+  double simd_seconds = 0;
+};
+
+struct QueueRow {
+  const char* name;
+  double seconds = 0;
+  uint64_t spin_parks = 0;
+  uint64_t peak_queued_bytes = 0;
+};
+
+double CountWallSeconds(unsigned threads) {
+  const std::vector<Read>& reads = Hc2Reads();
+  KmerCountConfig config = Hc2CountConfig();
+  config.num_threads = threads;
+  Timer timer;
+  KmerCountStats stats;
+  CountCanonicalMers(reads, config, &stats);
+  return timer.Seconds();
+}
+
+/// Min-of-3 wall clock per dispatch mode, with the modes interleaved so a
+/// frequency ramp or background load skews both, not just whichever ran
+/// second. Min (not mean) because a shared CI box only adds noise upward.
+DispatchGridRow MeasureDispatchRow(unsigned threads) {
+  DispatchGridRow row{threads};
+  row.scalar_seconds = 1e30;
+  row.simd_seconds = 1e30;
+  for (int rep = 0; rep < 3; ++rep) {
+    {
+      ScopedForceScalar forced;
+      row.scalar_seconds = std::min(row.scalar_seconds,
+                                    CountWallSeconds(threads));
+    }
+    row.simd_seconds = std::min(row.simd_seconds, CountWallSeconds(threads));
+  }
+  return row;
+}
+
+QueueRow MeasureQueueImpl(QueueImpl impl, unsigned threads) {
+  const std::vector<Read>& reads = Hc2Reads();
+  KmerCountConfig config = Hc2CountConfig();
+  config.num_threads = threads;
+  config.queue_impl = impl;
+  QueueRow row{QueueImplName(impl)};
+  Timer timer;
+  CounterSession session(config);
+  constexpr size_t kBatch = 1024;
+  for (size_t begin = 0; begin < reads.size(); begin += kBatch) {
+    session.AddBatch(reads.data() + begin,
+                     std::min(kBatch, reads.size() - begin));
+  }
+  KmerCountStats stats;
+  session.Finish(&stats);
+  row.seconds = timer.Seconds();
+  row.spin_parks = stats.queue_spin_parks;
+  row.peak_queued_bytes = stats.peak_queued_bytes;
+  return row;
+}
+
+/// Measures everything SIMD-shaped and returns the JSON members (indented
+/// for the top-level BENCH_kmer.json object, trailing comma included).
+std::string RunSimdComparison() {
+  bench::PrintHeader("bench_micro_kmer: SIMD dispatch (encode / CRC-32 / "
+                     "counter grid / queues)");
+  std::printf("active simd_level = %s%s\n",
+              SimdLevelName(ActiveSimdLevel()),
+              SimdForcedScalar() ? " (PPA_FORCE_SCALAR)" : "");
+
+  // Per-kernel encode throughput on a 1 MiB buffer.
+  const std::string bases = RandomBasesBuffer(1 << 20, 21);
+  Rng rng(22);
+  std::vector<uint8_t> codes(bases.size());
+  std::vector<uint8_t> scratch(bases.size());
+  std::vector<uint8_t> packed(bases.size() / 4 + 1);
+  ClassifyBasesScalar(bases.data(), bases.size(), codes.data());
+  std::vector<SimdKernelRow> kernels;
+  for (const EncodeKernel& kernel : AvailableEncodeKernels()) {
+    if (!kernel.supported) continue;
+    SimdKernelRow row{kernel.name};
+    row.classify_gbps = MeasureGbps(bases.size(), [&] {
+      kernel.classify(bases.data(), bases.size(), scratch.data());
+    });
+    row.pack_gbps = MeasureGbps(codes.size(), [&] {
+      kernel.pack(codes.data(), codes.size(), packed.data());
+    });
+    kernels.push_back(row);
+    std::printf("encode kernel %-8s classify %7.2f GB/s  pack %7.2f GB/s\n",
+                row.name, row.classify_gbps, row.pack_gbps);
+  }
+
+  // CRC-32: dispatched vs table on the spill/wire-sized buffers.
+  std::vector<CrcRow> crc_rows;
+  for (size_t size : {size_t{64} << 10, size_t{4} << 20}) {
+    std::vector<uint8_t> buf(size);
+    for (auto& b : buf) b = static_cast<uint8_t>(rng.Next());
+    CrcRow row{size};
+    row.hw_gbps =
+        MeasureGbps(size, [&] { Crc32(buf.data(), buf.size()); });
+    {
+      ScopedForceScalar forced;
+      row.table_gbps =
+          MeasureGbps(size, [&] { Crc32(buf.data(), buf.size()); });
+    }
+    crc_rows.push_back(row);
+    std::printf(
+        "crc32 %7zu B: dispatched %6.2f GB/s, table %6.2f GB/s (%.1fx)\n",
+        size, row.hw_gbps, row.table_gbps,
+        row.table_gbps == 0 ? 0 : row.hw_gbps / row.table_gbps);
+  }
+
+  // Scalar-vs-SIMD counter wall clock across thread counts (full sharded
+  // batch count, superkmer encoding).
+  std::vector<DispatchGridRow> grid;
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    const DispatchGridRow row = MeasureDispatchRow(threads);
+    grid.push_back(row);
+    std::printf("count threads=%u scalar %.3fs  simd %.3fs  (%.2fx)\n",
+                threads, row.scalar_seconds, row.simd_seconds,
+                row.simd_seconds == 0
+                    ? 0
+                    : row.scalar_seconds / row.simd_seconds);
+  }
+
+  // Mutex vs ring chunk queues on the streaming session.
+  unsigned threads = bench::BenchThreads();
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  const QueueRow mutex_row = MeasureQueueImpl(QueueImpl::kMutex, threads);
+  const QueueRow rings_row = MeasureQueueImpl(QueueImpl::kRings, threads);
+  for (const QueueRow& row : {mutex_row, rings_row}) {
+    std::printf("queue %-6s threads=%u %.3fs  spin_parks=%llu\n", row.name,
+                threads, row.seconds,
+                static_cast<unsigned long long>(row.spin_parks));
+  }
+
+  std::string json = "  \"simd\": {\n    \"kernels\": {\n";
+  for (size_t i = 0; i < kernels.size(); ++i) {
+    json += "      \"" + std::string(kernels[i].name) +
+            "\": {\"classify_gbps\": " + std::to_string(kernels[i].classify_gbps) +
+            ", \"pack_gbps\": " + std::to_string(kernels[i].pack_gbps) + "}" +
+            (i + 1 < kernels.size() ? ",\n" : "\n");
+  }
+  json += "    },\n    \"crc32\": {\n";
+  for (size_t i = 0; i < crc_rows.size(); ++i) {
+    json += "      \"" + std::to_string(crc_rows[i].size) +
+            "\": {\"dispatched_gbps\": " + std::to_string(crc_rows[i].hw_gbps) +
+            ", \"table_gbps\": " + std::to_string(crc_rows[i].table_gbps) +
+            "}" + (i + 1 < crc_rows.size() ? ",\n" : "\n");
+  }
+  json += "    },\n    \"count_grid\": {\n";
+  for (size_t i = 0; i < grid.size(); ++i) {
+    json += "      \"" + std::to_string(grid[i].threads) +
+            "\": {\"scalar_seconds\": " + std::to_string(grid[i].scalar_seconds) +
+            ", \"simd_seconds\": " + std::to_string(grid[i].simd_seconds) +
+            "}" + (i + 1 < grid.size() ? ",\n" : "\n");
+  }
+  json += "    },\n    \"queue\": {\n";
+  for (const QueueRow* row : {&mutex_row, &rings_row}) {
+    json += "      \"" + std::string(row->name) +
+            "\": {\"seconds\": " + std::to_string(row->seconds) +
+            ", \"spin_parks\": " + std::to_string(row->spin_parks) +
+            ", \"peak_queued_bytes\": " + std::to_string(row->peak_queued_bytes) +
+            "}" + (row == &mutex_row ? ",\n" : "\n");
+  }
+  json += "    }\n  },\n";
+  return json;
+}
+
 /// The comparison the acceptance criterion asks for: superkmer pass-1 must
 /// move a small fraction of the raw path's chunk bytes with identical
 /// surviving mers. Prints a table, writes BENCH_kmer.json, and returns the
@@ -390,6 +670,7 @@ void WriteEncodingJson(std::ofstream& out, const char* key,
 double RunPass1EncodingComparison() {
   unsigned threads = bench::BenchThreads();
   if (threads == 0) threads = std::thread::hardware_concurrency();
+  const std::string simd_json = RunSimdComparison();
   bench::PrintHeader(
       "bench_micro_kmer: pass-1 encoding (raw vs superkmer), HC-2-sim, "
       "k=31 edge mers");
@@ -452,7 +733,8 @@ double RunPass1EncodingComparison() {
       << "  \"mer_length\": 32,\n"
       << "  \"minimizer_len\": " << sk.batch.minimizer_len << ",\n"
       << bench::JsonProvenanceFields()
-      << "  \"threads\": " << threads << ",\n";
+      << "  \"threads\": " << threads << ",\n"
+      << simd_json;
   WriteEncodingJson(out, "raw", raw);
   out << ",\n";
   WriteEncodingJson(out, "superkmer", sk);

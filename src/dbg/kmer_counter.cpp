@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -11,6 +12,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "dna/encode_simd.h"
 #include "dna/kmer.h"
 #include "dna/superkmer.h"
 #include "net/coordinator.h"
@@ -20,6 +22,7 @@
 #include "spill/spill.h"
 #include "util/hash.h"
 #include "util/logging.h"
+#include "util/mpsc_ring.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 #include "util/varint.h"
@@ -45,6 +48,14 @@ constexpr size_t kFlushChunkBytes = kFlushCodes * sizeof(uint64_t);
 // Reads claimed per grab of the shared cursor in pass 1.
 constexpr size_t kReadBlock = 256;
 
+// Ring-queue shape (QueueImpl::kRings). 64 slots per shard bounds ring
+// memory at ~6 KB/shard of cell headers while holding far more chunk
+// bytes than the session byte bound admits; the spin budget is how long a
+// thread burns on a full/empty ring before parking on the session condvar
+// (each park is one counting.queue_spin tick).
+constexpr size_t kRingCapacity = 64;
+constexpr int kQueueSpinIters = 64;
+
 uint64_t NextPow2(uint64_t x) { return std::bit_ceil(std::max<uint64_t>(x, 1)); }
 
 int EffectiveMinimizerLen(const KmerCountConfig& config) {
@@ -65,6 +76,26 @@ void ScanCanonicalMers(const Read& read, KmerWindow& window, Fn&& fn) {
       continue;
     }
     if (window.Push(static_cast<uint8_t>(b))) {
+      fn(window.Current().Canonical().code());
+    }
+  }
+}
+
+/// ScanCanonicalMers over pre-classified 2-bit codes (dna/encode_simd.h;
+/// values > 3 = invalid base). Identical window sequence by construction —
+/// ClassifyBases is byte-for-byte BaseFromChar — so the char-based form
+/// above stays the definitional oracle (the serial counter runs it) while
+/// the sharded hot path consumes vectorized classifications.
+template <typename Fn>
+void ScanCanonicalMerCodes(const uint8_t* codes, size_t size,
+                           KmerWindow& window, Fn&& fn) {
+  window.Reset();
+  for (size_t i = 0; i < size; ++i) {
+    if (codes[i] > 3) {
+      window.Reset();
+      continue;
+    }
+    if (window.Push(codes[i])) {
       fn(window.Current().Canonical().code());
     }
   }
@@ -255,8 +286,21 @@ class Pass1Scanner {
   template <typename Sink>
   void ScanRead(const Read& read, Sink&& sink) {
     bases_ += read.bases.size();
+    if (read.bases.empty()) return;
+    // Work from 2-bit codes: the reader thread's pre-classified buffer
+    // when present (io/fastx.cpp fills it under SIMD dispatch), else
+    // classify here — vectorized or scalar per the active dispatch level.
+    const uint8_t* codes;
+    if (read.codes.size() == read.bases.size()) {
+      codes = read.codes.data();
+    } else {
+      codes_.resize(read.bases.size());
+      ClassifyBases(read.bases.data(), read.bases.size(), codes_.data());
+      codes = codes_.data();
+    }
+    const size_t n = read.bases.size();
     if (config_.pass1_encoding == Pass1Encoding::kRaw) {
-      ScanCanonicalMers(read, window_, [&](uint64_t code) {
+      ScanCanonicalMerCodes(codes, n, window_, [&](uint64_t code) {
         const uint32_t s = ShardOf(Mix64(code));
         ++windows_;
         local_[s].codes.push_back(code);
@@ -266,12 +310,11 @@ class Pass1Scanner {
       });
       return;
     }
-    const std::string_view bases(read.bases);
-    sk_scanner_.Scan(bases, [&](const Superkmer& sk) {
+    sk_scanner_.ScanCodes(codes, n, [&](const Superkmer& sk) {
       const uint32_t s = ShardOf(sk.minimizer_hash);
       Pass1Chunk& chunk = local_[s];
-      AppendSuperkmer(bases.substr(sk.base_offset, sk.base_length),
-                      /*first_window_offset=*/0, &chunk.packed);
+      AppendSuperkmerCodes(codes + sk.base_offset, sk.base_length,
+                           /*first_window_offset=*/0, &chunk.packed);
       chunk.windows += sk.windows;
       chunk.records += 1;
       windows_ += sk.windows;
@@ -325,6 +368,7 @@ class Pass1Scanner {
   const Plan& plan_;
   KmerWindow window_;
   SuperkmerScanner sk_scanner_;
+  std::vector<uint8_t> codes_;  // per-read classify buffer, reused
   std::vector<Pass1Chunk> local_;
   uint64_t bases_ = 0;
   uint64_t windows_ = 0;
@@ -500,6 +544,20 @@ struct CounterSession::Impl {
   // counter thread owning shard s (s % num_counters), never under mu.
   std::vector<CountTable> tables;
 
+  // Ring-queue path (QueueImpl::kRings, in-memory sessions only): one
+  // lock-free MPSC ring per shard replaces pending/pending_bytes, and the
+  // byte accounting moves to atomics. mu + the condvars below are then
+  // used only for parking after the spin budget runs out — never to move
+  // a chunk.
+  bool use_rings = false;
+  std::vector<std::unique_ptr<MpscRing<Pass1Chunk>>> rings;
+  std::atomic<uint64_t> ring_queued_bytes{0};
+  std::atomic<uint64_t> ring_peak_queued_bytes{0};
+  std::atomic<uint32_t> not_full_waiters{0};
+  std::atomic<uint32_t> not_empty_waiters{0};
+  std::atomic<uint64_t> queue_spin_parks{0};
+  std::atomic<bool> finishing_flag{false};
+
   std::mutex mu;
   std::condition_variable not_full;   // scanners wait here (backpressure)
   std::condition_variable not_empty;  // counters wait here
@@ -550,6 +608,17 @@ struct CounterSession::Impl {
     num_counters = distributed || (spilling && spill->mode == SpillMode::kAlways)
                        ? 0
                        : std::min<unsigned>(plan.threads, plan.shards);
+    // Rings only serve the pure in-memory path: spill admission needs the
+    // session-wide queue view (TakeLargestLocked) and distributed chunks
+    // never enter a local queue at all.
+    use_rings = config.queue_impl == QueueImpl::kRings && !spilling &&
+                !distributed && num_counters > 0;
+    if (use_rings) {
+      rings.reserve(plan.shards);
+      for (uint32_t s = 0; s < plan.shards; ++s) {
+        rings.push_back(std::make_unique<MpscRing<Pass1Chunk>>(kRingCapacity));
+      }
+    }
     tables.reserve(plan.shards);
     for (uint32_t s = 0; s < plan.shards; ++s) {
       // Streaming has no per-shard window total to size from; start small
@@ -584,7 +653,121 @@ struct CounterSession::Impl {
     }
     counters.reserve(num_counters);
     for (unsigned c = 0; c < num_counters; ++c) {
-      counters.emplace_back([this, c] { CounterLoop(c); });
+      counters.emplace_back(
+          [this, c] { use_rings ? CounterLoopRings(c) : CounterLoop(c); });
+    }
+  }
+
+  // Spin-then-park for the ring path: spins re-checking `ready`, then
+  // parks on `cv` for at most 1 ms. The predicate reads atomics that are
+  // not written under mu, so an untimed wait could sleep through a wakeup
+  // that slipped between check and park; the timed wait bounds that race
+  // at 1 ms instead of making every hot-path update take the lock. Each
+  // park ticks counting.queue_spin — the contention signal the bench
+  // grids record.
+  template <typename Pred>
+  void RingWait(std::condition_variable& cv, std::atomic<uint32_t>& waiters,
+                Pred&& ready) {
+    for (int i = 0; i < kQueueSpinIters; ++i) {
+      if (ready()) return;
+      std::this_thread::yield();
+    }
+    queue_spin_parks.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter* spin_metric =
+        obs::MetricsRegistry::Global().GetCounter("counting.queue_spin");
+    spin_metric->Add(1);
+    std::unique_lock<std::mutex> lock(mu);
+    waiters.fetch_add(1, std::memory_order_relaxed);
+    cv.wait_for(lock, std::chrono::milliseconds(1), ready);
+    waiters.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  // Ring-path enqueue: byte admission by CAS (same invariant as the mutex
+  // path — admit when under the bound, or unconditionally when nothing is
+  // queued, so progress is guaranteed for any single chunk), then a
+  // lock-free push into the shard's ring.
+  void EnqueueRing(uint32_t s, Pass1Chunk&& chunk) {
+    const uint64_t n = chunk.SizeBytes();
+    PPA_TRACE_SPAN_V("queue_wait", "count", n);
+    uint64_t cur = ring_queued_bytes.load(std::memory_order_relaxed);
+    for (;;) {
+      if (cur == 0 || cur + n <= bound) {
+        if (ring_queued_bytes.compare_exchange_weak(
+                cur, cur + n, std::memory_order_relaxed)) {
+          break;
+        }
+        continue;  // CAS refreshed cur; re-evaluate the admission test
+      }
+      RingWait(not_full, not_full_waiters, [&] {
+        const uint64_t q = ring_queued_bytes.load(std::memory_order_relaxed);
+        return q == 0 || q + n <= bound;
+      });
+      cur = ring_queued_bytes.load(std::memory_order_relaxed);
+    }
+    uint64_t peak = ring_peak_queued_bytes.load(std::memory_order_relaxed);
+    while (cur + n > peak &&
+           !ring_peak_queued_bytes.compare_exchange_weak(
+               peak, cur + n, std::memory_order_relaxed)) {
+    }
+    while (!rings[s]->TryPush(std::move(chunk))) {
+      RingWait(not_full, not_full_waiters, [&] { return !rings[s]->Full(); });
+    }
+    if (not_empty_waiters.load(std::memory_order_relaxed) != 0) {
+      // Taking mu pairs the notify with the waiter's locked predicate
+      // check; the waiter's wait_for bounds anything that still slips.
+      std::lock_guard<std::mutex> lock(mu);
+      not_empty.notify_all();
+    }
+  }
+
+  // Drains every ring owned by counter c into its tables. Returns whether
+  // any chunk was processed.
+  bool DrainOwnedRings(unsigned c) {
+    bool worked = false;
+    for (uint32_t s = c; s < plan.shards; s += num_counters) {
+      Pass1Chunk chunk;
+      while (rings[s]->TryPop(&chunk)) {
+        const uint64_t n = chunk.SizeBytes();
+        {
+          PPA_TRACE_SPAN_V("count_chunk", "count", n);
+          ForEachChunkCode(chunk, config.mer_length,
+                           [&](uint64_t code) { tables[s].Add(code); });
+        }
+        // In ring mode the per-shard ledgers are owned by this consumer
+        // (the mutex path updates them producer-side under mu); totals at
+        // Finish are identical, with no atomics on the vectors.
+        shard_windows[s] += chunk.windows;
+        shard_bytes[s] += n;
+        shard_messages[s] += chunk.records;
+        ring_queued_bytes.fetch_sub(n, std::memory_order_relaxed);
+        if (not_full_waiters.load(std::memory_order_relaxed) != 0) {
+          std::lock_guard<std::mutex> lock(mu);
+          not_full.notify_all();
+        }
+        worked = true;
+      }
+    }
+    return worked;
+  }
+
+  void CounterLoopRings(unsigned c) {
+    obs::SetTraceThreadName("counter");
+    for (;;) {
+      if (DrainOwnedRings(c)) continue;
+      if (finishing_flag.load(std::memory_order_acquire)) {
+        // Every AddBatch returned before Finish set the flag, so all
+        // pushes happen-before this load observes it; one more drain
+        // catches anything that raced the empty sweep above.
+        DrainOwnedRings(c);
+        return;
+      }
+      RingWait(not_empty, not_empty_waiters, [&] {
+        if (finishing_flag.load(std::memory_order_acquire)) return true;
+        for (uint32_t s = c; s < plan.shards; s += num_counters) {
+          if (!rings[s]->Empty()) return true;
+        }
+        return false;
+      });
     }
   }
 
@@ -683,6 +866,10 @@ struct CounterSession::Impl {
   void Enqueue(uint32_t s, Pass1Chunk&& chunk) {
     if (distributed) {
       EnqueueNet(s, std::move(chunk));
+      return;
+    }
+    if (use_rings) {
+      EnqueueRing(s, std::move(chunk));
       return;
     }
     const uint64_t n = chunk.SizeBytes();
@@ -947,6 +1134,7 @@ CounterSession::~CounterSession() {
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
     impl_->finishing = true;
+    impl_->finishing_flag.store(true, std::memory_order_release);
     impl_->not_empty.notify_all();
   }
   for (auto& t : impl_->counters) t.join();
@@ -984,6 +1172,7 @@ MerCounts CounterSession::Finish(KmerCountStats* stats) {
   {
     std::lock_guard<std::mutex> lock(impl.mu);
     impl.finishing = true;
+    impl.finishing_flag.store(true, std::memory_order_release);
     impl.not_empty.notify_all();
   }
   for (auto& t : impl.counters) t.join();
@@ -1080,8 +1269,13 @@ MerCounts CounterSession::Finish(KmerCountStats* stats) {
                    std::move(impl.shard_bytes),
                    std::move(impl.shard_messages),
                    impl.total_superkmers.load());
-    stats->peak_queued_bytes = impl.peak_queued_bytes;
+    stats->peak_queued_bytes = impl.use_rings
+                                   ? impl.ring_peak_queued_bytes.load()
+                                   : impl.peak_queued_bytes;
     stats->queue_bound_bytes = impl.bound;
+    stats->queue_impl =
+        impl.use_rings ? QueueImpl::kRings : QueueImpl::kMutex;
+    stats->queue_spin_parks = impl.queue_spin_parks.load();
     for (uint32_t s = 0; s < S; ++s) {
       stats->spilled_chunks += impl.shard_spilled[s];
       if (impl.shard_spilled[s] != 0) ++stats->spill_files;

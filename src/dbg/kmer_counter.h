@@ -83,6 +83,21 @@ inline bool ParsePass1Encoding(const std::string& name, Pass1Encoding* out) {
   return false;
 }
 
+/// How CounterSession moves sealed pass-1 chunks from scanners to shard
+/// counters.
+enum class QueueImpl : uint8_t {
+  kRings = 0,  // lock-free bounded MPSC rings (util/mpsc_ring.h); the
+               // default for the pure in-memory path. Spilling and
+               // distributed sessions always use the mutex queues (their
+               // admission decisions need the session-wide view).
+  kMutex = 1,  // mutex + condvar deques (the pre-SIMD path; kept as the
+               // contention baseline and for spill/distributed sessions)
+};
+
+inline const char* QueueImplName(QueueImpl q) {
+  return q == QueueImpl::kRings ? "rings" : "mutex";
+}
+
 /// Configuration of one counting job.
 struct KmerCountConfig {
   int mer_length = 32;         // length of the counted mers; <= 32.
@@ -112,6 +127,11 @@ struct KmerCountConfig {
   // spill wiring above is ignored for the counter (the chunks leave the
   // process instead). Output is bit-identical to the in-process path.
   NetContext* net = nullptr;
+
+  // Scan->count queue implementation (streaming sessions, in-memory path
+  // only; spilling/distributed sessions use kMutex regardless). Counting
+  // is commutative, so output is bit-identical either way.
+  QueueImpl queue_impl = QueueImpl::kRings;
 };
 
 /// Execution metrics of one counting job (feeds RunStats / benches).
@@ -151,6 +171,14 @@ struct KmerCountStats {
   // bound covers every resident chunk byte of the session.
   uint64_t peak_queued_bytes = 0;
   uint64_t queue_bound_bytes = 0;
+
+  // Queue implementation the session actually ran (may differ from the
+  // configured one: spill/distributed force kMutex), and how many times a
+  // thread exhausted its spin budget on a full/empty ring and parked
+  // (kRings only; also published as the counting.queue_spin metric). Like
+  // peak_queued_bytes, scheduling-dependent — equivalence tests mask it.
+  QueueImpl queue_impl = QueueImpl::kMutex;
+  uint64_t queue_spin_parks = 0;
 
   // External spill volume (spill/spill.h); all zero when spilling is off.
   // spilled/readback bytes are serialized record payloads, so equal totals

@@ -1,0 +1,243 @@
+#include "dna/encode_simd.h"
+
+#include <array>
+#include <cstring>
+
+#include "dna/nucleotide.h"
+#include "util/cpu.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define PPA_HAVE_X86_SIMD 1
+#endif
+
+namespace ppa {
+
+namespace {
+
+// The scalar classify table is *generated from* BaseFromChar, so the two
+// can never drift: table[c] == (BaseFromChar(c) < 0 ? kInvalidBaseCode
+// : BaseFromChar(c)) for all 256 byte values.
+const std::array<uint8_t, 256>& ClassifyTable() {
+  static const std::array<uint8_t, 256> table = [] {
+    std::array<uint8_t, 256> t{};
+    for (int c = 0; c < 256; ++c) {
+      const int b = BaseFromChar(static_cast<char>(c));
+      t[c] = b < 0 ? kInvalidBaseCode : static_cast<uint8_t>(b);
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+void ClassifyBasesScalar(const char* bases, size_t size, uint8_t* codes) {
+  const auto& table = ClassifyTable();
+  for (size_t i = 0; i < size; ++i) {
+    codes[i] = table[static_cast<uint8_t>(bases[i])];
+  }
+}
+
+void PackCodesScalar(const uint8_t* codes, size_t size, uint8_t* out) {
+  size_t i = 0;
+  for (; i + 4 <= size; i += 4) {
+    out[i >> 2] = static_cast<uint8_t>(codes[i] | codes[i + 1] << 2 |
+                                       codes[i + 2] << 4 | codes[i + 3] << 6);
+  }
+  if (i < size) {
+    uint8_t b = 0;
+    for (size_t j = i; j < size; ++j) {
+      b |= static_cast<uint8_t>(codes[j] << (2 * (j & 3)));
+    }
+    out[i >> 2] = b;
+  }
+}
+
+#if PPA_HAVE_X86_SIMD
+
+namespace {
+
+// pshufb-based classify. Case is folded with `c | 0x20`; the low nibbles
+// of 'a','c','g','t' (0x61, 0x63, 0x67, 0x74) are the distinct values
+// 1, 3, 7, 4, so one shuffle looks up the full character that nibble
+// *should* be and another looks up its 2-bit code. A byte is a valid base
+// iff the expected character equals the folded byte (pshufb zeroes lanes
+// whose index has the high bit set, and no folded ASCII base has it, so
+// bytes >= 0x80 compare unequal and fall out as invalid).
+//
+// Table layouts, indexed by low nibble:            1    3    4    7
+constexpr char kExpectedLo[16] = {0, 'a', 0, 'c', 't', 0,  0, 'g',
+                                  0, 0,   0, 0,   0,   0,  0, 0};
+constexpr char kCodeLo[16] = {0, kBaseA, 0, kBaseC, kBaseT, 0, 0, kBaseG,
+                              0, 0,      0, 0,      0,      0, 0, 0};
+
+__attribute__((target("ssse3"))) void ClassifyBasesSse(const char* bases,
+                                                       size_t size,
+                                                       uint8_t* codes) {
+  const __m128i expected = _mm_loadu_si128(
+      reinterpret_cast<const __m128i*>(kExpectedLo));
+  const __m128i code_table =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(kCodeLo));
+  const __m128i fold = _mm_set1_epi8(0x20);
+  const __m128i invalid = _mm_set1_epi8(static_cast<char>(kInvalidBaseCode));
+  size_t i = 0;
+  for (; i + 16 <= size; i += 16) {
+    const __m128i raw =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(bases + i));
+    const __m128i folded = _mm_or_si128(raw, fold);
+    const __m128i want = _mm_shuffle_epi8(expected, folded);
+    const __m128i code = _mm_shuffle_epi8(code_table, folded);
+    const __m128i valid = _mm_cmpeq_epi8(want, folded);
+    const __m128i result = _mm_or_si128(_mm_and_si128(valid, code),
+                                        _mm_andnot_si128(valid, invalid));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(codes + i), result);
+  }
+  if (i < size) ClassifyBasesScalar(bases + i, size - i, codes + i);
+}
+
+__attribute__((target("avx2"))) void ClassifyBasesAvx2(const char* bases,
+                                                       size_t size,
+                                                       uint8_t* codes) {
+  const __m256i expected = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(kExpectedLo)));
+  const __m256i code_table = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(kCodeLo)));
+  const __m256i fold = _mm256_set1_epi8(0x20);
+  const __m256i invalid =
+      _mm256_set1_epi8(static_cast<char>(kInvalidBaseCode));
+  size_t i = 0;
+  for (; i + 32 <= size; i += 32) {
+    const __m256i raw =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bases + i));
+    const __m256i folded = _mm256_or_si256(raw, fold);
+    const __m256i want = _mm256_shuffle_epi8(expected, folded);
+    const __m256i code = _mm256_shuffle_epi8(code_table, folded);
+    const __m256i valid = _mm256_cmpeq_epi8(want, folded);
+    const __m256i result = _mm256_or_si256(
+        _mm256_and_si256(valid, code), _mm256_andnot_si256(valid, invalid));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(codes + i), result);
+  }
+  if (i < size) ClassifyBasesScalar(bases + i, size - i, codes + i);
+}
+
+// maddubs/madd-based pack: per 4 consecutive codes the packed byte is
+// c0 + 4*c1 + 16*c2 + 64*c3. maddubs against [1,4] reduces byte pairs
+// into 16-bit lanes, madd against [1,16] reduces those into 32-bit lanes,
+// and a byte shuffle gathers the low byte of each lane.
+constexpr char kGatherLow[16] = {0, 4, 8, 12, -128, -128, -128, -128,
+                                 -128, -128, -128, -128, -128, -128, -128,
+                                 -128};
+
+__attribute__((target("ssse3"))) void PackCodesSse(const uint8_t* codes,
+                                                   size_t size, uint8_t* out) {
+  const __m128i w1 = _mm_set1_epi16(0x0401);      // bytes [1, 4]
+  const __m128i w2 = _mm_set1_epi32(0x00100001);  // shorts [1, 16]
+  const __m128i gather =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(kGatherLow));
+  size_t i = 0;
+  for (; i + 16 <= size; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + i));
+    const __m128i pairs = _mm_maddubs_epi16(v, w1);
+    const __m128i quads = _mm_madd_epi16(pairs, w2);
+    const __m128i bytes = _mm_shuffle_epi8(quads, gather);
+    const uint32_t packed = static_cast<uint32_t>(_mm_cvtsi128_si32(bytes));
+    std::memcpy(out + (i >> 2), &packed, 4);
+  }
+  if (i < size) PackCodesScalar(codes + i, size - i, out + (i >> 2));
+}
+
+__attribute__((target("avx2"))) void PackCodesAvx2(const uint8_t* codes,
+                                                   size_t size, uint8_t* out) {
+  const __m256i w1 = _mm256_set1_epi16(0x0401);
+  const __m256i w2 = _mm256_set1_epi32(0x00100001);
+  const __m256i gather = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(kGatherLow)));
+  // Pull dword 0 of each 128-bit lane side by side (indices 0 and 4).
+  const __m256i lanes = _mm256_setr_epi32(0, 4, 0, 0, 0, 0, 0, 0);
+  size_t i = 0;
+  for (; i + 32 <= size; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(codes + i));
+    const __m256i pairs = _mm256_maddubs_epi16(v, w1);
+    const __m256i quads = _mm256_madd_epi16(pairs, w2);
+    const __m256i bytes = _mm256_shuffle_epi8(quads, gather);
+    const __m256i packed = _mm256_permutevar8x32_epi32(bytes, lanes);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(out + (i >> 2)),
+                     _mm256_castsi256_si128(packed));
+  }
+  if (i < size) PackCodesScalar(codes + i, size - i, out + (i >> 2));
+}
+
+}  // namespace
+
+#endif  // PPA_HAVE_X86_SIMD
+
+void ClassifyBases(const char* bases, size_t size, uint8_t* codes) {
+#if PPA_HAVE_X86_SIMD
+  // Below one SSE vector the wide kernels do zero vector iterations and
+  // only pay constant setup + the tail call; skip straight to the table.
+  if (size < 16) {
+    ClassifyBasesScalar(bases, size, codes);
+    return;
+  }
+  switch (ActiveSimdLevel()) {
+    case SimdLevel::kAvx2:
+      ClassifyBasesAvx2(bases, size, codes);
+      return;
+    case SimdLevel::kSse42:
+      ClassifyBasesSse(bases, size, codes);
+      return;
+    default:
+      break;
+  }
+#endif
+  ClassifyBasesScalar(bases, size, codes);
+}
+
+void PackCodes(const uint8_t* codes, size_t size, uint8_t* out) {
+#if PPA_HAVE_X86_SIMD
+  // Typical super-k-mer records are ~k+m codes — often under one AVX2
+  // vector (32 codes -> 8 packed bytes). The wide kernels are a net loss
+  // there: ymm constant setup plus a scalar tail call with no vector work
+  // in between. Route small buffers to the scalar packer and mid-size
+  // ones to the SSE kernel (16 codes per step), keeping AVX2 for buffers
+  // with at least a couple of full 32-code iterations.
+  if (size < 16) {
+    PackCodesScalar(codes, size, out);
+    return;
+  }
+  switch (ActiveSimdLevel()) {
+    case SimdLevel::kAvx2:
+      if (size < 64) {
+        PackCodesSse(codes, size, out);
+        return;
+      }
+      PackCodesAvx2(codes, size, out);
+      return;
+    case SimdLevel::kSse42:
+      PackCodesSse(codes, size, out);
+      return;
+    default:
+      break;
+  }
+#endif
+  PackCodesScalar(codes, size, out);
+}
+
+std::vector<EncodeKernel> AvailableEncodeKernels() {
+  std::vector<EncodeKernel> kernels;
+  kernels.push_back(
+      EncodeKernel{"scalar", true, &ClassifyBasesScalar, &PackCodesScalar});
+#if PPA_HAVE_X86_SIMD
+  const CpuFeatures& f = DetectCpuFeatures();
+  kernels.push_back(
+      EncodeKernel{"sse4.2", f.ssse3, &ClassifyBasesSse, &PackCodesSse});
+  kernels.push_back(EncodeKernel{"avx2", f.avx2 && f.ssse3,
+                                 &ClassifyBasesAvx2, &PackCodesAvx2});
+#endif
+  return kernels;
+}
+
+}  // namespace ppa

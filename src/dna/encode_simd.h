@@ -1,0 +1,73 @@
+// Vectorized base classification and 2-bit packing — the per-byte front
+// half of every pass-1 hot path.
+//
+// Two primitives, both runtime-dispatched through util/cpu.h:
+//
+//   ClassifyBases  ASCII -> 2-bit codes (0..3) with kInvalidBaseCode for
+//                  anything that is not A/C/G/T (case-insensitive),
+//                  byte-for-byte equal to BaseFromChar. SuperkmerScanner
+//                  and the pass-1 raw path consume the code buffer so the
+//                  per-base branchy switch runs once per read, vectorized,
+//                  instead of once per window position.
+//   PackCodes      2-bit codes -> packed bytes (4 codes per byte, code j
+//                  at bits 2*(j%4) of byte j/4, zero-padded tail) — the
+//                  super-k-mer record payload format of dna/superkmer.h.
+//
+// The SIMD classify is two pshufb lookups: fold case with `c | 0x20`, then
+// the low nibble of 'a','c','g','t' (1, 3, 7, 4) indexes both an
+// expected-character table and a code table; a byte is valid iff the
+// expected character round-trips, and invalid lanes blend to 0xFF. The
+// SIMD pack is the maddubs/madd horizontal reduction (c0 + 4*c1 + 16*c2 +
+// 64*c3 per 4 codes) followed by a byte gather.
+//
+// The scalar versions are the oracle: SIMD kernels must match them
+// byte-for-byte on every input (tests/encode_simd_test.cpp sweeps all
+// compiled-in kernels), and PPA_FORCE_SCALAR pins dispatch to them.
+#ifndef PPA_DNA_ENCODE_SIMD_H_
+#define PPA_DNA_ENCODE_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ppa {
+
+/// Code stored for a non-ACGT byte. Any value > 3 would do; 0xFF keeps
+/// invalid lanes visually obvious in dumps.
+inline constexpr uint8_t kInvalidBaseCode = 0xFF;
+
+/// Scalar oracle: codes[i] = BaseFromChar(bases[i]) with -1 mapped to
+/// kInvalidBaseCode. Table-driven (one 256-entry table built from
+/// BaseFromChar), so it is the definitional reference, just unbranched.
+void ClassifyBasesScalar(const char* bases, size_t size, uint8_t* codes);
+
+/// Dispatched classify: picks the widest kernel ActiveSimdLevel() allows.
+/// `codes` must have room for `size` bytes; overlap with `bases` is not
+/// allowed.
+void ClassifyBases(const char* bases, size_t size, uint8_t* codes);
+
+/// Scalar oracle: packs `size` 2-bit codes (each must be 0..3) into
+/// ceil(size/4) bytes at `out`, LSB-first within each byte, zero-padding
+/// the final partial byte. Bytes are written, not OR-merged.
+void PackCodesScalar(const uint8_t* codes, size_t size, uint8_t* out);
+
+/// Dispatched pack. Same contract as PackCodesScalar.
+void PackCodes(const uint8_t* codes, size_t size, uint8_t* out);
+
+/// One compiled-in kernel pair, for equivalence tests and benches that
+/// want to pit every kernel against the scalar oracle regardless of the
+/// current dispatch decision. Callers must check `supported` before
+/// invoking on this machine.
+struct EncodeKernel {
+  const char* name;  // "scalar", "sse4", "avx2"
+  bool supported;    // the running CPU can execute it
+  void (*classify)(const char* bases, size_t size, uint8_t* codes);
+  void (*pack)(const uint8_t* codes, size_t size, uint8_t* out);
+};
+
+/// All kernels compiled into this binary, scalar first.
+std::vector<EncodeKernel> AvailableEncodeKernels();
+
+}  // namespace ppa
+
+#endif  // PPA_DNA_ENCODE_SIMD_H_

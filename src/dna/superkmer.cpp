@@ -18,6 +18,20 @@ size_t AppendSuperkmer(std::string_view bases, uint32_t first_window_offset,
   return out->size() - start;
 }
 
+size_t AppendSuperkmerCodes(const uint8_t* codes, size_t size,
+                            uint32_t first_window_offset,
+                            std::vector<uint8_t>* out) {
+  const size_t start = out->size();
+  PutVarint64(out, size);
+  PutVarint64(out, first_window_offset);
+  const size_t packed_bytes = (size + 3) / 4;
+  out->resize(out->size() + packed_bytes);
+  // PackCodes writes whole bytes (zero-padded tail), so packing straight
+  // into the appended region needs no pre-clear.
+  PackCodes(codes, size, out->data() + out->size() - packed_bytes);
+  return out->size() - start;
+}
+
 bool SummarizeSuperkmerChunk(const uint8_t* data, size_t size, int mer_length,
                              SuperkmerChunkSummary* out) {
   *out = SuperkmerChunkSummary{};

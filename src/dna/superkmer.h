@@ -36,6 +36,7 @@
 #include <string_view>
 #include <vector>
 
+#include "dna/encode_simd.h"
 #include "dna/kmer.h"
 #include "dna/nucleotide.h"
 #include "util/hash.h"
@@ -87,9 +88,22 @@ class SuperkmerScanner {
   /// Calls fn(const Superkmer&) for each run of `bases`, splitting at
   /// non-ACGT characters exactly like ScanCanonicalMers. Every window of
   /// every fragment lands in exactly one emitted run; reads shorter than L
-  /// (or fragments shorter than L) emit nothing.
+  /// (or fragments shorter than L) emit nothing. Classifies the bases
+  /// (dna/encode_simd.h, vectorized when dispatch allows) into an internal
+  /// buffer and runs ScanCodes — the two entry points share one loop, so
+  /// they cannot drift.
   template <typename Fn>
   void Scan(std::string_view bases, Fn&& fn) {
+    codes_.resize(bases.size());
+    ClassifyBases(bases.data(), bases.size(), codes_.data());
+    ScanCodes(codes_.data(), bases.size(), static_cast<Fn&&>(fn));
+  }
+
+  /// Same contract as Scan, over pre-classified 2-bit codes (values > 3 =
+  /// invalid base). This is the loop itself; offsets in the emitted
+  /// Superkmer index into `codes`.
+  template <typename Fn>
+  void ScanCodes(const uint8_t* codes, size_t size, Fn&& fn) {
     size_t frag_start = 0;  // first base of the current ACGT fragment
     uint64_t fwd = 0, rc = 0;
     int mmer_filled = 0;
@@ -112,8 +126,8 @@ class SuperkmerScanner {
       fn(static_cast<const Superkmer&>(sk));
     };
 
-    for (size_t i = 0; i <= bases.size(); ++i) {
-      const int b = i < bases.size() ? BaseFromChar(bases[i]) : -1;
+    for (size_t i = 0; i <= size; ++i) {
+      const int b = i < size && codes[i] <= 3 ? codes[i] : -1;
       if (b < 0) {
         // Fragment boundary (or end of read): close the open run, whose
         // last window ended at i - 1.
@@ -184,6 +198,7 @@ class SuperkmerScanner {
   uint64_t mmask_;
   Entry ring_[kRingMask + 1];
   size_t head_ = 0, tail_ = 0;
+  std::vector<uint8_t> codes_;  // Scan's classify buffer, reused per read
 };
 
 /// Appends one encoded super-k-mer record to `out`:
@@ -197,6 +212,14 @@ class SuperkmerScanner {
 /// overlapping range replay only its new windows. Returns bytes appended.
 size_t AppendSuperkmer(std::string_view bases, uint32_t first_window_offset,
                        std::vector<uint8_t>* out);
+
+/// AppendSuperkmer over pre-classified 2-bit codes: identical record bytes,
+/// but the packing runs through the dispatched PackCodes kernel instead of
+/// a per-base loop. Every code must be 0..3 (the scanner only emits ACGT
+/// runs); invalid codes would corrupt the packed bytes, not abort.
+size_t AppendSuperkmerCodes(const uint8_t* codes, size_t size,
+                            uint32_t first_window_offset,
+                            std::vector<uint8_t>* out);
 
 /// Parses and validates one record header at data[*pos], advancing *pos
 /// past it (but not past the packed bases). The one place both the decoder

@@ -2,6 +2,7 @@
 
 #include "dbg/kmer_counter.h"
 #include "pregel/stats.h"
+#include "util/cpu.h"
 #include "util/json.h"
 
 namespace ppa {
@@ -24,8 +25,17 @@ void PublishRunMetrics(const RunReportData& data, MetricsRegistry* r) {
   Set(r, "ingest.bases", data.bases);
   Set(r, "ingest.batches", data.batches);
 
+  // What the runtime SIMD dispatch picked (util/cpu.h) — throughput
+  // metrics from two hosts are not comparable without it. The level gauge
+  // holds the SimdLevel enum value; SimdLevelName gives the spelling.
+  Set(r, "pipeline.simd.level",
+      static_cast<uint64_t>(ActiveSimdLevel()));
+  Set(r, "pipeline.simd.force_scalar", SimdForcedScalar() ? 1 : 0);
+
   if (data.counting != nullptr) {
     const KmerCountStats& c = *data.counting;
+    Set(r, "counting.queue_impl", static_cast<uint64_t>(c.queue_impl));
+    Set(r, "counting.queue_spin_parks", c.queue_spin_parks);
     Set(r, "counting.minimizer_len", c.minimizer_len);
     Set(r, "counting.shards", c.shards);
     Set(r, "counting.threads", c.threads);

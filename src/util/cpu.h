@@ -1,0 +1,160 @@
+// Runtime CPU-feature detection for the SIMD hot paths.
+//
+// Every vectorized kernel in the pipeline (dna/encode_simd.h base
+// classify/pack, util/crc32.h hardware CRC-32) dispatches through this
+// header: the binary is compiled for the baseline ISA and probes the
+// running CPU once, so one build runs everywhere and uses whatever the
+// hardware offers. The scalar implementations stay compiled-in as the
+// bit-identical oracle and as the fallback for CPUs (or builds) without
+// the extensions.
+//
+// PPA_FORCE_SCALAR=1 is the escape hatch: it pins every dispatch to the
+// scalar oracle at process level (inherited by spawned shard workers), so
+// a SIMD/scalar discrepancy can be bisected on any machine and CI can diff
+// the two modes end to end. Like PPA_DATASET_SCALE and PPA_BENCH_THREADS,
+// a malformed value refuses loudly (exit 2) instead of silently benching
+// or testing the wrong configuration.
+#ifndef PPA_UTIL_CPU_H_
+#define PPA_UTIL_CPU_H_
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+#if defined(__aarch64__) && defined(__linux__)
+#include <sys/auxv.h>
+#ifndef HWCAP_CRC32
+#define HWCAP_CRC32 (1 << 7)
+#endif
+#endif
+
+namespace ppa {
+
+/// The dispatch tier the process runs its per-byte hot paths at. Reported
+/// in BENCH_*.json provenance and the pipeline.simd.level metric.
+enum class SimdLevel : int {
+  kScalar = 0,  // table/byte loops only (forced, or nothing better found)
+  kSse42 = 1,   // x86 SSSE3 shuffles + SSE4.x + PCLMUL CRC folding
+  kAvx2 = 2,    // x86 32-byte shuffles + PCLMUL CRC folding
+  kNeon = 3,    // ARMv8 NEON + CRC32 extension
+};
+
+inline const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kSse42:
+      return "sse4.2";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kNeon:
+      return "neon";
+    default:
+      return "scalar";
+  }
+}
+
+/// What the running CPU offers, probed once (CPUID on x86, auxv on ARM).
+struct CpuFeatures {
+  bool ssse3 = false;    // pshufb (the classify/pack table shuffles)
+  bool sse41 = false;    // pextrd (CRC fold tail)
+  bool sse42 = false;    // reported tier only; CRC32C instr is unused (the
+                         // repo's CRC is IEEE 802.3, not Castagnoli)
+  bool pclmul = false;   // carry-less multiply (IEEE CRC-32 folding)
+  bool avx2 = false;     // 32-byte integer shuffles
+  bool neon_crc = false; // ARMv8 CRC32 extension (IEEE polynomial)
+};
+
+namespace internal {
+
+inline CpuFeatures ProbeCpuFeatures() {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+  f.ssse3 = __builtin_cpu_supports("ssse3") != 0;
+  f.sse41 = __builtin_cpu_supports("sse4.1") != 0;
+  f.sse42 = __builtin_cpu_supports("sse4.2") != 0;
+  f.pclmul = __builtin_cpu_supports("pclmul") != 0;
+  f.avx2 = __builtin_cpu_supports("avx2") != 0;
+#elif defined(__aarch64__) && defined(__linux__)
+  f.neon_crc = (getauxval(AT_HWCAP) & HWCAP_CRC32) != 0;
+#endif
+  return f;
+}
+
+/// Strict parse of PPA_FORCE_SCALAR: unset/blank/"0" = off, "1" = on,
+/// anything else exits 2 — a typo silently running the SIMD paths would
+/// make a scalar-vs-SIMD bisection lie.
+inline bool ParseForceScalarEnv() {
+  const char* env = std::getenv("PPA_FORCE_SCALAR");
+  if (env == nullptr) return false;
+  const char* start = env;
+  while (std::isspace(static_cast<unsigned char>(*start))) ++start;
+  if (*start == '\0') return false;  // empty/blank: unset
+  const char* end = start;
+  while (*end != '\0' && !std::isspace(static_cast<unsigned char>(*end))) {
+    ++end;
+  }
+  const char* rest = end;
+  while (std::isspace(static_cast<unsigned char>(*rest))) ++rest;
+  if (*rest == '\0' && end - start == 1) {
+    if (*start == '0') return false;
+    if (*start == '1') return true;
+  }
+  PPA_LOG(kError) << "PPA_FORCE_SCALAR='" << env
+                  << "' is invalid: expected 0 or 1";
+  std::exit(2);
+}
+
+/// Test/bench-only override counter (see ScopedForceScalar). Checked on
+/// every dispatch alongside the cached env flag; one relaxed load per
+/// *buffer*, not per byte, so the cost is noise.
+inline std::atomic<int>& ForceScalarOverride() {
+  static std::atomic<int> depth{0};
+  return depth;
+}
+
+}  // namespace internal
+
+/// Features of the running CPU (cached probe).
+inline const CpuFeatures& DetectCpuFeatures() {
+  static const CpuFeatures features = internal::ProbeCpuFeatures();
+  return features;
+}
+
+/// True when every dispatch must take the scalar oracle: PPA_FORCE_SCALAR=1
+/// in the environment, or an active ScopedForceScalar.
+inline bool SimdForcedScalar() {
+  static const bool from_env = internal::ParseForceScalarEnv();
+  return from_env ||
+         internal::ForceScalarOverride().load(std::memory_order_relaxed) != 0;
+}
+
+/// Pins dispatch to the scalar oracle for the guard's lifetime. For tests
+/// and benches that compare both modes inside one process; not meant to
+/// race with hot-path threads (flip it between runs, not during one).
+class ScopedForceScalar {
+ public:
+  ScopedForceScalar() {
+    internal::ForceScalarOverride().fetch_add(1, std::memory_order_relaxed);
+  }
+  ~ScopedForceScalar() {
+    internal::ForceScalarOverride().fetch_sub(1, std::memory_order_relaxed);
+  }
+  ScopedForceScalar(const ScopedForceScalar&) = delete;
+  ScopedForceScalar& operator=(const ScopedForceScalar&) = delete;
+};
+
+/// The dispatch tier currently in effect (detection + force-scalar state).
+inline SimdLevel ActiveSimdLevel() {
+  if (SimdForcedScalar()) return SimdLevel::kScalar;
+  const CpuFeatures& f = DetectCpuFeatures();
+  if (f.avx2 && f.ssse3 && f.sse41) return SimdLevel::kAvx2;
+  if (f.sse42 && f.ssse3 && f.sse41) return SimdLevel::kSse42;
+  if (f.neon_crc) return SimdLevel::kNeon;
+  return SimdLevel::kScalar;
+}
+
+}  // namespace ppa
+
+#endif  // PPA_UTIL_CPU_H_

@@ -1,10 +1,28 @@
 // CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
 //
-// Used by the external spill subsystem (spill/spill.h) to checksum every
-// record written to a spill file, so readback detects truncation and bit
-// rot instead of silently counting fewer mers. Table-driven, one table per
-// process; the classic byte-at-a-time form is plenty for spill traffic,
-// which is bounded by disk bandwidth anyway.
+// Checksums every spill-file record (spill/spill.h), every network wire
+// frame (net/wire.h), and every telemetry snapshot, so readback and
+// receive detect truncation and bit rot instead of silently counting
+// fewer mers.
+//
+// Two implementations behind one entry point:
+//
+//   Crc32Scalar  the classic table-driven byte-at-a-time form — the
+//                definitional oracle, always available, header-inline.
+//   Crc32        runtime-dispatched (util/cpu.h): on x86 with PCLMULQDQ
+//                it folds 64-byte blocks with carry-less multiplies (the
+//                Intel "Fast CRC Computation Using PCLMULQDQ" scheme, four
+//                accumulator streams for ILP); on ARMv8 with the CRC32
+//                extension it uses the __crc32* instructions, which
+//                implement exactly this polynomial. Falls back to the
+//                table for short buffers, unsupported CPUs, and
+//                PPA_FORCE_SCALAR=1.
+//
+// Note the x86 SSE4.2 crc32 *instruction* is useless here: it hardwires
+// the Castagnoli polynomial (CRC-32C), not IEEE 802.3, and this repo has
+// on-disk spill files and wire peers that already speak IEEE (check value
+// 0xCBF43926 for "123456789"). PCLMULQDQ folding is polynomial-agnostic,
+// so it accelerates the format we actually have.
 #ifndef PPA_UTIL_CRC32_H_
 #define PPA_UTIL_CRC32_H_
 
@@ -31,19 +49,36 @@ inline const std::array<uint32_t, 256>& Crc32Table() {
   return table;
 }
 
-}  // namespace internal
-
-/// CRC-32 of `data[0, size)`. Pass a previous result as `seed` to extend a
-/// running checksum over discontiguous buffers.
-inline uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0) {
-  const auto& table = internal::Crc32Table();
-  const uint8_t* p = static_cast<const uint8_t*>(data);
-  uint32_t c = seed ^ 0xFFFFFFFFu;
-  for (size_t i = 0; i < size; ++i) {
+/// Table update on the *raw* (inverted) CRC register — no pre/post
+/// conditioning. The hardware paths hand partial registers through this
+/// for buffer tails.
+inline uint32_t Crc32UpdateRegister(uint32_t c, const uint8_t* p, size_t n) {
+  const auto& table = Crc32Table();
+  for (size_t i = 0; i < n; ++i) {
     c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
   }
-  return c ^ 0xFFFFFFFFu;
+  return c;
 }
+
+}  // namespace internal
+
+/// Table-driven CRC-32: the software oracle. Pass a previous result as
+/// `seed` to extend a running checksum over discontiguous buffers.
+inline uint32_t Crc32Scalar(const void* data, size_t size, uint32_t seed = 0) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  return internal::Crc32UpdateRegister(seed ^ 0xFFFFFFFFu, p, size) ^
+         0xFFFFFFFFu;
+}
+
+/// True when this CPU has an accelerated CRC-32 path (x86 PCLMULQDQ or the
+/// ARMv8 CRC32 extension). Ignores PPA_FORCE_SCALAR — this reports the
+/// hardware, not the dispatch decision.
+bool Crc32HardwareAvailable();
+
+/// CRC-32 of `data[0, size)`, hardware-accelerated when the CPU allows and
+/// PPA_FORCE_SCALAR is not set; bit-identical to Crc32Scalar either way.
+/// Pass a previous result as `seed` to extend a running checksum.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
 
 }  // namespace ppa
 
