@@ -301,12 +301,14 @@ BENCHMARK(BM_CountEdgeMersStream)
 
 // Distributed counting against an in-process worker fleet on unix-domain
 // sockets (the framing, flow control and result collection are the real
-// wire path; only the process boundary is elided). Arg = worker count;
-// compare against BM_CountEdgeMersStream to price the shuffle-over-socket
-// round trip per run.
+// wire path; only the process boundary is elided). Args = {worker count,
+// inject failure}; with injection, worker 0 drops its connection on its
+// 5th frame every iteration, so the runs price failover — journal replay
+// onto the survivor — against the clean {2, 0} baseline.
 void BM_CountEdgeMersDistributed(benchmark::State& state) {
   const std::vector<Read>& reads = Hc2Reads();
   const uint32_t workers = static_cast<uint32_t>(state.range(0));
+  const bool inject = state.range(1) != 0;
   std::string dir = (std::filesystem::temp_directory_path() /
                      "ppa-bench-net-XXXXXX").string();
   if (mkdtemp(dir.data()) == nullptr) {
@@ -318,6 +320,11 @@ void BM_CountEdgeMersDistributed(benchmark::State& state) {
   for (uint32_t w = 0; w < workers; ++w) {
     net::WorkerOptions options;
     options.listen = "unix:" + dir + "/w" + std::to_string(w) + ".sock";
+    if (inject && w == 0) {
+      std::string plan_error;
+      net::FaultPlan::Parse("drop-conn@frame=5", &options.fault_plan,
+                            &plan_error);
+    }
     servers.push_back(std::make_unique<net::ShardWorkerServer>(options));
     std::string error;
     if (!servers.back()->Start(&error)) {
@@ -329,7 +336,7 @@ void BM_CountEdgeMersDistributed(benchmark::State& state) {
   }
   KmerCountConfig config = Hc2CountConfig();
   config.num_threads = 4;
-  uint64_t bases = 0, net_bytes = 0;
+  uint64_t bases = 0, net_bytes = 0, replayed = 0, reassigned = 0;
   for (auto _ : state) {
     NetConfig net_config;
     net_config.endpoints = endpoints;
@@ -346,18 +353,25 @@ void BM_CountEdgeMersDistributed(benchmark::State& state) {
     benchmark::DoNotOptimize(counts);
     bases = stats.total_bases;
     net_bytes = stats.net_sent_bytes;
+    replayed = stats.chunks_replayed;
+    reassigned = stats.shards_reassigned;
     config.net = nullptr;
   }
   state.counters["net_sent_bytes"] = static_cast<double>(net_bytes);
+  if (inject) {
+    state.counters["chunks_replayed"] = static_cast<double>(replayed);
+    state.counters["shards_reassigned"] = static_cast<double>(reassigned);
+  }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(bases));
   for (auto& server : servers) server->Stop();
   std::filesystem::remove_all(dir);
 }
 BENCHMARK(BM_CountEdgeMersDistributed)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({4, 0})
+    ->Args({2, 1})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
@@ -432,6 +446,61 @@ void WriteSpillJson(std::ofstream& out, const char* key,
       << "    \"peak_queued_bytes\": " << m.stats.peak_queued_bytes << ",\n"
       << "    \"queue_bound_bytes\": " << m.stats.queue_bound_bytes << "\n"
       << "  }";
+}
+
+/// One distributed run against an in-process 2-worker fleet, optionally
+/// with worker 0 scripted to drop its connection mid-stream. The
+/// onefail/nofail wall-clock ratio is the measured cost of a recovery
+/// (journal replay onto the survivor) per run.
+struct DistributedMeasurement {
+  double wall_seconds = 0;
+  KmerCountStats stats;
+  bool ok = false;
+};
+
+DistributedMeasurement MeasureDistributed(uint32_t workers, bool inject,
+                                          unsigned threads) {
+  const std::vector<Read>& reads = Hc2Reads();
+  DistributedMeasurement m;
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     "ppa-bench-fault-XXXXXX").string();
+  if (mkdtemp(dir.data()) == nullptr) return m;
+  std::vector<std::unique_ptr<net::ShardWorkerServer>> servers;
+  std::string endpoints;
+  for (uint32_t w = 0; w < workers; ++w) {
+    net::WorkerOptions options;
+    options.listen = "unix:" + dir + "/w" + std::to_string(w) + ".sock";
+    if (inject && w == 0) {
+      std::string plan_error;
+      net::FaultPlan::Parse("drop-conn@frame=5", &options.fault_plan,
+                            &plan_error);
+    }
+    servers.push_back(std::make_unique<net::ShardWorkerServer>(options));
+    std::string error;
+    if (!servers.back()->Start(&error)) return m;
+    if (!endpoints.empty()) endpoints += ',';
+    endpoints += options.listen;
+  }
+  KmerCountConfig config = Hc2CountConfig();
+  config.num_threads = threads;
+  NetConfig net_config;
+  net_config.endpoints = endpoints;
+  Timer timer;
+  std::unique_ptr<NetContext> context = MakeNetContext(net_config);
+  config.net = context.get();
+  CounterSession session(config);
+  constexpr size_t kBatch = 1024;
+  for (size_t begin = 0; begin < reads.size(); begin += kBatch) {
+    session.AddBatch(reads.data() + begin,
+                     std::min(kBatch, reads.size() - begin));
+  }
+  session.Finish(&m.stats);
+  context.reset();
+  m.wall_seconds = timer.Seconds();
+  m.ok = true;
+  for (auto& server : servers) server->Stop();
+  std::filesystem::remove_all(dir);
+  return m;
 }
 
 double BytesPerWindow(const KmerCountStats& stats) {
@@ -721,6 +790,29 @@ double RunPass1EncodingComparison() {
       static_cast<unsigned long long>(spill_always.stats.spilled_bytes),
       spill_identical ? "identical" : "MISMATCH");
 
+  // Recovery overhead: a 2-worker distributed run, clean vs with worker 0
+  // scripted to drop its connection mid-stream (its shards fail over to
+  // the survivor and replay from the coordinator's chunk journal).
+  const DistributedMeasurement dist_nofail =
+      MeasureDistributed(2, /*inject=*/false, threads);
+  const DistributedMeasurement dist_onefail =
+      MeasureDistributed(2, /*inject=*/true, threads);
+  const double recovery_overhead =
+      dist_nofail.wall_seconds == 0
+          ? 0
+          : dist_onefail.wall_seconds / dist_nofail.wall_seconds;
+  const bool dist_identical =
+      dist_nofail.ok && dist_onefail.ok &&
+      dist_nofail.stats.surviving_mers == dist_onefail.stats.surviving_mers;
+  std::printf(
+      "distributed 2-worker onefail/nofail = %.3fs/%.3fs = %.2fx recovery "
+      "overhead, %llu chunks replayed onto %llu reassigned shards, "
+      "surviving_mers %s\n",
+      dist_onefail.wall_seconds, dist_nofail.wall_seconds, recovery_overhead,
+      static_cast<unsigned long long>(dist_onefail.stats.chunks_replayed),
+      static_cast<unsigned long long>(dist_onefail.stats.shards_reassigned),
+      dist_identical ? "identical" : "MISMATCH");
+
   const char* json_env = std::getenv("PPA_BENCH_JSON");
   const std::string json_path =
       (json_env != nullptr && *json_env != '\0') ? json_env
@@ -743,6 +835,20 @@ double RunPass1EncodingComparison() {
   out << ",\n";
   WriteSpillJson(out, "spill_always", spill_always);
   out << ",\n"
+      << "  \"distributed\": {\n"
+      << "    \"workers\": 2,\n"
+      << "    \"nofail_seconds\": " << dist_nofail.wall_seconds << ",\n"
+      << "    \"onefail_seconds\": " << dist_onefail.wall_seconds << ",\n"
+      << "    \"recovery_overhead\": " << recovery_overhead << ",\n"
+      << "    \"worker_failures\": " << dist_onefail.stats.worker_failures
+      << ",\n"
+      << "    \"shards_reassigned\": " << dist_onefail.stats.shards_reassigned
+      << ",\n"
+      << "    \"chunks_replayed\": " << dist_onefail.stats.chunks_replayed
+      << ",\n"
+      << "    \"surviving_mers_identical\": "
+      << (dist_identical ? "true" : "false") << "\n"
+      << "  },\n"
       << "  \"chunk_bytes_ratio_raw_over_superkmer\": " << ratio << ",\n"
       << "  \"spill_always_over_never_seconds\": " << spill_overhead << ",\n"
       << "  \"spill_surviving_mers_identical\": "

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <condition_variable>
 #include <cstdlib>
 #include <cstring>
@@ -18,6 +19,7 @@
 #include "dbg/kmer_counter.h"
 #include "io/fasta_writer.h"
 #include "io/fastx.h"
+#include "net/faultinject.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
@@ -161,6 +163,14 @@ void WriteReport(const AssembleCliOptions& opts, std::ostream& out,
       << " chunks=" << s.Get("net.chunks")
       << " sent_bytes=" << s.Get("net.sent_bytes")
       << " received_bytes=" << s.Get("net.received_bytes") << '\n';
+  // Fault-tolerance outcome: what the run survived (all zero on a healthy
+  // fleet). degraded_local=1 means every worker died and the unsealed
+  // shards were rebuilt from the coordinator's chunk journal.
+  out << "recovery: worker_failures=" << s.Get("net.worker_failures")
+      << " shards_reassigned=" << s.Get("net.shards_reassigned")
+      << " chunks_replayed=" << s.Get("net.chunks_replayed")
+      << " retries=" << s.Get("net.retries")
+      << " degraded_local=" << s.Get("net.degraded") << '\n';
   out << "dbg: kmer_vertices=" << s.Get("dbg.kmer_vertices") << '\n';
   out << ref_warning;
   out << "contigs: count=" << s.Get("contigs.count")
@@ -318,9 +328,18 @@ std::string AssembleCliUsage() {
       "                      per-worker cap on unacknowledged in-flight\n"
       "                      bytes (default 8 MB)\n"
       "  --net-timeout-ms INT\n"
-      "                      connect/read/write timeout; a hung worker\n"
-      "                      fails the run with a diagnostic instead of\n"
-      "                      stalling it (default 30000; 0 = no timeout)\n"
+      "                      connect/read/write timeout; also paces the\n"
+      "                      heartbeat that detects dead or hung workers\n"
+      "                      (default 30000; 0 = no timeout). Dead workers'\n"
+      "                      shards replay to survivors from the chunk\n"
+      "                      journal; with no survivors the run degrades\n"
+      "                      to local counting — identical contigs either\n"
+      "                      way\n"
+      "  --fault-plan PLAN   deterministic fault injection forwarded to\n"
+      "                      spawned workers, e.g.\n"
+      "                      'kill-worker@chunk=3@worker=0' or\n"
+      "                      'seed=7,drop-conn'. Grammar in\n"
+      "                      src/net/faultinject.h. Testing only\n"
       "\n"
       "streaming options:\n"
       "  --batch-reads INT   max records per batch (default 1024)\n"
@@ -465,6 +484,16 @@ bool ParseAssembleCliArgs(int argc, const char* const* argv,
     } else if (arg == "--net-timeout-ms") {
       if (!need_value(i, arg) || !u64_flag(arg, argv[++i], &v)) return false;
       opts->assembler.net_timeout_ms = static_cast<int>(v);
+    } else if (arg == "--fault-plan") {
+      if (!need_value(i, arg)) return false;
+      const std::string value = argv[++i];
+      net::FaultPlan plan;
+      std::string plan_error;
+      if (!net::FaultPlan::Parse(value, &plan, &plan_error)) {
+        *error = "--fault-plan: " + plan_error;
+        return false;
+      }
+      opts->assembler.fault_plan = value;
     } else if (arg == "--in-memory") {
       opts->in_memory = true;
     } else if (arg == "--serial-counting") {
@@ -557,6 +586,10 @@ bool ParseAssembleCliArgs(int argc, const char* const* argv,
 
 int RunAssembleCli(const AssembleCliOptions& opts, std::ostream& out,
                    std::ostream& err) {
+  // A worker that dies mid-write must surface as a recoverable send error,
+  // not kill the coordinator. Wire sends already pass MSG_NOSIGNAL; this
+  // covers every other descriptor (a closed stdout pipe included).
+  std::signal(SIGPIPE, SIG_IGN);
   for (const std::string& path : opts.inputs) {
     std::ifstream probe(path, std::ios::binary);
     if (!probe.good()) {

@@ -2,12 +2,18 @@
 // endpoint, serves the counter + record-store services over the framed
 // spill wire format (net/wire.h), and — with --once — exits after its
 // first connection ends, which is how the coordinator tears a spawned
-// fleet down by just closing the sockets.
+// fleet down by just closing the sockets. SIGTERM/SIGINT drain gracefully:
+// the in-flight frame completes, connections close, and the process exits
+// 0 — so an orchestrator's routine stop never looks like a crash.
+#include <csignal>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <thread>
+#include <unistd.h>
 #include <utility>
 
+#include "net/faultinject.h"
 #include "net/worker.h"
 #include "util/logging.h"
 
@@ -16,7 +22,7 @@ namespace {
 const char kUsage[] =
     "usage: ppa_shard_worker --listen <endpoint> [--once]\n"
     "                        [--io-timeout-ms N] [--fail-after-frames N]\n"
-    "                        [--log-level LEVEL]\n"
+    "                        [--fault-plan PLAN] [--log-level LEVEL]\n"
     "\n"
     "Endpoints: unix:/path/to.sock, host:port, or a bare port\n"
     "(= 127.0.0.1:port; port 0 picks a free one and logs it).\n"
@@ -24,8 +30,11 @@ const char kUsage[] =
     "--io-timeout-ms bounds each socket read/write (0 = no timeout).\n"
     "--fail-after-frames drops every connection after N frames — a crash\n"
     "simulation hook for tests, not for production use.\n"
+    "--fault-plan runs a deterministic fault script per connection\n"
+    "(grammar in src/net/faultinject.h; kill-worker exits 137).\n"
     "--log-level: debug|info|warn|error|silent (default info: a server\n"
-    "should say where it is listening).\n";
+    "should say where it is listening).\n"
+    "SIGTERM/SIGINT drain gracefully and exit 0.\n";
 
 bool ParseU64(const char* text, uint64_t* value) {
   char* end = nullptr;
@@ -40,6 +49,8 @@ int main(int argc, char** argv) {
   // by default; --log-level turns it (and everything else) down.
   ppa::SetLogLevel(ppa::LogLevel::kInfo);
   ppa::net::WorkerOptions options;
+  // This binary owns its process, so kill-worker faults may _exit.
+  options.allow_process_exit = true;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     uint64_t value = 0;
@@ -54,6 +65,17 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.listen = argv[++i];
+    } else if (arg == "--fault-plan") {
+      if (i + 1 >= argc) {
+        PPA_LOG(kError) << "ppa_shard_worker: --fault-plan requires a plan";
+        return 2;
+      }
+      std::string plan_error;
+      if (!ppa::net::FaultPlan::Parse(argv[++i], &options.fault_plan,
+                                      &plan_error)) {
+        PPA_LOG(kError) << "ppa_shard_worker: --fault-plan: " << plan_error;
+        return 2;
+      }
     } else if (arg == "--log-level") {
       ppa::LogLevel level;
       if (i + 1 >= argc || !ppa::ParseLogLevel(argv[++i], &level)) {
@@ -86,6 +108,18 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Graceful shutdown: block SIGTERM/SIGINT in every thread (the mask is
+  // inherited), then let one watcher thread sigwait for them and start the
+  // drain. SIGPIPE is ignored outright — a peer that vanishes mid-write
+  // must surface as a send error on that connection, never kill the
+  // process.
+  std::signal(SIGPIPE, SIG_IGN);
+  sigset_t drain_set;
+  sigemptyset(&drain_set);
+  sigaddset(&drain_set, SIGTERM);
+  sigaddset(&drain_set, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &drain_set, nullptr);
+
   ppa::net::ShardWorkerServer server(std::move(options));
   std::string error;
   if (!server.Start(&error)) {
@@ -93,7 +127,26 @@ int main(int argc, char** argv) {
     return 1;
   }
   PPA_LOG(kInfo) << "ppa_shard_worker: listening on " << server.listen_spec();
+
+  std::thread watcher([&server, &drain_set] {
+    for (;;) {
+      int sig = 0;
+      if (sigwait(&drain_set, &sig) != 0) continue;
+      if (sig == SIGTERM || sig == SIGINT) {
+        PPA_LOG(kInfo) << "ppa_shard_worker: received "
+                       << (sig == SIGTERM ? "SIGTERM" : "SIGINT")
+                       << ", draining";
+        server.BeginDrain();
+        return;
+      }
+    }
+  });
+
   server.Wait();
+  // Unblock the watcher if the server finished on its own (--once): a
+  // self-directed SIGTERM lands in sigwait and the thread exits its loop.
+  kill(getpid(), SIGTERM);
+  watcher.join();
   server.Stop();
   return 0;
 }

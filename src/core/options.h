@@ -75,6 +75,9 @@ struct AssemblerOptions {
   std::string worker_binary;         // spawn override; empty = next to argv0
   uint64_t net_window_bytes = 8ULL << 20;  // per-worker unacked byte cap
   int net_timeout_ms = 30000;        // connect/read/write timeout
+  std::string fault_plan;            // deterministic fault script forwarded
+                                     // to spawned workers (net/faultinject.h
+                                     // grammar); empty = no faults
 
   // Runtime wiring: the per-run worker fleet, set from WireNetContext;
   // leave null for in-process runs.
@@ -133,6 +136,7 @@ inline std::unique_ptr<NetContext> WireNetContext(AssemblerOptions* options) {
   config.window_bytes = options->net_window_bytes;
   config.io_timeout_ms = options->net_timeout_ms;
   config.connect_timeout_ms = options->net_timeout_ms;
+  config.fault_plan = options->fault_plan;
   std::unique_ptr<NetContext> context = MakeNetContext(config);
   options->net_context = context.get();
   if (context != nullptr && options->spill_context != nullptr) {

@@ -16,6 +16,7 @@
 #include "dna/kmer.h"
 #include "dna/superkmer.h"
 #include "net/coordinator.h"
+#include "net/journal.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -537,8 +538,25 @@ struct CounterSession::Impl {
   bool distributed;
   std::vector<uint64_t> shard_net_chunks;  // chunks shipped per shard
   std::atomic<uint64_t> net_sent_payload_bytes{0};
-  bool net_failed = false;   // under mu
+  bool net_failed = false;   // under mu; unrecoverable (journal) failures only
   std::string net_error;     // under mu
+
+  // Fault-tolerance layer. route_mu serializes {journal append, lease
+  // lookup, send} in EnqueueNet against RecoverLocked, which is what keeps
+  // a journaled-but-unsent chunk from being both replayed by recovery and
+  // then sent again by its scanner. Everything below it is guarded by
+  // route_mu (net_degraded is also read from admission predicates, hence
+  // atomic).
+  std::unique_ptr<net::ChunkJournal> journal;
+  std::mutex route_mu;
+  std::vector<uint32_t> shard_owner;  // current lease; starts at s % N
+  std::vector<bool> worker_live;
+  std::vector<bool> shard_sealed;  // results collected and ledger-verified
+  uint32_t live_workers = 0;
+  std::atomic<bool> net_degraded{false};  // fleet exhausted; finish locally
+  uint64_t worker_failures = 0;
+  uint64_t shards_reassigned = 0;
+  uint64_t chunks_replayed = 0;
 
   // One open-addressing table per shard; tables[s] is touched only by the
   // counter thread owning shard s (s % num_counters), never under mu.
@@ -633,6 +651,24 @@ struct CounterSession::Impl {
     shard_spilled.assign(plan.shards, 0);
     shard_net_chunks.assign(plan.shards, 0);
     if (distributed) {
+      shard_owner.resize(plan.shards);
+      for (uint32_t s = 0; s < plan.shards; ++s) {
+        shard_owner[s] = s % net->num_workers();
+      }
+      worker_live.assign(net->num_workers(), true);
+      shard_sealed.assign(plan.shards, false);
+      live_workers = net->num_workers();
+      // Every chunk is journaled before it is sent, so a dead worker's
+      // shards can be rebuilt on a survivor (or locally). The journal
+      // shares the run's memory budget and spill manager when a spill
+      // context exists; otherwise it caps itself and owns its overflow.
+      net::ChunkJournal::Options jopts;
+      jopts.num_shards = plan.shards;
+      if (spill != nullptr) {
+        jopts.budget = &spill->budget;
+        jopts.spill = &spill->manager;
+      }
+      journal = std::make_unique<net::ChunkJournal>(jopts);
       // Configure every worker's bank before any chunk can arrive; frames
       // on one connection are ordered, so no extra round trip is needed.
       std::vector<uint8_t> open;
@@ -814,36 +850,139 @@ struct CounterSession::Impl {
     return best;
   }
 
+  // Builds the kCounterChunk body for one journal payload of `s`.
+  static std::vector<uint8_t> ChunkBody(uint32_t s,
+                                        const std::vector<uint8_t>& payload) {
+    std::vector<uint8_t> body;
+    body.reserve(payload.size() + 8);
+    PutVarint64(&body, s);
+    body.insert(body.end(), payload.begin(), payload.end());
+    return body;
+  }
+
+  // Requires route_mu. Sweeps the fleet for newly dead workers, moves
+  // their shard leases to survivors, and replays the journal of every
+  // orphaned unsealed shard to its new owner. A dead worker's partial
+  // counts died with its connection (the bank is per-connection state), so
+  // the full-journal rebuild is exact — no chunk is ever counted twice.
+  // Loops because a replay can itself reveal another dead worker; when the
+  // last worker dies the session flips to degraded-local mode instead.
+  void RecoverLocked() {
+    PPA_TRACE_SPAN("net.recover", "net");
+    for (;;) {
+      std::vector<uint32_t> newly_dead;
+      for (uint32_t w = 0; w < net->num_workers(); ++w) {
+        if (worker_live[w] && net->client(w).failed()) {
+          worker_live[w] = false;
+          --live_workers;
+          ++worker_failures;
+          newly_dead.push_back(w);
+          PPA_LOG(kWarning) << "distributed counting: "
+                            << net->client(w).error()
+                            << "; recovering its shards";
+        }
+      }
+      if (newly_dead.empty()) return;
+      if (live_workers == 0) {
+        net_degraded.store(true, std::memory_order_relaxed);
+        PPA_LOG(kWarning) << "distributed counting: every worker is dead; "
+                             "degrading to local counting from the journal";
+        std::lock_guard<std::mutex> lock(mu);
+        not_full.notify_all();
+        return;
+      }
+      std::vector<uint32_t> live;
+      for (uint32_t w = 0; w < net->num_workers(); ++w) {
+        if (worker_live[w]) live.push_back(w);
+      }
+      std::vector<uint32_t> orphaned;
+      for (uint32_t s = 0; s < plan.shards; ++s) {
+        if (worker_live[shard_owner[s]]) continue;
+        shard_owner[s] = live[s % live.size()];
+        // Sealed shards already have their results collected and verified;
+        // the lease only moves so future lookups stay valid.
+        if (shard_sealed[s]) continue;
+        ++shards_reassigned;
+        orphaned.push_back(s);
+      }
+      for (const uint32_t s : orphaned) {
+        if (journal->chunks(s) == 0) continue;
+        PPA_TRACE_SPAN_V("net.replay", "net", journal->chunks(s));
+        net::WorkerClient& client = net->client(shard_owner[s]);
+        uint64_t replayed = 0;
+        std::string jerr;
+        const bool ok = journal->Replay(
+            s,
+            [&](const std::vector<uint8_t>& payload) {
+              std::vector<uint8_t> body = ChunkBody(s, payload);
+              net_sent_payload_bytes.fetch_add(body.size(),
+                                               std::memory_order_relaxed);
+              // No done callback: the original enqueue's accounting was
+              // already settled (acked, or drained by the owner's Fail).
+              client.SendData(net::MsgType::kCounterChunk, std::move(body),
+                              nullptr);
+              ++replayed;
+            },
+            &jerr);
+        chunks_replayed += replayed;
+        if (!ok) {
+          // The journal itself is damaged — that is not recoverable.
+          std::lock_guard<std::mutex> lock(mu);
+          if (!net_failed) {
+            net_failed = true;
+            net_error = jerr;
+          }
+          not_full.notify_all();
+          return;
+        }
+      }
+    }
+  }
+
   // Distributed enqueue: serialize outside mu (like SpillChunkUnlocked),
-  // admit against the session bound, then ship to the shard's worker. The
-  // chunk's bytes stay in queued_bytes until the worker's ack runs the
-  // done callback. After a transport failure every call degrades to a
-  // cheap no-op so the scanners drain quickly; Finish throws the recorded
-  // error.
+  // admit against the session bound, journal the payload, then ship it to
+  // the shard's current lease owner. The chunk's bytes stay in
+  // queued_bytes until the worker's ack runs the done callback. A send
+  // failure triggers recovery in place — the chunk is already journaled,
+  // so the failover replay covers it.
   void EnqueueNet(uint32_t s, Pass1Chunk&& chunk) {
     const uint64_t n = chunk.SizeBytes();
-    std::vector<uint8_t> body;
-    PutVarint64(&body, s);
-    {
-      const std::vector<uint8_t> payload = EncodePass1Chunk(chunk);
-      body.insert(body.end(), payload.begin(), payload.end());
-    }
+    const std::vector<uint8_t> payload = EncodePass1Chunk(chunk);
+    bool charged = false;
     {
       PPA_TRACE_SPAN_V("queue_wait", "count", n);
       std::unique_lock<std::mutex> lock(mu);
       not_full.wait(lock, [&] {
-        return net_failed || queued_bytes == 0 || queued_bytes + n <= bound;
+        return net_failed ||
+               net_degraded.load(std::memory_order_relaxed) ||
+               queued_bytes == 0 || queued_bytes + n <= bound;
       });
       if (net_failed) return;
-      queued_bytes += n;
-      peak_queued_bytes = std::max(peak_queued_bytes, queued_bytes);
+      if (!net_degraded.load(std::memory_order_relaxed)) {
+        queued_bytes += n;
+        peak_queued_bytes = std::max(peak_queued_bytes, queued_bytes);
+        charged = true;
+      }
       shard_windows[s] += chunk.windows;
       shard_bytes[s] += n;
       shard_messages[s] += chunk.records;
       shard_net_chunks[s] += 1;
     }
+    std::lock_guard<std::mutex> route_lock(route_mu);
+    journal->Append(s, payload);
+    if (net_degraded.load(std::memory_order_relaxed)) {
+      // Fleet exhausted (possibly while this thread waited on route_mu):
+      // the journal is the chunk's only consumer now.
+      if (charged) {
+        std::lock_guard<std::mutex> lock(mu);
+        queued_bytes -= n;
+        not_full.notify_all();
+      }
+      return;
+    }
+    std::vector<uint8_t> body = ChunkBody(s, payload);
     net_sent_payload_bytes.fetch_add(body.size(), std::memory_order_relaxed);
-    net::WorkerClient& client = net->client(s % net->num_workers());
+    net::WorkerClient& client = net->client(shard_owner[s]);
     const bool sent =
         client.SendData(net::MsgType::kCounterChunk, std::move(body),
                         [this, n] {
@@ -853,13 +992,10 @@ struct CounterSession::Impl {
                         });
     if (!sent) {
       // The done callback already ran (SendData runs it exactly once, on
-      // ack or on failure), so only the failure needs recording.
-      std::lock_guard<std::mutex> lock(mu);
-      if (!net_failed) {
-        net_failed = true;
-        net_error = client.error();
-      }
-      not_full.notify_all();
+      // ack or on failure). The chunk is in the journal, so recovery's
+      // replay to the next owner — or the degraded-local finish — will
+      // deliver it.
+      RecoverLocked();
     }
   }
 
@@ -981,102 +1117,198 @@ struct CounterSession::Impl {
     }
 
     Timer pass2_timer;
-    // Tell every worker to finalize before collecting from any, so their
-    // filter/route work overlaps.
-    const std::vector<uint8_t> empty;
-    for (uint32_t w = 0; w < N; ++w) {
-      net->client(w).SendControl(net::MsgType::kCounterFinish, empty);
-    }
-
     std::vector<MerCounts> shard_out(S);
     for (uint32_t s = 0; s < S; ++s) shard_out[s].resize(W);
     std::vector<uint64_t> distinct_per_shard(S, 0);
-    std::vector<uint64_t> worker_chunks(S, 0);
-    std::vector<uint64_t> worker_windows(S, 0);
     uint64_t received_bytes = 0;
-    for (uint32_t w = 0; w < N; ++w) {
-      net::WorkerClient& client = net->client(w);
-      const std::string who = "worker '" + client.endpoint() + "' ";
-      for (bool done = false; !done;) {
-        net::Frame frame;
-        if (!client.NextResponse(&frame)) fail(client.error());
-        received_bytes += frame.body.size() + 1;
-        const uint8_t* data = frame.body.data();
-        const size_t size = frame.body.size();
-        size_t pos = 0;
-        uint64_t sh = 0;
-        switch (frame.type) {
-          case net::MsgType::kCounterResult: {
-            uint64_t part = 0, pairs = 0;
-            if (!GetVarint64(data, size, &pos, &sh) ||
-                !GetVarint64(data, size, &pos, &part) ||
-                !GetVarint64(data, size, &pos, &pairs)) {
-              fail(who + "sent a malformed result header");
-            }
-            if (sh >= S || sh % N != w || part >= W) {
-              fail(who + "sent a result for shard " + std::to_string(sh) +
-                   " partition " + std::to_string(part) + " it does not own");
-            }
-            const size_t kPairBytes = sizeof(uint64_t) + sizeof(uint32_t);
-            if (pairs != (size - pos) / kPairBytes ||
-                (size - pos) % kPairBytes != 0) {
-              fail(who + "result pair count disagrees with its payload size");
-            }
-            auto& slice = shard_out[sh][part];
-            slice.reserve(slice.size() + pairs);
-            for (uint64_t i = 0; i < pairs; ++i) {
-              uint64_t code = 0;
-              for (int b = 0; b < 8; ++b) {
-                code |= static_cast<uint64_t>(data[pos++]) << (8 * b);
-              }
-              uint32_t count = 0;
-              for (int b = 0; b < 4; ++b) {
-                count |= static_cast<uint32_t>(data[pos++]) << (8 * b);
-              }
-              slice.emplace_back(code, count);
-            }
+    // A shard nothing was routed to has nothing to collect.
+    for (uint32_t s = 0; s < S; ++s) {
+      if (shard_net_chunks[s] == 0) shard_sealed[s] = true;
+    }
+    auto all_sealed = [&] {
+      for (uint32_t s = 0; s < S; ++s) {
+        if (!shard_sealed[s]) return false;
+      }
+      return true;
+    };
+
+    // Collection runs in rounds: recover any dead workers (reassign their
+    // leases, replay their shards' journals to survivors), finalize the
+    // live fleet, and collect until every shard is sealed against the
+    // ledger. A worker that dies mid-collection loses only its unsealed
+    // staging — the next round rebuilds those shards on a new owner. Each
+    // of the N workers can die at most once, so N + 2 rounds bound the
+    // loop; a fleet that somehow keeps failing without shrinking is
+    // refused below rather than spun on.
+    const std::vector<uint8_t> empty;
+    for (uint32_t round = 0; round < N + 2; ++round) {
+      {
+        std::lock_guard<std::mutex> route_lock(route_mu);
+        RecoverLocked();
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (net_failed) fail(net_error);
+      }
+      if (net_degraded.load(std::memory_order_relaxed)) break;
+      if (all_sealed()) break;
+      // Tell every live worker to finalize before collecting from any, so
+      // their filter/route work overlaps. Workers report each shard at
+      // most once across rounds, so repeats only pick up newly replayed
+      // shards.
+      for (uint32_t w = 0; w < N; ++w) {
+        if (worker_live[w]) {
+          net->client(w).SendControl(net::MsgType::kCounterFinish, empty);
+        }
+      }
+      for (uint32_t w = 0; w < N; ++w) {
+        if (!worker_live[w]) continue;
+        net::WorkerClient& client = net->client(w);
+        const std::string who = "worker '" + client.endpoint() + "' ";
+        // Per-round staging: result slices commit to shard_out only when
+        // the shard's summary arrives and matches the ledger. If the
+        // worker dies first, the staged slices are discarded and the
+        // shard is rebuilt elsewhere from the journal.
+        std::vector<MerCounts> staging(S);
+        bool lost = false;
+        for (bool done = false; !done && !lost;) {
+          net::Frame frame;
+          if (!client.NextResponse(&frame)) {
+            // Lazy failure detection: the next round's recovery sweep
+            // reassigns this worker's unsealed shards.
+            lost = true;
             break;
           }
-          case net::MsgType::kCounterShard: {
-            uint64_t chunks = 0, windows = 0, distinct = 0;
-            if (!GetVarint64(data, size, &pos, &sh) ||
-                !GetVarint64(data, size, &pos, &chunks) ||
-                !GetVarint64(data, size, &pos, &windows) ||
-                !GetVarint64(data, size, &pos, &distinct)) {
-              fail(who + "sent a malformed shard summary");
+          received_bytes += frame.body.size() + 1;
+          const uint8_t* data = frame.body.data();
+          const size_t size = frame.body.size();
+          size_t pos = 0;
+          uint64_t sh = 0;
+          switch (frame.type) {
+            case net::MsgType::kCounterResult: {
+              uint64_t part = 0, pairs = 0;
+              if (!GetVarint64(data, size, &pos, &sh) ||
+                  !GetVarint64(data, size, &pos, &part) ||
+                  !GetVarint64(data, size, &pos, &pairs)) {
+                fail(who + "sent a malformed result header");
+              }
+              if (sh >= S || part >= W || shard_sealed[sh] ||
+                  shard_owner[sh] != w) {
+                fail(who + "sent a result for shard " + std::to_string(sh) +
+                     " partition " + std::to_string(part) +
+                     " it does not own");
+              }
+              const size_t kPairBytes = sizeof(uint64_t) + sizeof(uint32_t);
+              if (pairs != (size - pos) / kPairBytes ||
+                  (size - pos) % kPairBytes != 0) {
+                fail(who +
+                     "result pair count disagrees with its payload size");
+              }
+              if (staging[sh].empty()) staging[sh].resize(W);
+              auto& slice = staging[sh][part];
+              slice.reserve(slice.size() + pairs);
+              for (uint64_t i = 0; i < pairs; ++i) {
+                uint64_t code = 0;
+                for (int b = 0; b < 8; ++b) {
+                  code |= static_cast<uint64_t>(data[pos++]) << (8 * b);
+                }
+                uint32_t count = 0;
+                for (int b = 0; b < 4; ++b) {
+                  count |= static_cast<uint32_t>(data[pos++]) << (8 * b);
+                }
+                slice.emplace_back(code, count);
+              }
+              break;
             }
-            if (sh >= S || sh % N != w) {
-              fail(who + "summarized shard " + std::to_string(sh) +
-                   " it does not own");
+            case net::MsgType::kCounterShard: {
+              uint64_t chunks = 0, windows = 0, distinct = 0;
+              if (!GetVarint64(data, size, &pos, &sh) ||
+                  !GetVarint64(data, size, &pos, &chunks) ||
+                  !GetVarint64(data, size, &pos, &windows) ||
+                  !GetVarint64(data, size, &pos, &distinct)) {
+                fail(who + "sent a malformed shard summary");
+              }
+              if (sh >= S || shard_sealed[sh] || shard_owner[sh] != w) {
+                fail(who + "summarized shard " + std::to_string(sh) +
+                     " it does not own");
+              }
+              // Reconcile the ledger: every chunk and window this session
+              // shipped for the shard must have been decoded and counted
+              // by exactly its owner. A live worker answering from a
+              // fully-delivered (or fully-replayed) stream has no excuse
+              // for a mismatch — it means records were lost or doubled,
+              // so the result is refused.
+              if (chunks != shard_net_chunks[sh] ||
+                  windows != shard_windows[sh]) {
+                fail("shard " + std::to_string(sh) +
+                     " ledger mismatch: shipped " +
+                     std::to_string(shard_net_chunks[sh]) + " chunks / " +
+                     std::to_string(shard_windows[sh]) + " windows, " + who +
+                     "counted " + std::to_string(chunks) + " / " +
+                     std::to_string(windows));
+              }
+              if (!staging[sh].empty()) shard_out[sh] = std::move(staging[sh]);
+              distinct_per_shard[sh] = distinct;
+              shard_sealed[sh] = true;
+              break;
             }
-            worker_chunks[sh] = chunks;
-            worker_windows[sh] = windows;
-            distinct_per_shard[sh] = distinct;
-            break;
+            case net::MsgType::kCounterDone:
+              done = true;
+              break;
+            default:
+              fail(who + "sent unexpected " +
+                   std::string(net::MsgTypeName(frame.type)) +
+                   " during counter collection");
           }
-          case net::MsgType::kCounterDone:
-            done = true;
-            break;
-          default:
-            fail(who + "sent unexpected " +
-                 std::string(net::MsgTypeName(frame.type)) +
-                 " during counter collection");
         }
       }
     }
-    // Reconcile the ledgers: every chunk and window this session shipped
-    // must have been decoded and counted by exactly the owning worker. A
-    // mismatch means records were lost or replayed; refuse the result.
-    for (uint32_t s = 0; s < S; ++s) {
-      if (shard_net_chunks[s] != worker_chunks[s] ||
-          shard_windows[s] != worker_windows[s]) {
-        fail("shard " + std::to_string(s) + " ledger mismatch: shipped " +
-             std::to_string(shard_net_chunks[s]) + " chunks / " +
-             std::to_string(shard_windows[s]) + " windows, worker '" +
-             net->client(s % N).endpoint() + "' counted " +
-             std::to_string(worker_chunks[s]) + " / " +
-             std::to_string(worker_windows[s]));
+
+    if (net_degraded.load(std::memory_order_relaxed)) {
+      // The whole fleet is gone. The journal holds every chunk ever
+      // routed, so the unsealed shards are rebuilt locally with the exact
+      // in-process pass-2 tail — same tables, same coverage filter, same
+      // partition routing — which keeps the output bit-identical to a
+      // failure-free run.
+      PPA_TRACE_SPAN("net.degraded_local", "net");
+      ThreadPool pool(plan.threads);
+      std::vector<std::string> replay_errors(S);
+      pool.Run(S, [&](uint32_t s) {
+        if (shard_sealed[s]) return;
+        Pass1Chunk chunk;
+        std::string jerr;
+        const bool ok = journal->Replay(
+            s,
+            [&](const std::vector<uint8_t>& payload) {
+              if (!replay_errors[s].empty()) return;
+              if (!DecodePass1Chunk(payload.data(), payload.size(),
+                                    &chunk)) {
+                replay_errors[s] =
+                    "degraded-local replay found a malformed journal chunk "
+                    "for shard " +
+                    std::to_string(s);
+                return;
+              }
+              ForEachChunkCode(chunk, config.mer_length,
+                               [&](uint64_t code) { tables[s].Add(code); });
+            },
+            &jerr);
+        if (!ok && replay_errors[s].empty()) replay_errors[s] = jerr;
+        if (!replay_errors[s].empty()) return;
+        distinct_per_shard[s] = tables[s].size();
+        tables[s].ForEach([&](uint64_t code, uint32_t count) {
+          if (count >= config.coverage_threshold) {
+            shard_out[s][Mix64(code) % W].emplace_back(code, count);
+          }
+        });
+        shard_sealed[s] = true;
+      });
+      for (const std::string& error : replay_errors) {
+        if (!error.empty()) fail(error);
       }
+    }
+    if (!all_sealed()) {
+      fail("collection did not converge after repeated worker failures");
     }
 
     MerCounts result(W);
@@ -1116,6 +1348,14 @@ struct CounterSession::Impl {
       }
       stats->net_sent_bytes = net_sent_payload_bytes.load();
       stats->net_received_bytes = received_bytes;
+      // Quiescent by now: scanners are joined and collection is done, so
+      // the recovery counters have no concurrent writer.
+      stats->worker_failures = worker_failures;
+      stats->shards_reassigned = shards_reassigned;
+      stats->chunks_replayed = chunks_replayed;
+      stats->net_journal_bytes = journal->total_bytes();
+      stats->net_journal_spilled_bytes = journal->spilled_bytes();
+      stats->net_degraded = net_degraded.load(std::memory_order_relaxed);
     }
     return result;
   }

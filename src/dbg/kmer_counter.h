@@ -121,11 +121,16 @@ struct KmerCountConfig {
   SpillContext* spill = nullptr;
 
   // Distributed execution (net/coordinator.h), streaming sessions only.
-  // Non-null routes every sealed pass-1 chunk to the shard's worker
-  // process (shard s -> worker s % N) instead of a local count table; the
-  // queued-byte bound then covers unacked in-flight network bytes, and the
-  // spill wiring above is ignored for the counter (the chunks leave the
-  // process instead). Output is bit-identical to the in-process path.
+  // Non-null routes every sealed pass-1 chunk to the shard's current owner
+  // (the lease starts at worker s % N and moves to a survivor if the owner
+  // dies) instead of a local count table; the queued-byte bound then
+  // covers unacked in-flight network bytes, and the spill wiring above is
+  // ignored for the counter (the chunks leave the process instead — though
+  // the fault-tolerance journal may use the spill manager for overflow).
+  // Output is bit-identical to the in-process path, including across
+  // worker failures: every chunk is journaled before it is sent, orphaned
+  // shards are replayed to their new owner, and when the whole fleet dies
+  // the session degrades to counting the journal locally.
   NetContext* net = nullptr;
 
   // Scan->count queue implementation (streaming sessions, in-memory path
@@ -195,7 +200,16 @@ struct KmerCountStats {
   uint32_t distributed_workers = 0;  // remote shard worker processes
   uint64_t net_chunks = 0;           // pass-1 chunks shipped to workers
   uint64_t net_sent_bytes = 0;       // serialized chunk payload bytes sent
+                                     // (replays included)
   uint64_t net_received_bytes = 0;   // result payload bytes returned
+
+  // Distributed fault recovery; all zero for failure-free runs.
+  uint64_t worker_failures = 0;    // workers declared dead this run
+  uint64_t shards_reassigned = 0;  // shard leases moved to a survivor
+  uint64_t chunks_replayed = 0;    // journal chunks resent after failover
+  uint64_t net_journal_bytes = 0;  // chunk bytes held by the journal
+  uint64_t net_journal_spilled_bytes = 0;  // journal overflow sent to disk
+  bool net_degraded = false;  // fleet exhausted; finished by local counting
 };
 
 /// (canonical code, count) pairs partitioned by Mix64(code) % num_workers.

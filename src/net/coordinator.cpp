@@ -4,6 +4,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -18,6 +19,17 @@
 
 namespace ppa {
 namespace net {
+
+namespace {
+
+uint64_t SteadyNowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 WorkerClient::WorkerClient(const Options& options) : options_(options) {
   unacked_gauge_ = obs::MetricsRegistry::Global().GetGauge(
@@ -60,7 +72,14 @@ WorkerClient::WorkerClient(const Options& options) : options_(options) {
       version != kProtocolVersion) {
     throw handshake_error("protocol version mismatch");
   }
+  last_frame_ms_.store(SteadyNowMs(), std::memory_order_relaxed);
   receiver_ = std::thread([this] { ReceiveLoop(); });
+}
+
+uint64_t WorkerClient::millis_since_last_frame() const {
+  const uint64_t last = last_frame_ms_.load(std::memory_order_relaxed);
+  const uint64_t now = SteadyNowMs();
+  return now > last ? now - last : 0;
 }
 
 WorkerClient::~WorkerClient() {
@@ -163,6 +182,23 @@ bool WorkerClient::SendControl(MsgType type, const std::vector<uint8_t>& body) {
   return true;
 }
 
+void WorkerClient::SendHeartbeat() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Unacked data in flight means acks are due on this link, and any ack
+    // refreshes the liveness clock — probing adds nothing. It also means
+    // the socket buffer may be full (a stalled worker), and a blocking
+    // write here would hold up heartbeats to every other worker.
+    if (failed_ || window_used_ > 0) return;
+  }
+  std::unique_lock<std::mutex> send_lock(send_mu_, std::try_to_lock);
+  if (!send_lock.owns_lock()) return;  // a send is in flight: link not idle
+  std::string err;
+  if (!conn_->Send(MsgType::kHeartbeat, std::vector<uint8_t>(), &err)) {
+    Fail("send failed: " + err);
+  }
+}
+
 bool WorkerClient::NextResponse(Frame* frame) {
   std::unique_lock<std::mutex> lock(mu_);
   inbox_cv_.wait(lock, [&] { return failed_ || !inbox_.empty(); });
@@ -204,6 +240,8 @@ void WorkerClient::ReceiveLoop() {
       Fail(err);
       return;
     }
+    last_frame_ms_.store(SteadyNowMs(), std::memory_order_relaxed);
+    if (frame.type == MsgType::kHeartbeatOk) continue;
     if (frame.type == MsgType::kAck) {
       size_t pos = 0;
       uint64_t bytes = 0;
@@ -418,15 +456,21 @@ std::string MakeSocketDir() {
 }
 
 pid_t SpawnWorker(const std::string& binary, const std::string& endpoint,
-                  std::string* error) {
+                  const std::string& fault_plan, std::string* error) {
   const pid_t pid = fork();
   if (pid < 0) {
     *error = std::string("fork failed: ") + std::strerror(errno);
     return -1;
   }
   if (pid == 0) {
-    execl(binary.c_str(), "ppa_shard_worker", "--listen", endpoint.c_str(),
-          "--once", static_cast<char*>(nullptr));
+    if (fault_plan.empty()) {
+      execl(binary.c_str(), "ppa_shard_worker", "--listen", endpoint.c_str(),
+            "--once", static_cast<char*>(nullptr));
+    } else {
+      execl(binary.c_str(), "ppa_shard_worker", "--listen", endpoint.c_str(),
+            "--once", "--fault-plan", fault_plan.c_str(),
+            static_cast<char*>(nullptr));
+    }
     // Exec failed; the parent surfaces it as a connect failure naming the
     // endpoint after its bounded retry.
     _exit(127);
@@ -436,7 +480,40 @@ pid_t SpawnWorker(const std::string& binary, const std::string& endpoint,
 
 }  // namespace
 
+void NetContext::StartLiveness(int io_timeout_ms) {
+  if (io_timeout_ms <= 0) return;
+  const auto interval =
+      std::chrono::milliseconds(std::max(10, io_timeout_ms / 4));
+  const uint64_t deadline_ms = static_cast<uint64_t>(io_timeout_ms);
+  liveness_ = std::thread([this, interval, deadline_ms] {
+    std::unique_lock<std::mutex> lock(liveness_mu_);
+    while (!liveness_cv_.wait_for(lock, interval,
+                                  [this] { return liveness_stop_; })) {
+      for (auto& client : clients_) {
+        if (client->failed()) continue;
+        if (client->millis_since_last_frame() > deadline_ms) {
+          client->FailForRecovery(
+              "no frame or heartbeat reply within " +
+              std::to_string(deadline_ms) + "ms (worker presumed dead)");
+          continue;
+        }
+        client->SendHeartbeat();
+      }
+    }
+  });
+}
+
+void NetContext::StopLiveness() {
+  {
+    std::lock_guard<std::mutex> lock(liveness_mu_);
+    liveness_stop_ = true;
+  }
+  liveness_cv_.notify_all();
+  if (liveness_.joinable()) liveness_.join();
+}
+
 NetContext::~NetContext() {
+  StopLiveness();
   depot_.reset();
   for (auto& client : clients_) {
     if (client != nullptr && !client->failed()) {
@@ -515,6 +592,14 @@ std::unique_ptr<NetContext> MakeNetContext(const NetConfig& config) {
     return nullptr;
   }
 
+  net::FaultPlan fault_plan;
+  {
+    std::string err;
+    if (!net::FaultPlan::Parse(config.fault_plan, &fault_plan, &err)) {
+      throw std::runtime_error(err);
+    }
+  }
+
   std::unique_ptr<NetContext> ctx(new NetContext());
   if (specs.empty()) {
     const std::string binary = config.worker_binary.empty()
@@ -525,7 +610,8 @@ std::unique_ptr<NetContext> MakeNetContext(const NetConfig& config) {
       const std::string spec = "unix:" + ctx->spawn_dir_ + "/worker-" +
                                std::to_string(w) + ".sock";
       std::string err;
-      const pid_t pid = SpawnWorker(binary, spec, &err);
+      const pid_t pid = SpawnWorker(binary, spec,
+                                    fault_plan.ForWorker(w).ToString(), &err);
       if (pid < 0) {
         throw std::runtime_error("spawning '" + binary + "': " + err);
       }
@@ -554,6 +640,7 @@ std::unique_ptr<NetContext> MakeNetContext(const NetConfig& config) {
     raw.push_back(ctx->clients_.back().get());
   }
   ctx->depot_ = std::make_unique<net::RemoteRecordStore>(raw);
+  ctx->StartLiveness(config.io_timeout_ms);
   return ctx;
 }
 

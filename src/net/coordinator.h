@@ -19,6 +19,7 @@
 #ifndef PPA_NET_COORDINATOR_H_
 #define PPA_NET_COORDINATOR_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -30,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/faultinject.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
 #include "spill/spill.h"
@@ -83,6 +85,24 @@ class WorkerClient {
   bool Exchange(MsgType type, const std::vector<uint8_t>& body, MsgType end,
                 const std::function<bool(const Frame&)>& visit);
 
+  /// Liveness probe (fire and forget; the worker's kHeartbeatOk, like any
+  /// frame it sends, refreshes millis_since_last_frame). Only idle links
+  /// are probed — when unacked data is in flight the expected acks refresh
+  /// the liveness clock, and skipping keeps the (single) liveness thread
+  /// from ever blocking on one stalled worker's full socket buffer, which
+  /// would starve heartbeats to the healthy ones.
+  void SendHeartbeat();
+
+  /// Milliseconds since the last frame this client received (handshake
+  /// completion counts as frame zero).
+  uint64_t millis_since_last_frame() const;
+
+  /// Marks the client dead from outside the transport — the liveness
+  /// thread calls this on a heartbeat deadline breach. Same semantics as
+  /// an internal failure: pending callbacks drain, blocked senders wake,
+  /// and the recovery layer picks the carcass up at its next touch point.
+  void FailForRecovery(const std::string& what) { Fail(what); }
+
  private:
   void ReceiveLoop();
   void Fail(const std::string& what);
@@ -95,6 +115,10 @@ class WorkerClient {
   Options options_;
   std::unique_ptr<FrameConn> conn_;
   std::thread receiver_;
+  // Steady-clock millis of the last received frame, for the liveness
+  // deadline. Atomic: written by the receive thread, read by the liveness
+  // thread.
+  std::atomic<uint64_t> last_frame_ms_{0};
 
   // mu_ guards the window ledger, the ack FIFO, the response inbox, and
   // the failure state. NEVER held across a socket write: the worker acks
@@ -162,6 +186,12 @@ struct NetConfig {
   uint64_t window_bytes = 8ULL << 20;  // per-worker unacked byte cap
   int io_timeout_ms = 30000;
   int connect_timeout_ms = 10000;
+
+  // Fault-injection script (net/faultinject.h grammar) forwarded to every
+  // spawned worker, scoped per worker via FaultPlan::ForWorker. Ignored
+  // for already-running endpoint workers (pass --fault-plan to those
+  // processes directly).
+  std::string fault_plan;
 };
 
 /// The connected fleet. Owns the clients, the remote record depot, and any
@@ -197,11 +227,23 @@ class NetContext {
   friend std::unique_ptr<NetContext> MakeNetContext(const NetConfig& config);
   NetContext() = default;
 
+  void StartLiveness(int io_timeout_ms);
+  void StopLiveness();
+
   std::vector<std::unique_ptr<net::WorkerClient>> clients_;
   std::unique_ptr<net::RemoteRecordStore> depot_;
   std::vector<pid_t> spawned_;
   std::string spawn_dir_;  // owned socket dir; "" when connecting out
   std::string description_;
+
+  // Liveness thread: heartbeats every idle client (SendHeartbeat skips
+  // links with data in flight) and fails any whose last frame is older
+  // than the io timeout, so a stalled (not just dead) worker is detected
+  // even while no data-plane traffic is due.
+  std::thread liveness_;
+  std::mutex liveness_mu_;
+  std::condition_variable liveness_cv_;
+  bool liveness_stop_ = false;
 };
 
 /// Spawns/connects the fleet per `config`. Throws std::runtime_error when

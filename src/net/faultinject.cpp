@@ -1,0 +1,204 @@
+#include "net/faultinject.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "net/wire.h"
+
+namespace ppa {
+namespace net {
+
+namespace {
+
+constexpr uint64_t kDefaultDelayMs = 100;
+constexpr uint64_t kDefaultStallMs = 600000;  // 10 min >> any net timeout
+constexpr uint64_t kSeededFrameRange = 8;     // seeded triggers land early
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+bool ParseKindName(const std::string& name, FaultKind* kind) {
+  if (name == "drop-conn") {
+    *kind = FaultKind::kDropConn;
+  } else if (name == "delay") {
+    *kind = FaultKind::kDelay;
+  } else if (name == "corrupt-frame") {
+    *kind = FaultKind::kCorruptFrame;
+  } else if (name == "stall-worker") {
+    *kind = FaultKind::kStallWorker;
+  } else if (name == "kill-worker") {
+    *kind = FaultKind::kKillWorker;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseNumber(const std::string& text, uint64_t* value) {
+  if (text.empty() ||
+      text.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  *value = std::strtoull(text.c_str(), nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDropConn: return "drop-conn";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kCorruptFrame: return "corrupt-frame";
+    case FaultKind::kStallWorker: return "stall-worker";
+    case FaultKind::kKillWorker: return "kill-worker";
+  }
+  return "unknown";
+}
+
+bool FaultPlan::Parse(const std::string& text, FaultPlan* plan,
+                      std::string* error) {
+  *plan = FaultPlan{};
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string entry = text.substr(start, comma - start);
+    start = comma + 1;
+    if (entry.empty()) continue;
+    auto bad = [&](const std::string& why) {
+      *error = "fault plan entry '" + entry + "': " + why;
+      return false;
+    };
+    if (entry.rfind("seed=", 0) == 0) {
+      if (!ParseNumber(entry.substr(5), &plan->seed)) {
+        return bad("seed must be a number");
+      }
+      continue;
+    }
+    const size_t at = entry.find('@');
+    const std::string action =
+        at == std::string::npos ? entry : entry.substr(0, at);
+    FaultRule rule;
+    if (!ParseKindName(action, &rule.kind)) {
+      return bad("unknown action '" + action +
+                 "' (expected drop-conn, delay, corrupt-frame, "
+                 "stall-worker, or kill-worker)");
+    }
+    size_t pos = at;
+    while (pos != std::string::npos && pos < entry.size()) {
+      size_t next = entry.find('@', pos + 1);
+      if (next == std::string::npos) next = entry.size();
+      const std::string kv = entry.substr(pos + 1, next - pos - 1);
+      pos = next;
+      const size_t eq = kv.find('=');
+      if (eq == std::string::npos) {
+        return bad("expected key=value, got '" + kv + "'");
+      }
+      const std::string key = kv.substr(0, eq);
+      uint64_t value = 0;
+      if (!ParseNumber(kv.substr(eq + 1), &value)) {
+        return bad("'" + key + "' must be a number");
+      }
+      if (key == "frame") {
+        if (value == 0) return bad("frame triggers are 1-based");
+        rule.frame = value;
+      } else if (key == "chunk") {
+        if (value == 0) return bad("chunk triggers are 1-based");
+        rule.chunk = value;
+      } else if (key == "ms") {
+        rule.ms = value;
+      } else if (key == "worker") {
+        rule.worker = static_cast<int32_t>(value);
+      } else {
+        return bad("unknown key '" + key +
+                   "' (expected frame, chunk, ms, or worker)");
+      }
+    }
+    plan->rules.push_back(rule);
+  }
+  return true;
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out;
+  if (seed != 1) out = "seed=" + std::to_string(seed);
+  for (const FaultRule& rule : rules) {
+    if (!out.empty()) out += ',';
+    out += FaultKindName(rule.kind);
+    if (rule.frame != 0) out += "@frame=" + std::to_string(rule.frame);
+    if (rule.chunk != 0) out += "@chunk=" + std::to_string(rule.chunk);
+    if (rule.ms != 0) out += "@ms=" + std::to_string(rule.ms);
+    if (rule.worker >= 0) out += "@worker=" + std::to_string(rule.worker);
+  }
+  return out;
+}
+
+FaultPlan FaultPlan::ForWorker(uint32_t worker) const {
+  FaultPlan out;
+  out.seed = seed;
+  for (const FaultRule& rule : rules) {
+    if (rule.worker >= 0 &&
+        rule.worker != static_cast<int32_t>(worker)) {
+      continue;
+    }
+    FaultRule scoped = rule;
+    scoped.worker = -1;
+    out.rules.push_back(scoped);
+  }
+  return out;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan) {
+  uint64_t state = plan.seed ^ 0xD1B54A32D192ED03ULL;
+  for (const FaultRule& rule : plan.rules) {
+    Armed armed;
+    armed.rule = rule;
+    if (rule.chunk == 0) {
+      // Resolve the frame trigger now so the whole connection's schedule
+      // is fixed up front; a seeded trigger fires on an early frame.
+      armed.at_frame = rule.frame != 0
+                           ? rule.frame
+                           : 1 + SplitMix64(&state) % kSeededFrameRange;
+    }
+    armed_.push_back(armed);
+  }
+}
+
+FaultInjector::Fired FaultInjector::OnFrame(bool is_chunk, FrameConn* conn) {
+  ++frames_;
+  if (is_chunk) ++chunks_;
+  for (Armed& armed : armed_) {
+    if (armed.fired) continue;
+    const bool hit = armed.rule.chunk != 0 ? chunks_ == armed.rule.chunk
+                                           : frames_ == armed.at_frame;
+    if (!hit) continue;
+    armed.fired = true;
+    switch (armed.rule.kind) {
+      case FaultKind::kDropConn:
+        return Fired::kDropConn;
+      case FaultKind::kKillWorker:
+        return Fired::kKillWorker;
+      case FaultKind::kDelay:
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            armed.rule.ms != 0 ? armed.rule.ms : kDefaultDelayMs));
+        break;
+      case FaultKind::kStallWorker:
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            armed.rule.ms != 0 ? armed.rule.ms : kDefaultStallMs));
+        break;
+      case FaultKind::kCorruptFrame:
+        if (conn != nullptr) conn->CorruptNextSend();
+        break;
+    }
+  }
+  return Fired::kNone;
+}
+
+}  // namespace net
+}  // namespace ppa

@@ -1,0 +1,83 @@
+// Capped exponential backoff with deterministic jitter.
+//
+// Every retry loop in the net layer (connect retries, and any future
+// reconnect path) prices its delays through one policy object so the
+// behavior is testable: Backoff is pure computation — it hands out the
+// delay schedule, the caller owns the clock and the sleep — which is what
+// lets the unit tests assert the cap, the jitter bounds, and the total
+// attempt budget without a single real sleep.
+//
+// Jitter is multiplicative (+/- `jitter` fraction of the nominal delay)
+// and drawn from a splitmix64 stream seeded by the policy, so two fleets
+// retrying the same endpoint desynchronize while a given seed replays the
+// exact same schedule.
+#ifndef PPA_NET_RETRY_H_
+#define PPA_NET_RETRY_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace ppa {
+namespace net {
+
+struct BackoffPolicy {
+  uint32_t initial_ms = 10;   // nominal first delay
+  uint32_t max_ms = 500;      // hard per-delay cap, jitter included
+  double multiplier = 2.0;    // nominal delay growth per attempt
+  double jitter = 0.0;        // +/- fraction of the nominal delay, in [0, 1)
+  uint32_t max_attempts = 0;  // total delay budget; 0 = unbounded (the
+                              // caller bounds by deadline instead)
+  uint64_t seed = 1;          // jitter stream; same seed = same schedule
+};
+
+class Backoff {
+ public:
+  explicit Backoff(const BackoffPolicy& policy)
+      : policy_(policy),
+        state_(policy.seed ^ 0x9E3779B97F4A7C15ULL),
+        nominal_ms_(static_cast<double>(policy.initial_ms)) {}
+
+  /// Fills `delay_ms` with the delay to sleep before the next retry and
+  /// advances the schedule. False (leaving `delay_ms` untouched) once
+  /// `max_attempts` delays have been handed out — the attempt budget is
+  /// spent and the caller should give up.
+  bool NextDelayMs(uint32_t* delay_ms) {
+    if (policy_.max_attempts != 0 && attempts_ >= policy_.max_attempts) {
+      return false;
+    }
+    ++attempts_;
+    double delay = std::min(nominal_ms_, static_cast<double>(policy_.max_ms));
+    if (policy_.jitter > 0) {
+      // Uniform in [-jitter, +jitter), multiplicative.
+      const double unit =
+          static_cast<double>(NextRand() >> 11) * 0x1.0p-53;  // [0, 1)
+      delay *= 1.0 + policy_.jitter * (2.0 * unit - 1.0);
+    }
+    nominal_ms_ *= policy_.multiplier;
+    const double capped =
+        std::min(delay, static_cast<double>(policy_.max_ms));
+    *delay_ms = static_cast<uint32_t>(std::max(1.0, capped));
+    return true;
+  }
+
+  uint32_t attempts() const { return attempts_; }
+
+ private:
+  uint64_t NextRand() {
+    // splitmix64: small, seedable, good enough to decorrelate delays.
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  BackoffPolicy policy_;
+  uint64_t state_;
+  double nominal_ms_;
+  uint32_t attempts_ = 0;
+};
+
+}  // namespace net
+}  // namespace ppa
+
+#endif  // PPA_NET_RETRY_H_

@@ -12,8 +12,11 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <functional>
 #include <thread>
 
+#include "net/retry.h"
+#include "obs/metrics.h"
 #include "util/crc32.h"
 #include "util/varint.h"
 
@@ -74,6 +77,8 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kShutdown: return "shutdown";
     case MsgType::kMetricsRequest: return "metrics-request";
     case MsgType::kMetricsSnapshot: return "metrics-snapshot";
+    case MsgType::kHeartbeat: return "heartbeat";
+    case MsgType::kHeartbeatOk: return "heartbeat-ok";
   }
   return "unknown";
 }
@@ -217,7 +222,15 @@ int ConnectWithRetry(const Endpoint& endpoint, int timeout_ms,
                      std::string* error) {
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(timeout_ms);
-  int backoff_ms = 10;
+  // Jitter the backoff per endpoint so a fleet of clients reconnecting to
+  // the same box desynchronizes; the deadline, not an attempt count,
+  // bounds the loop.
+  BackoffPolicy policy;
+  policy.jitter = 0.2;
+  policy.seed = std::hash<std::string>{}(endpoint.spec);
+  Backoff backoff(policy);
+  obs::Counter* retries =
+      obs::MetricsRegistry::Global().GetCounter("net.retries");
   for (;;) {
     sockaddr_storage addr;
     socklen_t addr_len = 0;
@@ -238,8 +251,10 @@ int ConnectWithRetry(const Endpoint& endpoint, int timeout_ms,
                      (transient ? " (gave up after retries)" : ""));
       return -1;
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-    backoff_ms = std::min(backoff_ms * 2, 500);
+    uint32_t delay_ms = 0;
+    backoff.NextDelayMs(&delay_ms);  // unbounded attempts: always true
+    retries->Increment();
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
   }
 }
 
@@ -294,6 +309,10 @@ bool FrameConn::Send(MsgType type, const uint8_t* body, size_t size,
   const uint8_t type_byte = static_cast<uint8_t>(type);
   uint32_t crc = Crc32(&type_byte, 1);
   crc = Crc32(body, size, crc);
+  if (corrupt_next_send_) {
+    corrupt_next_send_ = false;
+    crc ^= 0xFF;  // the peer's Recv rejects this frame as a CRC mismatch
+  }
   std::vector<uint8_t> header;
   header.reserve(16);
   PutVarint64(&header, size + 1);  // + the type byte

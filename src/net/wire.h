@@ -32,8 +32,9 @@ namespace net {
 extern const char kNetMagic[8];
 
 /// Bumped on any incompatible wire change; checked in the hello exchange.
-/// v2 added the telemetry pull (kMetricsRequest/kMetricsSnapshot).
-constexpr uint32_t kProtocolVersion = 2;
+/// v2 added the telemetry pull (kMetricsRequest/kMetricsSnapshot); v3 the
+/// liveness exchange (kHeartbeat/kHeartbeatOk).
+constexpr uint32_t kProtocolVersion = 3;
 
 /// Hard cap on one frame's payload (type byte + body). Chunks and result
 /// slices are tens of kilobytes; anything near this cap is a corrupt or
@@ -69,6 +70,8 @@ enum class MsgType : uint8_t {
   kShutdown = 18,      // c->w: worker process exits after this connection
   kMetricsRequest = 19,   // c->w: empty; worker replies with its registry
   kMetricsSnapshot = 20,  // w->c: obs::EncodeTelemetry payload
+  kHeartbeat = 21,        // c->w: empty liveness probe
+  kHeartbeatOk = 22,      // w->c: empty; any frame refreshes the deadline
 };
 
 const char* MsgTypeName(MsgType type);
@@ -155,10 +158,15 @@ class FrameConn {
   /// worker exports this as telemetry (`worker.crc_rejects`).
   uint64_t crc_rejects() const { return crc_rejects_; }
 
+  /// Fault-injection hook (net/faultinject.h): the next Send flips a CRC
+  /// byte on the wire, so the peer's Recv sees a frame CRC mismatch.
+  void CorruptNextSend() { corrupt_next_send_ = true; }
+
  private:
   bool ReadBytes(uint8_t* out, size_t n, bool* eof, std::string* error);
 
   int fd_ = -1;
+  bool corrupt_next_send_ = false;
   uint64_t crc_rejects_ = 0;
   std::vector<uint8_t> buf_;
   size_t buf_pos_ = 0;

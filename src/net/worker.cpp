@@ -31,6 +31,11 @@ struct ConnState {
   std::unique_ptr<ShardCounterBank> bank;
   uint32_t out_workers = 1;
   uint32_t coverage_threshold = 1;
+  // Shards already streamed by an earlier kCounterFinish on this
+  // connection. The coordinator's recovery loop finishes in rounds (late
+  // chunk replays can land between finishes), so repeating the finish must
+  // be idempotent: a shard's results go out exactly once.
+  std::vector<bool> reported;
   struct StoreFile {
     std::string name;
     std::vector<std::vector<uint8_t>> records;
@@ -51,15 +56,17 @@ bool SendAck(FrameConn& conn, size_t body_bytes, std::string* error) {
   return conn.Send(MsgType::kAck, ack, error);
 }
 
-/// Finalizes the bank and streams every non-empty (shard, partition)
-/// survivor slice, per-shard summaries, and the kCounterDone trailer.
+/// Finalizes the bank and streams every not-yet-reported non-empty
+/// (shard, partition) survivor slice, per-shard summaries, and the
+/// kCounterDone trailer (whose count covers this round only).
 bool SendCounterResults(FrameConn& conn, ConnState& state,
                         std::string* error) {
   uint64_t shards_reported = 0;
   const uint32_t num_shards =
       state.bank == nullptr ? 0 : state.bank->num_shards();
   for (uint32_t s = 0; s < num_shards; ++s) {
-    if (state.bank->chunks(s) == 0) continue;
+    if (state.bank->chunks(s) == 0 || state.reported[s]) continue;
+    state.reported[s] = true;
     ++shards_reported;
     const auto partitions = state.bank->Finalize(s, state.coverage_threshold,
                                                  state.out_workers);
@@ -129,7 +136,23 @@ bool ShardWorkerServer::Start(std::string* error) {
 
 void ShardWorkerServer::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return done_ || stopping_; });
+  done_cv_.wait(lock, [&] {
+    return done_ || stopping_ || (draining_ && active_ == 0);
+  });
+}
+
+void ShardWorkerServer::BeginDrain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) return;
+    draining_ = true;
+    // Wake the active connections: each one's in-flight frame finishes
+    // processing, then its next socket read sees the shutdown and takes
+    // the normal end-of-connection path.
+    for (FrameConn* conn : active_conns_) conn->Close();
+    done_cv_.notify_all();
+  }
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
 }
 
 void ShardWorkerServer::Stop() {
@@ -178,10 +201,12 @@ void ShardWorkerServer::AcceptLoop() {
       continue;  // transient accept failure
     }
     std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) {
+    if (stopping_ || draining_) {
       ::close(fd);
-      return;
+      if (stopping_) return;
+      continue;
     }
+    ++active_;
     conns_.emplace_back([this, fd] { ServeConnection(fd); });
   }
 }
@@ -205,6 +230,14 @@ void ShardWorkerServer::ServeConnection(int fd) {
   {
     FrameConn conn(fd);
     conn.SetTimeouts(options_.io_timeout_ms);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (draining_) {
+        // Drained between accept and here: take the end path immediately.
+        conn.Close();
+      }
+      active_conns_.push_back(&conn);
+    }
     std::string err;
 
     // Handshake: the coordinator speaks first; magic both ways.
@@ -229,8 +262,18 @@ void ShardWorkerServer::ServeConnection(int fd) {
       }
     }
 
+    // The connection's fault schedule: the configured plan plus the legacy
+    // fail-after-frames alias (drop-conn@frame=N+1).
+    FaultPlan plan = options_.fault_plan;
+    if (options_.fail_after_frames != 0) {
+      FaultRule alias;
+      alias.kind = FaultKind::kDropConn;
+      alias.frame = options_.fail_after_frames + 1;
+      plan.rules.push_back(alias);
+    }
+    FaultInjector injector(plan);
+
     ConnState state;
-    uint64_t frames_seen = 0;
     uint64_t crc_folded = 0;  // rejects already added to the registry
     while (ok) {
       const FrameConn::RecvResult r = conn.Recv(&frame, &err);
@@ -239,11 +282,22 @@ void ShardWorkerServer::ServeConnection(int fd) {
         SendError(conn, err);
         break;
       }
-      // Crash-simulation hook: drop the connection abruptly (no error
-      // frame, no ack) once the budget is spent.
-      if (options_.fail_after_frames != 0 &&
-          ++frames_seen > options_.fail_after_frames) {
-        break;
+      if (frame.type == MsgType::kHeartbeat) {
+        // Liveness probes answer immediately and stay out of the fault
+        // injector's frame count (their timing is wall-clock dependent,
+        // and frame triggers must stay deterministic) and out of the
+        // telemetry the CI consistency check reconciles.
+        ok = conn.Send(MsgType::kHeartbeatOk, std::vector<uint8_t>{}, &err);
+        continue;
+      }
+      const FaultInjector::Fired fired =
+          injector.OnFrame(frame.type == MsgType::kCounterChunk, &conn);
+      if (fired == FaultInjector::Fired::kKillWorker &&
+          options_.allow_process_exit) {
+        _exit(137);  // the worker-binary stand-in for kill -9
+      }
+      if (fired != FaultInjector::Fired::kNone) {
+        break;  // drop abruptly: no error frame, no ack
       }
       const std::vector<uint8_t>& body = frame.body;
       m_frames_total->Increment();
@@ -262,6 +316,7 @@ void ShardWorkerServer::ServeConnection(int fd) {
           }
           state.bank = std::make_unique<ShardCounterBank>(
               static_cast<int>(mer_length), static_cast<uint32_t>(shards));
+          state.reported.assign(shards, false);
           state.out_workers = static_cast<uint32_t>(workers);
           state.coverage_threshold = static_cast<uint32_t>(coverage);
           break;
@@ -368,10 +423,20 @@ void ShardWorkerServer::ServeConnection(int fd) {
     if (conn.crc_rejects() > crc_folded) {
       m_crc_rejects->Add(conn.crc_rejects() - crc_folded);
     }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (size_t i = 0; i < active_conns_.size(); ++i) {
+        if (active_conns_[i] == &conn) {
+          active_conns_.erase(active_conns_.begin() + i);
+          break;
+        }
+      }
+    }
   }
   std::lock_guard<std::mutex> lock(mu_);
   ++served_;
-  if (options_.once) {
+  --active_;
+  if (options_.once || (draining_ && active_ == 0)) {
     done_ = true;
     done_cv_.notify_all();
   }

@@ -25,18 +25,29 @@
 #include <thread>
 #include <vector>
 
+#include "net/faultinject.h"
 #include "obs/metrics.h"
 
 namespace ppa {
 namespace net {
+
+class FrameConn;
 
 struct WorkerOptions {
   std::string listen;      // endpoint spec (wire.h); port 0 picks a free port
   bool once = false;       // exit Wait() after the first connection ends
   int io_timeout_ms = 0;   // per read/write on accepted connections; 0 = none
   // Test hook: abruptly drop every connection after this many post-handshake
-  // frames, simulating a worker crash mid-stream. 0 = never.
+  // frames, simulating a worker crash mid-stream. 0 = never. Exactly the
+  // fault-plan rule drop-conn@frame=N+1, kept as an alias; both compose.
   uint64_t fail_after_frames = 0;
+  // Deterministic fault script (faultinject.h grammar), evaluated per
+  // connection.
+  FaultPlan fault_plan;
+  // Honor kill-worker rules with _exit(137). Only the ppa_shard_worker
+  // binary sets this; embedded test servers treat kill-worker as
+  // drop-conn so a test fleet never takes its process down.
+  bool allow_process_exit = false;
 };
 
 class ShardWorkerServer {
@@ -61,6 +72,12 @@ class ShardWorkerServer {
   /// Closes the listener and joins every thread. Idempotent.
   void Stop();
 
+  /// Graceful shutdown (the binary's SIGTERM/SIGINT path): stop accepting,
+  /// close every active connection — the frame being processed completes,
+  /// the next read sees the shutdown and ends the connection normally —
+  /// and make Wait() return once the last connection drains. Idempotent.
+  void BeginDrain();
+
   uint64_t connections() const;
 
   /// This server's telemetry (frames served, bytes, CRC rejects, ...),
@@ -84,8 +101,11 @@ class ShardWorkerServer {
   mutable std::mutex mu_;
   std::condition_variable done_cv_;
   std::vector<std::thread> conns_;
+  std::vector<FrameConn*> active_conns_;  // live connections, for BeginDrain
+  uint64_t active_ = 0;
   uint64_t served_ = 0;
   bool stopping_ = false;
+  bool draining_ = false;
   bool done_ = false;
 };
 

@@ -55,6 +55,12 @@ void PublishRunMetrics(const RunReportData& data, MetricsRegistry* r) {
     Set(r, "net.chunks", c.net_chunks);
     Set(r, "net.sent_bytes", c.net_sent_bytes);
     Set(r, "net.received_bytes", c.net_received_bytes);
+    Set(r, "net.worker_failures", c.worker_failures);
+    Set(r, "net.shards_reassigned", c.shards_reassigned);
+    Set(r, "net.chunks_replayed", c.chunks_replayed);
+    Set(r, "net.journal_bytes", c.net_journal_bytes);
+    Set(r, "net.journal_spilled_bytes", c.net_journal_spilled_bytes);
+    Set(r, "net.degraded", c.net_degraded ? 1 : 0);
   }
 
   if (data.pipeline != nullptr) {

@@ -184,6 +184,22 @@ TEST(AssembleCliParseTest, DistributedFlagsMapOntoOptions) {
   EXPECT_NE(error.find("--in-memory"), std::string::npos) << error;
 }
 
+TEST(AssembleCliParseTest, FaultPlanValidatedAtParseTime) {
+  AssembleCliOptions opts;
+  std::string error;
+  ASSERT_TRUE(Parse({"--shard-workers", "2", "--fault-plan",
+                     "seed=7,kill-worker@chunk=3@worker=0", "in.fastq"},
+                    &opts, &error))
+      << error;
+  EXPECT_EQ(opts.assembler.fault_plan, "seed=7,kill-worker@chunk=3@worker=0");
+
+  // A bad plan is a usage error here, not a throw deep inside fleet setup.
+  opts = {};
+  EXPECT_FALSE(Parse({"--fault-plan", "explode@frame=1", "in.fastq"}, &opts,
+                     &error));
+  EXPECT_NE(error.find("--fault-plan"), std::string::npos) << error;
+}
+
 TEST(AssembleCliRunTest, MissingInputFailsGracefully) {
   AssembleCliOptions opts;
   opts.inputs = {TempPath("does_not_exist.fastq")};

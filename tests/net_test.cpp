@@ -3,16 +3,20 @@
 // diagnostic, never misread), endpoint parsing, the in-process worker
 // server, and the headline property — distributed counting over a fleet of
 // workers is bit-identical to the in-process counter across a
-// k x shards x workers grid. Failure injection (a worker dropping its
-// connection mid-stream, an unreachable endpoint) must surface as a bounded
-// diagnostic, never a hang.
+// k x shards x workers grid, including under injected faults: a worker
+// dying mid-stream is recovered by reassigning its shard leases and
+// replaying the chunk journal, and a fleet that dies entirely degrades to
+// local counting — in every case with bit-identical output, never a hang.
 #include "net/wire.h"
 
 #include <gtest/gtest.h>
+#include <signal.h>
 #include <sys/socket.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
@@ -23,6 +27,9 @@
 
 #include "dbg/kmer_counter.h"
 #include "net/coordinator.h"
+#include "net/faultinject.h"
+#include "net/journal.h"
+#include "net/retry.h"
 #include "net/worker.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
@@ -255,19 +262,24 @@ std::string MakeTempDir() {
 
 /// N in-process ShardWorkerServers on unix sockets plus the NetContext
 /// connected to them. The context must die before the servers stop.
+/// `plans` (when non-empty, one entry per worker) injects a deterministic
+/// fault script into each server.
 struct Fleet {
   std::string dir;
   std::vector<std::unique_ptr<ShardWorkerServer>> servers;
   std::unique_ptr<NetContext> context;
 
   explicit Fleet(uint32_t n, uint64_t fail_after_frames = 0,
-                 uint64_t window_bytes = 1 << 20) {
+                 uint64_t window_bytes = 1 << 20,
+                 std::vector<net::FaultPlan> plans = {},
+                 int io_timeout_ms = 20000) {
     dir = MakeTempDir();
     std::string endpoints;
     for (uint32_t w = 0; w < n; ++w) {
       WorkerOptions options;
       options.listen = "unix:" + dir + "/w" + std::to_string(w) + ".sock";
       options.fail_after_frames = fail_after_frames;
+      if (!plans.empty()) options.fault_plan = plans[w];
       servers.push_back(std::make_unique<ShardWorkerServer>(options));
       std::string error;
       EXPECT_TRUE(servers.back()->Start(&error)) << error;
@@ -277,7 +289,7 @@ struct Fleet {
     NetConfig config;
     config.endpoints = endpoints;
     config.window_bytes = window_bytes;
-    config.io_timeout_ms = 20000;
+    config.io_timeout_ms = io_timeout_ms;
     config.connect_timeout_ms = 5000;
     context = MakeNetContext(config);
     EXPECT_EQ(context->num_workers(), n);
@@ -460,20 +472,145 @@ TEST(DistributedCounterTest, TelemetryReconcilesWithClientCounters) {
   EXPECT_EQ(direct_served, frames_served);
 }
 
-// A worker that drops its connection mid-stream (crash simulation) must
-// surface as one diagnostic from Finish — not a hang, not an abort.
-TEST(DistributedCounterTest, WorkerDeathMidStreamFailsWithDiagnostic) {
+// Parses a fault-plan literal or dies loudly — test scripts are static.
+net::FaultPlan Plan(const std::string& text) {
+  net::FaultPlan plan;
+  std::string error;
+  EXPECT_TRUE(net::FaultPlan::Parse(text, &plan, &error)) << error;
+  return plan;
+}
+
+// The tentpole recovery property: one of two workers dropping its
+// connection mid-stream is survived — its shard leases move to the
+// survivor, the journal replays the orphaned chunks, and the output is
+// bit-identical to the in-process counter.
+TEST(DistributedCounterTest, WorkerDeathMidStreamRecoversBitIdentical) {
   std::vector<Read> reads = SimulatedReads(30000, 12.0, 0.02, 3);
-  Fleet fleet(2, /*fail_after_frames=*/3);
   KmerCountConfig config;
   config.mer_length = 21;
   config.num_workers = 2;
   config.num_threads = 4;
+  config.num_shards = 8;
+  auto expected = SortedPartitions(CountCanonicalMers(reads, config));
+  Fleet fleet(2, /*fail_after_frames=*/0, /*window_bytes=*/1 << 20,
+              {Plan("drop-conn@frame=5"), net::FaultPlan{}});
   config.net = fleet.context.get();
   CounterSession session(config);
   session.AddBatch(reads);
   KmerCountStats stats;
-  EXPECT_THROW(session.Finish(&stats), std::runtime_error);
+  EXPECT_EQ(SortedPartitions(session.Finish(&stats)), expected);
+  EXPECT_EQ(stats.worker_failures, 1u);
+  EXPECT_GT(stats.shards_reassigned, 0u);
+  EXPECT_GT(stats.chunks_replayed, 0u);
+  EXPECT_GT(stats.net_journal_bytes, 0u);
+  EXPECT_FALSE(stats.net_degraded);
+}
+
+// A worker dying during result collection (after the whole data stream
+// arrived) loses only its uncommitted staging; the shards rebuild on the
+// survivor. The death frame is probed from a healthy run: AddBatch scans
+// on the calling thread, so the frame sequence each worker sees is
+// deterministic, and the last frame a healthy worker 0 received is its
+// kCounterFinish — dying exactly there is a mid-collection crash.
+TEST(DistributedCounterTest, DeathDuringCollectionRecovers) {
+  std::vector<Read> reads = SimulatedReads(20000, 10.0, 0.01, 9);
+  KmerCountConfig config;
+  config.mer_length = 19;
+  config.num_workers = 3;
+  config.num_threads = 4;
+  config.num_shards = 8;
+  auto expected = SortedPartitions(CountCanonicalMers(reads, config));
+  uint64_t finish_frame = 0;
+  {
+    Fleet healthy(2);
+    config.net = healthy.context.get();
+    CounterSession session(config);
+    session.AddBatch(reads);
+    KmerCountStats stats;
+    ASSERT_EQ(SortedPartitions(session.Finish(&stats)), expected);
+    const obs::SnapshotView w0(healthy.servers[0]->metrics().Snapshot());
+    finish_frame = w0.Get("worker.frames_total");
+    ASSERT_GT(finish_frame, 2u);  // open + at least one chunk + finish
+  }
+  Fleet fleet(2, /*fail_after_frames=*/0, /*window_bytes=*/1 << 20,
+              {Plan("drop-conn@frame=" + std::to_string(finish_frame)),
+               net::FaultPlan{}});
+  config.net = fleet.context.get();
+  CounterSession session(config);
+  session.AddBatch(reads);
+  KmerCountStats stats;
+  EXPECT_EQ(SortedPartitions(session.Finish(&stats)), expected);
+  EXPECT_EQ(stats.worker_failures, 1u);
+  EXPECT_GT(stats.shards_reassigned, 0u);
+  EXPECT_GT(stats.chunks_replayed, 0u);
+  EXPECT_FALSE(stats.net_degraded);
+}
+
+// Every worker dying degrades the run to local counting from the journal —
+// still bit-identical, still exit-clean. (fail_after_frames hits every
+// server, so both workers die.)
+TEST(DistributedCounterTest, AllWorkersDyingDegradesToLocalBitIdentical) {
+  std::vector<Read> reads = SimulatedReads(30000, 12.0, 0.02, 3);
+  KmerCountConfig config;
+  config.mer_length = 21;
+  config.num_workers = 2;
+  config.num_threads = 4;
+  config.num_shards = 8;
+  auto expected = SortedPartitions(CountCanonicalMers(reads, config));
+  Fleet fleet(2, /*fail_after_frames=*/3);
+  config.net = fleet.context.get();
+  CounterSession session(config);
+  session.AddBatch(reads);
+  KmerCountStats stats;
+  EXPECT_EQ(SortedPartitions(session.Finish(&stats)), expected);
+  EXPECT_EQ(stats.worker_failures, 2u);
+  EXPECT_TRUE(stats.net_degraded);
+}
+
+// A worker whose reply frame is corrupted (CRC flip) is indistinguishable
+// from a dying one on the coordinator side: the connection fails and
+// recovery takes over.
+TEST(DistributedCounterTest, CorruptWorkerFrameTriggersRecovery) {
+  std::vector<Read> reads = SimulatedReads(20000, 10.0, 0.02, 31);
+  KmerCountConfig config;
+  config.mer_length = 17;
+  config.num_workers = 2;
+  config.num_threads = 4;
+  config.num_shards = 8;
+  auto expected = SortedPartitions(CountCanonicalMers(reads, config));
+  Fleet fleet(2, /*fail_after_frames=*/0, /*window_bytes=*/1 << 20,
+              {Plan("corrupt-frame@frame=4"), net::FaultPlan{}});
+  config.net = fleet.context.get();
+  CounterSession session(config);
+  session.AddBatch(reads);
+  KmerCountStats stats;
+  EXPECT_EQ(SortedPartitions(session.Finish(&stats)), expected);
+  EXPECT_EQ(stats.worker_failures, 1u);
+  EXPECT_FALSE(stats.net_degraded);
+}
+
+// A stalled (not dead) worker is detected by the heartbeat deadline — the
+// run recovers instead of waiting out the stall.
+TEST(DistributedCounterTest, StalledWorkerDetectedAndRecovered) {
+  std::vector<Read> reads = SimulatedReads(30000, 12.0, 0.02, 11);
+  KmerCountConfig config;
+  config.mer_length = 21;
+  config.num_workers = 2;
+  config.num_threads = 4;
+  config.num_shards = 8;
+  auto expected = SortedPartitions(CountCanonicalMers(reads, config));
+  // The stall (2.5 s) far exceeds the io timeout (400 ms): the liveness
+  // thread must declare the worker dead long before the stall ends.
+  Fleet fleet(2, /*fail_after_frames=*/0, /*window_bytes=*/1 << 20,
+              {Plan("stall-worker@frame=4@ms=2500"), net::FaultPlan{}},
+              /*io_timeout_ms=*/400);
+  config.net = fleet.context.get();
+  CounterSession session(config);
+  session.AddBatch(reads);
+  KmerCountStats stats;
+  EXPECT_EQ(SortedPartitions(session.Finish(&stats)), expected);
+  EXPECT_EQ(stats.worker_failures, 1u);
+  EXPECT_FALSE(stats.net_degraded);
 }
 
 // An unreachable endpoint fails fleet construction within the bounded
@@ -543,6 +680,234 @@ TEST(WorkerServerTest, MalformedChunkGetsErrorFrame) {
   EXPECT_TRUE(client.failed());
   EXPECT_FALSE(client.error().empty());
   EXPECT_TRUE(done_ran);
+}
+
+// ---------------------------------------------------------------------------
+// Retry backoff (pure computation: no clock, no sleeps).
+// ---------------------------------------------------------------------------
+
+TEST(BackoffTest, GrowsGeometricallyToTheCapWithoutJitter) {
+  net::BackoffPolicy policy;
+  policy.initial_ms = 10;
+  policy.max_ms = 500;
+  policy.multiplier = 2.0;
+  policy.jitter = 0.0;
+  net::Backoff backoff(policy);
+  std::vector<uint32_t> delays;
+  for (int i = 0; i < 9; ++i) {
+    uint32_t d = 0;
+    ASSERT_TRUE(backoff.NextDelayMs(&d));
+    delays.push_back(d);
+  }
+  EXPECT_EQ(delays, (std::vector<uint32_t>{10, 20, 40, 80, 160, 320, 500,
+                                           500, 500}));
+  EXPECT_EQ(backoff.attempts(), 9u);
+}
+
+TEST(BackoffTest, AttemptBudgetIsEnforced) {
+  net::BackoffPolicy policy;
+  policy.max_attempts = 3;
+  net::Backoff backoff(policy);
+  uint32_t d = 0;
+  EXPECT_TRUE(backoff.NextDelayMs(&d));
+  EXPECT_TRUE(backoff.NextDelayMs(&d));
+  EXPECT_TRUE(backoff.NextDelayMs(&d));
+  EXPECT_FALSE(backoff.NextDelayMs(&d));
+  EXPECT_EQ(backoff.attempts(), 3u);
+}
+
+TEST(BackoffTest, JitterIsBoundedAndDeterministicPerSeed) {
+  net::BackoffPolicy policy;
+  policy.initial_ms = 100;
+  policy.max_ms = 1000;
+  policy.jitter = 0.5;
+  policy.seed = 42;
+  net::Backoff a(policy);
+  net::Backoff b(policy);
+  for (int i = 0; i < 20; ++i) {
+    uint32_t da = 0, db = 0;
+    ASSERT_TRUE(a.NextDelayMs(&da));
+    ASSERT_TRUE(b.NextDelayMs(&db));
+    EXPECT_EQ(da, db) << "same policy+seed must reproduce, attempt " << i;
+    EXPECT_GE(da, 1u);
+    EXPECT_LE(da, policy.max_ms);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault-plan grammar.
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlanTest, ParsesAndRoundTrips) {
+  net::FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(net::FaultPlan::Parse(
+      "seed=7,drop-conn@frame=3,kill-worker@chunk=2@worker=1,"
+      "delay@frame=1@ms=50,stall-worker@ms=200,corrupt-frame@chunk=4",
+      &plan, &error))
+      << error;
+  EXPECT_EQ(plan.seed, 7u);
+  ASSERT_EQ(plan.rules.size(), 5u);
+  EXPECT_EQ(plan.rules[0].kind, net::FaultKind::kDropConn);
+  EXPECT_EQ(plan.rules[0].frame, 3u);
+  EXPECT_EQ(plan.rules[1].kind, net::FaultKind::kKillWorker);
+  EXPECT_EQ(plan.rules[1].chunk, 2u);
+  EXPECT_EQ(plan.rules[1].worker, 1);
+  EXPECT_EQ(plan.rules[2].kind, net::FaultKind::kDelay);
+  EXPECT_EQ(plan.rules[2].ms, 50u);
+  // ToString re-parses to the same plan (the spawn path ships plans as
+  // strings on worker command lines).
+  net::FaultPlan reparsed;
+  ASSERT_TRUE(net::FaultPlan::Parse(plan.ToString(), &reparsed, &error))
+      << error;
+  EXPECT_EQ(reparsed.ToString(), plan.ToString());
+  EXPECT_EQ(reparsed.rules.size(), plan.rules.size());
+}
+
+TEST(FaultPlanTest, RejectsMalformedEntries) {
+  for (const char* bad :
+       {"bogus", "drop-conn@frame=0", "drop-conn@frame=x", "delay@oops=1",
+        "seed=x", "kill-worker@", "@frame=1", "drop-conn@chunk="}) {
+    net::FaultPlan plan;
+    std::string error;
+    EXPECT_FALSE(net::FaultPlan::Parse(bad, &plan, &error)) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+  // Empty text is a valid empty plan.
+  net::FaultPlan plan;
+  std::string error;
+  EXPECT_TRUE(net::FaultPlan::Parse("", &plan, &error)) << error;
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(FaultPlanTest, ForWorkerFiltersAndStripsTheScope) {
+  net::FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(net::FaultPlan::Parse(
+      "seed=3,drop-conn@frame=2@worker=0,delay@ms=5,corrupt-frame@worker=1",
+      &plan, &error))
+      << error;
+  const net::FaultPlan w0 = plan.ForWorker(0);
+  ASSERT_EQ(w0.rules.size(), 2u);  // its scoped rule + the unscoped one
+  EXPECT_EQ(w0.seed, 3u);
+  for (const net::FaultRule& rule : w0.rules) EXPECT_EQ(rule.worker, -1);
+  const net::FaultPlan w2 = plan.ForWorker(2);
+  ASSERT_EQ(w2.rules.size(), 1u);  // only the unscoped delay
+  EXPECT_EQ(w2.rules[0].kind, net::FaultKind::kDelay);
+}
+
+// ---------------------------------------------------------------------------
+// Chunk journal.
+// ---------------------------------------------------------------------------
+
+TEST(ChunkJournalTest, AppendsAndReplaysResidentChunks) {
+  net::ChunkJournal::Options options;
+  options.num_shards = 3;
+  net::ChunkJournal journal(options);
+  std::vector<std::vector<uint8_t>> wrote;
+  for (uint8_t i = 0; i < 5; ++i) {
+    wrote.push_back(std::vector<uint8_t>(16 + i, i));
+    journal.Append(1, wrote.back());
+  }
+  journal.Append(2, {0xAA});
+  EXPECT_EQ(journal.chunks(0), 0u);
+  EXPECT_EQ(journal.chunks(1), 5u);
+  EXPECT_EQ(journal.total_chunks(), 6u);
+  EXPECT_EQ(journal.spilled_bytes(), 0u);
+
+  std::vector<std::vector<uint8_t>> got;
+  std::string error;
+  ASSERT_TRUE(journal.Replay(
+      1, [&](const std::vector<uint8_t>& p) { got.push_back(p); }, &error))
+      << error;
+  // Replay order is unspecified; compare as multisets.
+  std::sort(got.begin(), got.end());
+  std::sort(wrote.begin(), wrote.end());
+  EXPECT_EQ(got, wrote);
+}
+
+TEST(ChunkJournalTest, OverflowSpillsToDiskAndReplaysEverything) {
+  net::ChunkJournal::Options options;
+  options.num_shards = 2;
+  options.fallback_budget_bytes = 256;  // force overflow quickly
+  net::ChunkJournal journal(options);
+  const size_t kChunks = 40;
+  for (size_t i = 0; i < kChunks; ++i) {
+    journal.Append(0, std::vector<uint8_t>(64, static_cast<uint8_t>(i)));
+  }
+  EXPECT_EQ(journal.chunks(0), kChunks);
+  EXPECT_GT(journal.spilled_bytes(), 0u);
+  EXPECT_EQ(journal.total_bytes(), kChunks * 64u);
+
+  size_t replayed = 0;
+  uint64_t byte_sum = 0;
+  std::string error;
+  ASSERT_TRUE(journal.Replay(
+      0,
+      [&](const std::vector<uint8_t>& p) {
+        ASSERT_EQ(p.size(), 64u);
+        ++replayed;
+        byte_sum += p[0];
+      },
+      &error))
+      << error;
+  EXPECT_EQ(replayed, kChunks);
+  EXPECT_EQ(byte_sum, kChunks * (kChunks - 1) / 2);  // every payload, once
+}
+
+// ---------------------------------------------------------------------------
+// Worker process lifecycle: graceful SIGTERM drain, SIGPIPE immunity.
+// ---------------------------------------------------------------------------
+
+// SIGTERM to the real ppa_shard_worker binary drains and exits 0 — an
+// orchestrator's routine stop is not a crash.
+TEST(WorkerProcessTest, SigtermDrainsAndExitsZero) {
+  // The worker binary sits next to this test binary in the build tree.
+  const std::string binary =
+      (std::filesystem::read_symlink("/proc/self/exe").parent_path() /
+       "ppa_shard_worker")
+          .string();
+  ASSERT_TRUE(std::filesystem::exists(binary)) << binary;
+  const std::string dir = MakeTempDir();
+  const std::string listen = "unix:" + dir + "/drain.sock";
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    execl(binary.c_str(), "ppa_shard_worker", "--listen", listen.c_str(),
+          "--log-level", "silent", static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  // Prove it is serving before signalling: connect and handshake.
+  net::Endpoint endpoint;
+  std::string error;
+  ASSERT_TRUE(net::ParseEndpoint(listen, &endpoint, &error)) << error;
+  int fd = net::ConnectWithRetry(endpoint, 10000, &error);
+  ASSERT_GE(fd, 0) << error;
+  close(fd);
+  ASSERT_EQ(kill(pid, SIGTERM), 0);
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0) << "status " << status;
+  std::filesystem::remove_all(dir);
+}
+
+// Writing into a connection whose peer vanished must fail with a
+// diagnostic, not deliver SIGPIPE (which would kill the process and the
+// whole test run with it).
+TEST(WorkerProcessTest, SendToClosedPeerFailsWithoutSigpipe) {
+  ConnPair pair;
+  pair.b.reset();  // peer gone
+  const std::vector<uint8_t> body(1 << 16, 0x77);
+  std::string error;
+  bool failed = false;
+  // The first sends may land in the socket buffer; keep pushing until the
+  // kernel reports the broken pipe as an error return.
+  for (int i = 0; i < 64 && !failed; ++i) {
+    failed = !pair.a->Send(MsgType::kStoreRecord, body, &error);
+  }
+  EXPECT_TRUE(failed);
+  EXPECT_FALSE(error.empty());
 }
 
 // ---------------------------------------------------------------------------
