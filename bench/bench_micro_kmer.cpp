@@ -28,6 +28,7 @@
 #include "bench/bench_common.h"
 #include "net/coordinator.h"
 #include "net/worker.h"
+#include "obs/trace.h"
 #include "spill/spill.h"
 #include "util/timer.h"
 #include "dbg/adjacency.h"
@@ -455,11 +456,13 @@ void WriteSpillJson(std::ofstream& out, const char* key,
 struct DistributedMeasurement {
   double wall_seconds = 0;
   KmerCountStats stats;
+  size_t trace_processes = 0;  // worker traces pulled (arm_trace runs)
   bool ok = false;
 };
 
 DistributedMeasurement MeasureDistributed(uint32_t workers, bool inject,
-                                          unsigned threads) {
+                                          unsigned threads,
+                                          bool arm_trace = false) {
   const std::vector<Read>& reads = Hc2Reads();
   DistributedMeasurement m;
   std::string dir = (std::filesystem::temp_directory_path() /
@@ -485,6 +488,8 @@ DistributedMeasurement MeasureDistributed(uint32_t workers, bool inject,
   config.num_threads = threads;
   NetConfig net_config;
   net_config.endpoints = endpoints;
+  net_config.arm_trace = arm_trace;
+  if (arm_trace) obs::StartTrace();
   Timer timer;
   std::unique_ptr<NetContext> context = MakeNetContext(net_config);
   config.net = context.get();
@@ -495,8 +500,14 @@ DistributedMeasurement MeasureDistributed(uint32_t workers, bool inject,
                      std::min(kBatch, reads.size() - begin));
   }
   session.Finish(&m.stats);
-  context.reset();
+  // The measured window is the counting work; the trace pull and fleet
+  // teardown stay outside it so armed and off runs compare like for like.
   m.wall_seconds = timer.Seconds();
+  if (arm_trace) {
+    m.trace_processes = context->CollectTraces().size();
+    obs::StopTrace();
+  }
+  context.reset();
   m.ok = true;
   for (auto& server : servers) server->Stop();
   std::filesystem::remove_all(dir);
@@ -813,6 +824,36 @@ double RunPass1EncodingComparison() {
       static_cast<unsigned long long>(dist_onefail.stats.shards_reassigned),
       dist_identical ? "identical" : "MISMATCH");
 
+  // Tracing overhead: the same clean 2-worker run with span tracing armed
+  // fleet-wide (the --trace-out path) vs off. Interleaved A/B with
+  // min-of-N per arm so scheduler noise does not masquerade as span cost;
+  // the CI gate holds the armed overhead at <= 2%.
+  double trace_off_seconds = dist_nofail.wall_seconds;  // first off sample
+  double trace_armed_seconds = 0;
+  size_t trace_processes = 0;
+  for (int rep = 0; rep < 2; ++rep) {
+    const DistributedMeasurement off =
+        MeasureDistributed(2, /*inject=*/false, threads);
+    const DistributedMeasurement armed =
+        MeasureDistributed(2, /*inject=*/false, threads, /*arm_trace=*/true);
+    if (off.ok && off.wall_seconds < trace_off_seconds) {
+      trace_off_seconds = off.wall_seconds;
+    }
+    if (armed.ok &&
+        (trace_armed_seconds == 0 ||
+         armed.wall_seconds < trace_armed_seconds)) {
+      trace_armed_seconds = armed.wall_seconds;
+      trace_processes = armed.trace_processes;
+    }
+  }
+  const double trace_overhead =
+      trace_off_seconds == 0 ? 0 : trace_armed_seconds / trace_off_seconds;
+  std::printf(
+      "distributed 2-worker tracing armed/off = %.3fs/%.3fs = %.3fx "
+      "overhead, %zu worker traces pulled\n",
+      trace_armed_seconds, trace_off_seconds, trace_overhead,
+      trace_processes);
+
   const char* json_env = std::getenv("PPA_BENCH_JSON");
   const std::string json_path =
       (json_env != nullptr && *json_env != '\0') ? json_env
@@ -847,7 +888,11 @@ double RunPass1EncodingComparison() {
       << "    \"chunks_replayed\": " << dist_onefail.stats.chunks_replayed
       << ",\n"
       << "    \"surviving_mers_identical\": "
-      << (dist_identical ? "true" : "false") << "\n"
+      << (dist_identical ? "true" : "false") << ",\n"
+      << "    \"trace_off_seconds\": " << trace_off_seconds << ",\n"
+      << "    \"trace_armed_seconds\": " << trace_armed_seconds << ",\n"
+      << "    \"trace_overhead\": " << trace_overhead << ",\n"
+      << "    \"trace_processes\": " << trace_processes << "\n"
       << "  },\n"
       << "  \"chunk_bytes_ratio_raw_over_superkmer\": " << ratio << ",\n"
       << "  \"spill_always_over_never_seconds\": " << spill_overhead << ",\n"

@@ -20,6 +20,8 @@
 #include "io/fasta_writer.h"
 #include "io/fastx.h"
 #include "net/faultinject.h"
+#include "net/wire.h"
+#include "obs/expose.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
@@ -183,8 +185,9 @@ void WriteReport(const AssembleCliOptions& opts, std::ostream& out,
 
 /// Periodic stderr heartbeat (--progress): reads/s, resident bytes vs
 /// budget, and per-worker unacked bytes, read live from the registry.
-/// Prints unconditionally (the user asked), bypassing the log level but
-/// sharing the log mutex so lines never interleave.
+/// Emitted through the logger at warning level — visible at the default
+/// level, silenced by --log-level error/silent — and under the log mutex
+/// so lines never interleave.
 class ProgressHeartbeat {
  public:
   explicit ProgressHeartbeat(bool enabled) {
@@ -223,25 +226,33 @@ class ProgressHeartbeat {
          << " reads_per_s=" << reads_per_s
          << " resident_bytes=" << s.Get("mem.resident_bytes")
          << " budget_bytes=" << s.Get("mem.budget_bytes");
+    // net.worker.<endpoint>.unacked_bytes -> lag[<endpoint>]=N; with a
+    // single worker the endpoint adds nothing, so the line dedupes to
+    // lag=N.
+    constexpr const char* kPrefix = "net.worker.";
+    constexpr const char* kSuffix = ".unacked_bytes";
+    std::vector<const obs::MetricValue*> lags;
     for (const obs::MetricValue& m : s.samples()) {
-      // net.worker.<endpoint>.unacked_bytes -> lag[<endpoint>]=N
-      constexpr const char* kPrefix = "net.worker.";
-      constexpr const char* kSuffix = ".unacked_bytes";
       if (m.name.rfind(kPrefix, 0) != 0) continue;
       if (m.name.size() < std::strlen(kPrefix) + std::strlen(kSuffix) ||
           m.name.compare(m.name.size() - std::strlen(kSuffix),
                          std::string::npos, kSuffix) != 0) {
         continue;
       }
-      line << " lag["
-           << m.name.substr(std::strlen(kPrefix),
-                            m.name.size() - std::strlen(kPrefix) -
-                                std::strlen(kSuffix))
-           << "]=" << m.value;
+      lags.push_back(&m);
     }
-    line << '\n';
-    std::lock_guard<std::mutex> lock(internal::LogMutex());
-    std::fputs(line.str().c_str(), stderr);
+    if (lags.size() == 1) {
+      line << " lag=" << lags[0]->value;
+    } else {
+      for (const obs::MetricValue* m : lags) {
+        line << " lag["
+             << m->name.substr(std::strlen(kPrefix),
+                               m->name.size() - std::strlen(kPrefix) -
+                                   std::strlen(kSuffix))
+             << "]=" << m->value;
+      }
+    }
+    LogRawLine(LogLevel::kWarning, line.str());
   }
 
   std::thread thread_;
@@ -363,6 +374,16 @@ std::string AssembleCliUsage() {
       "                      chrome://tracing)\n"
       "  --progress          heartbeat line on stderr every ~2 s: reads/s,\n"
       "                      resident bytes vs budget, per-worker lag\n"
+      "                      (logged at warn level: --log-level error\n"
+      "                      silences it)\n"
+      "  --metrics-listen ENDPOINT\n"
+      "                      serve a Prometheus text exposition of the\n"
+      "                      run's live metrics (plus per-worker lag\n"
+      "                      gauges) at this endpoint (unix:/path,\n"
+      "                      host:port, or port) while the run is in\n"
+      "                      flight: curl http://host:port/metrics.\n"
+      "                      Workers answer GET /metrics on their own\n"
+      "                      listen sockets\n"
       "  --log-level LEVEL   debug|info|warn|error|silent (default warn;\n"
       "                      wins over --verbose)\n"
       "  --verbose           info-level logging\n"
@@ -530,6 +551,16 @@ bool ParseAssembleCliArgs(int argc, const char* const* argv,
       opts->trace_out = argv[++i];
     } else if (arg == "--progress") {
       opts->progress = true;
+    } else if (arg == "--metrics-listen") {
+      if (!need_value(i, arg)) return false;
+      const std::string value = argv[++i];
+      net::Endpoint endpoint;
+      std::string endpoint_error;
+      if (!net::ParseEndpoint(value, &endpoint, &endpoint_error)) {
+        *error = "--metrics-listen: " + endpoint_error;
+        return false;
+      }
+      opts->metrics_listen = value;
     } else if (arg == "--log-level") {
       if (!need_value(i, arg)) return false;
       const std::string value = argv[++i];
@@ -620,11 +651,27 @@ int RunAssembleCli(const AssembleCliOptions& opts, std::ostream& out,
   registry.ResetValues();
   if (!opts.trace_out.empty()) obs::StartTrace();
 
+  // Live scrape endpoint (--metrics-listen): a background thread serving
+  // the global registry — including the per-worker lag gauges — while the
+  // run is in flight. Stopped by the guard's destructor on every path.
+  obs::MetricsHttpServer metrics_server;
+  if (!opts.metrics_listen.empty()) {
+    std::string listen_error;
+    if (!metrics_server.Start(
+            opts.metrics_listen,
+            [&registry] { return obs::RenderPrometheus(registry.Snapshot()); },
+            &listen_error)) {
+      err << "ppa_assemble: --metrics-listen: " << listen_error << '\n';
+      return 1;
+    }
+  }
+
   Timer timer;
   std::ostringstream report;
   obs::RunReportInfo info;
   info.inputs = opts.inputs;
   std::vector<obs::TelemetrySnapshot> workers;
+  std::vector<obs::ProcessTrace> worker_traces;
   bool write_json = !opts.report_json.empty();
   std::ostringstream run_json;
 
@@ -643,6 +690,7 @@ int RunAssembleCli(const AssembleCliOptions& opts, std::ostream& out,
       WriteDbgFasta(opts.dbg_out, dbg.graph);
       if (assembler_options.net_context != nullptr) {
         workers = assembler_options.net_context->CollectMetrics();
+        worker_traces = assembler_options.net_context->CollectTraces();
       }
 
       obs::RunReportData data;
@@ -727,6 +775,7 @@ int RunAssembleCli(const AssembleCliOptions& opts, std::ostream& out,
       obs::PublishRunMetrics(data, &registry);
       const obs::SnapshotView snapshot(registry.Snapshot());
 
+      worker_traces = std::move(result.worker_traces);
       WriteReport(opts, report, snapshot,
                   Pass1EncodingName(result.count_stats.encoding), ref_warning,
                   quast, result.worker_telemetry, wall_seconds);
@@ -758,7 +807,7 @@ int RunAssembleCli(const AssembleCliOptions& opts, std::ostream& out,
       err << "ppa_assemble: cannot write trace '" << opts.trace_out << "'\n";
       return 1;
     }
-    obs::WriteTraceJson(trace);
+    obs::WriteTraceJson(trace, worker_traces);
   }
   if (write_json) {
     std::ofstream json(opts.report_json, std::ios::binary);

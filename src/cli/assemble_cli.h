@@ -38,6 +38,7 @@ struct AssembleCliOptions {
   std::string trace_out;      // non-empty: collect + write a Chrome trace
   std::string log_level;      // validated at parse time; wins over --verbose
   bool progress = false;      // periodic heartbeat line on stderr
+  std::string metrics_listen; // non-empty: serve GET /metrics here mid-run
 };
 
 /// Usage text (the --help output).

@@ -34,7 +34,11 @@ const char kUsage[] =
     "(grammar in src/net/faultinject.h; kill-worker exits 137).\n"
     "--log-level: debug|info|warn|error|silent (default info: a server\n"
     "should say where it is listening).\n"
-    "SIGTERM/SIGINT drain gracefully and exit 0.\n";
+    "SIGTERM/SIGINT drain gracefully and exit 0.\n"
+    "\n"
+    "The listen socket also answers Prometheus scrapes: a connection whose\n"
+    "first bytes are 'GET ' (e.g. curl http://host:port/metrics) gets this\n"
+    "worker's metrics as a text exposition instead of the frame protocol.\n";
 
 bool ParseU64(const char* text, uint64_t* value) {
   char* end = nullptr;

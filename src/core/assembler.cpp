@@ -76,6 +76,7 @@ AssemblyResult Assembler::Assemble(const std::vector<Read>& reads,
   // above, so only now are the workers' numbers final.
   if (options.net_context != nullptr) {
     result.worker_telemetry = options.net_context->CollectMetrics();
+    result.worker_traces = options.net_context->CollectTraces();
   }
   result.wall_seconds = timer.Seconds();
   return result;
@@ -111,6 +112,7 @@ AssemblyResult Assembler::Assemble(ReadStream& reads,
   // above, so only now are the workers' numbers final.
   if (options.net_context != nullptr) {
     result.worker_telemetry = options.net_context->CollectMetrics();
+    result.worker_traces = options.net_context->CollectTraces();
   }
   result.wall_seconds = timer.Seconds();
   return result;

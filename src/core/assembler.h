@@ -20,6 +20,7 @@
 #include "dna/read.h"
 #include "dna/sequence.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pregel/stats.h"
 
 namespace ppa {
@@ -62,6 +63,11 @@ struct AssemblyResult {
   // the wire after the last data-plane frame. Empty for local runs (and
   // for workers whose pull failed — telemetry never fails a run).
   std::vector<obs::TelemetrySnapshot> worker_telemetry;
+
+  // Distributed traced runs: each worker's span rings with its estimated
+  // clock offset, for the merged WriteTraceJson timeline. Empty unless the
+  // run traced with a v4+ fleet (same best-effort contract as telemetry).
+  std::vector<obs::ProcessTrace> worker_traces;
 
   /// Contig sequences as strings (reporting convenience).
   std::vector<std::string> ContigStrings() const {

@@ -9,6 +9,7 @@
 
 #include "dbg/kmer_counter.h"
 #include "net/coordinator.h"
+#include "obs/trace.h"
 #include "pregel/mapreduce.h"
 #include "spill/spill.h"
 #include "util/logging.h"
@@ -137,6 +138,10 @@ inline std::unique_ptr<NetContext> WireNetContext(AssemblerOptions* options) {
   config.io_timeout_ms = options->net_timeout_ms;
   config.connect_timeout_ms = options->net_timeout_ms;
   config.fault_plan = options->fault_plan;
+  // When this run is tracing (--trace-out started a session before the
+  // fleet is wired), ask the workers to arm their span rings too, so the
+  // end-of-run pull can stitch one cross-process timeline.
+  config.arm_trace = obs::TraceEnabled();
   std::unique_ptr<NetContext> context = MakeNetContext(config);
   options->net_context = context.get();
   if (context != nullptr && options->spill_context != nullptr) {

@@ -551,7 +551,10 @@ struct CounterSession::Impl {
   std::mutex route_mu;
   std::vector<uint32_t> shard_owner;  // current lease; starts at s % N
   std::vector<bool> worker_live;
-  std::vector<bool> shard_sealed;  // results collected and ledger-verified
+  // One byte per shard, not vector<bool>: the degraded-local pool writes
+  // shard_sealed[s] from parallel workers, and packed bits would make
+  // neighbouring shards share a word.
+  std::vector<uint8_t> shard_sealed;  // results collected and ledger-verified
   uint32_t live_workers = 0;
   std::atomic<bool> net_degraded{false};  // fleet exhausted; finish locally
   uint64_t worker_failures = 0;

@@ -34,6 +34,7 @@
 #include "net/faultinject.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "spill/spill.h"
 
 namespace ppa {
@@ -49,6 +50,9 @@ class WorkerClient {
     uint64_t window_bytes = 8ULL << 20;    // unacked in-flight byte cap
     int io_timeout_ms = 30000;             // per read/write; 0 = none
     int connect_timeout_ms = 10000;        // total, across retries
+    // Set kHelloFlagTrace in the hello so the worker arms its span
+    // collection (v4+ links only; a downgraded link never sees the flag).
+    bool arm_trace = false;
   };
 
   /// Connects (with bounded retry) and handshakes; throws
@@ -103,6 +107,24 @@ class WorkerClient {
   /// and the recovery layer picks the carcass up at its next touch point.
   void FailForRecovery(const std::string& what) { Fail(what); }
 
+  /// The protocol version this link settled on. A v3 worker refuses the v4
+  /// hello with its versioned diagnostic; the constructor parses the
+  /// worker's version out of it and redials offering that, so mixed fleets
+  /// degrade instead of failing. Trace/clock frames require >= 4.
+  uint32_t negotiated_version() const { return negotiated_version_; }
+
+  /// Estimates the worker's clock offset (worker MonotonicMicros minus
+  /// ours) with `probes` ping exchanges, keeping the midpoint of the
+  /// minimum-RTT sample — the sample whose midpoint assumption is best.
+  /// Updates clock_offset_us(); false (offset unchanged) on a failed or
+  /// pre-v4 link. Run at handshake and again at trace collection.
+  bool ProbeClockOffset(int probes = 5);
+
+  /// The latest ProbeClockOffset estimate, microseconds.
+  int64_t clock_offset_us() const {
+    return clock_offset_us_.load(std::memory_order_relaxed);
+  }
+
  private:
   void ReceiveLoop();
   void Fail(const std::string& what);
@@ -115,6 +137,8 @@ class WorkerClient {
   Options options_;
   std::unique_ptr<FrameConn> conn_;
   std::thread receiver_;
+  uint32_t negotiated_version_ = kProtocolVersion;
+  std::atomic<int64_t> clock_offset_us_{0};
   // Steady-clock millis of the last received frame, for the liveness
   // deadline. Atomic: written by the receive thread, read by the liveness
   // thread.
@@ -192,6 +216,11 @@ struct NetConfig {
   // for already-running endpoint workers (pass --fault-plan to those
   // processes directly).
   std::string fault_plan;
+
+  // Ask every (v4+) worker to arm span tracing at handshake, so
+  // CollectTraces has rings to pull. Set when the coordinator itself is
+  // tracing (--trace-out).
+  bool arm_trace = false;
 };
 
 /// The connected fleet. Owns the clients, the remote record depot, and any
@@ -222,6 +251,12 @@ class NetContext {
   /// effort and never fails a run. Call after all data-plane traffic is
   /// done so the numbers are final.
   std::vector<obs::TelemetrySnapshot> CollectMetrics();
+
+  /// Pulls every worker's span rings (kTraceRequest -> kTraceSnapshot) for
+  /// the merged timeline, re-probing each link's clock offset first. Same
+  /// best-effort contract as CollectMetrics; pre-v4 links are skipped, and
+  /// the whole pull is a no-op unless this process is tracing.
+  std::vector<obs::ProcessTrace> CollectTraces();
 
  private:
   friend std::unique_ptr<NetContext> MakeNetContext(const NetConfig& config);

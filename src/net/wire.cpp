@@ -79,6 +79,10 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kMetricsSnapshot: return "metrics-snapshot";
     case MsgType::kHeartbeat: return "heartbeat";
     case MsgType::kHeartbeatOk: return "heartbeat-ok";
+    case MsgType::kTraceRequest: return "trace-request";
+    case MsgType::kTraceSnapshot: return "trace-snapshot";
+    case MsgType::kClockProbe: return "clock-probe";
+    case MsgType::kClockProbeOk: return "clock-probe-ok";
   }
   return "unknown";
 }

@@ -1,16 +1,25 @@
 #include "net/worker.h"
 
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 #include <unordered_map>
 #include <utility>
 
 #include "dbg/kmer_counter.h"
 #include "net/wire.h"
+#include "obs/expose.h"
+#include "obs/trace.h"
+#include "util/timer.h"
 #include "util/varint.h"
+
+#ifndef POLLRDHUP
+#define POLLRDHUP 0x2000
+#endif
 
 namespace ppa {
 namespace net {
@@ -104,6 +113,41 @@ bool SendCounterResults(FrameConn& conn, ConnState& state,
   std::vector<uint8_t> done;
   PutVarint64(&done, shards_reported);
   return conn.Send(MsgType::kCounterDone, done, error);
+}
+
+/// Peeks (without consuming) the connection's first bytes to route it:
+/// `GET ` means an HTTP metrics scrape, anything else — including the
+/// PPANET01 magic — falls through to the frame handler, whose magic check
+/// rejects junk with its usual diagnostic. MSG_PEEK leaves the bytes in
+/// place for whichever path wins. Blocks until 4 bytes arrive, the peer
+/// closes, or `budget_ms` elapses (a trickling or silent client then takes
+/// the frame path and fails its magic read there).
+bool SniffHttp(int fd, int budget_ms) {
+  int waited_ms = 0;
+  for (;;) {
+    uint8_t peek[4];
+    const ssize_t n = ::recv(fd, peek, sizeof(peek), MSG_PEEK | MSG_DONTWAIT);
+    if (n >= 4) return std::memcmp(peek, "GET ", 4) == 0;
+    if (n == 0) return false;  // closed before any byte
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      return false;
+    }
+    if (waited_ms >= budget_ms) return false;
+    // Fewer than 4 bytes buffered. Wait for more — or, when a prefix is
+    // already here, only for the peer closing (POLLIN stays level-set on
+    // the prefix, so polling it again would spin).
+    pollfd p{};
+    p.fd = fd;
+    p.events = static_cast<short>(n > 0 ? POLLRDHUP : (POLLIN | POLLRDHUP));
+    const int pr = ::poll(&p, 1, 20);
+    if (pr > 0 && (p.revents & (POLLRDHUP | POLLHUP | POLLERR)) != 0) {
+      // Peer closed; one last peek settles whatever raced in.
+      const ssize_t last =
+          ::recv(fd, peek, sizeof(peek), MSG_PEEK | MSG_DONTWAIT);
+      return last >= 4 && std::memcmp(peek, "GET ", 4) == 0;
+    }
+    waited_ms += 20;
+  }
 }
 
 }  // namespace
@@ -240,7 +284,29 @@ void ShardWorkerServer::ServeConnection(int fd) {
     }
     std::string err;
 
-    // Handshake: the coordinator speaks first; magic both ways.
+    // Route the connection: a Prometheus scraper speaks HTTP on this same
+    // listen socket; everything else is the framed protocol.
+    if (SniffHttp(fd, options_.io_timeout_ms > 0 ? options_.io_timeout_ms
+                                                 : 5000)) {
+      obs::Counter* m_http = metrics_.GetCounter("worker.http_requests");
+      obs::ServeHttpConnection(fd, [&] {
+        // Counted before the snapshot, so a scrape sees itself.
+        m_http->Increment();
+        return obs::RenderPrometheus(metrics_.Snapshot());
+      });
+      std::lock_guard<std::mutex> lock(mu_);
+      for (size_t i = 0; i < active_conns_.size(); ++i) {
+        if (active_conns_[i] == &conn) {
+          active_conns_.erase(active_conns_.begin() + i);
+          break;
+        }
+      }
+    } else {
+    // Handshake: the coordinator speaks first; magic both ways. Any offer
+    // in [kMinProtocolVersion, kProtocolVersion] is accepted and answered
+    // with min(offered, own); older offers get the legacy refusal text,
+    // whose "!= <own>" tail a newer coordinator parses to redial lower.
+    uint64_t negotiated = kProtocolVersion;
     bool ok = conn.ExpectMagic(&err);
     Frame frame;
     if (ok && conn.Recv(&frame, &err) != FrameConn::RecvResult::kOk) ok = false;
@@ -251,16 +317,33 @@ void ShardWorkerServer::ServeConnection(int fd) {
           !GetV(frame.body, &pos, &version)) {
         SendError(conn, "handshake: expected a hello frame");
         ok = false;
-      } else if (version != kProtocolVersion) {
+      } else if (version < kMinProtocolVersion) {
         SendError(conn, "protocol version " + std::to_string(version) +
                             " != " + std::to_string(kProtocolVersion));
         ok = false;
       } else {
-        std::vector<uint8_t> hello_ok;
-        PutVarint64(&hello_ok, kProtocolVersion);
-        ok = conn.Send(MsgType::kHelloOk, hello_ok, &err);
+        negotiated = std::min<uint64_t>(version, kProtocolVersion);
+        uint64_t flags = 0;
+        if (version >= 4 && pos < frame.body.size() &&
+            !GetV(frame.body, &pos, &flags)) {
+          SendError(conn, "handshake: malformed hello flags");
+          ok = false;
+        }
+        if (ok) {
+          if (negotiated >= 4 && (flags & kHelloFlagTrace) != 0 &&
+              !obs::TraceEnabled()) {
+            // Arm span collection for the coordinator's trace pull. The
+            // guard keeps an embedded (in-process) server from resetting
+            // a trace session its host already started.
+            obs::StartTrace();
+          }
+          std::vector<uint8_t> hello_ok;
+          PutVarint64(&hello_ok, negotiated);
+          ok = conn.Send(MsgType::kHelloOk, hello_ok, &err);
+        }
       }
     }
+    obs::SetTraceThreadName("worker-conn");
 
     // The connection's fault schedule: the configured plan plus the legacy
     // fail-after-frames alias (drop-conn@frame=N+1).
@@ -288,6 +371,29 @@ void ShardWorkerServer::ServeConnection(int fd) {
         // and frame triggers must stay deterministic) and out of the
         // telemetry the CI consistency check reconciles.
         ok = conn.Send(MsgType::kHeartbeatOk, std::vector<uint8_t>{}, &err);
+        continue;
+      }
+      if (frame.type == MsgType::kClockProbe ||
+          frame.type == MsgType::kTraceRequest) {
+        // Trace-plane frames: v4+, answered like heartbeats — before the
+        // fault injector and outside the reconciled counters — so arming
+        // tracing never shifts a fault plan's frame numbering.
+        if (negotiated < 4) {
+          SendError(conn, std::string(MsgTypeName(frame.type)) +
+                              " on a v" + std::to_string(negotiated) +
+                              " link");
+          ok = false;
+        } else if (frame.type == MsgType::kClockProbe) {
+          std::vector<uint8_t> now;
+          PutVarint64(&now, ZigZagEncode(static_cast<int64_t>(
+                                             MonotonicMicros()) +
+                                         options_.clock_skew_us));
+          ok = conn.Send(MsgType::kClockProbeOk, now, &err);
+        } else {
+          std::vector<uint8_t> snapshot;
+          obs::EncodeTraceSnapshot(&snapshot, options_.clock_skew_us);
+          ok = conn.Send(MsgType::kTraceSnapshot, snapshot, &err);
+        }
         continue;
       }
       const FaultInjector::Fired fired =
@@ -322,6 +428,7 @@ void ShardWorkerServer::ServeConnection(int fd) {
           break;
         }
         case MsgType::kCounterChunk: {
+          PPA_TRACE_SPAN_V("worker.chunk_ingest", "worker", body.size());
           uint64_t shard = 0;
           std::string why;
           if (state.bank == nullptr) {
@@ -343,9 +450,11 @@ void ShardWorkerServer::ServeConnection(int fd) {
           ok = SendAck(conn, body.size(), &err);
           break;
         }
-        case MsgType::kCounterFinish:
+        case MsgType::kCounterFinish: {
+          PPA_TRACE_SPAN("worker.count_finalize", "worker");
           ok = SendCounterResults(conn, state, &err);
           break;
+        }
         case MsgType::kStoreOpen: {
           uint64_t id = 0;
           if (!GetV(body, &pos, &id)) {
@@ -432,6 +541,7 @@ void ShardWorkerServer::ServeConnection(int fd) {
         }
       }
     }
+    }  // frame-protocol path
   }
   std::lock_guard<std::mutex> lock(mu_);
   ++served_;

@@ -48,6 +48,12 @@ struct WorkerOptions {
   // binary sets this; embedded test servers treat kill-worker as
   // drop-conn so a test fleet never takes its process down.
   bool allow_process_exit = false;
+  // Test hook: added to every kClockProbeOk timestamp and to the span
+  // timestamps in kTraceSnapshot bodies, simulating a worker whose
+  // monotonic clock is skewed against the coordinator's. Applied to both
+  // so an injected skew stays self-consistent: the coordinator's offset
+  // estimate should cancel it out of the merged trace.
+  int64_t clock_skew_us = 0;
 };
 
 class ShardWorkerServer {

@@ -1,0 +1,198 @@
+#include "obs/expose.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "net/wire.h"
+
+namespace ppa {
+namespace obs {
+
+namespace {
+
+// Hard cap on buffered request headers: a scraper's GET is a few hundred
+// bytes; anything near this is not a scraper.
+constexpr size_t kMaxRequestBytes = 64 * 1024;
+
+/// Registry name -> exposition metric name: `ppa_` prefix, everything
+/// outside the exposition alphabet to `_`.
+std::string MangleName(const std::string& name) {
+  std::string out = "ppa_";
+  out.reserve(name.size() + 4);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+struct Sample {
+  std::string family;   // mangled metric name (without labels)
+  std::string labels;   // "" or `{worker="..."}`
+  MetricKind kind = MetricKind::kCounter;
+  uint64_t value = 0;
+};
+
+/// Splits the coordinator's per-worker gauges (`net.worker.<endpoint>.<f>`)
+/// into one family per field with a worker label; everything else maps
+/// name-for-name.
+Sample ToSample(const MetricValue& m) {
+  Sample s;
+  s.kind = m.kind;
+  s.value = m.value;
+  constexpr const char* kPrefix = "net.worker.";
+  constexpr size_t kPrefixLen = 11;
+  const size_t last_dot = m.name.rfind('.');
+  if (m.name.compare(0, kPrefixLen, kPrefix) == 0 &&
+      last_dot != std::string::npos && last_dot > kPrefixLen) {
+    const std::string endpoint =
+        m.name.substr(kPrefixLen, last_dot - kPrefixLen);
+    s.family = MangleName("net.worker." + m.name.substr(last_dot + 1));
+    s.labels = "{worker=\"" + EscapeLabelValue(endpoint) + "\"}";
+  } else {
+    s.family = MangleName(m.name);
+  }
+  return s;
+}
+
+bool SendAllBytes(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const std::vector<MetricValue>& snapshot) {
+  std::string out;
+  out.reserve(snapshot.size() * 48);
+  std::string last_family;
+  for (const MetricValue& m : snapshot) {
+    const Sample s = ToSample(m);
+    if (s.family != last_family) {
+      // Snapshots are name-sorted, so a labelled family's samples are
+      // contiguous and one TYPE line heads them all.
+      out += "# TYPE " + s.family + " ";
+      out += (s.kind == MetricKind::kCounter) ? "counter" : "gauge";
+      out += "\n";
+      last_family = s.family;
+    }
+    out += s.family + s.labels + " " + std::to_string(s.value) + "\n";
+  }
+  return out;
+}
+
+void ServeHttpConnection(int fd,
+                         const std::function<std::string()>& render) {
+  std::string buf;
+  char chunk[4096];
+  for (;;) {
+    size_t end;
+    while ((end = buf.find("\r\n\r\n")) != std::string::npos) {
+      buf.erase(0, end + 4);
+      const std::string body = render();
+      std::string response =
+          "HTTP/1.0 200 OK\r\n"
+          "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+          "Content-Length: " + std::to_string(body.size()) + "\r\n"
+          "Connection: close\r\n"
+          "\r\n" + body;
+      if (!SendAllBytes(fd, response.data(), response.size())) return;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // EOF, timeout, or error: the scrape is over
+    }
+    buf.append(chunk, static_cast<size_t>(n));
+    if (buf.size() > kMaxRequestBytes) return;
+  }
+}
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+bool MetricsHttpServer::Start(const std::string& endpoint_spec,
+                              std::function<std::string()> render,
+                              std::string* error) {
+  net::Endpoint endpoint;
+  if (!net::ParseEndpoint(endpoint_spec, &endpoint, error)) return false;
+  listen_fd_ = net::ListenOn(endpoint, error);
+  if (listen_fd_ < 0) return false;
+  if (endpoint.is_unix) socket_path_ = endpoint.path;
+  listen_spec_ = endpoint_spec;
+  if (!endpoint.is_unix) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &len) == 0) {
+      listen_spec_ =
+          endpoint.host + ":" + std::to_string(ntohs(bound.sin_port));
+    }
+  }
+  render_ = std::move(render);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void MetricsHttpServer::Stop() {
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!socket_path_.empty()) {
+    ::unlink(socket_path_.c_str());
+    socket_path_.clear();
+  }
+}
+
+void MetricsHttpServer::AcceptLoop() {
+  for (;;) {
+    std::string error;
+    const int fd = net::AcceptOn(listen_fd_, &error);
+    if (fd < 0) {
+      if (error.empty()) return;  // listener closed: clean shutdown
+      continue;                   // transient accept failure
+    }
+    // Short timeouts so one stalled scraper delays the next scrape by at
+    // most a few seconds instead of wedging the endpoint.
+    timeval tv{};
+    tv.tv_sec = 5;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    ServeHttpConnection(fd, render_);
+    ::close(fd);
+  }
+}
+
+}  // namespace obs
+}  // namespace ppa

@@ -1,0 +1,74 @@
+// Prometheus-style text exposition for metrics snapshots, plus the tiny
+// HTTP plumbing that serves it: a shard worker answers `GET ` connections
+// sniffed off its frame listen socket, and the coordinator's
+// `--metrics-listen` endpoint runs a MetricsHttpServer beside the pipeline.
+//
+// The exposition is the text format every Prometheus-compatible scraper
+// reads: `# TYPE` comments plus `name value` samples. Registry names are
+// mangled into the exposition alphabet (`ppa_` prefix, non-alphanumerics to
+// `_`), and the coordinator's per-worker gauges (`net.worker.<endpoint>.*`)
+// become one metric family with a `worker="<endpoint>"` label so a fleet
+// scrapes as a labelled series instead of N distinct names.
+#ifndef PPA_OBS_EXPOSE_H_
+#define PPA_OBS_EXPOSE_H_
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ppa {
+namespace obs {
+
+/// Renders a registry snapshot (MetricsRegistry::Snapshot()) as Prometheus
+/// text exposition format 0.0.4.
+std::string RenderPrometheus(const std::vector<MetricValue>& snapshot);
+
+/// Serves HTTP GETs on a connected socket: reads requests up to the blank
+/// line, answers each with `render()` as `text/plain; version=0.0.4`, and
+/// returns on EOF, timeout, or oversized headers. Answers every pipelined
+/// request it reads; does not close the fd (the caller owns it).
+void ServeHttpConnection(int fd,
+                         const std::function<std::string()>& render);
+
+/// A background scrape endpoint: binds a wire.h endpoint spec ("port",
+/// "host:port", "unix:/path") and answers every connection with `render()`
+/// via ServeHttpConnection. Start/Stop bracket the run; connections are
+/// served inline in the accept loop with short socket timeouts, so a
+/// stalled scraper delays — never wedges — the next one.
+class MetricsHttpServer {
+ public:
+  MetricsHttpServer() = default;
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Binds + starts the accept thread. False with a diagnostic on failure.
+  bool Start(const std::string& endpoint_spec,
+             std::function<std::string()> render, std::string* error);
+
+  /// The resolved listen spec (a TCP port 0 bind is filled in with the
+  /// actual port). Valid after Start.
+  const std::string& listen_spec() const { return listen_spec_; }
+
+  /// Closes the listener and joins the accept thread. Idempotent.
+  void Stop();
+
+ private:
+  void AcceptLoop();
+
+  std::function<std::string()> render_;
+  std::string listen_spec_;
+  std::string socket_path_;  // unlinked on Stop (unix endpoints)
+  int listen_fd_ = -1;
+  std::thread acceptor_;
+};
+
+}  // namespace obs
+}  // namespace ppa
+
+#endif  // PPA_OBS_EXPOSE_H_

@@ -7,6 +7,7 @@
 
 #include "util/json.h"
 #include "util/logging.h"
+#include "util/varint.h"
 
 namespace ppa {
 namespace obs {
@@ -106,7 +107,62 @@ void SetTraceThreadName(const char* name) {
   track.name = name;
 }
 
-void WriteTraceJson(std::ostream& out) {
+namespace {
+
+void WriteThreadNameEvent(JsonWriter& w, uint64_t pid, uint64_t tid,
+                          const std::string& name) {
+  // Chrome metadata event naming this thread's track.
+  w.BeginObject();
+  w.Key("ph");
+  w.Value("M");
+  w.Key("name");
+  w.Value("thread_name");
+  w.Key("pid");
+  w.Value(pid);
+  w.Key("tid");
+  w.Value(tid);
+  w.Key("args");
+  w.BeginObject();
+  w.Key("name");
+  w.Value(name);
+  w.EndObject();
+  w.EndObject();
+}
+
+void WriteSpanEvent(JsonWriter& w, const char* name, const char* category,
+                    uint64_t pid, uint64_t tid, uint64_t start_us,
+                    uint64_t dur_us, uint64_t arg, bool has_arg) {
+  w.BeginObject();
+  w.Key("ph");
+  w.Value("X");  // complete event: ts + dur
+  w.Key("name");
+  w.Value(name);
+  w.Key("cat");
+  w.Value(category);
+  w.Key("ts");
+  w.Value(start_us);
+  w.Key("dur");
+  w.Value(dur_us);
+  w.Key("pid");
+  w.Value(pid);
+  w.Key("tid");
+  w.Value(tid);
+  if (has_arg) {
+    w.Key("args");
+    w.BeginObject();
+    w.Key("v");
+    w.Value(arg);
+    w.EndObject();
+  }
+  w.EndObject();
+}
+
+}  // namespace
+
+void WriteTraceJson(std::ostream& out) { WriteTraceJson(out, {}); }
+
+void WriteTraceJson(std::ostream& out,
+                    const std::vector<ProcessTrace>& remote) {
   const uint64_t generation =
       internal::Generation().load(std::memory_order_acquire);
   std::vector<std::shared_ptr<internal::Track>> tracks;
@@ -127,47 +183,43 @@ void WriteTraceJson(std::ostream& out) {
     if (track->generation != generation) continue;  // pre-StartTrace leftovers
     dropped += track->dropped;
     if (!track->name.empty()) {
-      // Chrome metadata event naming this thread's track.
-      w.BeginObject();
-      w.Key("ph");
-      w.Value("M");
-      w.Key("name");
-      w.Value("thread_name");
-      w.Key("pid");
-      w.Value(uint64_t{1});
-      w.Key("tid");
-      w.Value(static_cast<uint64_t>(track->tid));
-      w.Key("args");
-      w.BeginObject();
-      w.Key("name");
-      w.Value(track->name);
-      w.EndObject();
-      w.EndObject();
+      WriteThreadNameEvent(w, 1, track->tid, track->name);
     }
     for (const internal::TraceEvent& e : track->events) {
-      w.BeginObject();
-      w.Key("ph");
-      w.Value("X");  // complete event: ts + dur
-      w.Key("name");
-      w.Value(e.name);
-      w.Key("cat");
-      w.Value(e.category);
-      w.Key("ts");
-      w.Value(e.start_us);
-      w.Key("dur");
-      w.Value(e.dur_us);
-      w.Key("pid");
-      w.Value(uint64_t{1});
-      w.Key("tid");
-      w.Value(static_cast<uint64_t>(track->tid));
-      if (e.has_arg) {
-        w.Key("args");
-        w.BeginObject();
-        w.Key("v");
-        w.Value(e.arg);
-        w.EndObject();
-      }
-      w.EndObject();
+      WriteSpanEvent(w, e.name, e.category, 1, track->tid, e.start_us,
+                     e.dur_us, e.arg, e.has_arg);
+    }
+  }
+  for (size_t p = 0; p < remote.size(); ++p) {
+    const ProcessTrace& trace = remote[p];
+    const uint64_t pid = 2 + p;  // pid 1 is this (the coordinator) process
+    dropped += trace.dropped;
+    // process_name metadata so the viewer labels the track with the
+    // worker's endpoint instead of a bare pid number.
+    w.BeginObject();
+    w.Key("ph");
+    w.Value("M");
+    w.Key("name");
+    w.Value("process_name");
+    w.Key("pid");
+    w.Value(pid);
+    w.Key("args");
+    w.BeginObject();
+    w.Key("name");
+    w.Value("worker " + trace.label);
+    w.EndObject();
+    w.EndObject();
+    for (const auto& [tid, name] : trace.thread_names) {
+      WriteThreadNameEvent(w, pid, tid, name);
+    }
+    for (const RemoteTraceEvent& e : trace.events) {
+      // Shift into the coordinator's clock. A correction that lands before
+      // this process's time zero clamps to zero rather than emitting a
+      // negative timestamp the viewers mishandle.
+      const int64_t corrected = e.start_us - trace.clock_offset_us;
+      WriteSpanEvent(w, e.name.c_str(), e.category.c_str(), pid, e.tid,
+                     corrected < 0 ? 0 : static_cast<uint64_t>(corrected),
+                     e.dur_us, e.arg, e.has_arg);
     }
   }
   w.EndArray();
@@ -177,6 +229,145 @@ void WriteTraceJson(std::ostream& out) {
   }
   w.EndObject();
   out << '\n';
+}
+
+void EncodeTraceSnapshot(std::vector<uint8_t>* out, int64_t shift_us) {
+  const uint64_t generation =
+      internal::Generation().load(std::memory_order_acquire);
+  std::vector<std::shared_ptr<internal::Track>> tracks;
+  {
+    std::lock_guard<std::mutex> lock(internal::TracksMutex());
+    tracks = internal::Tracks();
+  }
+  // Two passes keep the wire layout front-loaded with the (tiny) thread
+  // name table; the track mutexes are per-track, so events recorded between
+  // the passes may appear without a name — harmless for a trace.
+  std::vector<std::pair<uint32_t, std::string>> names;
+  uint64_t event_count = 0;
+  uint64_t dropped = 0;
+  for (const auto& track : tracks) {
+    std::lock_guard<std::mutex> lock(track->mu);
+    if (track->generation != generation) continue;
+    if (!track->name.empty()) names.emplace_back(track->tid, track->name);
+    event_count += track->events.size();
+    dropped += track->dropped;
+  }
+  PutVarint64(out, names.size());
+  for (const auto& [tid, name] : names) {
+    PutVarint64(out, tid);
+    PutVarint64(out, name.size());
+    out->insert(out->end(), name.begin(), name.end());
+  }
+  PutVarint64(out, event_count);
+  uint64_t emitted = 0;
+  for (const auto& track : tracks) {
+    std::lock_guard<std::mutex> lock(track->mu);
+    if (track->generation != generation) continue;
+    for (const internal::TraceEvent& e : track->events) {
+      if (emitted == event_count) break;  // new events since the count pass
+      ++emitted;
+      const size_t name_len = std::char_traits<char>::length(e.name);
+      const size_t cat_len = std::char_traits<char>::length(e.category);
+      PutVarint64(out, name_len);
+      out->insert(out->end(), e.name, e.name + name_len);
+      PutVarint64(out, cat_len);
+      out->insert(out->end(), e.category, e.category + cat_len);
+      PutVarint64(out, track->tid);
+      PutVarint64(out, ZigZagEncode(static_cast<int64_t>(e.start_us) +
+                                    shift_us));
+      PutVarint64(out, e.dur_us);
+      out->push_back(e.has_arg ? 1 : 0);
+      if (e.has_arg) PutVarint64(out, e.arg);
+    }
+  }
+  // A track emptied between the passes leaves the count short; pad with
+  // nothing — re-stamp the true count is impossible in a stream, so the
+  // decoder treats a short stream as truncation. Avoid that by never
+  // over-promising: recount would race, so instead emit filler zero-length
+  // spans. In practice tracing is stopped before encoding; this is a
+  // correctness backstop, not a hot path.
+  for (; emitted < event_count; ++emitted) {
+    PutVarint64(out, 0);  // empty name
+    PutVarint64(out, 0);  // empty category
+    PutVarint64(out, 0);  // tid 0
+    PutVarint64(out, ZigZagEncode(shift_us));
+    PutVarint64(out, 0);  // dur
+    out->push_back(0);
+  }
+  PutVarint64(out, dropped);
+}
+
+bool DecodeTraceSnapshot(const uint8_t* data, size_t size, ProcessTrace* out,
+                         std::string* error) {
+  out->thread_names.clear();
+  out->events.clear();
+  out->dropped = 0;
+  size_t pos = 0;
+  auto get = [&](uint64_t* value) {
+    return GetVarint64(data, size, &pos, value);
+  };
+  auto get_string = [&](std::string* text) {
+    uint64_t len = 0;
+    if (!get(&len) || len > size - pos) return false;
+    text->assign(reinterpret_cast<const char*>(data) + pos, len);
+    pos += len;
+    return true;
+  };
+  uint64_t name_count = 0;
+  if (!get(&name_count) || name_count > size) {
+    *error = "trace snapshot: malformed thread-name count";
+    return false;
+  }
+  for (uint64_t i = 0; i < name_count; ++i) {
+    uint64_t tid = 0;
+    std::string name;
+    if (!get(&tid) || !get_string(&name)) {
+      *error = "trace snapshot: truncated thread name";
+      return false;
+    }
+    out->thread_names.emplace_back(static_cast<uint32_t>(tid),
+                                   std::move(name));
+  }
+  uint64_t event_count = 0;
+  if (!get(&event_count) || event_count > size) {
+    *error = "trace snapshot: malformed event count";
+    return false;
+  }
+  out->events.reserve(event_count);
+  for (uint64_t i = 0; i < event_count; ++i) {
+    RemoteTraceEvent e;
+    uint64_t tid = 0, start = 0;
+    if (!get_string(&e.name) || !get_string(&e.category) || !get(&tid) ||
+        !get(&start) || !get(&e.dur_us) || pos >= size) {
+      *error = "trace snapshot: truncated event";
+      return false;
+    }
+    e.tid = static_cast<uint32_t>(tid);
+    e.start_us = ZigZagDecode(start);
+    const uint8_t has_arg = data[pos++];
+    if (has_arg > 1) {
+      *error = "trace snapshot: malformed arg flag";
+      return false;
+    }
+    if (has_arg != 0) {
+      if (!get(&e.arg)) {
+        *error = "trace snapshot: truncated event arg";
+        return false;
+      }
+      e.has_arg = true;
+    }
+    out->events.push_back(std::move(e));
+  }
+  if (!get(&out->dropped)) {
+    *error = "trace snapshot: truncated drop count";
+    return false;
+  }
+  if (pos != size) {
+    *error = "trace snapshot: " + std::to_string(size - pos) +
+             " trailing bytes";
+    return false;
+  }
+  return true;
 }
 
 }  // namespace obs

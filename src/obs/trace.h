@@ -21,6 +21,9 @@
 #include <atomic>
 #include <cstdint>
 #include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "util/timer.h"
 
@@ -54,6 +57,56 @@ void SetTraceThreadName(const char* name);
 /// Writes everything collected since StartTrace as one Chrome trace JSON
 /// document ({"traceEvents": [...]}).
 void WriteTraceJson(std::ostream& out);
+
+// ---------------------------------------------------------------------------
+// Cross-process trace stitching (distributed runs).
+//
+// A shard worker encodes its span rings with EncodeTraceSnapshot (the
+// kTraceSnapshot body); the coordinator decodes each into a ProcessTrace,
+// attaches the worker's estimated clock offset, and the merged
+// WriteTraceJson overload renders one Perfetto-loadable timeline: the
+// coordinator keeps pid 1, worker i gets pid 2 + i with a process_name
+// metadata track, and every remote timestamp is shifted into the
+// coordinator's clock (ts - clock_offset_us).
+// ---------------------------------------------------------------------------
+
+/// One decoded span, timestamps in the *remote* process's monotonic clock.
+/// Signed: an injected or estimated skew may shift them below zero.
+struct RemoteTraceEvent {
+  std::string name;
+  std::string category;
+  uint32_t tid = 0;
+  int64_t start_us = 0;
+  uint64_t dur_us = 0;
+  uint64_t arg = 0;
+  bool has_arg = false;
+};
+
+/// One remote process's trace, as merged by the coordinator.
+struct ProcessTrace {
+  std::string label;          // endpoint spec, names the pid track
+  int64_t clock_offset_us = 0;  // remote_clock - coordinator_clock
+  std::vector<std::pair<uint32_t, std::string>> thread_names;
+  std::vector<RemoteTraceEvent> events;
+  uint64_t dropped = 0;
+};
+
+/// Encodes this process's collected spans (current trace session) as the
+/// kTraceSnapshot wire body. `shift_us` is added to every start timestamp —
+/// the worker's fake-clock test hook; 0 in production.
+void EncodeTraceSnapshot(std::vector<uint8_t>* out, int64_t shift_us = 0);
+
+/// Strict decode of an EncodeTraceSnapshot body (label and offset are the
+/// caller's to fill). Truncation, malformed varints, and trailing bytes are
+/// errors — these bytes arrive from a socket.
+bool DecodeTraceSnapshot(const uint8_t* data, size_t size, ProcessTrace* out,
+                         std::string* error);
+
+/// The merged timeline: this process's spans on pid 1 plus every remote
+/// process on its own pid track, remote timestamps corrected by each trace's
+/// clock_offset_us. With `remote` empty this is exactly WriteTraceJson(out).
+void WriteTraceJson(std::ostream& out,
+                    const std::vector<ProcessTrace>& remote);
 
 /// One traced scope. Prefer the macros below.
 class TraceSpan {

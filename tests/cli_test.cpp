@@ -155,6 +155,19 @@ TEST(AssembleCliParseTest, ObservabilityFlagsMapOntoOptions) {
   opts = {};
   EXPECT_FALSE(Parse({"--log-level", "chatty", "in.fastq"}, &opts, &error));
   EXPECT_NE(error.find("--log-level"), std::string::npos) << error;
+
+  // --metrics-listen takes any endpoint spec and is validated at parse
+  // time, so a typo fails before the pipeline spends an hour running.
+  opts = {};
+  ASSERT_TRUE(
+      Parse({"--metrics-listen", "127.0.0.1:9464", "in.fastq"}, &opts,
+            &error))
+      << error;
+  EXPECT_EQ(opts.metrics_listen, "127.0.0.1:9464");
+  opts = {};
+  EXPECT_FALSE(
+      Parse({"--metrics-listen", "not a port", "in.fastq"}, &opts, &error));
+  EXPECT_NE(error.find("--metrics-listen"), std::string::npos) << error;
 }
 
 TEST(AssembleCliParseTest, DistributedFlagsMapOntoOptions) {

@@ -16,10 +16,13 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
@@ -33,8 +36,11 @@
 #include "net/worker.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/trace.h"
 #include "sim/genome.h"
 #include "sim/read_simulator.h"
+#include "util/json.h"
+#include "util/timer.h"
 #include "util/varint.h"
 
 namespace ppa {
@@ -633,26 +639,166 @@ TEST(NetContextTest, NoWorkersAskedReturnsNull) {
   EXPECT_EQ(MakeNetContext(config), nullptr);
 }
 
-// A client speaking a future protocol version is refused at the hello.
-TEST(WorkerServerTest, VersionMismatchIsRefused) {
-  Fleet fleet(1);  // reuses its server; open one more raw connection
+// Connects a raw frame connection to a fleet server and completes the
+// magic exchange + kHello offering `offer`. The reply frame lands in
+// `*reply`.
+void RawHello(const std::string& spec, uint64_t offer, Frame* reply) {
+  net::Endpoint endpoint;
+  std::string error;
+  ASSERT_TRUE(net::ParseEndpoint(spec, &endpoint, &error)) << error;
+  int fd = net::ConnectWithRetry(endpoint, 5000, &error);
+  ASSERT_GE(fd, 0) << error;
+  FrameConn conn(fd);
+  ASSERT_TRUE(conn.SendMagic(&error)) << error;
+  std::vector<uint8_t> hello;
+  PutVarint64(&hello, offer);
+  ASSERT_TRUE(conn.Send(MsgType::kHello, hello, &error)) << error;
+  ASSERT_TRUE(conn.ExpectMagic(&error)) << error;
+  ASSERT_EQ(conn.Recv(reply, &error), FrameConn::RecvResult::kOk) << error;
+}
+
+// Version negotiation at the hello: a client offering a future version is
+// answered with the worker's own (lower) version instead of a refusal;
+// only an offer below the compatibility floor keeps the versioned
+// refusal diagnostic.
+TEST(WorkerServerTest, HelloNegotiatesDownAndRefusesBelowFloor) {
+  Fleet fleet(1);  // reuses its server; open more raw connections
+  const std::string spec = fleet.servers[0]->listen_spec();
+  Frame frame;
+  RawHello(spec, net::kProtocolVersion + 7, &frame);
+  ASSERT_EQ(frame.type, MsgType::kHelloOk);
+  uint64_t negotiated = 0;
+  size_t pos = 0;
+  ASSERT_TRUE(
+      GetVarint64(frame.body.data(), frame.body.size(), &pos, &negotiated));
+  EXPECT_EQ(negotiated, net::kProtocolVersion);
+
+  RawHello(spec, net::kMinProtocolVersion - 1, &frame);
+  EXPECT_EQ(frame.type, MsgType::kError);
+  const std::string text(frame.body.begin(), frame.body.end());
+  EXPECT_NE(text.find("protocol version"), std::string::npos) << text;
+}
+
+// A v3-era client (bare-varint hello, no flags word) negotiates down and
+// keeps the full frame plane — but the v4-only trace/clock frames are
+// refused on the downgraded link with a diagnostic naming the version.
+TEST(WorkerServerTest, V3ClientKeepsFramePlaneButNotTraceFrames) {
+  Fleet fleet(1);
   net::Endpoint endpoint;
   std::string error;
   ASSERT_TRUE(net::ParseEndpoint(fleet.servers[0]->listen_spec(), &endpoint,
                                  &error))
       << error;
-  int fd = net::ConnectWithRetry(endpoint, 2000, &error);
-  ASSERT_GE(fd, 0) << error;
-  FrameConn conn(fd);
-  ASSERT_TRUE(conn.SendMagic(&error)) << error;
-  std::vector<uint8_t> hello;
-  PutVarint64(&hello, net::kProtocolVersion + 7);
-  ASSERT_TRUE(conn.Send(MsgType::kHello, hello, &error)) << error;
-  ASSERT_TRUE(conn.ExpectMagic(&error)) << error;
-  Frame frame;
-  ASSERT_EQ(conn.Recv(&frame, &error), FrameConn::RecvResult::kOk) << error;
-  EXPECT_EQ(frame.type, MsgType::kError);
-  EXPECT_FALSE(frame.body.empty());
+  for (const MsgType refused :
+       {MsgType::kTraceRequest, MsgType::kClockProbe}) {
+    int fd = net::ConnectWithRetry(endpoint, 5000, &error);
+    ASSERT_GE(fd, 0) << error;
+    FrameConn conn(fd);
+    ASSERT_TRUE(conn.SendMagic(&error)) << error;
+    std::vector<uint8_t> hello;
+    PutVarint64(&hello, 3);
+    ASSERT_TRUE(conn.Send(MsgType::kHello, hello, &error)) << error;
+    ASSERT_TRUE(conn.ExpectMagic(&error)) << error;
+    Frame frame;
+    ASSERT_EQ(conn.Recv(&frame, &error), FrameConn::RecvResult::kOk) << error;
+    ASSERT_EQ(frame.type, MsgType::kHelloOk);
+    uint64_t negotiated = 0;
+    size_t pos = 0;
+    ASSERT_TRUE(
+        GetVarint64(frame.body.data(), frame.body.size(), &pos, &negotiated));
+    EXPECT_EQ(negotiated, 3u);
+    // The ordinary frame plane works on the downgraded link.
+    ASSERT_TRUE(conn.Send(MsgType::kHeartbeat, {}, &error)) << error;
+    ASSERT_EQ(conn.Recv(&frame, &error), FrameConn::RecvResult::kOk) << error;
+    EXPECT_EQ(frame.type, MsgType::kHeartbeatOk);
+    // The v4-only control frames do not.
+    ASSERT_TRUE(conn.Send(refused, {}, &error)) << error;
+    ASSERT_EQ(conn.Recv(&frame, &error), FrameConn::RecvResult::kOk) << error;
+    EXPECT_EQ(frame.type, MsgType::kError);
+    const std::string text(frame.body.begin(), frame.body.end());
+    EXPECT_NE(text.find("v3"), std::string::npos) << text;
+  }
+}
+
+// The coordinator side of the downgrade: offered v4, a v3-era worker
+// replies with its legacy refusal diagnostic; the client parses the
+// worker's version out of it and redials offering v3 with a bare-varint
+// hello (no flags word — a v3 peer would misparse trailing bytes).
+TEST(WorkerClientTest, RedialsDownToAV3Worker) {
+  const std::string dir = MakeTempDir();
+  net::Endpoint endpoint;
+  std::string error;
+  ASSERT_TRUE(
+      net::ParseEndpoint("unix:" + dir + "/v3.sock", &endpoint, &error))
+      << error;
+  int listen_fd = net::ListenOn(endpoint, &error);
+  ASSERT_GE(listen_fd, 0) << error;
+
+  std::vector<uint8_t> first_hello, second_hello;
+  std::thread v3_worker([&] {
+    std::string err;
+    // First dial: refuse the v4 offer the way a v3 worker does.
+    int fd = net::AcceptOn(listen_fd, &err);
+    ASSERT_GE(fd, 0) << err;
+    {
+      FrameConn conn(fd);
+      ASSERT_TRUE(conn.ExpectMagic(&err)) << err;
+      Frame hello;
+      ASSERT_EQ(conn.Recv(&hello, &err), FrameConn::RecvResult::kOk) << err;
+      first_hello = hello.body;
+      ASSERT_TRUE(conn.SendMagic(&err)) << err;
+      const std::string text = "protocol version 4 != 3";
+      ASSERT_TRUE(conn.Send(MsgType::kError,
+                            std::vector<uint8_t>(text.begin(), text.end()),
+                            &err))
+          << err;
+    }
+    // Redial: accept the downgraded offer and serve until the client
+    // hangs up.
+    fd = net::AcceptOn(listen_fd, &err);
+    ASSERT_GE(fd, 0) << err;
+    FrameConn conn(fd);
+    ASSERT_TRUE(conn.ExpectMagic(&err)) << err;
+    Frame hello;
+    ASSERT_EQ(conn.Recv(&hello, &err), FrameConn::RecvResult::kOk) << err;
+    second_hello = hello.body;
+    ASSERT_TRUE(conn.SendMagic(&err)) << err;
+    std::vector<uint8_t> ok;
+    PutVarint64(&ok, 3);
+    ASSERT_TRUE(conn.Send(MsgType::kHelloOk, ok, &err)) << err;
+    Frame frame;
+    while (conn.Recv(&frame, &err) == FrameConn::RecvResult::kOk) {
+      if (frame.type == MsgType::kHeartbeat) {
+        conn.Send(MsgType::kHeartbeatOk, {}, &err);
+      }
+    }
+  });
+
+  {
+    net::WorkerClient::Options options;
+    options.endpoint = "unix:" + dir + "/v3.sock";
+    options.arm_trace = true;  // must be withheld from the v3 hello
+    net::WorkerClient client(options);
+    EXPECT_EQ(client.negotiated_version(), 3u);
+    EXPECT_FALSE(client.failed()) << client.error();
+    // Pre-v4 link: the probe declines client-side, offset stays put.
+    EXPECT_FALSE(client.ProbeClockOffset());
+    EXPECT_EQ(client.clock_offset_us(), 0);
+  }
+  v3_worker.join();
+  close(listen_fd);
+  std::filesystem::remove_all(dir);
+
+  // The v4 hello carried version + flags; the downgraded one is the bare
+  // v3 varint — exactly one byte, no trace flag smuggled after it.
+  size_t pos = 0;
+  uint64_t offered = 0;
+  ASSERT_TRUE(
+      GetVarint64(first_hello.data(), first_hello.size(), &pos, &offered));
+  EXPECT_EQ(offered, net::kProtocolVersion);
+  EXPECT_GT(first_hello.size(), pos);  // flags word present on the v4 dial
+  EXPECT_EQ(second_hello.size(), 1u);
+  EXPECT_EQ(second_hello[0], 3u);
 }
 
 // Garbage after a valid handshake gets a kError frame, then the connection
@@ -670,16 +816,21 @@ TEST(WorkerServerTest, MalformedChunkGetsErrorFrame) {
   std::vector<uint8_t> junk;
   PutVarint64(&junk, 1);  // shard
   for (int i = 0; i < 32; ++i) junk.push_back(0xEE);
-  bool done_ran = false;
+  std::atomic<bool> done_ran{false};
   client.SendData(MsgType::kCounterChunk, junk,
-                  [&done_ran] { done_ran = true; });
+                  [&done_ran] { done_ran.store(true); });
   // The worker answers kError and drops the connection; the client fails
-  // and the pending completion drains.
+  // and the pending completion drains. NextResponse wakes when the failure
+  // flag is set, which may be a beat before the drain runs the callback —
+  // wait it out instead of racing it.
   Frame frame;
   EXPECT_FALSE(client.NextResponse(&frame));
   EXPECT_TRUE(client.failed());
   EXPECT_FALSE(client.error().empty());
-  EXPECT_TRUE(done_ran);
+  for (int i = 0; i < 2000 && !done_ran.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(done_ran.load());
 }
 
 // ---------------------------------------------------------------------------
@@ -964,6 +1115,274 @@ TEST(RemoteRecordStoreTest, EmptyFileReadsBackEmpty) {
   std::vector<uint8_t> record;
   EXPECT_FALSE(source->Next(&record));
   EXPECT_TRUE(source->ok()) << source->error();
+}
+
+// ---------------------------------------------------------------------------
+// Clock-offset estimation (the trace-stitching time base).
+// ---------------------------------------------------------------------------
+
+// An injected worker clock skew — ahead and behind — is recovered by the
+// ping-midpoint estimate to well under the skew itself. In-process server
+// and client share one MonotonicMicros epoch, so the skew knob is the
+// entire true offset and the estimate error is just the RTT asymmetry.
+TEST(ClockOffsetTest, EstimatesInjectedSkewBothDirections) {
+  const std::string dir = MakeTempDir();
+  int iteration = 0;
+  for (const int64_t skew_us : {400000ll, -400000ll}) {
+    WorkerOptions options;
+    options.listen =
+        "unix:" + dir + "/skew" + std::to_string(iteration++) + ".sock";
+    options.clock_skew_us = skew_us;
+    ShardWorkerServer server(options);
+    std::string error;
+    ASSERT_TRUE(server.Start(&error)) << error;
+    {
+      net::WorkerClient::Options copts;
+      copts.endpoint = options.listen;
+      net::WorkerClient client(copts);  // probes at handshake on v4 links
+      EXPECT_EQ(client.negotiated_version(), net::kProtocolVersion);
+      // Unix-socket RTTs are tens of microseconds; 20 ms of tolerance is
+      // orders of magnitude of slack without letting the sign flip.
+      EXPECT_NEAR(static_cast<double>(client.clock_offset_us()),
+                  static_cast<double>(skew_us), 20000.0);
+      // Re-probing (what CollectTraces does) lands in the same place.
+      ASSERT_TRUE(client.ProbeClockOffset());
+      EXPECT_NEAR(static_cast<double>(client.clock_offset_us()),
+                  static_cast<double>(skew_us), 20000.0);
+    }
+    server.Stop();
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// HTTP sniffing on the worker's listen socket (Prometheus pull).
+// ---------------------------------------------------------------------------
+
+int RawConnect(const std::string& spec) {
+  net::Endpoint endpoint;
+  std::string error;
+  EXPECT_TRUE(net::ParseEndpoint(spec, &endpoint, &error)) << error;
+  int fd = net::ConnectWithRetry(endpoint, 5000, &error);
+  EXPECT_GE(fd, 0) << error;
+  return fd;
+}
+
+void WriteAll(int fd, const std::string& text) {
+  size_t sent = 0;
+  while (sent < text.size()) {
+    ssize_t n = write(fd, text.data() + sent, text.size() - sent);
+    ASSERT_GT(n, 0);
+    sent += static_cast<size_t>(n);
+  }
+}
+
+std::string ReadUntilEof(int fd) {
+  std::string out;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = read(fd, buf, sizeof buf)) > 0) {
+    out.append(buf, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+TEST(WorkerHttpTest, GetOnTheFrameSocketReturnsAnExposition) {
+  Fleet fleet(1);
+  int fd = RawConnect(fleet.servers[0]->listen_spec());
+  WriteAll(fd, "GET /metrics HTTP/1.0\r\nHost: test\r\n\r\n");
+  shutdown(fd, SHUT_WR);
+  const std::string response = ReadUntilEof(fd);
+  close(fd);
+  ASSERT_EQ(response.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << response;
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  // The body is the worker's own registry, in exposition form — including
+  // the scrape counting itself.
+  EXPECT_NE(response.find("# TYPE ppa_worker_connections counter"),
+            std::string::npos)
+      << response;
+  EXPECT_NE(response.find("ppa_worker_http_requests 1\n"), std::string::npos)
+      << response;
+  // Content-Length is exact, so curl-style clients do not hang.
+  const size_t header_end = response.find("\r\n\r\n");
+  ASSERT_NE(header_end, std::string::npos);
+  const size_t body_bytes = response.size() - header_end - 4;
+  EXPECT_NE(response.find("Content-Length: " + std::to_string(body_bytes) +
+                          "\r\n"),
+            std::string::npos)
+      << response;
+}
+
+TEST(WorkerHttpTest, PipelinedRequestsEachGetAResponse) {
+  Fleet fleet(1);
+  int fd = RawConnect(fleet.servers[0]->listen_spec());
+  const std::string get = "GET /metrics HTTP/1.0\r\n\r\n";
+  WriteAll(fd, get + get);  // both requests in one segment
+  shutdown(fd, SHUT_WR);
+  const std::string response = ReadUntilEof(fd);
+  close(fd);
+  size_t count = 0;
+  for (size_t at = response.find("HTTP/1.0 200 OK");
+       at != std::string::npos;
+       at = response.find("HTTP/1.0 200 OK", at + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 2u) << response;
+}
+
+// The sniff must wait out a slow client: "GE" alone is not yet decidable,
+// and the rest arriving later still routes to the HTTP handler.
+TEST(WorkerHttpTest, SlowFirstBytesStillSniffAsHttp) {
+  Fleet fleet(1);
+  int fd = RawConnect(fleet.servers[0]->listen_spec());
+  WriteAll(fd, "GE");
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  WriteAll(fd, "T /metrics HTTP/1.0\r\n\r\n");
+  shutdown(fd, SHUT_WR);
+  const std::string response = ReadUntilEof(fd);
+  close(fd);
+  EXPECT_EQ(response.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << response;
+}
+
+// Bytes that are neither "GET " nor the frame magic close cleanly (no
+// HTTP response, no hang) and leave the server serving.
+TEST(WorkerHttpTest, JunkFirstBytesCloseCleanly) {
+  Fleet fleet(1);
+  int fd = RawConnect(fleet.servers[0]->listen_spec());
+  WriteAll(fd, "BOGUS bytes that are neither protocol");
+  shutdown(fd, SHUT_WR);
+  const std::string response = ReadUntilEof(fd);
+  close(fd);
+  EXPECT_EQ(response.find("HTTP/1.0"), std::string::npos) << response;
+
+  // The server shrugged it off: a well-formed scrape still answers.
+  fd = RawConnect(fleet.servers[0]->listen_spec());
+  WriteAll(fd, "GET /metrics HTTP/1.0\r\n\r\n");
+  shutdown(fd, SHUT_WR);
+  const std::string again = ReadUntilEof(fd);
+  close(fd);
+  EXPECT_EQ(again.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << again;
+}
+
+// Scrapes hammering the listen socket must not perturb concurrent frame
+// clients: a counting run stays bit-identical under scrape load.
+TEST(WorkerHttpTest, ScrapesDoNotDisturbFrameClients) {
+  std::vector<Read> reads = SimulatedReads(10000, 8.0, 0.01, 41);
+  KmerCountConfig config;
+  config.mer_length = 19;
+  config.num_workers = 2;
+  config.num_threads = 4;
+  config.num_shards = 4;
+  auto expected = SortedPartitions(CountCanonicalMers(reads, config));
+  Fleet fleet(2);
+  std::atomic<bool> stop{false};
+  std::thread scraper([&] {
+    while (!stop.load()) {
+      for (auto& server : fleet.servers) {
+        int fd = RawConnect(server->listen_spec());
+        if (fd < 0) continue;
+        WriteAll(fd, "GET /metrics HTTP/1.0\r\n\r\n");
+        shutdown(fd, SHUT_WR);
+        ReadUntilEof(fd);
+        close(fd);
+      }
+    }
+  });
+  config.net = fleet.context.get();
+  CounterSession session(config);
+  session.AddBatch(reads);
+  KmerCountStats stats;
+  EXPECT_EQ(SortedPartitions(session.Finish(&stats)), expected);
+  stop.store(true);
+  scraper.join();
+  const obs::SnapshotView w0(fleet.servers[0]->metrics().Snapshot());
+  EXPECT_GE(w0.Get("worker.http_requests"), 1u);
+  EXPECT_EQ(w0.Get("worker.crc_rejects"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-process trace stitching end to end: a spawned 2-worker fleet.
+// ---------------------------------------------------------------------------
+
+// The acceptance property of the stitched timeline: with tracing armed, a
+// real (spawned-process) fleet yields one merged trace where both worker
+// processes appear on their own pid tracks and every offset-corrected
+// worker timestamp lands inside the coordinator-clock run window.
+TEST(DistributedTraceTest, SpawnedFleetMergesOneTimelineAcrossPids) {
+  obs::StartTrace();
+  obs::SetTraceThreadName("net-test-coordinator");
+  const int64_t run_start_us = static_cast<int64_t>(MonotonicMicros());
+
+  std::vector<Read> reads = SimulatedReads(12000, 8.0, 0.01, 53);
+  KmerCountConfig config;
+  config.mer_length = 21;
+  config.num_workers = 2;
+  config.num_threads = 4;
+  config.num_shards = 4;
+  auto expected = SortedPartitions(CountCanonicalMers(reads, config));
+
+  NetConfig net_config;
+  net_config.spawn_workers = 2;
+  net_config.arm_trace = true;
+  std::unique_ptr<NetContext> context = MakeNetContext(net_config);
+  ASSERT_NE(context, nullptr);
+  ASSERT_EQ(context->num_workers(), 2u);
+  config.net = context.get();
+  CounterSession session(config);
+  session.AddBatch(reads);
+  KmerCountStats stats;
+  EXPECT_EQ(SortedPartitions(session.Finish(&stats)), expected);
+
+  std::vector<obs::ProcessTrace> traces = context->CollectTraces();
+  const int64_t run_end_us = static_cast<int64_t>(MonotonicMicros());
+  obs::StopTrace();
+
+  ASSERT_EQ(traces.size(), 2u);
+  // Generous slack over the probe error (RTT midpoint on a loaded box).
+  const int64_t kSlackUs = 200000;
+  for (const obs::ProcessTrace& trace : traces) {
+    EXPECT_FALSE(trace.label.empty());
+    bool saw_ingest = false, saw_finalize = false;
+    for (const obs::RemoteTraceEvent& event : trace.events) {
+      if (event.name == "worker.chunk_ingest") saw_ingest = true;
+      if (event.name == "worker.count_finalize") saw_finalize = true;
+      const int64_t corrected = event.start_us - trace.clock_offset_us;
+      EXPECT_GE(corrected + kSlackUs, run_start_us) << event.name;
+      EXPECT_LE(corrected, run_end_us + kSlackUs) << event.name;
+    }
+    EXPECT_TRUE(saw_ingest) << trace.label;
+    EXPECT_TRUE(saw_finalize) << trace.label;
+  }
+
+  // The merged JSON puts the coordinator on pid 1 and each worker on its
+  // own pid track, offset-corrected onto one timeline.
+  std::ostringstream out;
+  obs::WriteTraceJson(out, traces);
+  context.reset();
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(out.str(), &doc, &error)) << error;
+  const JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::set<uint64_t> ingest_pids;
+  std::set<uint64_t> named_pids;
+  for (const JsonValue& e : events->array) {
+    const JsonValue* ph = e.Find("ph");
+    const JsonValue* name = e.Find("name");
+    if (ph == nullptr || name == nullptr) continue;
+    if (ph->str == "X" && name->str == "worker.chunk_ingest") {
+      ingest_pids.insert(e.GetU64("pid"));
+    }
+    if (ph->str == "M" && name->str == "process_name") {
+      named_pids.insert(e.GetU64("pid"));
+      const JsonValue* args = e.Find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_EQ(args->Find("name")->str.rfind("worker ", 0), 0u);
+    }
+  }
+  EXPECT_EQ(ingest_pids, (std::set<uint64_t>{2, 3}));
+  EXPECT_EQ(named_pids, (std::set<uint64_t>{2, 3}));
 }
 
 }  // namespace

@@ -8,10 +8,12 @@
 #include <thread>
 #include <vector>
 
+#include "obs/expose.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "util/json.h"
+#include "util/varint.h"
 
 namespace ppa {
 namespace {
@@ -179,6 +181,213 @@ TEST(TraceTest, SpansAppearInJson) {
   EXPECT_TRUE(saw_other);
   // Distinct threads get distinct tracks.
   EXPECT_NE(inner_tid, other_tid);
+}
+
+TEST(TraceSnapshotTest, RoundTripsAndAppliesTheShift) {
+  obs::StartTrace();
+  obs::SetTraceThreadName("snap-test");
+  {
+    PPA_TRACE_SPAN("snap_outer", "test");
+    PPA_TRACE_SPAN_V("snap_inner", "test", 77);
+  }
+  obs::StopTrace();
+  std::vector<uint8_t> plain, shifted, negative;
+  obs::EncodeTraceSnapshot(&plain);
+  obs::EncodeTraceSnapshot(&shifted, 123456);
+  obs::EncodeTraceSnapshot(&negative, -(1ll << 40));
+  obs::ProcessTrace a, b, c;
+  std::string error;
+  ASSERT_TRUE(obs::DecodeTraceSnapshot(plain.data(), plain.size(), &a, &error))
+      << error;
+  ASSERT_TRUE(
+      obs::DecodeTraceSnapshot(shifted.data(), shifted.size(), &b, &error))
+      << error;
+  ASSERT_TRUE(
+      obs::DecodeTraceSnapshot(negative.data(), negative.size(), &c, &error))
+      << error;
+  ASSERT_EQ(a.events.size(), 2u);
+  ASSERT_EQ(b.events.size(), 2u);
+  bool saw_inner = false;
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].name, b.events[i].name);
+    // The shift lands on every start timestamp, nothing else.
+    EXPECT_EQ(b.events[i].start_us - a.events[i].start_us, 123456);
+    EXPECT_EQ(b.events[i].dur_us, a.events[i].dur_us);
+    if (a.events[i].name == "snap_inner") {
+      saw_inner = true;
+      EXPECT_EQ(a.events[i].category, "test");
+      ASSERT_TRUE(a.events[i].has_arg);
+      EXPECT_EQ(a.events[i].arg, 77u);
+    }
+  }
+  EXPECT_TRUE(saw_inner);
+  // A large negative shift (a worker clock far behind) survives zigzag.
+  EXPECT_LT(c.events[0].start_us, 0);
+  bool saw_thread_name = false;
+  for (const auto& entry : a.thread_names) {
+    if (entry.second == "snap-test") saw_thread_name = true;
+  }
+  EXPECT_TRUE(saw_thread_name);
+  EXPECT_EQ(a.dropped, 0u);
+}
+
+TEST(TraceSnapshotTest, DecodeRejectsTruncationAndTrailingBytes) {
+  obs::StartTrace();
+  { PPA_TRACE_SPAN_V("trunc_span", "test", 5); }
+  obs::StopTrace();
+  std::vector<uint8_t> wire;
+  obs::EncodeTraceSnapshot(&wire);
+  std::string error;
+  // Every proper prefix must fail cleanly — these bytes come off a socket.
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    obs::ProcessTrace decoded;
+    error.clear();
+    EXPECT_FALSE(obs::DecodeTraceSnapshot(wire.data(), cut, &decoded, &error))
+        << "prefix of " << cut << " bytes decoded";
+  }
+  obs::ProcessTrace decoded;
+  ASSERT_TRUE(
+      obs::DecodeTraceSnapshot(wire.data(), wire.size(), &decoded, &error))
+      << error;
+  wire.push_back(0);
+  EXPECT_FALSE(
+      obs::DecodeTraceSnapshot(wire.data(), wire.size(), &decoded, &error));
+}
+
+TEST(TraceSnapshotTest, DecodeRejectsBadHasArgByte) {
+  // Hand-built snapshot: no thread names, one event, has_arg out of range.
+  std::vector<uint8_t> wire;
+  PutVarint64(&wire, 0);  // thread-name count
+  PutVarint64(&wire, 1);  // event count
+  PutVarint64(&wire, 1);
+  wire.push_back('x');  // name
+  PutVarint64(&wire, 1);
+  wire.push_back('t');  // category
+  PutVarint64(&wire, 3);                // tid
+  PutVarint64(&wire, ZigZagEncode(10));  // start_us
+  PutVarint64(&wire, 2);                // dur_us
+  const size_t has_arg_at = wire.size();
+  wire.push_back(2);      // has_arg must be 0 or 1
+  PutVarint64(&wire, 0);  // dropped
+  obs::ProcessTrace decoded;
+  std::string error;
+  EXPECT_FALSE(
+      obs::DecodeTraceSnapshot(wire.data(), wire.size(), &decoded, &error));
+  wire[has_arg_at] = 0;
+  ASSERT_TRUE(
+      obs::DecodeTraceSnapshot(wire.data(), wire.size(), &decoded, &error))
+      << error;
+  ASSERT_EQ(decoded.events.size(), 1u);
+  EXPECT_EQ(decoded.events[0].name, "x");
+  EXPECT_EQ(decoded.events[0].start_us, 10);
+  EXPECT_FALSE(decoded.events[0].has_arg);
+}
+
+TEST(TraceJsonTest, MergedTimelineCorrectsOffsetsOntoWorkerPids) {
+  obs::StartTrace();  // fresh, empty local session: only remote tracks
+  obs::StopTrace();
+  obs::ProcessTrace worker;
+  worker.label = "unix:/tmp/w0.sock";
+  worker.clock_offset_us = 1000;
+  worker.thread_names.emplace_back(7, "srv");
+  obs::RemoteTraceEvent span;
+  span.name = "remote_span";
+  span.category = "worker";
+  span.tid = 7;
+  span.start_us = 1500;
+  span.dur_us = 10;
+  span.arg = 64;
+  span.has_arg = true;
+  worker.events.push_back(span);
+  obs::RemoteTraceEvent early;
+  early.name = "early_span";
+  early.category = "worker";
+  early.tid = 7;
+  early.start_us = 200;  // corrected to -800: clamps to 0, never negative
+  early.dur_us = 5;
+  worker.events.push_back(early);
+  worker.dropped = 3;
+
+  std::ostringstream out;
+  obs::WriteTraceJson(out, {worker});
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(out.str(), &doc, &error)) << error;
+  EXPECT_EQ(doc.GetU64("ppaDroppedEvents"), 3u);
+  const JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool saw_span = false, saw_early = false, saw_process_name = false,
+       saw_thread_name = false;
+  for (const JsonValue& e : events->array) {
+    const JsonValue* name = e.Find("name");
+    ASSERT_NE(name, nullptr);
+    if (name->str == "remote_span") {
+      saw_span = true;
+      EXPECT_EQ(e.GetU64("pid"), 2u);  // first remote process: pid 2
+      EXPECT_EQ(e.GetU64("tid"), 7u);
+      EXPECT_EQ(e.GetU64("ts"), 500u);  // 1500 - offset 1000
+      EXPECT_EQ(e.GetU64("dur"), 10u);
+      EXPECT_EQ(e.Find("args")->GetU64("v"), 64u);
+    }
+    if (name->str == "early_span") {
+      saw_early = true;
+      EXPECT_EQ(e.GetU64("ts"), 0u);
+    }
+    if (name->str == "process_name" && e.GetU64("pid") == 2u) {
+      saw_process_name = true;
+      EXPECT_EQ(e.Find("args")->Find("name")->str,
+                "worker unix:/tmp/w0.sock");
+    }
+    if (name->str == "thread_name" && e.GetU64("pid") == 2u &&
+        e.GetU64("tid") == 7u) {
+      saw_thread_name = true;
+      EXPECT_EQ(e.Find("args")->Find("name")->str, "srv");
+    }
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_early);
+  EXPECT_TRUE(saw_process_name);
+  EXPECT_TRUE(saw_thread_name);
+}
+
+TEST(PrometheusTest, RendersTypesMangledNamesAndWorkerLabels) {
+  // Name-sorted, as MetricsRegistry::Snapshot delivers: the per-worker
+  // samples sit adjacent, so their shared family gets one TYPE line.
+  std::vector<obs::MetricValue> snapshot;
+  snapshot.push_back({"mem.resident_bytes", obs::MetricKind::kGauge, 9});
+  snapshot.push_back({"net.chunks", obs::MetricKind::kCounter, 5});
+  snapshot.push_back({"net.worker.unix:/tmp/w0.sock.frames_served",
+                      obs::MetricKind::kCounter, 7});
+  snapshot.push_back({"net.worker.unix:/tmp/w1.sock.frames_served",
+                      obs::MetricKind::kCounter, 8});
+  snapshot.push_back({"net.workers", obs::MetricKind::kGauge, 2});
+  const std::string expected =
+      "# TYPE ppa_mem_resident_bytes gauge\n"
+      "ppa_mem_resident_bytes 9\n"
+      "# TYPE ppa_net_chunks counter\n"
+      "ppa_net_chunks 5\n"
+      "# TYPE ppa_net_worker_frames_served counter\n"
+      "ppa_net_worker_frames_served{worker=\"unix:/tmp/w0.sock\"} 7\n"
+      "ppa_net_worker_frames_served{worker=\"unix:/tmp/w1.sock\"} 8\n"
+      "# TYPE ppa_net_workers gauge\n"
+      "ppa_net_workers 2\n";
+  EXPECT_EQ(obs::RenderPrometheus(snapshot), expected);
+}
+
+TEST(PrometheusTest, EscapesLabelValuesAndLeavesShortNamesAlone) {
+  std::vector<obs::MetricValue> snapshot;
+  // A quote or backslash in an endpoint must not break the exposition.
+  snapshot.push_back(
+      {"net.worker.host\"x\\y.unacked_bytes", obs::MetricKind::kGauge, 1});
+  // "net.workers" has no endpoint segment: no label transform.
+  snapshot.push_back({"net.workers", obs::MetricKind::kGauge, 3});
+  const std::string out = obs::RenderPrometheus(snapshot);
+  EXPECT_NE(
+      out.find(
+          "ppa_net_worker_unacked_bytes{worker=\"host\\\"x\\\\y\"} 1\n"),
+      std::string::npos)
+      << out;
+  EXPECT_NE(out.find("ppa_net_workers 3\n"), std::string::npos) << out;
 }
 
 TEST(TraceTest, DisabledSpansRecordNothing) {
